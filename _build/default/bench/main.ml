@@ -1,0 +1,307 @@
+(* Bechamel benchmarks: one Test per paper artefact / experiment (see
+   DESIGN.md experiment index), plus the codec hot paths that set the
+   device's constant factors.
+
+   These measure the *simulator's* execution cost (how long our code
+   takes to emulate an operation); the *simulated* device latencies the
+   paper cares about are reported by `bin/experiments`. *)
+
+open Bechamel
+open Toolkit
+
+(* {1 Staged environments} *)
+
+let small_device () =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:64 ~line_exp:3 ())
+  in
+  List.iter
+    (fun pba ->
+      match Sero.Device.write_block dev ~pba "bench payload" with
+      | Ok () -> ()
+      | Error _ -> ())
+    (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 1);
+  (match Sero.Device.heat_line dev ~line:1 () with Ok _ -> () | Error _ -> ());
+  dev
+
+let bit_ctx () =
+  Pmedia.Bitops.make
+    (Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:64 ~cols:64))
+
+let bench_fs () =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:1024 ~line_exp:3 ())
+  in
+  let fs = Lfs.Fs.format dev in
+  (match Lfs.Fs.create fs "/bench" with Ok () -> () | Error e -> failwith e);
+  fs
+
+let payload_4k = String.init 4096 (fun i -> Char.chr (i mod 251))
+let payload_512 = String.sub payload_4k 0 512
+
+(* {1 The tests} *)
+
+let figures =
+  [
+    Test.make ~name:"fig1 mfm trace (6 dots x 8 samples)"
+      (Staged.stage (fun () ->
+           let rng = Sim.Prng.create 17 in
+           ignore
+             (Physics.Mfm.trace Physics.Mfm.default_channel
+                Physics.Constants.dot_200nm ~rng
+                ~dots:
+                  [| Physics.Mfm.Up; Physics.Mfm.Down; Physics.Mfm.Up;
+                     Physics.Mfm.Up; Physics.Mfm.Destroyed; Physics.Mfm.Up |]
+                ~samples_per_dot:8)));
+    Test.make ~name:"fig2 transition table"
+      (Staged.stage (fun () -> ignore Pmedia.Dot.transition_table));
+    Test.make ~name:"fig7 anisotropy sweep (10 temps)"
+      (Staged.stage (fun () ->
+           ignore
+             (Physics.Anisotropy.figure7_sweep Physics.Constants.co_pt
+                ~temps_c:[ 25.; 100.; 200.; 300.; 400.; 500.; 550.; 600.; 650.; 700. ])));
+    Test.make ~name:"fig8 low-angle xrd scan (241 pts)"
+      (Staged.stage (fun () ->
+           ignore
+             (Physics.Xrd.low_angle_scan Physics.Constants.co_pt
+                ~anneal_temp_c:(Some 700.))));
+    Test.make ~name:"fig9 high-angle xrd scan (301 pts)"
+      (Staged.stage (fun () ->
+           ignore
+             (Physics.Xrd.high_angle_scan Physics.Constants.co_pt
+                ~anneal_temp_c:(Some 700.))));
+  ]
+
+let e7_bit_ops =
+  let ctx = bit_ctx () in
+  [
+    Test.make ~name:"e7 mrb" (Staged.stage (fun () -> ignore (Pmedia.Bitops.mrb ctx 0)));
+    Test.make ~name:"e7 mwb"
+      (Staged.stage (fun () -> Pmedia.Bitops.mwb ctx 1 Pmedia.Dot.Up));
+    Test.make ~name:"e7 erb (1 cycle)"
+      (Staged.stage (fun () -> ignore (Pmedia.Bitops.erb ctx 2)));
+    Test.make ~name:"e7 ewb (idempotent on heated dot)"
+      (Staged.stage (fun () -> Pmedia.Bitops.ewb ctx 3));
+  ]
+
+let e7_sector_ops =
+  let dev = small_device () in
+  let data_pba =
+    List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2)
+  in
+  [
+    Test.make ~name:"e7 mrs (read sector)"
+      (Staged.stage (fun () ->
+           ignore
+             (Sero.Device.read_block dev
+                ~pba:(List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 1)))));
+    Test.make ~name:"e7 mws (write sector)"
+      (Staged.stage (fun () ->
+           ignore (Sero.Device.write_block dev ~pba:data_pba payload_512)));
+    Test.make ~name:"e7 ers (electrical hash read)"
+      (Staged.stage (fun () -> ignore (Sero.Device.read_hash_block dev ~line:1)));
+  ]
+
+let e8_line_ops =
+  let dev = small_device () in
+  [
+    Test.make ~name:"e8 heat_line (idempotent re-heat, N=3)"
+      (Staged.stage (fun () -> ignore (Sero.Device.heat_line dev ~line:1 ())));
+    Test.make ~name:"e8 verify_line (N=3)"
+      (Staged.stage (fun () -> ignore (Sero.Device.verify_line dev ~line:1)));
+    Test.make ~name:"e8 full-device scan (8 lines)"
+      (Staged.stage (fun () -> ignore (Sero.Device.scan dev)));
+  ]
+
+let e9_lfs =
+  let fs = bench_fs () in
+  [
+    Test.make ~name:"e9 lfs 4KB overwrite (log append + CoW)"
+      (Staged.stage (fun () ->
+           match Lfs.Fs.write_file fs "/bench" ~offset:0 payload_4k with
+           | Ok () -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"e9 lfs 4KB read"
+      (Staged.stage (fun () ->
+           ignore (Lfs.Fs.read_range fs "/bench" ~offset:0 ~len:4096)));
+    Test.make ~name:"e9 lfs sync (flush + checkpoint)"
+      (Staged.stage (fun () -> Lfs.Fs.sync fs));
+  ]
+
+let e10_security =
+  [
+    Test.make ~name:"e10 mwb-data attack + audit (fresh env)"
+      (Staged.stage (fun () ->
+           ignore (Security.Attacks.run Security.Attacks.Mwb_data)));
+  ]
+
+let e11_worm =
+  [
+    Test.make ~name:"e11 worm comparison (6 technologies)"
+      (Staged.stage (fun () ->
+           ignore (Baseline.Compare.run_all Baseline.Compare.default_scenario)));
+  ]
+
+let e12_archive =
+  let venti =
+    Venti.create
+      (Sero.Device.create (Sero.Device.default_config ~n_blocks:8192 ~line_exp:3 ()))
+  in
+  let fossil =
+    Fossil.create
+      (Sero.Device.create (Sero.Device.default_config ~n_blocks:16384 ~line_exp:3 ()))
+  in
+  let counter = ref 0 in
+  [
+    Test.make ~name:"e12 venti put_stream 4KB (unique)"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Venti.put_stream venti (string_of_int !counter ^ payload_4k))));
+    Test.make ~name:"e12 fossil insert (unique key)"
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore
+             (Fossil.insert fossil
+                ~key:(Printf.sprintf "bench-%d" !counter)
+                ~value:"v")));
+  ]
+
+let e13_thermal =
+  [
+    Test.make ~name:"e13 damage sweep (24 design points)"
+      (Staged.stage (fun () -> ignore (Expt.Thermal_study.damage_sweep ())));
+    Test.make ~name:"e13 spreading comparison"
+      (Staged.stage (fun () -> ignore (Expt.Thermal_study.spreading ())));
+  ]
+
+let e14_codec =
+  [
+    Test.make ~name:"e14 sha256 4KB" (Staged.stage (fun () -> ignore (Hash.Sha256.digest_string payload_4k)));
+    Test.make ~name:"e14 manchester encode 32B hash"
+      (Staged.stage (fun () ->
+           ignore (Codec.Manchester.encode (String.sub payload_4k 0 32))));
+    Test.make ~name:"e14 sector frame encode (RS + CRC)"
+      (Staged.stage (fun () ->
+           ignore
+             (Codec.Sector.encode ~pba:7 ~kind:Codec.Sector.Data ~generation:1
+                payload_512)));
+    Test.make ~name:"e14 sector frame decode"
+      (let image =
+         Codec.Sector.encode ~pba:7 ~kind:Codec.Sector.Data ~generation:1 payload_512
+       in
+       Staged.stage (fun () -> ignore (Codec.Sector.decode image)));
+    Test.make ~name:"e14 wom write"
+      (Staged.stage (fun () -> ignore (Codec.Wom.write (Codec.Wom.encode_first 2) 1)));
+  ]
+
+let e16_erb =
+  [
+    Test.make ~name:"e16 erb miss-rate sweep (6 points, 2k trials)"
+      (Staged.stage (fun () ->
+           ignore (Expt.Erb_study.miss_sweep ~trials:2000 ())));
+  ]
+
+let e17_media =
+  [
+    Test.make ~name:"e17 defect sweep (3 rates, 24 sectors)"
+      (Staged.stage (fun () ->
+           ignore
+             (Expt.Reliability.defect_sweep ~rates:[ 0.; 0.002; 0.008 ]
+                ~sectors:24 ())));
+  ]
+
+let e18_sched =
+  let timing = Probe.Timing.create () in
+  let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:64 in
+  let rng = Sim.Prng.create 13 in
+  let offsets = List.init 64 (fun _ -> Sim.Prng.int rng 4096) in
+  [
+    Test.make ~name:"e18 elevator ordering (64 requests)"
+      (Staged.stage (fun () ->
+           ignore (Probe.Sched.order Probe.Sched.Elevator ~current:0 offsets)));
+    Test.make ~name:"e18 sstf ordering (64 requests)"
+      (Staged.stage (fun () ->
+           ignore (Probe.Sched.order Probe.Sched.Sstf ~current:0 offsets)));
+    Test.make ~name:"e18 travel cost estimate"
+      (Staged.stage (fun () ->
+           ignore (Probe.Sched.travel_cost act ~current:0 offsets)));
+  ]
+
+let groups =
+  [
+    ("figures (E1-E6)", figures);
+    ("E7 bit ops", e7_bit_ops);
+    ("E7 sector ops", e7_sector_ops);
+    ("E8 line ops", e8_line_ops);
+    ("E9 lfs", e9_lfs);
+    ("E10 security", e10_security);
+    ("E11 worm", e11_worm);
+    ("E12 archive", e12_archive);
+    ("E13 thermal", e13_thermal);
+    ("E14 codec", e14_codec);
+    ("E16 erb reliability", e16_erb);
+    ("E17 media reliability", e17_media);
+    ("E18 scheduling", e18_sched);
+  ]
+
+(* {1 Runner} *)
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let human ns =
+  if ns < 1e3 then Printf.sprintf "%8.1f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%8.2f s " (ns /. 1e9)
+
+let () =
+  let quota =
+    match Sys.getenv_opt "BENCH_QUOTA_MS" with
+    | Some ms -> float_of_string ms /. 1000.
+    | None -> 0.4
+  in
+  let cfg =
+    Benchmark.cfg ~limit:1500 ~quota:(Time.second quota) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  Printf.printf "SERO benchmark suite (quota %.1fs per test)\n" quota;
+  Printf.printf "%-48s %12s %8s\n" "benchmark" "time/run" "r^2";
+  print_endline (String.make 72 '-');
+  List.iter
+    (fun (group, tests) ->
+      Printf.printf "%s\n" group;
+      List.iter
+        (fun test ->
+          let results =
+            Benchmark.all cfg instances
+              (Test.make_grouped ~name:"g" [ test ])
+          in
+          let analysis = Analyze.all ols Instance.monotonic_clock results in
+          Hashtbl.iter
+            (fun name ols_result ->
+              let estimate =
+                match Analyze.OLS.estimates ols_result with
+                | Some (e :: _) -> e
+                | Some [] | None -> Float.nan
+              in
+              let r2 =
+                match Analyze.OLS.r_square ols_result with
+                | Some r -> Printf.sprintf "%6.3f" r
+                | None -> "     -"
+              in
+              (* Strip the group prefix bechamel adds. *)
+              let name =
+                match String.index_opt name '/' with
+                | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+                | None -> name
+              in
+              Printf.printf "  %-46s %s %8s\n" name (human estimate) r2)
+            analysis)
+        tests)
+    groups;
+  print_endline (String.make 72 '-');
+  print_endline
+    "simulated-device latencies and the paper's series: dune exec bin/experiments.exe -- all"

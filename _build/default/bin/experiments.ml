@@ -1,0 +1,75 @@
+(* Regenerates every figure and experiment series of the paper; see
+   DESIGN.md for the experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record. *)
+
+let std = Format.std_formatter
+
+let experiments =
+  [
+    ("fig1", "Figure 1: MFM read-back, heated dot peak vanishes", Expt.Figures.fig1);
+    ("fig2", "Figure 2: bit state transitions", Expt.Figures.fig2);
+    ("fig3", "Figure 3: heated-line medium layout", Expt.Figures.fig3);
+    ("fig7", "Figure 7: anisotropy vs annealing temperature", Expt.Figures.fig7);
+    ("fig8", "Figure 8: low-angle XRD", Expt.Figures.fig8);
+    ("fig9", "Figure 9: high-angle XRD", Expt.Figures.fig9);
+    ("ops", "E7: operation cost hierarchy", Expt.Ops.print);
+    ("heat", "E8: heat cost & overhead vs line size", Expt.Heatcost.print);
+    ("security", "E10: attack/outcome matrix", Expt.Security_matrix.print);
+    ("worm", "E11: WORM technology comparison", Expt.Worm_compare.print);
+    ("archive", "E12: Venti & fossilised index", Expt.Archive.print);
+    ("thermal", "E13: neighbour thermal damage", Expt.Thermal_study.print);
+    ("coding", "E14: write-once coding efficiency", Expt.Coding.print);
+    ("aging", "E15: device lifetime, WMRM shrink to read-only", Expt.Aging.print);
+    ("erb", "E16: erb protocol reliability (reproduction finding)", Expt.Erb_study.print);
+    ("media", "E17: media reliability vs the sector ECC budget", Expt.Reliability.print);
+    ("seek", "E18: sled scheduling for random IO", Expt.Seek_study.print);
+    ("lfs", "E9: LFS clustering/bimodality study (slowest)", Expt.Lfs_study.print);
+  ]
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
+  | Some (_, _, f) ->
+      f std;
+      Format.pp_print_flush std ();
+      `Ok ()
+  | None -> `Error (false, Printf.sprintf "unknown experiment %S" name)
+
+let run_all () =
+  List.iter
+    (fun (name, _, f) ->
+      Format.fprintf std "@.===== %s =====@." name;
+      f std)
+    experiments;
+  Format.pp_print_flush std ();
+  `Ok ()
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available experiments." in
+  Cmd.v (Cmd.info "list" ~doc)
+    (Term.(
+       const (fun () ->
+           List.iter
+             (fun (n, d, _) -> Printf.printf "%-10s %s\n" n d)
+             experiments;
+           `Ok ())
+       $ const ())
+    |> Term.ret)
+
+let run_cmd =
+  let name_arg =
+    let doc = "Experiment to run (see $(b,list))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let doc = "Run one experiment and print its series." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run_one $ name_arg))
+
+let all_cmd =
+  let doc = "Run every experiment in order." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run_all $ const ()))
+
+let () =
+  let doc = "regenerate the figures and experiments of the SERO paper" in
+  let info = Cmd.info "experiments" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))

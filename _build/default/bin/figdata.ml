@@ -1,0 +1,93 @@
+(* figdata — emit the paper-figure series as CSV for external plotting
+   (gnuplot, matplotlib, ...).  One file per series in the chosen
+   directory:
+
+     dune exec bin/figdata.exe -- /tmp/sero-data
+     gnuplot> plot '/tmp/sero-data/fig7_copt.csv' using 1:2 with lines *)
+
+let write_csv dir name header rows =
+  let path = Filename.concat dir name in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "%s\n" header;
+      List.iter (fun row -> Printf.fprintf oc "%s\n" row) rows);
+  Printf.printf "wrote %s (%d rows)\n" path (List.length rows)
+
+let fig7 dir =
+  let temps = List.init 29 (fun i -> float_of_int (25 * i)) in
+  List.iter
+    (fun (m, name) ->
+      write_csv dir name "temp_c,k_kj_m3"
+        (List.map
+           (fun (t, k) -> Printf.sprintf "%.1f,%.3f" t k)
+           (Physics.Anisotropy.figure7_sweep m ~temps_c:temps)))
+    [
+      (Physics.Constants.co_pt, "fig7_copt.csv");
+      (Physics.Constants.co_pt_low_temp, "fig7_lowtemp.csv");
+    ]
+
+let xrd dir =
+  List.iter
+    (fun (name, scan) ->
+      write_csv dir name "two_theta_deg,intensity"
+        (List.map
+           (fun p ->
+             Printf.sprintf "%.3f,%.4f" p.Physics.Xrd.two_theta
+               p.Physics.Xrd.intensity)
+           scan))
+    [
+      ("fig8_as_grown.csv", Physics.Xrd.low_angle_scan Physics.Constants.co_pt ~anneal_temp_c:None);
+      ("fig8_annealed.csv", Physics.Xrd.low_angle_scan Physics.Constants.co_pt ~anneal_temp_c:(Some 700.));
+      ("fig9_as_grown.csv", Physics.Xrd.high_angle_scan Physics.Constants.co_pt ~anneal_temp_c:None);
+      ("fig9_annealed.csv", Physics.Xrd.high_angle_scan Physics.Constants.co_pt ~anneal_temp_c:(Some 700.));
+    ]
+
+let fig1 dir =
+  let rng = Sim.Prng.create 17 in
+  let trace =
+    Physics.Mfm.trace Physics.Mfm.default_channel Physics.Constants.dot_200nm
+      ~rng
+      ~dots:
+        [| Physics.Mfm.Up; Physics.Mfm.Down; Physics.Mfm.Up; Physics.Mfm.Up;
+           Physics.Mfm.Destroyed; Physics.Mfm.Up |]
+      ~samples_per_dot:32
+  in
+  write_csv dir "fig1_readback.csv" "position_m,signal"
+    (Array.to_list
+       (Array.map (fun (x, y) -> Printf.sprintf "%.4e,%.5f" x y) trace))
+
+let e8 dir =
+  write_csv dir "e8_heatcost.csv" "n,line_blocks,heat_s,verify_s,overhead"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%d,%d,%.5f,%.5f,%.5f" r.Expt.Heatcost.n
+           r.Expt.Heatcost.line_blocks r.Expt.Heatcost.heat_latency_s
+           r.Expt.Heatcost.verify_latency_s r.Expt.Heatcost.space_overhead)
+       (Expt.Heatcost.sweep ()))
+
+let e16 dir =
+  write_csv dir "e16_erb_miss.csv" "cycles,measured,theory"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%d,%.6f,%.6f" r.Expt.Erb_study.cycles
+           r.Expt.Erb_study.measured_miss r.Expt.Erb_study.theory_miss)
+       (Expt.Erb_study.miss_sweep ()))
+
+let e17 dir =
+  write_csv dir "e17_defects.csv" "defect_rate,sectors,readable,corrected"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%.4f,%d,%d,%.2f" r.Expt.Reliability.defect_rate
+           r.Expt.Reliability.sectors r.Expt.Reliability.readable
+           r.Expt.Reliability.mean_corrected)
+       (Expt.Reliability.defect_sweep ()))
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "sero-data" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  fig1 dir;
+  fig7 dir;
+  xrd dir;
+  e8 dir;
+  e16 dir;
+  e17 dir;
+  Printf.printf "done; plot with gnuplot or your tool of choice.\n"

@@ -1,0 +1,293 @@
+(* serotool — drive a simulated SERO device image from the shell.
+
+   A device lives in an image file; every subcommand loads it, performs
+   one operation through the same stack the experiments use, and saves
+   it back, so shell sessions compose like operations on real media:
+
+     serotool mkdev disk.img --blocks 2048
+     serotool mkfs disk.img
+     echo 'ledger 2007' | serotool write disk.img /ledger
+     serotool heat disk.img /ledger
+     serotool verify disk.img /ledger
+     serotool attack disk.img mwb-data && serotool verify disk.img /ledger
+     serotool fsck disk.img *)
+
+let std = Format.std_formatter
+let err fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt
+
+let with_device image f =
+  match Sero.Image.load image with
+  | Error e -> err "cannot load %s: %s" image e
+  | Ok dev -> (
+      match f dev with
+      | Ok save ->
+          if save then Sero.Image.save dev image;
+          `Ok ()
+      | Error e -> `Error (false, e))
+
+let with_fs image f =
+  with_device image (fun dev ->
+      match Lfs.Fs.mount dev with
+      | Error e -> Error (Printf.sprintf "mount failed: %s" e)
+      | Ok fs -> (
+          match f dev fs with
+          | Ok save ->
+              if save then Lfs.Fs.sync fs;
+              Ok save
+          | Error _ as e -> e))
+
+(* {1 Commands} *)
+
+let mkdev image blocks line_exp =
+  let config = Sero.Device.default_config ~n_blocks:blocks ~line_exp () in
+  match Sero.Device.create config with
+  | dev ->
+      Sero.Image.save dev image;
+      Format.fprintf std "created %s: %d blocks, lines of %d@." image blocks
+        (1 lsl line_exp);
+      Format.pp_print_flush std ();
+      `Ok ()
+  | exception Invalid_argument e -> err "%s" e
+
+let mkfs image =
+  with_device image (fun dev ->
+      let _fs = Lfs.Fs.format dev in
+      Format.fprintf std "formatted %s@." image;
+      Ok true)
+
+let ls image path =
+  with_fs image (fun _ fs ->
+      match Lfs.Fs.readdir fs path with
+      | Error e -> Error e
+      | Ok entries ->
+          List.iter
+            (fun (e : Lfs.Enc.dirent) ->
+              Format.fprintf std "%-6s %s@."
+                (Format.asprintf "%a" Lfs.Enc.pp_kind e.Lfs.Enc.entry_kind)
+                e.Lfs.Enc.name)
+            entries;
+          Format.pp_print_flush std ();
+          Ok false)
+
+let mkdir image path =
+  with_fs image (fun _ fs -> Result.map (fun () -> true) (Lfs.Fs.mkdir fs path))
+
+let write image path group =
+  with_fs image (fun _ fs ->
+      let data = In_channel.input_all In_channel.stdin in
+      let create_result =
+        if Lfs.Fs.exists fs path then Ok ()
+        else Lfs.Fs.create fs ~heat_group:group path
+      in
+      match create_result with
+      | Error e -> Error e
+      | Ok () ->
+          Result.map (fun () -> true) (Lfs.Fs.write_file fs path ~offset:0 data))
+
+let cat image path =
+  with_fs image (fun _ fs ->
+      match Lfs.Fs.read_file fs path with
+      | Error e -> Error e
+      | Ok data ->
+          print_string data;
+          Ok false)
+
+let rm image path =
+  with_fs image (fun _ fs -> Result.map (fun () -> true) (Lfs.Fs.unlink fs path))
+
+let heat image path =
+  with_fs image (fun _ fs ->
+      match Lfs.Fs.heat fs path with
+      | Error e -> Error e
+      | Ok r ->
+          Format.fprintf std "heated %d lines (%d blocks relocated)@."
+            (List.length r.Lfs.Heat.lines)
+            r.Lfs.Heat.relocated_blocks;
+          Format.pp_print_flush std ();
+          Ok true)
+
+let verify image path =
+  with_fs image (fun _ fs ->
+      match Lfs.Fs.verify fs path with
+      | Error e -> Error e
+      | Ok verdicts ->
+          List.iter
+            (fun (line, v) ->
+              Format.fprintf std "line %-6d %a@." line Sero.Tamper.pp_verdict v)
+            verdicts;
+          Format.pp_print_flush std ();
+          Ok false)
+
+let fsck image =
+  with_device image (fun dev ->
+      let report = Lfs.Fsck.run dev in
+      Format.fprintf std "%a" Lfs.Fsck.pp_report report;
+      Format.pp_print_flush std ();
+      Ok false)
+
+(* ASCII map of the medium: one character per line (the heat unit). *)
+let map_cmd image =
+  with_device image (fun dev ->
+      let lay = Sero.Device.layout dev in
+      let n = Sero.Layout.n_lines lay in
+      Format.fprintf std
+        "%d lines (%d blocks each); #=heated, .=WMRM, 64 lines per row@." n
+        (Sero.Layout.blocks_per_line lay);
+      for row = 0 to (n - 1) / 64 do
+        Format.fprintf std "%6d " (row * 64);
+        for col = 0 to min 63 (n - 1 - (row * 64)) do
+          let line = (row * 64) + col in
+          Format.pp_print_char std
+            (if Sero.Device.is_line_heated dev ~line then '#' else '.')
+        done;
+        Format.pp_print_newline std ()
+      done;
+      Format.pp_print_flush std ();
+      Ok false)
+
+let replay image trace_path =
+  with_fs image (fun _ fs ->
+      match Workload.Trace.load trace_path with
+      | Error e -> Error (Printf.sprintf "trace: %s" e)
+      | Ok ops ->
+          let outcome = Workload.Trace.replay fs ops in
+          Format.fprintf std "replayed %d operations (%d refused)@."
+            outcome.Workload.Trace.applied outcome.Workload.Trace.refused;
+          Format.pp_print_flush std ();
+          Ok true)
+
+let stats image =
+  with_device image (fun dev ->
+      Format.fprintf std "%a@." Sero.Device.pp_stats (Sero.Device.stats dev);
+      Format.pp_print_flush std ();
+      Ok false)
+
+let attack_names =
+  List.map
+    (fun a ->
+      let slug =
+        String.map
+          (fun c -> if c = ' ' || c = '/' || c = '(' || c = ')' then '-' else c)
+          (String.lowercase_ascii (Security.Attacks.label a))
+      in
+      (slug, a))
+    Security.Attacks.all
+
+(* Raw-device attacks can run against an image; the FS-level ones need
+   the full environment and run in-memory (documented in the output). *)
+let attack image name =
+  match List.find_opt (fun (n, _) -> String.equal n name) attack_names with
+  | None ->
+      err "unknown attack %S; one of: %s" name
+        (String.concat ", " (List.map fst attack_names))
+  | Some (_, a) -> (
+      match a with
+      | Security.Attacks.Mwb_hash | Security.Attacks.Mwb_data
+      | Security.Attacks.Ewb_hash | Security.Attacks.Ewb_data
+      | Security.Attacks.Bulk_erase ->
+          with_device image (fun dev ->
+              let lay = Sero.Device.layout dev in
+              let heated =
+                List.filter
+                  (fun l -> Sero.Device.is_line_heated dev ~line:l)
+                  (List.init (Sero.Layout.n_lines lay) (fun l -> l))
+              in
+              match (heated, a) with
+              | [], Security.Attacks.Bulk_erase | _ :: _, _ ->
+                  (match a with
+                  | Security.Attacks.Mwb_hash ->
+                      let line = List.hd heated in
+                      Sero.Device.unsafe_write_block dev
+                        ~pba:(Sero.Layout.hash_block_of_line lay line)
+                        (String.make 512 '\xFF')
+                  | Security.Attacks.Mwb_data ->
+                      let line = List.hd heated in
+                      Sero.Device.unsafe_write_block dev
+                        ~pba:(List.hd (Sero.Layout.data_blocks_of_line lay line))
+                        "history, rewritten"
+                  | Security.Attacks.Ewb_hash ->
+                      let line = List.hd heated in
+                      Sero.Device.unsafe_heat_dots dev
+                        ~dot:(Sero.Layout.wo_first_dot lay ~line)
+                        ~n:64
+                  | Security.Attacks.Ewb_data ->
+                      let line = List.hd heated in
+                      Sero.Device.unsafe_heat_dots dev
+                        ~dot:
+                          (Sero.Layout.block_first_dot lay
+                             (List.hd (Sero.Layout.data_blocks_of_line lay line)))
+                        ~n:512
+                  | _ ->
+                      Sero.Device.unsafe_magnetic_wipe dev;
+                      Sero.Device.refresh_heated_cache dev);
+                  Format.fprintf std
+                    "attack %s applied to the image; run verify/fsck to see \
+                     the evidence@."
+                    name;
+                  Format.pp_print_flush std ();
+                  Ok true
+              | [], _ -> Error "no heated line on this image to attack")
+      | _ ->
+          (* FS-level attacks need the full host environment; they run on
+             a fresh in-memory instance and leave the image untouched. *)
+          let outcome = Security.Attacks.run a in
+          Format.fprintf std
+            "(attack ran on a fresh in-memory environment)@.%s: %a@." name
+            Security.Attacks.pp_outcome outcome;
+          Format.pp_print_flush std ();
+          `Ok ())
+
+open Cmdliner
+
+let image_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+
+let path_arg p = Arg.(required & pos p (some string) None & info [] ~docv:"PATH")
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) (Term.ret term)
+
+let () =
+  let blocks =
+    Arg.(value & opt int 2048 & info [ "blocks" ] ~docv:"N" ~doc:"Device blocks.")
+  in
+  let line_exp =
+    Arg.(
+      value & opt int 3 & info [ "line-exp" ] ~docv:"N" ~doc:"Line is 2^N blocks.")
+  in
+  let group =
+    Arg.(
+      value & opt int 0
+      & info [ "group" ] ~docv:"G" ~doc:"Heat-affinity group for new files.")
+  in
+  let attack_name =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ATTACK")
+  in
+  let cmds =
+    [
+      cmd "mkdev" "Create a fresh device image."
+        Term.(const mkdev $ image_arg $ blocks $ line_exp);
+      cmd "mkfs" "Format the SERO file system." Term.(const mkfs $ image_arg);
+      cmd "ls" "List a directory." Term.(const ls $ image_arg $ path_arg 1);
+      cmd "mkdir" "Create a directory."
+        Term.(const mkdir $ image_arg $ path_arg 1);
+      cmd "write" "Write stdin to a file (created if needed)."
+        Term.(const write $ image_arg $ path_arg 1 $ group);
+      cmd "cat" "Print a file." Term.(const cat $ image_arg $ path_arg 1);
+      cmd "rm" "Unlink a file." Term.(const rm $ image_arg $ path_arg 1);
+      cmd "heat" "Make a file tamper-evident (burn per-line hashes)."
+        Term.(const heat $ image_arg $ path_arg 1);
+      cmd "verify" "Verify a heated file against its burned hashes."
+        Term.(const verify $ image_arg $ path_arg 1);
+      cmd "fsck" "Forensic scan: recover heated files from the raw medium."
+        Term.(const fsck $ image_arg);
+      cmd "stats" "Device statistics." Term.(const stats $ image_arg);
+      cmd "map" "ASCII map of heated vs WMRM lines."
+        Term.(const map_cmd $ image_arg);
+      cmd "replay" "Replay a recorded operation trace onto the image."
+        Term.(const replay $ image_arg $ path_arg 1);
+      cmd "attack" "Run a Section 5 attack against the image."
+        Term.(const attack $ image_arg $ attack_name);
+    ]
+  in
+  let doc = "operate a simulated tamper-evident SERO device" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "serotool" ~version:"1.0" ~doc) cmds))

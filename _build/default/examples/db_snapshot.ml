@@ -1,0 +1,76 @@
+(* The paper's motivating application (Section 1): a live database that
+   must stay fast for random reads and writes, with periodic snapshots
+   frozen for auditing.
+
+   Tables keep being updated at full WMRM speed while each snapshot is
+   materialised concurrently and heated; the example then shows the
+   clustering policy's effect and that a tampered snapshot is caught.
+
+   Run with: dune exec examples/db_snapshot.exe *)
+
+let ok = function Ok v -> v | Error e -> failwith e
+
+let run ~clustering =
+  let device = Sero.Device.default_config ~n_blocks:8192 ~line_exp:3 () in
+  let cfg =
+    {
+      Workload.Dbwork.default_config with
+      Workload.Dbwork.snapshots = 6;
+      updates_between_snapshots = 300;
+    }
+  in
+  let r = Workload.Dbwork.run ~clustering ~device cfg in
+  let s = r.Workload.Dbwork.fs_stats in
+  Printf.printf
+    "  clustering=%-5b  snapshots verified: %d lines intact, %d bad\n"
+    clustering r.Workload.Dbwork.snap_verdicts_ok
+    r.Workload.Dbwork.snap_verdicts_bad;
+  Printf.printf
+    "                   heat-time copies: %d blocks, device writes: %d, simulated time: %.0f s\n"
+    s.Lfs.Fs.metrics.Lfs.State.heat_relocations
+    s.Lfs.Fs.metrics.Lfs.State.fs_block_writes r.Workload.Dbwork.wall
+
+let () =
+  print_endline "database + audit snapshots on one SERO device";
+  print_endline "(the clustering allocator keeps snapshot blocks together so";
+  print_endline " they can be heated in place; the ablation must copy first)";
+  run ~clustering:true;
+  run ~clustering:false;
+
+  (* Now the tampering part, on a small hand-driven instance. *)
+  print_endline "\ntamper check on a frozen snapshot:";
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:1024 ~line_exp:3 ())
+  in
+  let fs = Lfs.Fs.format dev in
+  ok (Lfs.Fs.create fs ~heat_group:0 "/accounts");
+  ok
+    (Lfs.Fs.write_file fs "/accounts" ~offset:0
+       (String.concat "\n"
+          (List.init 32 (fun i -> Printf.sprintf "account %02d balance %d" i (100 * i)))));
+  (* Snapshot = frozen copy; the live table stays writable. *)
+  ok (Lfs.Fs.mkdir fs "/snapshots");
+  ok (Lfs.Fs.create fs ~heat_group:1 "/snapshots/2007-q4");
+  let table = ok (Lfs.Fs.read_file fs "/accounts") in
+  ok (Lfs.Fs.write_file fs "/snapshots/2007-q4" ~offset:0 table);
+  let _ = ok (Lfs.Fs.heat fs "/snapshots/2007-q4") in
+  ok (Lfs.Fs.write_file fs "/accounts" ~offset:0 "account 00 balance 999");
+  Printf.printf "  live table still writable after snapshot freeze: yes\n";
+  (* A dishonest CFO rewrites the frozen snapshot at the device level. *)
+  let st = Lfs.Fs.state fs in
+  let ino =
+    match Lfs.Dirops.lookup st "/snapshots/2007-q4" with
+    | Some (i, _) -> i
+    | None -> failwith "snapshot vanished"
+  in
+  let line = List.hd (Lfs.Heat.file_lines st ~ino) in
+  Sero.Device.unsafe_write_block dev
+    ~pba:(List.nth (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) line) 1)
+    "account 01 balance 0";
+  let bad =
+    List.filter
+      (fun (_, v) -> Sero.Tamper.is_tampered v)
+      (ok (Lfs.Fs.verify fs "/snapshots/2007-q4"))
+  in
+  Printf.printf "  audit of the frozen snapshot: %d line(s) report tampering\n"
+    (List.length bad)

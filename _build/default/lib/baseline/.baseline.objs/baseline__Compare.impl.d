@@ -1,0 +1,1 @@
+lib/baseline/compare.ml: Float Format List Tech

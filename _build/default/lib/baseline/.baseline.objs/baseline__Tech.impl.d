@@ -1,0 +1,1 @@
+lib/baseline/tech.ml: Codec Format

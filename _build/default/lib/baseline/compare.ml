@@ -1,0 +1,94 @@
+type scenario = {
+  device_blocks : int;
+  live_writes : int;
+  live_reads : int;
+  snapshots : int;
+  snapshot_blocks : int;
+}
+
+let default_scenario =
+  {
+    device_blocks = 100_000;
+    live_writes = 2000;
+    live_reads = 2000;
+    snapshots = 8;
+    snapshot_blocks = 64;
+  }
+
+type outcome = {
+  tech : Tech.tech;
+  total_s : float;
+  snapshot_latency_s : float;
+  frozen_blocks : int;
+  collateral_blocks : int;
+  writable_left : int;
+  snapshots_frozen : int;
+  attack : Tech.attack_result;
+}
+
+(* The scenario interleaves: 1/snapshots of the live traffic, then one
+   snapshot freeze, repeated.  Random IO pays a seek each op (worst
+   case for tape, irrelevant for disk-class devices at this scale). *)
+let run_one sc tech =
+  let p = Tech.params tech in
+  let time = ref 0. in
+  let frozen = ref 0 in
+  let collateral = ref 0 in
+  let freezes_done = ref 0 in
+  let freeze_latency = ref 0. in
+  let can_freeze = p.Tech.freeze_granularity > 0 in
+  let per_phase_writes = sc.live_writes / sc.snapshots in
+  let per_phase_reads = sc.live_reads / sc.snapshots in
+  for snap = 0 to sc.snapshots - 1 do
+    (* Live traffic.  On a non-WMRM medium (optical), every update
+       burns a new block: account it as a write plus wasted space. *)
+    time :=
+      !time
+      +. (float_of_int per_phase_writes *. (p.Tech.seek_s +. p.Tech.write_s))
+      +. (float_of_int per_phase_reads *. (p.Tech.seek_s +. p.Tech.read_s));
+    (* Freeze one snapshot. *)
+    if can_freeze then begin
+      let incremental_ok = p.Tech.incremental_freeze || !freezes_done = 0 in
+      if incremental_ok then begin
+        let t0 = !time in
+        (* Copy-based freeze (optical): write the snapshot to the WORM
+           area first. *)
+        time :=
+          !time +. p.Tech.freeze_fixed_s
+          +. (float_of_int sc.snapshot_blocks *. p.Tech.freeze_per_block_s);
+        let unit_blocks =
+          if p.Tech.freeze_granularity = max_int then sc.device_blocks
+          else max sc.snapshot_blocks p.Tech.freeze_granularity
+        in
+        let unit_blocks = min unit_blocks sc.device_blocks in
+        frozen := min sc.device_blocks (!frozen + unit_blocks);
+        collateral := !collateral + (unit_blocks - sc.snapshot_blocks);
+        incr freezes_done;
+        freeze_latency := !freeze_latency +. (!time -. t0)
+      end
+    end;
+    ignore snap
+  done;
+  {
+    tech;
+    total_s = !time;
+    snapshot_latency_s =
+      (if !freezes_done = 0 then Float.nan
+       else !freeze_latency /. float_of_int !freezes_done);
+    frozen_blocks = !frozen;
+    collateral_blocks = !collateral;
+    writable_left =
+      (if p.Tech.wmrm_before_freeze then sc.device_blocks - !frozen else 0);
+    snapshots_frozen = !freezes_done;
+    attack = p.Tech.frozen_attack;
+  }
+
+let run_all sc = List.map (run_one sc) Tech.all
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%-22s total %9.2f s | freeze %8.4f s | frozen %7d (collateral %7d) | \
+     writable left %7d | snapshots frozen %d | rewrite %a"
+    (Tech.label o.tech) o.total_s o.snapshot_latency_s o.frozen_blocks
+    o.collateral_blocks o.writable_left o.snapshots_frozen
+    Tech.pp_attack o.attack

@@ -1,0 +1,119 @@
+type tech = Hdd | Soft_worm | Tape_lto3 | Optical_worm | Fuse_platter | Sero_probe
+
+let all = [ Hdd; Soft_worm; Tape_lto3; Optical_worm; Fuse_platter; Sero_probe ]
+
+let label = function
+  | Hdd -> "plain HDD"
+  | Soft_worm -> "software WORM disk"
+  | Tape_lto3 -> "LTO-3 tape (RO flag)"
+  | Optical_worm -> "optical WORM jukebox"
+  | Fuse_platter -> "fuse-platter disk"
+  | Sero_probe -> "SERO probe storage"
+
+type attack_result = Rewrite_blocked | Rewrite_detected | Rewrite_undetected
+
+type params = {
+  read_s : float;
+  write_s : float;
+  seek_s : float;
+  freeze_fixed_s : float;
+  freeze_per_block_s : float;
+  freeze_granularity : int;
+  incremental_freeze : bool;
+  wmrm_before_freeze : bool;
+  frozen_attack : attack_result;
+}
+
+(* SERO figures derive from the probe cost model: a 604-byte frame is
+   striped over 32 tips at 10 us/bit-row; a heat covers the 4096-dot
+   write-once area at 150 us per ewb row plus a line read. *)
+let sero_block_s =
+  float_of_int (Codec.Sector.physical_bits / 32) *. 10e-6
+
+let sero_freeze_line_s =
+  (* Read 7 data blocks + burn 4096/32 ewb rows + read back. *)
+  (7. *. sero_block_s) +. (4096. /. 32. *. 150e-6) +. (2. *. sero_block_s)
+
+let params = function
+  | Hdd ->
+      {
+        read_s = 6e-6;
+        write_s = 6e-6;
+        seek_s = 8e-3;
+        freeze_fixed_s = 0.;
+        freeze_per_block_s = 0.;
+        freeze_granularity = 0; (* cannot freeze at all *)
+        incremental_freeze = false;
+        wmrm_before_freeze = true;
+        frozen_attack = Rewrite_undetected;
+      }
+  | Soft_worm ->
+      {
+        read_s = 6e-6;
+        write_s = 6e-6;
+        seek_s = 8e-3;
+        freeze_fixed_s = 1e-3;
+        freeze_per_block_s = 0.;
+        freeze_granularity = 1;
+        incremental_freeze = true;
+        wmrm_before_freeze = true;
+        (* "software modifications can generally be undone" (Section 2) *)
+        frozen_attack = Rewrite_undetected;
+      }
+  | Tape_lto3 ->
+      {
+        read_s = 6e-6;
+        write_s = 6e-6;
+        seek_s = 45.; (* spool to position *)
+        freeze_fixed_s = 1e-3; (* set the cartridge-memory flag *)
+        freeze_per_block_s = 0.;
+        freeze_granularity = max_int; (* the whole cartridge *)
+        incremental_freeze = false;
+        wmrm_before_freeze = true;
+        (* "can still be written using a tape drive that has been
+           tampered with" (Section 2) *)
+        frozen_attack = Rewrite_undetected;
+      }
+  | Optical_worm ->
+      {
+        read_s = 120e-6;
+        write_s = 300e-6;
+        seek_s = 8.; (* jukebox robot disc fetch *)
+        freeze_fixed_s = 0.; (* written-once is frozen *)
+        freeze_per_block_s = 300e-6; (* snapshot = copy onto a disc *)
+        freeze_granularity = 1;
+        incremental_freeze = true;
+        wmrm_before_freeze = false;
+        frozen_attack = Rewrite_blocked;
+      }
+  | Fuse_platter ->
+      {
+        read_s = 6e-6;
+        write_s = 6e-6;
+        seek_s = 8e-3;
+        freeze_fixed_s = 10e-3; (* blow the fuse *)
+        freeze_per_block_s = 0.;
+        freeze_granularity = 250_000; (* one platter *)
+        incremental_freeze = false; (* per platter, a handful of shots *)
+        wmrm_before_freeze = true;
+        frozen_attack = Rewrite_blocked;
+      }
+  | Sero_probe ->
+      {
+        read_s = sero_block_s;
+        write_s = sero_block_s;
+        seek_s = 1.5e-3; (* sled seek + settle *)
+        freeze_fixed_s = sero_freeze_line_s;
+        freeze_per_block_s = sero_block_s; (* hashing reads per block *)
+        freeze_granularity = 8; (* one line *)
+        incremental_freeze = true;
+        wmrm_before_freeze = true;
+        frozen_attack = Rewrite_detected;
+      }
+
+let pp_attack ppf a =
+  Format.pp_print_string ppf
+    (match a with
+    | Rewrite_blocked -> "blocked"
+    | Rewrite_detected -> "detected"
+    | Rewrite_undetected -> "undetected")

@@ -1,0 +1,46 @@
+(** The storage technologies the paper positions SERO against
+    (Sections 1 and 2): plain disk, software WORM, LTO-3 tape flags,
+    optical WORM jukeboxes and the IBM fuse-platter disk.
+
+    Each is reduced to the parameters that matter for the comparison:
+    access performance, freeze semantics (granularity, latency,
+    incrementality) and what happens when a powerful insider rewrites
+    frozen data.  Absolute numbers are order-of-magnitude from the
+    technologies' data sheets; every experiment reports ratios and
+    capability differences, not absolute throughput. *)
+
+type tech =
+  | Hdd
+  | Soft_worm  (** Disk with driver/firmware write blocking (VTL class). *)
+  | Tape_lto3  (** Cartridge-memory read-only flag (IBM patent 7,193,803). *)
+  | Optical_worm  (** Write-once discs in a jukebox. *)
+  | Fuse_platter  (** IBM patent 6,879,454: blowable fuse per platter. *)
+  | Sero_probe  (** This paper's device. *)
+
+val all : tech list
+val label : tech -> string
+
+type attack_result =
+  | Rewrite_blocked  (** The hardware physically cannot rewrite. *)
+  | Rewrite_detected  (** Rewrite lands but leaves evidence. *)
+  | Rewrite_undetected  (** Rewrite lands and nothing shows. *)
+
+type params = {
+  read_s : float;  (** One 512-byte block, amortised sequential. *)
+  write_s : float;
+  seek_s : float;  (** Random positioning penalty. *)
+  freeze_fixed_s : float;  (** Per freeze operation (robot, fuse...). *)
+  freeze_per_block_s : float;
+  freeze_granularity : int;
+      (** Blocks frozen as one unit; [max_int] = whole medium. *)
+  incremental_freeze : bool;
+      (** Can the device freeze repeatedly over its life? *)
+  wmrm_before_freeze : bool;
+      (** Is data rewritable before freezing (false for optical)? *)
+  frozen_attack : attack_result;
+      (** Fate of an insider rewrite of frozen data (tampered drive
+          allowed, per the Section 5 threat model). *)
+}
+
+val params : tech -> params
+val pp_attack : Format.formatter -> attack_result -> unit

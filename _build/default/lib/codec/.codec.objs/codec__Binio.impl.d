@@ -1,0 +1,1 @@
+lib/codec/binio.ml: Buffer Char Int64 String

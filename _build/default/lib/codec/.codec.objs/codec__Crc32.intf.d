@@ -1,0 +1,1 @@
+lib/codec/crc32.mli:

@@ -1,0 +1,1 @@
+lib/codec/gf256.ml: Array

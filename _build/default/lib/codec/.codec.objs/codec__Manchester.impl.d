@@ -1,0 +1,1 @@
+lib/codec/manchester.ml: Array Bytes Char Format List String

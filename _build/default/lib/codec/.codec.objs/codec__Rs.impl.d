@@ -1,0 +1,1 @@
+lib/codec/rs.ml: Array Buffer Bytes Char Gf256 List String

@@ -1,0 +1,1 @@
+lib/codec/sector.ml: Binio Buffer Bytes Crc32 Format Int32 Rs String

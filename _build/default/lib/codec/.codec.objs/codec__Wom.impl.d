@@ -1,0 +1,1 @@
+lib/codec/wom.ml: Array

@@ -1,0 +1,311 @@
+type code = { npar : int; gen : int array (* generator, highest degree first *) }
+
+let make ~nparity =
+  if nparity <= 0 || nparity >= 255 then
+    invalid_arg "Rs.make: nparity must be in 1..254";
+  (* g(x) = prod_{i=0}^{npar-1} (x - alpha^i) *)
+  let gen = ref [| 1 |] in
+  for i = 0 to nparity - 1 do
+    gen := Gf256.poly_mul !gen [| 1; Gf256.exp i |]
+  done;
+  { npar = nparity; gen = !gen }
+
+let nparity c = c.npar
+let max_data c = 255 - c.npar
+
+(* Polynomial long division of data * x^npar by the generator; the
+   remainder is the parity. *)
+let parity c data =
+  let len = String.length data in
+  if len > max_data c then invalid_arg "Rs.parity: data too long";
+  let rem = Array.make c.npar 0 in
+  for i = 0 to len - 1 do
+    let factor = Gf256.add (Char.code data.[i]) rem.(0) in
+    (* Shift remainder left by one and add factor * (gen minus lead). *)
+    for j = 0 to c.npar - 2 do
+      rem.(j) <- Gf256.add rem.(j + 1) (Gf256.mul factor c.gen.(j + 1))
+    done;
+    rem.(c.npar - 1) <- Gf256.mul factor c.gen.(c.npar)
+  done;
+  String.init c.npar (fun i -> Char.chr rem.(i))
+
+type decode_outcome = Ok_clean | Corrected of int | Uncorrectable
+
+let syndromes c cw =
+  let n = Bytes.length cw in
+  let synd = Array.make c.npar 0 in
+  let all_zero = ref true in
+  for i = 0 to c.npar - 1 do
+    let x = Gf256.exp i in
+    let s = ref 0 in
+    for j = 0 to n - 1 do
+      s := Gf256.add (Gf256.mul !s x) (Char.code (Bytes.get cw j))
+    done;
+    synd.(i) <- !s;
+    if !s <> 0 then all_zero := false
+  done;
+  (synd, !all_zero)
+
+(* Berlekamp–Massey: error-locator polynomial from the syndromes.
+   Returns the locator with lowest degree first. *)
+let berlekamp_massey synd =
+  let n = Array.length synd in
+  let c = Array.make (n + 1) 0 and b = Array.make (n + 1) 0 in
+  c.(0) <- 1;
+  b.(0) <- 1;
+  let l = ref 0 and m = ref 1 and bb = ref 1 in
+  for i = 0 to n - 1 do
+    let d = ref synd.(i) in
+    for j = 1 to !l do
+      d := Gf256.add !d (Gf256.mul c.(j) synd.(i - j))
+    done;
+    if !d = 0 then incr m
+    else if 2 * !l <= i then begin
+      let t = Array.copy c in
+      let coef = Gf256.div !d !bb in
+      for j = 0 to n - !m do
+        c.(j + !m) <- Gf256.add c.(j + !m) (Gf256.mul coef b.(j))
+      done;
+      l := i + 1 - !l;
+      Array.blit t 0 b 0 (n + 1);
+      bb := !d;
+      m := 1
+    end
+    else begin
+      let coef = Gf256.div !d !bb in
+      for j = 0 to n - !m do
+        c.(j + !m) <- Gf256.add c.(j + !m) (Gf256.mul coef b.(j))
+      done;
+      incr m
+    end
+  done;
+  (Array.sub c 0 (!l + 1), !l)
+
+let decode c cw =
+  let n = Bytes.length cw in
+  if n > 255 then invalid_arg "Rs.decode: codeword too long";
+  let synd, clean = syndromes c cw in
+  if clean then Ok_clean
+  else begin
+    let locator, nerrors = berlekamp_massey synd in
+    if 2 * nerrors > c.npar then Uncorrectable
+    else begin
+      (* Chien search: roots of the locator give error positions. *)
+      let positions = ref [] in
+      for pos = 0 to n - 1 do
+        (* Position [pos] (from the left) corresponds to x = alpha^(n-1-pos);
+           it is an error location iff locator(alpha^{-(n-1-pos)}) = 0. *)
+        let xinv = Gf256.exp (255 - ((n - 1 - pos) mod 255)) in
+        let v = ref 0 and xp = ref 1 in
+        Array.iter
+          (fun coef ->
+            v := Gf256.add !v (Gf256.mul coef !xp);
+            xp := Gf256.mul !xp xinv)
+          locator;
+        if !v = 0 then positions := pos :: !positions
+      done;
+      let positions = !positions in
+      if List.length positions <> nerrors then Uncorrectable
+      else begin
+        (* Forney: error magnitudes.  Omega = (S(x) * locator(x)) mod x^npar,
+           with S(x) = sum synd_i x^i (lowest degree first). *)
+        let omega = Array.make c.npar 0 in
+        for i = 0 to c.npar - 1 do
+          let s = ref 0 in
+          for j = 0 to min i (Array.length locator - 1) do
+            s := Gf256.add !s (Gf256.mul locator.(j) synd.(i - j))
+          done;
+          omega.(i) <- !s
+        done;
+        (* Formal derivative of the locator (lowest degree first):
+           odd-degree terms survive. *)
+        let deriv =
+          Array.init
+            (max 0 (Array.length locator - 1))
+            (fun i -> if i land 1 = 0 then locator.(i + 1) else 0)
+        in
+        let eval_low p x =
+          let v = ref 0 and xp = ref 1 in
+          Array.iter
+            (fun coef ->
+              v := Gf256.add !v (Gf256.mul coef !xp);
+              xp := Gf256.mul !xp x)
+            p;
+          !v
+        in
+        let ok = ref true in
+        List.iter
+          (fun pos ->
+            let xinv = Gf256.exp (255 - ((n - 1 - pos) mod 255)) in
+            let num = eval_low omega xinv in
+            let den = eval_low deriv xinv in
+            if den = 0 then ok := false
+            else begin
+              let magnitude = Gf256.mul (Gf256.exp ((n - 1 - pos) mod 255)) (Gf256.div num den) in
+              Bytes.set cw pos
+                (Char.chr (Gf256.add (Char.code (Bytes.get cw pos)) magnitude))
+            end)
+          positions;
+        if not !ok then Uncorrectable
+        else
+          let _, clean_now = syndromes c cw in
+          if clean_now then Corrected nerrors else Uncorrectable
+      end
+    end
+  end
+
+(* Erasure-and-error decoding: build the erasure-locator polynomial,
+   compute the modified (Forney) syndromes, run Berlekamp-Massey on
+   those for the unknown errors, then correct at the union of both
+   location sets with Forney's formula over the combined locator. *)
+let decode_with_erasures c cw ~erasures =
+  let n = Bytes.length cw in
+  if n > 255 then invalid_arg "Rs.decode_with_erasures: codeword too long";
+  List.iter
+    (fun p ->
+      if p < 0 || p >= n then
+        invalid_arg "Rs.decode_with_erasures: erasure position out of range")
+    erasures;
+  let erasures = List.sort_uniq compare erasures in
+  if List.length erasures > c.npar then Uncorrectable
+  else begin
+    let synd, clean = syndromes c cw in
+    if clean then Ok_clean
+    else begin
+      (* Work lowest-degree-first throughout. *)
+      let mul_low a b =
+        let la = Array.length a and lb = Array.length b in
+        let out = Array.make (la + lb - 1) 0 in
+        for i = 0 to la - 1 do
+          for j = 0 to lb - 1 do
+            out.(i + j) <- Gf256.add out.(i + j) (Gf256.mul a.(i) b.(j))
+          done
+        done;
+        out
+      in
+      (* Erasure locator: prod (1 + x * alpha^{n-1-pos}), lowest first. *)
+      let gamma =
+        List.fold_left
+          (fun acc pos -> mul_low acc [| 1; Gf256.exp ((n - 1 - pos) mod 255) |])
+          [| 1 |] erasures
+      in
+      (* Modified syndromes T(x) = S(x) * gamma(x) mod x^npar. *)
+      let t = Array.make c.npar 0 in
+      for i = 0 to c.npar - 1 do
+        let s = ref 0 in
+        for j = 0 to min i (Array.length gamma - 1) do
+          s := Gf256.add !s (Gf256.mul gamma.(j) synd.(i - j))
+        done;
+        t.(i) <- !s
+      done;
+      let e = List.length erasures in
+      (* BM on the modified syndromes, skipping the first e of them. *)
+      let usable = c.npar - e in
+      let t' = Array.sub t e usable in
+      let sigma, nerrors = berlekamp_massey t' in
+      if (2 * nerrors) + e > c.npar then Uncorrectable
+      else begin
+        (* Combined locator psi = sigma * gamma (lowest first). *)
+        let psi = mul_low sigma gamma in
+        let positions = ref [] in
+        for pos = 0 to n - 1 do
+          let xinv = Gf256.exp (255 - ((n - 1 - pos) mod 255)) in
+          let v = ref 0 and xp = ref 1 in
+          Array.iter
+            (fun coef ->
+              v := Gf256.add !v (Gf256.mul coef !xp);
+              xp := Gf256.mul !xp xinv)
+            psi;
+          if !v = 0 then positions := pos :: !positions
+        done;
+        let positions = !positions in
+        if List.length positions <> Array.length psi - 1 then Uncorrectable
+        else begin
+          let omega = Array.make c.npar 0 in
+          for i = 0 to c.npar - 1 do
+            let s = ref 0 in
+            for j = 0 to min i (Array.length psi - 1) do
+              s := Gf256.add !s (Gf256.mul psi.(j) synd.(i - j))
+            done;
+            omega.(i) <- !s
+          done;
+          let deriv =
+            Array.init
+              (max 0 (Array.length psi - 1))
+              (fun i -> if i land 1 = 0 then psi.(i + 1) else 0)
+          in
+          let eval_low p x =
+            let v = ref 0 and xp = ref 1 in
+            Array.iter
+              (fun coef ->
+                v := Gf256.add !v (Gf256.mul coef !xp);
+                xp := Gf256.mul !xp x)
+              p;
+            !v
+          in
+          let ok = ref true in
+          List.iter
+            (fun pos ->
+              let xinv = Gf256.exp (255 - ((n - 1 - pos) mod 255)) in
+              let num = eval_low omega xinv in
+              let den = eval_low deriv xinv in
+              if den = 0 then ok := false
+              else begin
+                let magnitude =
+                  Gf256.mul (Gf256.exp ((n - 1 - pos) mod 255)) (Gf256.div num den)
+                in
+                Bytes.set cw pos
+                  (Char.chr (Gf256.add (Char.code (Bytes.get cw pos)) magnitude))
+              end)
+            positions;
+          if not !ok then Uncorrectable
+          else
+            let _, clean_now = syndromes c cw in
+            if clean_now then Corrected (List.length positions)
+            else Uncorrectable
+        end
+      end
+    end
+  end
+
+let nslices c data_len =
+  let m = max_data c in
+  (data_len + m - 1) / m
+
+let encoded_length c data_len =
+  if data_len = 0 then 0 else data_len + (nslices c data_len * c.npar)
+
+let encode_blocks c data =
+  let m = max_data c in
+  let len = String.length data in
+  let buf = Buffer.create (encoded_length c len) in
+  let off = ref 0 in
+  while !off < len do
+    let take = min m (len - !off) in
+    let slice = String.sub data !off take in
+    Buffer.add_string buf slice;
+    Buffer.add_string buf (parity c slice);
+    off := !off + take
+  done;
+  Buffer.contents buf
+
+let decode_blocks c coded ~data_len =
+  let m = max_data c in
+  let out = Buffer.create data_len in
+  let bad = ref 0 in
+  let off = ref 0 and remaining = ref data_len in
+  (try
+     while !remaining > 0 do
+       let take = min m !remaining in
+       let cw_len = take + c.npar in
+       if !off + cw_len > Bytes.length coded then raise Exit;
+       let cw = Bytes.sub coded !off cw_len in
+       (match decode c cw with
+       | Ok_clean | Corrected _ -> ()
+       | Uncorrectable -> incr bad);
+       Buffer.add_subbytes out cw 0 take;
+       off := !off + cw_len;
+       remaining := !remaining - take
+     done
+   with Exit -> incr bad);
+  if !bad = 0 then Ok (Buffer.contents out) else Error !bad

@@ -1,0 +1,53 @@
+(** Systematic Reed–Solomon code over GF(256).
+
+    Provides the error-correction part of the ~15% sector overhead the
+    paper assumes (Section 3, "Sector operations").  A code with
+    [nparity] check symbols corrects up to [nparity / 2] unknown symbol
+    errors per codeword; decoding uses Berlekamp–Massey, a Chien search
+    and Forney's formula. *)
+
+type code
+(** A code parameterised by its number of parity symbols. *)
+
+val make : nparity:int -> code
+(** [make ~nparity] builds the generator polynomial for [nparity] check
+    symbols.  @raise Invalid_argument unless [0 < nparity < 255]. *)
+
+val nparity : code -> int
+
+val max_data : code -> int
+(** Longest data slice one codeword can carry: [255 - nparity]. *)
+
+val parity : code -> string -> string
+(** [parity c data] is the [nparity c]-byte checksum of [data].
+    @raise Invalid_argument if [data] is longer than [max_data c]. *)
+
+type decode_outcome =
+  | Ok_clean  (** Codeword already consistent. *)
+  | Corrected of int  (** Errors were found and fixed (count given). *)
+  | Uncorrectable  (** Too many errors; data not modified reliably. *)
+
+val decode : code -> bytes -> decode_outcome
+(** [decode c codeword] checks and repairs a systematic codeword
+    (data followed by parity, total length at most 255) in place. *)
+
+val decode_with_erasures : code -> bytes -> erasures:int list -> decode_outcome
+(** Like {!decode}, but [erasures] lists byte positions known to be
+    unreliable (e.g. symbols served by a failed probe tip).  Known
+    locations cost one parity symbol instead of two, so the code
+    corrects [e] erasures plus [t] unknown errors whenever
+    [e + 2t <= nparity].  Positions out of range raise
+    [Invalid_argument]; duplicates are ignored. *)
+
+val encode_blocks : code -> string -> string
+(** [encode_blocks c data] splits [data] into [max_data c]-byte slices
+    and appends each slice's parity, producing
+    [data_len + nslices * nparity] bytes laid out slice-by-slice. *)
+
+val decode_blocks : code -> bytes -> data_len:int -> (string, int) result
+(** Inverse of {!encode_blocks} for a known original [data_len]:
+    [Ok data] (errors silently corrected) or [Error n] with [n] the
+    number of uncorrectable slices. *)
+
+val encoded_length : code -> int -> int
+(** [encoded_length c data_len] is the size {!encode_blocks} produces. *)

@@ -1,0 +1,118 @@
+let payload_bytes = 512
+let header_bytes = 16
+let crc_bytes = 4
+let framed_bytes = header_bytes + payload_bytes + crc_bytes (* 532 *)
+let rs_code = Rs.make ~nparity:24
+let physical_bytes = Rs.encoded_length rs_code framed_bytes (* 604 *)
+let physical_bits = 8 * physical_bytes
+let overhead_fraction = 1. -. (float_of_int payload_bytes /. float_of_int physical_bytes)
+let magic = 0x5E20 (* "SERO" sector magic *)
+
+type kind = Data | Inode | Summary | Checkpoint | Hash_meta
+
+let kind_to_int = function
+  | Data -> 0
+  | Inode -> 1
+  | Summary -> 2
+  | Checkpoint -> 3
+  | Hash_meta -> 4
+
+let kind_of_int = function
+  | 0 -> Some Data
+  | 1 -> Some Inode
+  | 2 -> Some Summary
+  | 3 -> Some Checkpoint
+  | 4 -> Some Hash_meta
+  | _ -> None
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Data -> "data"
+    | Inode -> "inode"
+    | Summary -> "summary"
+    | Checkpoint -> "checkpoint"
+    | Hash_meta -> "hash-meta")
+
+let encode ~pba ~kind ~generation payload =
+  if String.length payload > payload_bytes then
+    invalid_arg "Sector.encode: payload longer than 512 bytes";
+  let w = Binio.W.create ~capacity:framed_bytes () in
+  Binio.W.u16 w magic;
+  Binio.W.u8 w (kind_to_int kind);
+  Binio.W.u8 w 0 (* reserved *);
+  Binio.W.u64 w pba;
+  Binio.W.u32 w generation;
+  Binio.W.raw w payload;
+  if String.length payload < payload_bytes then
+    Binio.W.raw w (String.make (payload_bytes - String.length payload) '\x00');
+  let framed_no_crc = Binio.W.contents w in
+  let crc = Crc32.string framed_no_crc in
+  Binio.W.u32 w (Int32.to_int crc land 0xFFFFFFFF);
+  Rs.encode_blocks rs_code (Binio.W.contents w)
+
+type decoded = {
+  pba : int;
+  kind : kind;
+  generation : int;
+  payload : string;
+  corrected_symbols : int;
+}
+
+type error = Uncorrectable | Bad_crc | Bad_header
+
+let pp_error ppf e =
+  Format.pp_print_string ppf
+    (match e with
+    | Uncorrectable -> "uncorrectable"
+    | Bad_crc -> "bad-crc"
+    | Bad_header -> "bad-header")
+
+(* Count corrections by decoding slice-by-slice ourselves. *)
+let decode image =
+  if String.length image <> physical_bytes then Error Bad_header
+  else begin
+    let coded = Bytes.of_string image in
+    let m = Rs.max_data rs_code and npar = Rs.nparity rs_code in
+    let out = Buffer.create framed_bytes in
+    let corrected = ref 0 and failed = ref false in
+    let off = ref 0 and remaining = ref framed_bytes in
+    while !remaining > 0 && not !failed do
+      let take = min m !remaining in
+      let cw = Bytes.sub coded !off (take + npar) in
+      (match Rs.decode rs_code cw with
+      | Rs.Ok_clean -> ()
+      | Rs.Corrected n -> corrected := !corrected + n
+      | Rs.Uncorrectable -> failed := true);
+      Buffer.add_subbytes out cw 0 take;
+      off := !off + take + npar;
+      remaining := !remaining - take
+    done;
+    if !failed then Error Uncorrectable
+    else begin
+      let framed = Buffer.contents out in
+      let body = String.sub framed 0 (framed_bytes - crc_bytes) in
+      let r = Binio.R.of_string framed in
+      match
+        let m = Binio.R.u16 r in
+        let kind_code = Binio.R.u8 r in
+        let _reserved = Binio.R.u8 r in
+        let pba = Binio.R.u64 r in
+        let generation = Binio.R.u32 r in
+        let payload = Binio.R.raw r payload_bytes in
+        let crc = Binio.R.u32 r in
+        (m, kind_code, pba, generation, payload, crc)
+      with
+      | exception Binio.R.Truncated -> Error Bad_header
+      | m, kind_code, pba, generation, payload, crc ->
+          if m <> magic then Error Bad_header
+          else
+            match kind_of_int kind_code with
+            | None -> Error Bad_header
+            | Some kind ->
+                let expect = Int32.to_int (Crc32.string body) land 0xFFFFFFFF in
+                if crc <> expect then Error Bad_crc
+                else
+                  Ok { pba; kind; generation; payload; corrected_symbols = !corrected }
+    end
+  end

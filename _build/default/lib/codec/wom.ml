@@ -1,0 +1,53 @@
+let encode_first v =
+  match v with
+  | 0 -> [| 0; 0; 0 |]
+  | 1 -> [| 0; 0; 1 |]
+  | 2 -> [| 0; 1; 0 |]
+  | 3 -> [| 1; 0; 0 |]
+  | _ -> invalid_arg "Wom.encode_first: value must be in 0..3"
+
+let encode_second v =
+  match v with
+  | 0 -> [| 1; 1; 1 |]
+  | 1 -> [| 1; 1; 0 |]
+  | 2 -> [| 1; 0; 1 |]
+  | 3 -> [| 0; 1; 1 |]
+  | _ -> invalid_arg "Wom.encode_second: value must be in 0..3"
+
+let weight c = c.(0) + c.(1) + c.(2)
+
+let decode cells =
+  if Array.length cells <> 3 then invalid_arg "Wom.decode: need 3 cells";
+  match weight cells with
+  | 0 -> Some (0, 1)
+  | 1 ->
+      if cells.(2) = 1 then Some (1, 1)
+      else if cells.(1) = 1 then Some (2, 1)
+      else Some (3, 1)
+  | 3 -> Some (0, 2)
+  | 2 ->
+      if cells.(0) = 0 then Some (3, 2)
+      else if cells.(1) = 0 then Some (2, 2)
+      else Some (1, 2)
+  | _ -> None
+
+type write_outcome = Written of int array | Exhausted
+
+(* A write may only set cells, never clear them. *)
+let covers target current =
+  (target.(0) >= current.(0)) && (target.(1) >= current.(1))
+  && (target.(2) >= current.(2))
+
+let write cells v =
+  if v < 0 || v > 3 then invalid_arg "Wom.write: value must be in 0..3";
+  match decode cells with
+  | None -> Exhausted
+  | Some (cur, gen) ->
+      if cur = v then Written (Array.copy cells)
+      else if gen = 2 then Exhausted
+      else
+        let target = encode_second v in
+        if covers target cells then Written target else Exhausted
+
+let rate = 4. /. 3.
+let manchester_rate = 1. /. 2.

@@ -1,0 +1,38 @@
+(** Rivest–Shamir write-once-memory (WOM) code.
+
+    Section 8 of the paper notes that Manchester encoding wastes half the
+    write-once capacity and that "for small values of N we could employ
+    more efficient coding techniques" (citing Moran, Naor and Segev).
+    The classic Rivest–Shamir code stores {e two successive writes} of a
+    2-bit value in only 3 write-once cells, a rate of 4/3 bits per cell
+    versus Manchester's 1/2 — at the price of losing the [HH]-is-tamper
+    invariant, which is why the device uses it only for metadata
+    generations, not for the burned hash itself.
+
+    First-write codewords: 00→000, 01→001, 10→010, 11→100.
+    Second write (if the value changed): the complement, 00→111, 01→110,
+    10→101, 11→011.  Decoding: a codeword with at most one set cell is a
+    first-generation value, otherwise second-generation. *)
+
+type write_outcome =
+  | Written of int array  (** New 3-cell state after the write. *)
+  | Exhausted  (** Both generations already used; cells unchanged. *)
+
+val encode_first : int -> int array
+(** [encode_first v] is the first-generation codeword for [v] in 0..3. *)
+
+val write : int array -> int -> write_outcome
+(** [write cells v] writes value [v] (0..3) on top of the current 3-cell
+    state, using the second generation if needed.  Never clears a cell.
+    Writing the currently stored value is a no-op ([Written cells]). *)
+
+val decode : int array -> (int * int) option
+(** [decode cells] is [Some (value, generation)] with [generation] 1 or
+    2, or [None] if the cell pattern is unreachable by the protocol
+    (i.e. evidence of misuse). *)
+
+val rate : float
+(** Information rate in bits per write-once cell: [4. /. 3.]. *)
+
+val manchester_rate : float
+(** Manchester's single-generation rate, [1. /. 2.], for comparison. *)

@@ -1,0 +1,1 @@
+lib/expt/aging.ml: Array Char Format Lfs List Printf Sero Sim String

@@ -1,0 +1,1 @@
+lib/expt/aging.mli: Format

@@ -1,0 +1,1 @@
+lib/expt/archive.ml: Format Fossil List Printf Result Sero String Venti

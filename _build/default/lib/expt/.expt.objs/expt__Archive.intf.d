@@ -1,0 +1,1 @@
+lib/expt/archive.mli: Format

@@ -1,0 +1,1 @@
+lib/expt/coding.ml: Array Codec Format List String

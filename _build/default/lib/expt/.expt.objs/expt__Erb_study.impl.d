@@ -1,0 +1,1 @@
+lib/expt/erb_study.ml: Array Codec Format List Pmedia Probe Sero String

@@ -1,0 +1,1 @@
+lib/expt/erb_study.mli: Format

@@ -1,0 +1,1 @@
+lib/expt/figures.ml: Array Float Format Hash List Physics Pmedia Printf Probe Sero Sim String

@@ -1,0 +1,1 @@
+lib/expt/heatcost.ml: Format List Printf Probe Sero String

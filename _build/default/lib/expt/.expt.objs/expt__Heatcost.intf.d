@@ -1,0 +1,1 @@
+lib/expt/heatcost.mli: Format

@@ -1,0 +1,1 @@
+lib/expt/lfs_study.ml: Format Lfs List Sero String Workload

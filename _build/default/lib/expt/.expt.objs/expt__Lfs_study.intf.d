@@ -1,0 +1,1 @@
+lib/expt/lfs_study.mli: Format Lfs

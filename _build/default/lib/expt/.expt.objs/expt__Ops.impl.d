@@ -1,0 +1,1 @@
+lib/expt/ops.ml: Format List Pmedia Probe Sero String

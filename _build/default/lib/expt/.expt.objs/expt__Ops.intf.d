@@ -1,0 +1,1 @@
+lib/expt/ops.mli: Format

@@ -1,0 +1,1 @@
+lib/expt/reliability.ml: Codec Format List Printf Probe Sero String

@@ -1,0 +1,1 @@
+lib/expt/reliability.mli: Format

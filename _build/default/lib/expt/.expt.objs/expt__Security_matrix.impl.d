@@ -1,0 +1,1 @@
+lib/expt/security_matrix.ml: Format List Security String

@@ -1,0 +1,1 @@
+lib/expt/seek_study.ml: Format List Probe Sero Sim String

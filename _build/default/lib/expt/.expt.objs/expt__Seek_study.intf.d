@@ -1,0 +1,1 @@
+lib/expt/seek_study.mli: Format

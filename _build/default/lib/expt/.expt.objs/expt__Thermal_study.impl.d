@@ -1,0 +1,1 @@
+lib/expt/thermal_study.ml: Array Char Codec Float Format List Physics String

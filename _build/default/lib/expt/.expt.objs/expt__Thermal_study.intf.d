@@ -1,0 +1,1 @@
+lib/expt/thermal_study.mli: Format

@@ -1,0 +1,1 @@
+lib/expt/worm_compare.mli: Format

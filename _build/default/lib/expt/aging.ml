@@ -1,0 +1,148 @@
+type sample = {
+  at : float;
+  ro_fraction : float;
+  wmrm_blocks_left : int;
+  heated_runs : int;
+  heated_lines : int;
+}
+
+type life = {
+  samples : sample list;
+  records_written : int;
+  records_lost : int;
+  end_of_life_at : float option;
+  fully_ro : bool;
+  all_audits_intact : bool;
+}
+
+let record_bytes = 384
+let classes = 3
+let audit_every = 24 (* records per class between audit freezes *)
+let arrival_period = 0.05 (* DES seconds between record arrivals *)
+let sample_period = 2.0
+
+let run ?(n_blocks = 2048) ?(clustering = true) ?(seed = 3) () =
+  let dev =
+    Sero.Device.create
+      (let c = Sero.Device.default_config ~n_blocks ~line_exp:3 () in
+       { c with Sero.Device.seed })
+  in
+  let policy = { Lfs.State.default_policy with Lfs.State.clustering } in
+  let fs = Lfs.Fs.format ~policy dev in
+  let rng = Sim.Prng.create seed in
+  let des = Sim.Des.create () in
+  let epoch = Array.make classes 0 in
+  let since_audit = Array.make classes 0 in
+  let written = ref 0 and lost = ref 0 in
+  let eol = ref None and audits_ok = ref true in
+  let samples = ref [] in
+  let path k = Printf.sprintf "/class-%d.%d" k epoch.(k) in
+  for k = 0 to classes - 1 do
+    match Lfs.Fs.create fs ~heat_group:(k + 1) (path k) with
+    | Ok () -> ()
+    | Error e -> failwith e
+  done;
+  let note_eol t = if !eol = None then eol := Some (Sim.Des.now t) in
+  let audit t k =
+    match Lfs.Fs.heat fs (path k) with
+    | Error _ -> note_eol t
+    | Ok _ ->
+        (match Lfs.Fs.verify fs (path k) with
+        | Ok verdicts ->
+            if
+              not
+                (List.for_all
+                   (fun (_, v) ->
+                     Sero.Tamper.equal_verdict v Sero.Tamper.Intact)
+                   verdicts)
+            then audits_ok := false
+        | Error _ -> audits_ok := false);
+        epoch.(k) <- epoch.(k) + 1;
+        since_audit.(k) <- 0;
+        (match Lfs.Fs.create fs ~heat_group:(k + 1) (path k) with
+        | Ok () -> ()
+        | Error _ -> note_eol t)
+  in
+  let rec arrival t =
+    if !eol = None then begin
+      let k = Sim.Prng.int rng classes in
+      let payload =
+        String.init record_bytes (fun i -> Char.chr (33 + ((i * 7) mod 90)))
+      in
+      (match Lfs.Fs.append fs (path k) payload with
+      | Ok () ->
+          incr written;
+          since_audit.(k) <- since_audit.(k) + 1;
+          if since_audit.(k) >= audit_every then audit t k
+      | Error _ ->
+          incr lost;
+          note_eol t);
+      if !eol = None then Sim.Des.schedule t ~delay:arrival_period arrival
+    end
+  in
+  let rec sampler t =
+    let s = Sero.Device.stats dev in
+    samples :=
+      {
+        at = Sim.Des.now t;
+        ro_fraction = s.Sero.Device.ro_fraction;
+        wmrm_blocks_left = s.Sero.Device.wmrm_data_blocks_left;
+        heated_runs = s.Sero.Device.heated_runs;
+        heated_lines = s.Sero.Device.heated_lines;
+      }
+      :: !samples;
+    if !eol = None then Sim.Des.schedule t ~delay:sample_period sampler
+  in
+  Sim.Des.schedule des ~delay:0. sampler;
+  Sim.Des.schedule des ~delay:arrival_period arrival;
+  Sim.Des.run des;
+  (* One final sample at end of life. *)
+  let s = Sero.Device.stats dev in
+  samples :=
+    {
+      at = Sim.Des.now des;
+      ro_fraction = s.Sero.Device.ro_fraction;
+      wmrm_blocks_left = s.Sero.Device.wmrm_data_blocks_left;
+      heated_runs = s.Sero.Device.heated_runs;
+      heated_lines = s.Sero.Device.heated_lines;
+    }
+    :: !samples;
+  {
+    samples = List.rev !samples;
+    records_written = !written;
+    records_lost = !lost;
+    end_of_life_at = !eol;
+    fully_ro = Sero.Device.is_fully_ro dev;
+    all_audits_intact = !audits_ok;
+  }
+
+let print ppf =
+  Format.fprintf ppf "E15 — device lifetime: WMRM shrinks to read-only@.";
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  List.iter
+    (fun clustering ->
+      let life = run ~clustering () in
+      Format.fprintf ppf "clustering=%b:@." clustering;
+      Format.fprintf ppf "  %-10s %-8s %-12s %-8s %-8s %-12s@." "t (s)" "RO %"
+        "WMRM blocks" "lines" "runs" "runs/lines";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "  %-10.1f %6.1f%% %-12d %-8d %-8d %-12.2f@."
+            s.at (100. *. s.ro_fraction) s.wmrm_blocks_left s.heated_lines
+            s.heated_runs
+            (if s.heated_lines = 0 then 0.
+             else float_of_int s.heated_runs /. float_of_int s.heated_lines))
+        life.samples;
+      Format.fprintf ppf
+        "  wrote %d records (%d refused at end of life); end of life at %s; \
+         audits intact: %b@."
+        life.records_written life.records_lost
+        (match life.end_of_life_at with
+        | Some t -> Printf.sprintf "t=%.1f s" t
+        | None -> "never")
+        life.all_audits_intact)
+    [ true; false ];
+  Format.fprintf ppf
+    "paper: the WMRM area shrinks monotonically until the device is pure \
+     read-only and can be decommissioned; clustering keeps the RO area in \
+     few contiguous runs.@."

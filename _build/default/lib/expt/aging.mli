@@ -1,0 +1,33 @@
+(** E15 — device lifetime (Section 8, "Efficiency" / decommissioning).
+
+    "Over the lifetime of the device, the read/write area gradually
+    shrinks, and the read-only area grows, until the device has become
+    a pure read-only device.  The medium can safely be decommissioned
+    by the time all data has expired."
+
+    A discrete-event simulation drives a SERO file system through its
+    whole life: retention-class records arrive continuously (scheduled
+    on the {!Sim.Des} clock), each class is audit-frozen periodically,
+    and the run ends when the allocator cannot host new data.  The
+    series reports the WMRM shrink curve, the fragmentation of the RO
+    area under the clustering allocator, and the decommission point. *)
+
+type sample = {
+  at : float;  (** DES time, s. *)
+  ro_fraction : float;
+  wmrm_blocks_left : int;
+  heated_runs : int;  (** RO-area fragmentation (fewer = better). *)
+  heated_lines : int;
+}
+
+type life = {
+  samples : sample list;  (** Chronological. *)
+  records_written : int;
+  records_lost : int;  (** Arrivals refused after the device filled. *)
+  end_of_life_at : float option;  (** When writes first failed for space. *)
+  fully_ro : bool;
+  all_audits_intact : bool;
+}
+
+val run : ?n_blocks:int -> ?clustering:bool -> ?seed:int -> unit -> life
+val print : Format.formatter -> unit

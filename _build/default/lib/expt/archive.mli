@@ -1,0 +1,28 @@
+(** E12 — the Section 4.2 archival structures exercised on SERO:
+    Venti-style snapshots (heating only the root vs every line) and the
+    fossilised index (insert/search/seal behaviour, tamper check). *)
+
+type venti_row = {
+  eager_heat : bool;
+  files : int;
+  bytes : int;
+  blocks : int;
+  dedup_hits : int;
+  lines_heated : int;
+  restore_ok : bool;
+  verify_ok : bool;
+}
+
+val venti_run : eager_heat:bool -> venti_row
+
+type fossil_row = {
+  inserts : int;
+  nodes : int;
+  sealed : int;
+  depth : int;
+  found_all : bool;
+  sealed_verify_ok : bool;
+}
+
+val fossil_run : inserts:int -> fossil_row
+val print : Format.formatter -> unit

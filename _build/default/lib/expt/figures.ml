@@ -1,0 +1,172 @@
+let hrule ppf = Format.fprintf ppf "%s@." (String.make 72 '-')
+
+let ascii_series ppf ~width ~height ~label points =
+  (* Minimal ASCII chart: [points] are (x, y); y is binned to rows. *)
+  let ymin, ymax =
+    List.fold_left
+      (fun (lo, hi) (_, y) -> (Float.min lo y, Float.max hi y))
+      (infinity, neg_infinity) points
+  in
+  let yspan = if ymax -. ymin <= 0. then 1. else ymax -. ymin in
+  let n = List.length points in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun i (_, y) ->
+      let col = i * (width - 1) / max 1 (n - 1) in
+      let row =
+        height - 1 - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+      in
+      grid.(max 0 (min (height - 1) row)).(col) <- '*')
+    points;
+  Format.fprintf ppf "%s  (y: %.3g .. %.3g)@." label ymin ymax;
+  Array.iter
+    (fun row ->
+      Format.fprintf ppf "  |%s|@." (String.init width (fun i -> row.(i))))
+    grid
+
+let fig1 ppf =
+  Format.fprintf ppf "Figure 1 — MFM read-back over a dot row@.";
+  hrule ppf;
+  let g = Physics.Constants.dot_200nm in
+  let c = Physics.Mfm.default_channel in
+  let rng = Sim.Prng.create 17 in
+  let dots =
+    [| Physics.Mfm.Up; Physics.Mfm.Down; Physics.Mfm.Up; Physics.Mfm.Up;
+       Physics.Mfm.Destroyed; Physics.Mfm.Up |]
+  in
+  Format.fprintf ppf
+    "dots: 1 0 1 1 H 1   (H = heated/destroyed; expect its peak to vanish)@.";
+  let trace = Physics.Mfm.trace c g ~rng ~dots ~samples_per_dot:8 in
+  ascii_series ppf ~width:64 ~height:11 ~label:"read-back signal"
+    (Array.to_list (Array.map (fun (x, y) -> (x, y)) trace));
+  Format.fprintf ppf "peak sample over each dot:@.";
+  Array.iteri
+    (fun i d ->
+      let s = Physics.Mfm.read_dot c g ~rng ~dots i in
+      Format.fprintf ppf "  dot %d (%s): %+.3f@." i
+        (match d with
+        | Physics.Mfm.Up -> "1"
+        | Physics.Mfm.Down -> "0"
+        | Physics.Mfm.Destroyed -> "H")
+        s)
+    dots
+
+let fig2 ppf =
+  Format.fprintf ppf "Figure 2 — state transitions of one bit@.";
+  hrule ppf;
+  Format.fprintf ppf "%-8s %-8s %-8s@." "state" "op" "state'";
+  List.iter
+    (fun (s, op, s') ->
+      Format.fprintf ppf "%-8s %-8s %-8s@."
+        (Format.asprintf "%a" Pmedia.Dot.pp s)
+        op
+        (Format.asprintf "%a" Pmedia.Dot.pp s'))
+    Pmedia.Dot.transition_table;
+  Format.fprintf ppf
+    "invariants: ewb always lands in H; nothing leaves H; mwb toggles 0/1@."
+
+let fig3 ppf =
+  Format.fprintf ppf
+    "Figure 3 — medium layout of a heated line (2^N = 8 blocks)@.";
+  hrule ppf;
+  let dev = Sero.Device.create (Sero.Device.default_config ~n_blocks:16 ~line_exp:3 ()) in
+  let lay = Sero.Device.layout dev in
+  List.iteri
+    (fun i pba ->
+      match
+        Sero.Device.write_block dev ~pba (Printf.sprintf "data block %d" i)
+      with
+      | Ok () -> ()
+      | Error e ->
+          Format.fprintf ppf "unexpected: %a@." Sero.Device.pp_write_error e)
+    (Sero.Layout.data_blocks_of_line lay 0);
+  (match Sero.Device.heat_line dev ~line:0 () with
+  | Ok hash -> Format.fprintf ppf "burned hash: %a@." Hash.Sha256.pp_full hash
+  | Error e -> Format.fprintf ppf "heat failed: %a@." Sero.Device.pp_heat_error e);
+  let medium = Probe.Pdevice.medium (Sero.Device.pdevice dev) in
+  let show_dots ppf first n =
+    for d = first to first + n - 1 do
+      Format.pp_print_string ppf
+        (match Pmedia.Medium.get medium d with
+        | Pmedia.Dot.Heated -> "H"
+        | Pmedia.Dot.Magnetised Pmedia.Dot.Up -> "1"
+        | Pmedia.Dot.Magnetised Pmedia.Dot.Down -> "0")
+    done
+  in
+  let wo = Sero.Layout.wo_first_dot lay ~line:0 in
+  Format.fprintf ppf "block 0 (hash, electrically written), first 32 cells:@.  ";
+  for cell = 0 to 31 do
+    let a = Pmedia.Medium.get medium (wo + (2 * cell))
+    and b = Pmedia.Medium.get medium (wo + (2 * cell) + 1) in
+    let s =
+      match (Pmedia.Dot.is_heated a, Pmedia.Dot.is_heated b) with
+      | true, false -> "HU"
+      | false, true -> "UH"
+      | false, false -> "UU"
+      | true, true -> "HH"
+    in
+    Format.fprintf ppf "%s " s
+  done;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun pba ->
+      Format.fprintf ppf "block %d (data, magnetic), first 64 dots:@.  %a@."
+        pba
+        (fun ppf () -> show_dots ppf (Sero.Layout.block_first_dot lay pba) 64)
+        ())
+    (List.filteri (fun i _ -> i < 2) (Sero.Layout.data_blocks_of_line lay 0));
+  Format.fprintf ppf "verify: %a@." Sero.Tamper.pp_verdict
+    (Sero.Device.verify_line dev ~line:0)
+
+let fig7 ppf =
+  Format.fprintf ppf
+    "Figure 7 — perpendicular anisotropy vs annealing temperature@.";
+  hrule ppf;
+  let temps = [ 25.; 100.; 200.; 300.; 400.; 500.; 550.; 600.; 650.; 700. ] in
+  let show m =
+    Format.fprintf ppf "%s:@." m.Physics.Constants.label;
+    Format.fprintf ppf "  %-10s %-12s@." "T (degC)" "K (kJ/m^3)";
+    List.iter
+      (fun (t, k) -> Format.fprintf ppf "  %-10.0f %-12.1f@." t k)
+      (Physics.Anisotropy.figure7_sweep m ~temps_c:temps);
+    Format.fprintf ppf "  half-anisotropy threshold: %.0f degC@."
+      (Physics.Anisotropy.destruction_threshold_c m)
+  in
+  show Physics.Constants.co_pt;
+  show Physics.Constants.co_pt_low_temp;
+  Format.fprintf ppf
+    "paper anchors: 80 kJ/m^3 maintained to 500 degC; dramatic drop above 600.@."
+
+let xrd_figure ppf ~title ~scan_of ~peak_deg ~window =
+  Format.fprintf ppf "%s@." title;
+  hrule ppf;
+  let m = Physics.Constants.co_pt in
+  let show label anneal =
+    let scan = scan_of m ~anneal_temp_c:anneal in
+    ascii_series ppf ~width:64 ~height:10 ~label
+      (List.map (fun p -> (p.Physics.Xrd.two_theta, log10 (1. +. p.Physics.Xrd.intensity))) scan);
+    Format.fprintf ppf "  peak height above background near %.1f deg: %.1f@."
+      peak_deg
+      (Physics.Xrd.peak_amplitude scan ~near_deg:peak_deg ~window)
+  in
+  show "as grown" None;
+  show "annealed 700 degC" (Some 700.)
+
+let fig8 ppf =
+  xrd_figure ppf
+    ~title:
+      "Figure 8 — low-angle XRD (superlattice peak, log10 intensity vs 2theta 2..14deg)"
+    ~scan_of:Physics.Xrd.low_angle_scan
+    ~peak_deg:(Physics.Xrd.superlattice_peak_deg Physics.Constants.co_pt)
+    ~window:1.0;
+  Format.fprintf ppf
+    "paper: peak at ~8 deg from the 1.1 nm bilayer disappears after annealing@."
+
+let fig9 ppf =
+  xrd_figure ppf
+    ~title:
+      "Figure 9 — high-angle XRD (CoPt(111), log10 intensity vs 2theta 35..50deg)"
+    ~scan_of:Physics.Xrd.high_angle_scan ~peak_deg:Physics.Xrd.copt_111_peak_deg
+    ~window:1.5;
+  Format.fprintf ppf
+    "paper: sharp CoPt(111) reflection at 41.7 deg appears after annealing@."

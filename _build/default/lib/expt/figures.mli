@@ -1,0 +1,25 @@
+(** Regeneration of the paper's figures as text series (experiments
+    E1–E6; see DESIGN.md).  Each function prints a self-describing
+    table or ASCII rendering to the formatter. *)
+
+val fig1 : Format.formatter -> unit
+(** MFM read-back trace over up/down/heated dots: the heated dot's peak
+    vanishes (Figure 1). *)
+
+val fig2 : Format.formatter -> unit
+(** The bit state-transition table, generated from the implementation
+    and checked exhaustive (Figure 2). *)
+
+val fig3 : Format.formatter -> unit
+(** Layout dump of a real heated line on a simulated device: block 0
+    shows Manchester HU/UH cells, data blocks show 0/1 (Figure 3). *)
+
+val fig7 : Format.formatter -> unit
+(** Perpendicular anisotropy vs annealing temperature for the paper's
+    stack and the low-temperature engineered stack (Figure 7). *)
+
+val fig8 : Format.formatter -> unit
+(** Low-angle XRD, as-grown vs 700 °C annealed (Figure 8). *)
+
+val fig9 : Format.formatter -> unit
+(** High-angle XRD, as-grown vs 700 °C annealed (Figure 9). *)

@@ -1,0 +1,55 @@
+type row = {
+  n : int;
+  line_blocks : int;
+  heat_latency_s : float;
+  verify_latency_s : float;
+  space_overhead : float;
+}
+
+let one n =
+  let line_blocks = 1 lsl n in
+  let dev =
+    Sero.Device.create
+      (Sero.Device.default_config ~n_blocks:(4 * line_blocks) ~line_exp:n ())
+  in
+  let lay = Sero.Device.layout dev in
+  List.iteri
+    (fun i pba ->
+      match Sero.Device.write_block dev ~pba (Printf.sprintf "blk %d" i) with
+      | Ok () -> ()
+      | Error _ -> ())
+    (Sero.Layout.data_blocks_of_line lay 1);
+  let pdev = Sero.Device.pdevice dev in
+  Probe.Pdevice.reset_ledger pdev;
+  (match Sero.Device.heat_line dev ~line:1 () with
+  | Ok _ -> ()
+  | Error e ->
+      failwith (Format.asprintf "heatcost: %a" Sero.Device.pp_heat_error e));
+  let heat_latency_s = Probe.Pdevice.elapsed pdev in
+  Probe.Pdevice.reset_ledger pdev;
+  ignore (Sero.Device.verify_line dev ~line:1);
+  let verify_latency_s = Probe.Pdevice.elapsed pdev in
+  {
+    n;
+    line_blocks;
+    heat_latency_s;
+    verify_latency_s;
+    space_overhead = Sero.Layout.space_overhead lay;
+  }
+
+let sweep ?(ns = [ 1; 2; 3; 4; 5; 6; 7 ]) () = List.map one ns
+
+let print ppf =
+  Format.fprintf ppf "E8 — heat-a-line cost and overhead vs N@.";
+  Format.fprintf ppf "%s@." (String.make 72 '-');
+  Format.fprintf ppf "  %-4s %-8s %-14s %-14s %-10s@." "N" "blocks"
+    "heat (sim s)" "verify (sim s)" "overhead";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-4d %-8d %-14.4f %-14.4f %8.2f%%@." r.n
+        r.line_blocks r.heat_latency_s r.verify_latency_s
+        (100. *. r.space_overhead))
+    (sweep ());
+  Format.fprintf ppf
+    "paper: overhead 1/2^N is negligible for large N at the price of \
+     flexibility@."

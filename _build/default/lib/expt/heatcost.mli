@@ -1,0 +1,18 @@
+(** E8 — heat-a-line cost and space overhead vs line size 2^N.
+
+    Section 8 ("Efficiency"): the hash block costs 1 of every 2^N
+    blocks, so large N wastes little space but heats inflexibly large
+    units; small N is flexible but pays overhead — and could use better
+    write-once codes (E14).  This sweep heats one line at each N and
+    reports burn latency, verify latency, and the overhead fraction. *)
+
+type row = {
+  n : int;  (** Line is 2^n blocks. *)
+  line_blocks : int;
+  heat_latency_s : float;
+  verify_latency_s : float;
+  space_overhead : float;  (** 1 / 2^n. *)
+}
+
+val sweep : ?ns:int list -> unit -> row list
+val print : Format.formatter -> unit

@@ -1,0 +1,106 @@
+type row = {
+  op : string;
+  sim_latency_s : float;
+  primitive_ops : int;
+  vs_mrb : float;
+}
+
+(* One tip, no striping: bit-op latencies are the raw cost model. *)
+let bit_ops () =
+  let medium = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:64 ~cols:64) in
+  let ctx = Pmedia.Bitops.make medium in
+  let costs = Probe.Timing.default_costs in
+  let measure op f =
+    Pmedia.Bitops.reset_counters ctx;
+    f ();
+    let c = Pmedia.Bitops.counters ctx in
+    let prim = Pmedia.Bitops.primitive_ops c in
+    let latency =
+      (float_of_int prim *. costs.Probe.Timing.bit_time)
+      +. (float_of_int c.Pmedia.Bitops.ewb *. costs.Probe.Timing.ewb_time)
+    in
+    { op; sim_latency_s = latency; primitive_ops = prim; vs_mrb = 0. }
+  in
+  let rows =
+    [
+      measure "mrb" (fun () -> ignore (Pmedia.Bitops.mrb ctx 0));
+      measure "mwb" (fun () -> Pmedia.Bitops.mwb ctx 1 Pmedia.Dot.Up);
+      measure "erb (1 cycle)" (fun () -> ignore (Pmedia.Bitops.erb ctx 2));
+      measure "ewb" (fun () -> Pmedia.Bitops.ewb ctx 3);
+    ]
+  in
+  let mrb_lat =
+    match rows with r :: _ -> r.sim_latency_s | [] -> assert false
+  in
+  List.map (fun r -> { r with vs_mrb = r.sim_latency_s /. mrb_lat }) rows
+
+let sector_ops () =
+  let measure op f =
+    let dev =
+      Sero.Device.create (Sero.Device.default_config ~n_blocks:64 ~line_exp:3 ())
+    in
+    (* Prepare: fill line 1 and heat it so ers has something to read. *)
+    List.iter
+      (fun pba ->
+        match Sero.Device.write_block dev ~pba "prep" with
+        | Ok () -> ()
+        | Error _ -> ())
+      (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 1);
+    (match Sero.Device.heat_line dev ~line:1 () with
+    | Ok _ -> ()
+    | Error _ -> ());
+    let pdev = Sero.Device.pdevice dev in
+    Probe.Pdevice.reset_ledger pdev;
+    Pmedia.Bitops.reset_counters (Probe.Pdevice.bitops pdev);
+    f dev;
+    {
+      op;
+      sim_latency_s = Probe.Pdevice.elapsed pdev;
+      primitive_ops =
+        Pmedia.Bitops.primitive_ops
+          (Pmedia.Bitops.counters (Probe.Pdevice.bitops pdev));
+      vs_mrb = 0.;
+    }
+  in
+  let data_pba dev =
+    List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2)
+  in
+  let rows =
+    [
+      measure "mrs (read sector)" (fun dev ->
+          ignore (Sero.Device.read_block dev ~pba:(data_pba dev)));
+      measure "mws (write sector)" (fun dev ->
+          ignore (Sero.Device.write_block dev ~pba:(data_pba dev) "x"));
+      measure "ers (read hash blk)" (fun dev ->
+          ignore (Sero.Device.read_hash_block dev ~line:1));
+      measure "heat line (2^3 blks)" (fun dev ->
+          List.iter
+            (fun pba -> ignore (Sero.Device.write_block dev ~pba "y"))
+            (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2);
+          ignore (Sero.Device.heat_line dev ~line:2 ()));
+      measure "verify line" (fun dev ->
+          ignore (Sero.Device.verify_line dev ~line:1));
+    ]
+  in
+  let mrs_lat =
+    match rows with r :: _ -> r.sim_latency_s | [] -> assert false
+  in
+  List.map (fun r -> { r with vs_mrb = r.sim_latency_s /. mrs_lat }) rows
+
+let print ppf =
+  Format.fprintf ppf "E7 — operation cost hierarchy@.";
+  Format.fprintf ppf "%s@." (String.make 72 '-');
+  let table title rows =
+    Format.fprintf ppf "%s@." title;
+    Format.fprintf ppf "  %-22s %14s %12s %10s@." "operation" "sim latency"
+      "prim ops" "vs first";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-22s %12.3g s %12d %9.1fx@." r.op
+          r.sim_latency_s r.primitive_ops r.vs_mrb)
+      rows
+  in
+  table "bit operations (single tip):" (bit_ops ());
+  table "sector/line operations (32-tip device):" (sector_ops ());
+  Format.fprintf ppf
+    "paper: erb is at least 5x mrb (5-op sequence); ewb slower than mwb@."

@@ -1,0 +1,19 @@
+(** E7 — operation cost hierarchy.
+
+    Section 3 claims the electrical read is "at least 5 times slower
+    than mrb" (it is built from 5 magnetic operations) and the
+    electrical write "slower than mwb because of the local heating
+    process".  This experiment measures, on the simulated device, the
+    per-bit primitive counts and simulated latencies of all four bit
+    operations and the four sector operations built from them. *)
+
+type row = {
+  op : string;
+  sim_latency_s : float;  (** Simulated time for one operation. *)
+  primitive_ops : int;  (** mrb+mwb ops issued underneath. *)
+  vs_mrb : float;  (** Latency ratio against mrb / mrs. *)
+}
+
+val bit_ops : unit -> row list
+val sector_ops : unit -> row list
+val print : Format.formatter -> unit

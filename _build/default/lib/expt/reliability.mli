@@ -1,0 +1,39 @@
+(** E17 — media reliability vs. the sector ECC budget (a study the
+    paper assumes away inside its "15% sector overhead" figure).
+
+    Two fault models from the device substrate:
+
+    - {b manufacturing dot defects}: each defective dot reads inverted.
+      The Reed–Solomon code (24 parity symbols per 255-byte codeword)
+      absorbs byte-error rates up to ~4.7%; since one flipped dot
+      corrupts a whole byte symbol, the tolerable {e dot} defect rate is
+      roughly 12/255/8 ≈ 0.6% — the sweep locates the cliff.
+    - {b failed probe tips}: a dead tip turns every 32nd dot into noise,
+      touching ~every 4th byte of a frame — far beyond any per-sector
+      code.  The experiment shows the paper's implicit assumption that
+      ECC covers tip faults does not hold: tip sparing/remapping is
+      required (a finding, not a figure).
+
+    Also checks that {!Sero.Device.classify_block} keeps the two fault
+    classes apart from heated blocks (Section 3's bad-block concern). *)
+
+type defect_row = {
+  defect_rate : float;
+  sectors : int;
+  readable : int;
+  mean_corrected : float;  (** RS symbols repaired per readable sector. *)
+}
+
+val defect_sweep : ?rates:float list -> ?sectors:int -> unit -> defect_row list
+
+type tip_row = {
+  failed_tips : int;
+  sectors : int;
+  readable : int;
+  classified_bad : int;  (** Unreadable sectors classified [Bad_block]. *)
+  classified_heated : int;  (** Misclassified as heated (should be 0). *)
+}
+
+val tip_sweep : ?max_failed:int -> ?sectors:int -> unit -> tip_row list
+
+val print : Format.formatter -> unit

@@ -1,0 +1,22 @@
+let print ppf =
+  Format.fprintf ppf "E10 — attack/outcome matrix (Section 5)@.";
+  Format.fprintf ppf "%s@." (String.make 100 '-');
+  let results = Security.Attacks.matrix () in
+  Format.fprintf ppf "  %-34s %-40s %s@." "attack" "outcome" "paper";
+  List.iter
+    (fun (a, o) ->
+      Format.fprintf ppf "  %-34s %-40s %s@."
+        (Security.Attacks.label a)
+        (Format.asprintf "%a" Security.Attacks.pp_outcome o)
+        (Security.Attacks.paper_ref a))
+    results;
+  Format.fprintf ppf "every outcome in the class the paper predicts: %b@.@."
+    (Security.Attacks.matrix_matches_paper results);
+  Format.fprintf ppf "ablation — hashes at known physical addresses:@.";
+  Format.fprintf ppf "  strict device:     %a@." Security.Attacks.pp_outcome
+    (Security.Attacks.run_splice ~strict:true ());
+  Format.fprintf ppf "  floating hashes:   %a@." Security.Attacks.pp_outcome
+    (Security.Attacks.run_splice ~strict:false ());
+  Format.fprintf ppf
+    "paper: 'the device insists that hashes are written at known physical \
+     addresses'@."

@@ -1,0 +1,4 @@
+(** E10 — the Section 5 security analysis as a generated matrix, plus
+    the physical-addressing ablation for the splice attack. *)
+
+val print : Format.formatter -> unit

@@ -1,0 +1,17 @@
+let print ppf =
+  Format.fprintf ppf
+    "E11 — snapshot scenario across storage technologies@.";
+  Format.fprintf ppf "%s@." (String.make 120 '-');
+  let sc = Baseline.Compare.default_scenario in
+  Format.fprintf ppf
+    "scenario: %d-block store, %d random writes + %d reads, %d snapshots \
+     of %d blocks@."
+    sc.Baseline.Compare.device_blocks sc.Baseline.Compare.live_writes
+    sc.Baseline.Compare.live_reads sc.Baseline.Compare.snapshots
+    sc.Baseline.Compare.snapshot_blocks;
+  List.iter
+    (fun o -> Format.fprintf ppf "%a@." Baseline.Compare.pp_outcome o)
+    (Baseline.Compare.run_all sc);
+  Format.fprintf ppf
+    "paper: SERO combines WMRM performance with incremental, \
+     fine-grained, tamper-evident freezing.@."

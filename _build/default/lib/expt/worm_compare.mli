@@ -1,0 +1,4 @@
+(** E11 — SERO against the WORM technologies of Sections 1–2 under the
+    introduction's snapshot scenario. *)
+
+val print : Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/lfs/cleaner.ml: Array Enc File Hashtbl Option Printf State Sys

@@ -1,0 +1,1 @@
+lib/lfs/cleaner.mli: Enc State

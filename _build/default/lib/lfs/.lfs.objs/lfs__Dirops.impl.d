@@ -1,0 +1,1 @@
+lib/lfs/dirops.ml: Enc File List Option Printf State String

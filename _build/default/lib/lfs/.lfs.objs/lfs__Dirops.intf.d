@@ -1,0 +1,1 @@
+lib/lfs/dirops.mli: Enc State

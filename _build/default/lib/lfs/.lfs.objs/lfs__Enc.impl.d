@@ -1,0 +1,1 @@
+lib/lfs/enc.ml: Array Codec Format Int32 List String

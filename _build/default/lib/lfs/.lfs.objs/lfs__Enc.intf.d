@@ -1,0 +1,1 @@
+lib/lfs/enc.mli: Format

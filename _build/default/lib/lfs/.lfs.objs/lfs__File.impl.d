@@ -1,0 +1,1 @@
+lib/lfs/file.ml: Array Bytes Codec Enc Hashtbl List Sero State String

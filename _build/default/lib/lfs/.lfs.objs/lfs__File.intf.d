@@ -1,0 +1,1 @@
+lib/lfs/file.mli: Enc State

@@ -1,0 +1,1 @@
+lib/lfs/fs.ml: Array Cleaner Dirops Enc File Format Heat List Option Printf Result Sero State

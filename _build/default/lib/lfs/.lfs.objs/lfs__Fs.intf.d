@@ -1,0 +1,1 @@
+lib/lfs/fs.mli: Enc Format Heat Sero State

@@ -1,0 +1,1 @@
+lib/lfs/fsck.ml: Array Buffer Codec Enc Format Hash Hashtbl List Option Sero String

@@ -1,0 +1,1 @@
+lib/lfs/fsck.mli: Enc Format Hash Sero

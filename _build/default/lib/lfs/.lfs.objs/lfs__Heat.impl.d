@@ -1,0 +1,1 @@
+lib/lfs/heat.ml: Array Cleaner Codec Enc File Format Hashtbl List Sero State String

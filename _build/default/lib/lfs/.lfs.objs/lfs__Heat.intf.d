@@ -1,0 +1,1 @@
+lib/lfs/heat.mli: Sero State

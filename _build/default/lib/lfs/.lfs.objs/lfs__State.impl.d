@@ -1,0 +1,1 @@
+lib/lfs/state.ml: Array Buffer Codec Enc Format Hashtbl List Printf Probe Sero String

@@ -1,0 +1,1 @@
+lib/lfs/state.mli: Enc Hashtbl Sero

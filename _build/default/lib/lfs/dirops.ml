@@ -1,0 +1,143 @@
+let root_ino = 1
+
+let is_dir (i : Enc.inode) = Enc.equal_kind i.Enc.kind Enc.Directory
+
+let check_dir st ino =
+  let i = State.load_inode st ino in
+  if not (is_dir i) then
+    raise (State.Fs_error (Printf.sprintf "inode %d is not a directory" ino));
+  i
+
+(* Entries are stored one decodable list per block, never spanning. *)
+let entries st ino =
+  let inode = check_dir st ino in
+  let n_blocks = File.block_count inode in
+  List.concat
+    (List.init n_blocks (fun bi ->
+         let payload =
+           File.read st ino ~offset:(bi * File.block_size) ~len:File.block_size
+         in
+         match Enc.decode_dirents payload with
+         | Some es -> es
+         | None ->
+             raise
+               (State.Fs_error
+                  (Printf.sprintf "directory %d block %d corrupt" ino bi))))
+
+(* Rewrite the whole directory: pack entries greedily into blocks. *)
+let store st ino (es : Enc.dirent list) =
+  let blocks = ref [] and current = ref [] in
+  let flush_current () =
+    if !current <> [] || !blocks = [] then begin
+      blocks := Enc.encode_dirents (List.rev !current) :: !blocks;
+      current := []
+    end
+  in
+  List.iter
+    (fun e ->
+      if Enc.dirent_fits (List.rev (e :: !current)) then current := e :: !current
+      else begin
+        flush_current ();
+        if not (Enc.dirent_fits [ e ]) then
+          raise (State.Fs_error "directory entry name too long");
+        current := [ e ]
+      end)
+    es;
+  flush_current ();
+  let blocks = List.rev !blocks in
+  List.iteri
+    (fun bi payload ->
+      (* Pad so each directory block is a full, framed block. *)
+      let padded =
+        payload ^ String.make (File.block_size - String.length payload) '\x00'
+      in
+      File.write st ino ~offset:(bi * File.block_size) padded)
+    blocks;
+  File.truncate st ino ~size:(List.length blocks * File.block_size)
+
+let store_empty st ino = store st ino []
+
+let init_root st =
+  let inode = File.create_inode st ~kind:Enc.Directory ~heat_group:0 in
+  if inode.Enc.ino <> root_ino then
+    raise (State.Fs_error "root must be the first inode");
+  store st root_ino []
+
+let find_entry es name =
+  List.find_opt (fun (e : Enc.dirent) -> String.equal e.Enc.name name) es
+
+let add_entry st ~dir e =
+  let es = entries st dir in
+  (match find_entry es e.Enc.name with
+  | Some _ ->
+      raise
+        (State.Fs_error (Printf.sprintf "entry %S already exists" e.Enc.name))
+  | None -> ());
+  store st dir (es @ [ e ])
+
+let remove_entry st ~dir name =
+  let es = entries st dir in
+  match find_entry es name with
+  | None -> raise (State.Fs_error (Printf.sprintf "no entry %S" name))
+  | Some _ ->
+      store st dir
+        (List.filter (fun (e : Enc.dirent) -> not (String.equal e.Enc.name name)) es)
+
+let split_path path =
+  if String.length path = 0 || path.[0] <> '/' then
+    Error "path must be absolute"
+  else begin
+    let parts =
+      String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+    in
+    if List.exists (fun p -> String.equal p "." || String.equal p "..") parts
+    then Error "paths may not contain . or .."
+    else Ok parts
+  end
+
+(* A directory that no longer parses (e.g. scrubbed by an attacker)
+   simply fails the resolution — the forensic scan, not the namespace,
+   is the recovery path. *)
+let entries_opt st ino =
+  match entries st ino with
+  | es -> Some es
+  | exception State.Fs_error _ -> None
+
+let lookup st path =
+  match split_path path with
+  | Error _ -> None
+  | Ok parts ->
+      let rec walk ino kind = function
+        | [] -> Some (ino, kind)
+        | name :: rest -> (
+            if not (Enc.equal_kind kind Enc.Directory) then None
+            else
+              match Option.bind (entries_opt st ino) (fun es -> find_entry es name) with
+              | None -> None
+              | Some e -> walk e.Enc.entry_ino e.Enc.entry_kind rest)
+      in
+      walk root_ino Enc.Directory parts
+
+let parent_of st path =
+  match split_path path with
+  | Error e -> Error e
+  | Ok [] -> Error "the root has no parent"
+  | Ok parts -> (
+      let rec split_last acc = function
+        | [ last ] -> (List.rev acc, last)
+        | x :: rest -> split_last (x :: acc) rest
+        | [] -> assert false
+      in
+      let dir_parts, base = split_last [] parts in
+      let rec walk ino = function
+        | [] -> Ok (ino, base)
+        | name :: rest -> (
+            match
+              Option.bind (entries_opt st ino) (fun es -> find_entry es name)
+            with
+            | Some e when Enc.equal_kind e.Enc.entry_kind Enc.Directory ->
+                walk e.Enc.entry_ino rest
+            | Some _ -> Error (Printf.sprintf "%S is not a directory" name)
+            | None -> Error (Printf.sprintf "no such directory %S" name))
+      in
+      walk root_ino dir_parts)

@@ -1,0 +1,64 @@
+(** File-level operations: byte reads and writes over the block-pointer
+    tree (12 direct pointers, one single- and one double-indirect block).
+
+    At run time the whole pointer tree of a file is held flat in the
+    state's pointer cache; indirect blocks are materialised on flush, in
+    the file's heat group, and the old versions freed — the no-overwrite
+    log discipline.  Flushing is what the classic LFS write clustering
+    amounts to here: data blocks stream out as they are written, while
+    inodes and indirect blocks are gathered and written on [sync],
+    before a heat, or at unmount. *)
+
+val block_size : int
+(** = {!Codec.Sector.payload_bytes}. *)
+
+val create_inode :
+  State.t -> kind:Enc.kind -> heat_group:int -> Enc.inode
+(** Allocate an inode number, cache the fresh inode and mark it dirty
+    (it reaches the medium at the next flush). *)
+
+val pointers : State.t -> int -> int array
+(** Current block-pointer array of file [ino] (grown to the file's
+    block count; 0 entries are holes). *)
+
+val block_count : Enc.inode -> int
+
+val read : State.t -> int -> offset:int -> len:int -> string
+(** Reads beyond EOF are truncated; holes read as zero bytes. *)
+
+val write : State.t -> int -> offset:int -> string -> unit
+(** Copy-on-write at block granularity: each touched block is allocated
+    fresh at its group's log head and the old block freed. *)
+
+val truncate : State.t -> int -> size:int -> unit
+(** Shrink (or declare a smaller size for) file [ino], freeing blocks
+    past the new end.  Growing is a no-op. *)
+
+val set_pointer : State.t -> int -> int -> int -> unit
+(** [set_pointer st ino index pba] updates one block pointer in the
+    cache (the cleaner and the relocation path use this; it does not
+    mark the inode dirty by itself). *)
+
+val flush_inode : State.t -> int -> unit
+(** Write dirty pointer blocks and the inode itself; update the imap. *)
+
+val flush_inode_with :
+  ?must_move:(int -> bool) ->
+  State.t -> int -> alloc:(owner:Enc.owner -> string -> int) -> unit
+(** Like {!flush_inode} but unconditional and with caller-chosen block
+    placement — the heat path uses it to direct metadata into the
+    private relocation segment.  Indirect blocks whose contents are
+    unchanged are left where they are unless [must_move pba] is true
+    (the cleaner passes the victim-segment predicate). *)
+
+val flush_all : State.t -> unit
+(** Flush every dirty inode. *)
+
+val delete : State.t -> int -> unit
+(** Free data, indirect and inode blocks; forget the inode.
+    @raise State.Fs_error if the file lies in a heated line — read-only
+    data cannot be deleted (its blocks are not reusable anyway). *)
+
+val all_block_pbas : State.t -> int -> int list
+(** Every PBA the file occupies right now: data (no holes), indirect
+    blocks, and the inode block if it has one. *)

@@ -1,0 +1,143 @@
+type recovered = {
+  r_ino : int;
+  r_kind : Enc.kind;
+  r_size : int;
+  r_heat_group : int;
+  r_complete : bool;
+  r_content_sha256 : Hash.Sha256.t option;
+}
+
+type report = {
+  lines_scanned : int;
+  heated_intact : int;
+  heated_tampered : (int * Sero.Tamper.verdict) list;
+  recovered_files : recovered list;
+}
+
+let block_payload dev pba =
+  match Sero.Device.read_block dev ~pba with Ok p -> Some p | Error _ -> None
+
+(* Resolve an inode found on the raw medium into file bytes, without any
+   in-memory FS state. *)
+let resolve_file dev (inode : Enc.inode) =
+  let n = (inode.Enc.size + Codec.Sector.payload_bytes - 1) / Codec.Sector.payload_bytes in
+  let per_ind = Enc.pointers_per_indirect in
+  let read_ind pba =
+    if pba = 0 then Some (Array.make per_ind 0)
+    else Option.bind (block_payload dev pba) Enc.decode_pointer_block
+  in
+  let ptrs = Array.make (max n 0) 0 in
+  let ok = ref true in
+  Array.blit inode.Enc.direct 0 ptrs 0 (min n Enc.n_direct);
+  if n > Enc.n_direct then begin
+    match read_ind inode.Enc.single_ind with
+    | Some a -> Array.blit a 0 ptrs Enc.n_direct (min (n - Enc.n_direct) per_ind)
+    | None -> ok := false
+  end;
+  if n > Enc.n_direct + per_ind then begin
+    match read_ind inode.Enc.double_ind with
+    | None -> ok := false
+    | Some root ->
+        let remaining = n - Enc.n_direct - per_ind in
+        let n_children = (remaining + per_ind - 1) / per_ind in
+        for c = 0 to n_children - 1 do
+          match read_ind root.(c) with
+          | None -> ok := false
+          | Some child ->
+              let base = Enc.n_direct + per_ind + (c * per_ind) in
+              Array.blit child 0 ptrs base (min (n - base) per_ind)
+        done
+  end;
+  if not !ok then None
+  else begin
+    let buf = Buffer.create inode.Enc.size in
+    let complete = ref true in
+    (try
+       Array.iter
+         (fun pba ->
+           if pba = 0 then
+             Buffer.add_string buf (String.make Codec.Sector.payload_bytes '\x00')
+           else
+             match block_payload dev pba with
+             | Some p -> Buffer.add_string buf p
+             | None ->
+                 complete := false;
+                 raise Exit)
+         ptrs
+     with Exit -> ());
+    if not !complete then None
+    else Some (String.sub (Buffer.contents buf) 0 inode.Enc.size)
+  end
+
+let run dev =
+  let lay = Sero.Device.layout dev in
+  let entries = Sero.Device.scan ~deep:true dev in
+  let heated_intact = ref 0 and tampered = ref [] in
+  let inodes = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sero.Device.scan_entry) ->
+      match e.Sero.Device.verdict with
+      | Sero.Tamper.Not_heated -> ()
+      | Sero.Tamper.Tampered _ as v ->
+          tampered := (e.Sero.Device.scanned_line, v) :: !tampered
+      | Sero.Tamper.Intact ->
+          incr heated_intact;
+          (* Hunt for inode frames among the line's data blocks. *)
+          List.iter
+            (fun pba ->
+              match block_payload dev pba with
+              | None -> ()
+              | Some payload -> (
+                  match Enc.decode_inode payload with
+                  | Some inode ->
+                      (* Prefer the highest generation if duplicates
+                         survive from older heats. *)
+                      let keep =
+                        match Hashtbl.find_opt inodes inode.Enc.ino with
+                        | Some (old : Enc.inode) ->
+                            inode.Enc.generation > old.Enc.generation
+                        | None -> true
+                      in
+                      if keep then Hashtbl.replace inodes inode.Enc.ino inode
+                  | None -> ()))
+            (Sero.Layout.data_blocks_of_line lay e.Sero.Device.scanned_line))
+    entries;
+  let recovered_files =
+    Hashtbl.fold
+      (fun _ (inode : Enc.inode) acc ->
+        let content = resolve_file dev inode in
+        {
+          r_ino = inode.Enc.ino;
+          r_kind = inode.Enc.kind;
+          r_size = inode.Enc.size;
+          r_heat_group = inode.Enc.heat_group;
+          r_complete = Option.is_some content;
+          r_content_sha256 = Option.map Hash.Sha256.digest_string content;
+        }
+        :: acc)
+      inodes []
+    |> List.sort (fun a b -> compare a.r_ino b.r_ino)
+  in
+  {
+    lines_scanned = List.length entries;
+    heated_intact = !heated_intact;
+    heated_tampered = List.rev !tampered;
+    recovered_files;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "scanned %d lines: %d heated intact, %d tampered; recovered %d files@."
+    r.lines_scanned r.heated_intact
+    (List.length r.heated_tampered)
+    (List.length r.recovered_files);
+  List.iter
+    (fun (line, v) ->
+      Format.fprintf ppf "  line %d: %a@." line Sero.Tamper.pp_verdict v)
+    r.heated_tampered;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  ino %d (%a, group %d): %d bytes, %s@." f.r_ino
+        Enc.pp_kind f.r_kind f.r_heat_group f.r_size
+        (if f.r_complete then "complete" else "incomplete"))
+    r.recovered_files

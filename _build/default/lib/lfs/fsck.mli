@@ -1,0 +1,32 @@
+(** Raw-medium recovery — the paper's availability argument made
+    executable: "assume that the attacker clears the directory
+    structure, then a fsck style scan of the medium would definitely
+    recover (albeit slowly) all the heated files" (Section 5.2).
+
+    The scan needs {e no} checkpoint, imap or directory: it walks every
+    line, electrically probes for burned hashes, verifies each burned
+    line, then parses the data blocks of intact heated lines looking for
+    inode frames and resolves their pointer trees. *)
+
+type recovered = {
+  r_ino : int;
+  r_kind : Enc.kind;
+  r_size : int;
+  r_heat_group : int;
+  r_complete : bool;
+      (** All data blocks were readable (holes count as readable). *)
+  r_content_sha256 : Hash.Sha256.t option;
+      (** Digest of the recovered bytes when [r_complete]. *)
+}
+
+type report = {
+  lines_scanned : int;
+  heated_intact : int;
+  heated_tampered : (int * Sero.Tamper.verdict) list;
+  recovered_files : recovered list;
+}
+
+val run : Sero.Device.t -> report
+(** Full forensic scan of a device. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,40 @@
+(** Heating files: turning selected data read-only with burned hashes.
+
+    Heating happens at line granularity, so a file must first {e own}
+    whole lines.  Two strategies, matching the Section 4.1 discussion:
+
+    - {b in place} — if no other file has live blocks in the file's
+      lines, pad the gaps and heat where the data already is ("lines are
+      heated in the right place, avoiding the need to copy them").
+      Under the clustering policy this is the common case.
+    - {b relocate} — otherwise copy the file (data, indirect blocks and
+      inode) into privately claimed fresh segments, line-aligned, then
+      heat.  The copies are the price the paper predicts for unclustered
+      allocation; E9 measures them.
+
+    The inode travels with the data into a heated line, which is what
+    makes [rm]/[ln] tamper-evident (Section 5.2: deleting implies
+    rewriting the inode, invalidating the burned hash). *)
+
+type strategy = Auto | Always_relocate | Never_relocate
+
+type result_ok = {
+  lines : int list;  (** Heated lines, ascending. *)
+  relocated_blocks : int;
+  collateral_frozen : int;
+      (** Live blocks of other files that became read-only because they
+          shared a heated line ([Never_relocate] only). *)
+}
+
+val heat_file : State.t -> ino:int -> strategy:strategy -> result_ok
+(** @raise State.Fs_error if the file is already (partly) heated, the
+    device refuses a burn, or space runs out while relocating. *)
+
+val file_lines : State.t -> ino:int -> int list
+(** Lines currently occupied by the file (data + metadata). *)
+
+val verify_file : State.t -> ino:int -> (int * Sero.Tamper.verdict) list
+(** Device-level verdict for every line the file occupies. *)
+
+val is_file_heated : State.t -> ino:int -> bool
+(** True when every line the file occupies is heated. *)

@@ -1,0 +1,1 @@
+lib/medium/bitops.ml: Dot List Medium Physics Sim

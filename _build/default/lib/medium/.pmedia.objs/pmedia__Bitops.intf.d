@@ -1,0 +1,1 @@
+lib/medium/bitops.mli: Dot Medium Physics

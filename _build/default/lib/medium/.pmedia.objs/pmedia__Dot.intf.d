@@ -1,0 +1,1 @@
+lib/medium/dot.mli: Format

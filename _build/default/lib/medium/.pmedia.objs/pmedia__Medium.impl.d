@@ -1,0 +1,1 @@
+lib/medium/medium.ml: Bytes Char Dot List Physics Sim

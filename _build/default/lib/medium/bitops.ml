@@ -1,0 +1,114 @@
+type counters = {
+  mutable mrb : int;
+  mutable mwb : int;
+  mutable ewb : int;
+  mutable erb : int;
+  mutable collateral : int;
+}
+
+type ctx = {
+  medium : Medium.t;
+  counters : counters;
+  profile : Physics.Thermal.profile;
+  read_ber : float;
+  neighbour_damage_p : float;
+}
+
+let make ?profile ?(read_ber = 0.) medium =
+  let cfg = Medium.config medium in
+  let profile =
+    match profile with
+    | Some p -> p
+    | None -> Physics.Thermal.default_profile cfg.Medium.geometry
+  in
+  let neighbour_damage_p =
+    Physics.Thermal.neighbour_damage_probability cfg.Medium.material profile
+      ~pitch:cfg.Medium.geometry.pitch
+  in
+  {
+    medium;
+    counters = { mrb = 0; mwb = 0; ewb = 0; erb = 0; collateral = 0 };
+    profile;
+    read_ber;
+    neighbour_damage_p;
+  }
+
+let medium t = t.medium
+let counters t = t.counters
+let profile t = t.profile
+
+let reset_counters t =
+  t.counters.mrb <- 0;
+  t.counters.mwb <- 0;
+  t.counters.ewb <- 0;
+  t.counters.erb <- 0;
+  t.counters.collateral <- 0
+
+let mrb t i =
+  t.counters.mrb <- t.counters.mrb + 1;
+  let rng = Medium.rng t.medium in
+  match Medium.get t.medium i with
+  | Dot.Heated ->
+      (* No perpendicular stray field left: the channel thresholds
+         noise. *)
+      if Sim.Prng.bool rng then Dot.Up else Dot.Down
+  | Dot.Magnetised d ->
+      let d = if Medium.is_defect t.medium i then Dot.invert d else d in
+      if t.read_ber > 0. && Sim.Prng.bernoulli rng t.read_ber then
+        Dot.invert d
+      else d
+
+let mwb t i d =
+  t.counters.mwb <- t.counters.mwb + 1;
+  match Medium.get t.medium i with
+  | Dot.Heated -> () (* write has no perpendicular axis to act on *)
+  | Dot.Magnetised _ -> Medium.set t.medium i (Dot.Magnetised d)
+
+let ewb t i =
+  t.counters.ewb <- t.counters.ewb + 1;
+  Medium.note_heated t.medium i;
+  if t.neighbour_damage_p > 0. then
+    List.iter
+      (fun j ->
+        if
+          (not (Dot.is_heated (Medium.get t.medium j)))
+          && Sim.Prng.bernoulli (Medium.rng t.medium) t.neighbour_damage_p
+        then begin
+          Medium.note_heated t.medium j;
+          t.counters.collateral <- t.counters.collateral + 1
+        end)
+      (Medium.neighbours t.medium i)
+
+(* One invert/verify round of the paper's erb sequence.  Returns [true]
+   if the dot behaved as heated (a verification failed). *)
+let erb_round t i =
+  let original = mrb t i in
+  let inverse = Dot.invert original in
+  mwb t i inverse;
+  let check1 = mrb t i in
+  if not (Dot.equal_direction check1 inverse) then begin
+    (* Restore best-effort and report heated. *)
+    mwb t i original;
+    true
+  end
+  else begin
+    mwb t i original;
+    let check2 = mrb t i in
+    not (Dot.equal_direction check2 original)
+  end
+
+let erb ?(cycles = 1) t i =
+  if cycles <= 0 then invalid_arg "Bitops.erb: cycles must be positive";
+  t.counters.erb <- t.counters.erb + 1;
+  let detected = ref false in
+  (try
+     for _ = 1 to cycles do
+       if erb_round t i then begin
+         detected := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !detected
+
+let primitive_ops c = c.mrb + c.mwb

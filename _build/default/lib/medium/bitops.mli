@@ -1,0 +1,61 @@
+(** The four low-level bit operations of Section 3.
+
+    - [mrb] — magnetic read: direction of a magnetised dot; a heated dot
+      "would yield a more or less random result" (its perpendicular
+      stray field is gone, the channel thresholds noise), so the result
+      is a coin flip from the medium's PRNG.
+    - [mwb] — magnetic write: sets the direction; silently ineffective
+      on a heated dot (no perpendicular axis remains).
+    - [ewb] — electrical write: heats the dot, destroying it
+      irreversibly; may collaterally heat neighbours with the
+      probability given by the thermal model.
+    - [erb] — electrical read, {e built out of} magnetic reads and
+      writes as the paper's 5-step atomic sequence: read, write inverse,
+      verify inverse, write back, verify original.  Any failed
+      verification means the dot no longer holds out-of-plane data.
+
+    Every operation increments the per-medium counters, from which the
+    device layer derives simulated time and energy; [erb] costs exactly
+    5 primitive operations per cycle, which is where the paper's
+    "at least 5 times slower than mrb" comes from. *)
+
+type counters = {
+  mutable mrb : int;
+  mutable mwb : int;
+  mutable ewb : int;
+  mutable erb : int;  (** erb {e sequences}, not primitive ops. *)
+  mutable collateral : int;  (** Neighbour dots destroyed by ewb pulses. *)
+}
+
+type ctx
+(** A medium together with its counters and thermal write profile. *)
+
+val make :
+  ?profile:Physics.Thermal.profile ->
+  ?read_ber:float ->
+  Medium.t ->
+  ctx
+(** [profile] defaults to {!Physics.Thermal.default_profile} of the
+    medium's geometry; [read_ber] is the raw magnetic-read error
+    probability on healthy dots (default 0 — sector-level ECC is
+    exercised separately with fault injection). *)
+
+val medium : ctx -> Medium.t
+val counters : ctx -> counters
+val reset_counters : ctx -> unit
+val profile : ctx -> Physics.Thermal.profile
+
+val mrb : ctx -> int -> Dot.direction
+val mwb : ctx -> int -> Dot.direction -> unit
+val ewb : ctx -> int -> unit
+
+val erb : ?cycles:int -> ctx -> int -> bool
+(** [erb ctx i] is [true] iff the dot is detected as heated.  [cycles]
+    (default 1) repeats the invert/verify round: a heated dot passes one
+    round by luck with probability 1/4 (both random reads agreeing), so
+    callers that must not miss heated dots escalate the cycle count.
+    A magnetised dot always comes back with its original data restored. *)
+
+val primitive_ops : counters -> int
+(** Total mrb + mwb operations issued, counting the ones inside erb —
+    the denominator for op-cost accounting. *)

@@ -1,0 +1,40 @@
+type direction = Up | Down
+type t = Magnetised of direction | Heated
+
+let equal_direction a b =
+  match (a, b) with Up, Up | Down, Down -> true | (Up | Down), _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Magnetised x, Magnetised y -> equal_direction x y
+  | Heated, Heated -> true
+  | (Magnetised _ | Heated), _ -> false
+
+let pp_direction ppf d =
+  Format.pp_print_string ppf (match d with Up -> "1" | Down -> "0")
+
+let pp ppf = function
+  | Magnetised d -> pp_direction ppf d
+  | Heated -> Format.pp_print_string ppf "H"
+
+let of_bool b = if b then Up else Down
+let to_bool = function Up -> true | Down -> false
+let invert = function Up -> Down | Down -> Up
+
+let transition_mwb t d =
+  match t with Magnetised _ -> Magnetised d | Heated -> Heated
+
+let transition_ewb _ = Heated
+let is_heated = function Heated -> true | Magnetised _ -> false
+
+let all_states = [ Magnetised Up; Magnetised Down; Heated ]
+
+let transition_table =
+  List.concat_map
+    (fun s ->
+      [
+        (s, "mwb 0", transition_mwb s Down);
+        (s, "mwb 1", transition_mwb s Up);
+        (s, "ewb", transition_ewb s);
+      ])
+    all_states

@@ -1,0 +1,129 @@
+type config = {
+  rows : int;
+  cols : int;
+  geometry : Physics.Constants.dot_geometry;
+  material : Physics.Constants.material;
+  defect_rate : float;
+  seed : int;
+}
+
+type t = {
+  config : config;
+  states : Bytes.t; (* 2 bits per dot: 0 = Down, 1 = Up, 2 = Heated *)
+  defects : Bytes.t; (* 1 bit per dot *)
+  rng : Sim.Prng.t;
+  mutable heated : int;
+}
+
+let default_config ~rows ~cols =
+  {
+    rows;
+    cols;
+    geometry = Physics.Constants.dot_100nm;
+    material = Physics.Constants.co_pt;
+    defect_rate = 0.;
+    seed = 42;
+  }
+
+let size t = t.config.rows * t.config.cols
+let rows t = t.config.rows
+let cols t = t.config.cols
+let config t = t.config
+let rng t = t.rng
+
+let create config =
+  if config.rows <= 0 || config.cols <= 0 then
+    invalid_arg "Medium.create: non-positive dimensions";
+  let n = config.rows * config.cols in
+  let t =
+    {
+      config;
+      states = Bytes.make ((n + 3) / 4) '\x00';
+      defects = Bytes.make ((n + 7) / 8) '\x00';
+      rng = Sim.Prng.create config.seed;
+      heated = 0;
+    }
+  in
+  if config.defect_rate > 0. then
+    for i = 0 to n - 1 do
+      if Sim.Prng.bernoulli t.rng config.defect_rate then begin
+        let byte = i / 8 and bit = i mod 8 in
+        Bytes.set t.defects byte
+          (Char.chr (Char.code (Bytes.get t.defects byte) lor (1 lsl bit)))
+      end
+    done;
+  t
+
+let check_range t i =
+  if i < 0 || i >= size t then invalid_arg "Medium: dot index out of range"
+
+let raw_get t i =
+  let byte = i / 4 and shift = 2 * (i mod 4) in
+  (Char.code (Bytes.get t.states byte) lsr shift) land 3
+
+let raw_set t i v =
+  let byte = i / 4 and shift = 2 * (i mod 4) in
+  let old = Char.code (Bytes.get t.states byte) in
+  Bytes.set t.states byte
+    (Char.chr (old land lnot (3 lsl shift) lor (v lsl shift)))
+
+let get t i =
+  check_range t i;
+  match raw_get t i with
+  | 0 -> Dot.Magnetised Dot.Down
+  | 1 -> Dot.Magnetised Dot.Up
+  | _ -> Dot.Heated
+
+let set t i s =
+  check_range t i;
+  let was_heated = raw_get t i = 2 in
+  let v =
+    match s with
+    | Dot.Magnetised Dot.Down -> 0
+    | Dot.Magnetised Dot.Up -> 1
+    | Dot.Heated -> 2
+  in
+  (match (was_heated, s) with
+  | false, Dot.Heated -> t.heated <- t.heated + 1
+  | true, Dot.Magnetised _ -> t.heated <- t.heated - 1
+  | _ -> ());
+  raw_set t i v
+
+let is_defect t i =
+  check_range t i;
+  Char.code (Bytes.get t.defects (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let neighbours t i =
+  check_range t i;
+  let c = t.config.cols in
+  let row = i / c and col = i mod c in
+  let candidates =
+    [ (row, col - 1); (row, col + 1); (row - 1, col); (row + 1, col) ]
+  in
+  List.filter_map
+    (fun (r, cl) ->
+      if r < 0 || r >= t.config.rows || cl < 0 || cl >= c then None
+      else Some ((r * c) + cl))
+    candidates
+
+let heated_count t = t.heated
+let heated_fraction t = float_of_int t.heated /. float_of_int (size t)
+
+let capacity_bits t =
+  let area_cm2 =
+    float_of_int (size t) *. t.config.geometry.pitch *. t.config.geometry.pitch
+    /. 1e-4
+  in
+  area_cm2 *. Physics.Constants.areal_density_bits_per_cm2 t.config.geometry
+
+let iter_heated t f =
+  for i = 0 to size t - 1 do
+    if raw_get t i = 2 then f i
+  done
+
+let note_heated t i =
+  check_range t i;
+  if raw_get t i <> 2 then begin
+    t.heated <- t.heated + 1;
+    raw_set t i 2
+  end

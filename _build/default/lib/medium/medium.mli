@@ -1,0 +1,65 @@
+(** The patterned medium: a rows × cols matrix of magnetic dots
+    (Section 6, Figure 5), each in one of the three {!Dot} states, plus
+    a manufacturing defect map.
+
+    States are packed two bits per dot so that media of 10^7–10^8 dots
+    (the scale our experiments simulate; a real device would hold
+    ~10^12) stay cheap.  All randomness (heated-dot reads, defect
+    placement, collateral-damage draws) is drawn from the medium's own
+    {!Sim.Prng.t}, so a seed reproduces a run exactly. *)
+
+type t
+
+type config = {
+  rows : int;
+  cols : int;
+  geometry : Physics.Constants.dot_geometry;
+  material : Physics.Constants.material;
+  defect_rate : float;
+      (** Fraction of dots that are manufacturing defects (cannot hold a
+          stable perpendicular bit); placed uniformly at seed time. *)
+  seed : int;
+}
+
+val default_config : rows:int -> cols:int -> config
+(** 100 nm-pitch Co/Pt medium, defect rate 0, seed 42. *)
+
+val create : config -> t
+(** All dots start magnetised [Down] (a bulk-erased virgin medium). *)
+
+val config : t -> config
+val size : t -> int
+(** Total number of dots, [rows * cols]. *)
+
+val rows : t -> int
+val cols : t -> int
+val rng : t -> Sim.Prng.t
+
+val get : t -> int -> Dot.t
+(** Physical state of dot [i] (row-major index) — what an oracle (or a
+    forensic lab with magnetic imaging, Section 8) sees, {e not} what a
+    magnetic read returns.  @raise Invalid_argument out of range. *)
+
+val set : t -> int -> Dot.t -> unit
+(** Raw state override — reserved for the attacker model and tests; the
+    device goes through {!Bitops}. *)
+
+val is_defect : t -> int -> bool
+
+val neighbours : t -> int -> int list
+(** The 4-neighbourhood (same row ±1, same column ±1 row) — the dots at
+    thermal risk when dot [i] is pulse-heated. *)
+
+val heated_count : t -> int
+val heated_fraction : t -> float
+
+val capacity_bits : t -> float
+(** Bits the medium would hold at its areal density — reported, not a
+    limit on [size]. *)
+
+val iter_heated : t -> (int -> unit) -> unit
+(** Visit every heated dot (used by the full-medium forensic scan). *)
+
+val note_heated : t -> int -> unit
+(** Bookkeeping hook for {!Bitops}: records that dot [i] became heated
+    (idempotent). *)

@@ -1,0 +1,1 @@
+lib/physics/anisotropy.ml: Constants Format List

@@ -1,0 +1,1 @@
+lib/physics/anisotropy.mli: Constants Format

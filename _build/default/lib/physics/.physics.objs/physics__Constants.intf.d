@@ -1,0 +1,1 @@
+lib/physics/constants.mli:

@@ -1,0 +1,1 @@
+lib/physics/mfm.ml: Array Constants Sim

@@ -1,0 +1,1 @@
+lib/physics/mfm.mli: Constants Sim

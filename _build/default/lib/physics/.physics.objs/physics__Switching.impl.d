@@ -1,0 +1,1 @@
+lib/physics/switching.ml: Constants Float

@@ -1,0 +1,1 @@
+lib/physics/thermal.ml: Anisotropy Constants Float

@@ -1,0 +1,1 @@
+lib/physics/xrd.ml: Anisotropy Array Constants Float List

@@ -1,0 +1,1 @@
+lib/physics/xrd.mli: Constants

@@ -1,0 +1,68 @@
+type dot_signal = Up | Down | Destroyed
+
+type channel = {
+  flying_height : float;
+  noise_sigma : float;
+  residual : float;
+}
+
+let default_channel =
+  { flying_height = 30e-9; noise_sigma = 0.05; residual = 0.03 }
+
+let peak_width c (g : Constants.dot_geometry) =
+  (* The stray-field spot blurs with distance from the medium. *)
+  (g.diameter /. 2.) +. c.flying_height
+
+let amplitude c = function
+  | Up -> 1.
+  | Down -> -1.
+  | Destroyed -> c.residual
+
+let signal_at c (g : Constants.dot_geometry) ~dots x =
+  let w = peak_width c g in
+  let n = Array.length dots in
+  let acc = ref 0. in
+  (* Only nearby dots contribute measurably. *)
+  let i0 = max 0 (int_of_float (x /. g.pitch) - 3)
+  and i1 = min (n - 1) (int_of_float (x /. g.pitch) + 3) in
+  for i = i0 to i1 do
+    let xi = float_of_int i *. g.pitch in
+    let d = (x -. xi) /. w in
+    acc := !acc +. (amplitude c dots.(i) *. exp (-0.5 *. d *. d))
+  done;
+  !acc
+
+let trace c (g : Constants.dot_geometry) ~rng ~dots ~samples_per_dot =
+  let n = Array.length dots in
+  let total = n * samples_per_dot in
+  Array.init total (fun k ->
+      let x = float_of_int k /. float_of_int samples_per_dot *. g.pitch in
+      let noise = Sim.Prng.gaussian rng ~mu:0. ~sigma:c.noise_sigma in
+      (x, signal_at c g ~dots x +. noise))
+
+let read_dot c (g : Constants.dot_geometry) ~rng ~dots i =
+  let x = float_of_int i *. g.pitch in
+  signal_at c g ~dots x +. Sim.Prng.gaussian rng ~mu:0. ~sigma:c.noise_sigma
+
+let detect c g ~rng ~dots i =
+  let s = read_dot c g ~rng ~dots i in
+  if s >= 0. then Up else Down
+
+let ber c g ~rng ~trials =
+  let errors = ref 0 in
+  for _ = 1 to trials do
+    let dots =
+      Array.init 9 (fun _ -> if Sim.Prng.bool rng then Up else Down)
+    in
+    let i = 4 in
+    let decided = detect c g ~rng ~dots i in
+    let expected = dots.(i) in
+    let wrong =
+      match (decided, expected) with
+      | Up, Up | Down, Down -> false
+      | Up, Down | Down, Up -> true
+      | _, Destroyed | Destroyed, _ -> false
+    in
+    if wrong then incr errors
+  done;
+  float_of_int !errors /. float_of_int trials

@@ -1,0 +1,72 @@
+(** Magnetic force microscopy read-back model — the signal of Figure 1.
+
+    The MFM tip senses the perpendicular stray field of each dot: an
+    up-magnetised dot gives a positive peak, a down-magnetised dot a
+    negative peak, and a heated (destroyed) dot — whose easy axis has
+    rotated in-plane — gives essentially no perpendicular signal (the
+    vanished third peak in the lower half of Figure 1).
+
+    The per-dot response is modelled as a Gaussian of width set by the
+    tip flying height, plus additive Gaussian sensor noise.  The read
+    channel thresholds the peak sample at each dot position. *)
+
+type dot_signal =
+  | Up  (** +1 peak *)
+  | Down  (** −1 peak *)
+  | Destroyed  (** in-plane or tilted axis: residual ~0 *)
+
+type channel = {
+  flying_height : float;  (** Tip–medium distance, m (paper: 30 nm). *)
+  noise_sigma : float;  (** Sensor noise as a fraction of peak height. *)
+  residual : float;
+      (** Residual perpendicular component of a destroyed dot (tilted
+          axes leave a little), as a fraction of peak height. *)
+}
+
+val default_channel : channel
+(** 30 nm flying height, 5% noise, 3% destroyed-dot residual. *)
+
+val peak_width : channel -> Constants.dot_geometry -> float
+(** Lateral half-width of one dot's response, m — grows with flying
+    height, so low flying and coarse pitch keep dots resolvable. *)
+
+val trace :
+  channel ->
+  Constants.dot_geometry ->
+  rng:Sim.Prng.t ->
+  dots:dot_signal array ->
+  samples_per_dot:int ->
+  (float * float) array
+(** [(position_m, signal)] samples of a scan across the dot row —
+    the Figure 1 read-back picture. *)
+
+val read_dot :
+  channel ->
+  Constants.dot_geometry ->
+  rng:Sim.Prng.t ->
+  dots:dot_signal array ->
+  int ->
+  float
+(** Signal sampled exactly over dot [i], including the (attenuated)
+    shoulders of its neighbours and noise. *)
+
+val detect :
+  channel ->
+  Constants.dot_geometry ->
+  rng:Sim.Prng.t ->
+  dots:dot_signal array ->
+  int ->
+  dot_signal
+(** Threshold decision for dot [i].  Note that a [Destroyed] dot decides
+    to [Up] or [Down] on noise — "applying a single mrb operation to an
+    electrically written bit would yield a more or less random result"
+    (Section 3); detection of heating needs the erb protocol instead. *)
+
+val ber :
+  channel ->
+  Constants.dot_geometry ->
+  rng:Sim.Prng.t ->
+  trials:int ->
+  float
+(** Monte-Carlo raw bit error rate of the channel over random data —
+    feeds the medium-level read-error probability. *)

@@ -1,0 +1,41 @@
+type profile = {
+  peak_temp_c : float;
+  pulse : float;
+  r0 : float;
+  decay_length : float;
+  ambient_c : float;
+}
+
+let default_profile (g : Constants.dot_geometry) =
+  {
+    peak_temp_c = 1650.;
+    pulse = 100e-6;
+    r0 = g.diameter /. 2.;
+    decay_length = g.pitch /. 2.;
+    ambient_c = 25.;
+  }
+
+let temperature_at p r =
+  if r <= 0. then p.peak_temp_c
+  else
+    let dt = p.peak_temp_c -. p.ambient_c in
+    p.ambient_c
+    +. (dt *. (p.r0 /. (p.r0 +. r)) *. exp (-.r /. p.decay_length))
+
+let neighbour_temperature p ~pitch = temperature_at p pitch
+
+let damage_probability m p ~r =
+  let temp_c = temperature_at p r in
+  Anisotropy.mixing_fraction m ~temp_c ~duration:p.pulse
+
+let neighbour_damage_probability m p ~pitch = damage_probability m p ~r:pitch
+
+let target_destroyed m p = damage_probability m p ~r:0. > 0.999
+
+let pulse_energy p =
+  (* Conductance of a hemispherical contact of radius r0 into a substrate
+     of conductivity ~1 W/mK (glass): G = 2 pi k r0. *)
+  let conductivity = 1.0 in
+  let g = 2. *. Float.pi *. conductivity *. p.r0 in
+  let dt = p.peak_temp_c -. p.ambient_c in
+  g *. dt *. p.pulse

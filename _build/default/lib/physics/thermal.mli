@@ -1,0 +1,59 @@
+(** Thermal model of the electrical write (tip-current heating).
+
+    The ewb operation passes a current from the probe tip through the dot
+    into the medium (Section 3); the dot must reach the interface-mixing
+    temperature ({!Anisotropy.destruction_threshold_c}) during a short
+    pulse.  Laterally, heat leaks towards neighbouring dots; the paper
+    (Section 7) flags neighbour damage as the key reliability risk and
+    argues that (a) substrate heat-sinking limits the heated area and
+    (b) the Manchester encoding keeps heated dots spread out.
+
+    The lateral profile combines point-source spreading with an
+    exponential cut-off from substrate conduction:
+
+    {v dT(r) = dT_peak * (r0 / (r0 + r)) * exp(-r / lambda) v}
+
+    where [lambda] is the lateral decay length (small when the substrate
+    conducts well).  Neighbour damage during a pulse follows the same
+    Arrhenius kinetics as annealing, evaluated at the neighbour's
+    temperature for the pulse duration. *)
+
+type profile = {
+  peak_temp_c : float;  (** Temperature reached by the target dot. *)
+  pulse : float;  (** Pulse duration, s. *)
+  r0 : float;  (** Source radius (≈ dot radius), m. *)
+  decay_length : float;  (** Lateral decay length lambda, m. *)
+  ambient_c : float;
+}
+
+val default_profile : Constants.dot_geometry -> profile
+(** 1650 °C peak, 100 µs pulse, lambda = pitch/2, 25 °C ambient: at
+    pulse timescales the Arrhenius kinetics need far more than the
+    anneal threshold (~1550 °C for the Co/Pt stack), while the combined
+    1/r and exponential lateral decay keeps the neighbouring dot cool
+    enough that its damage probability is negligible. *)
+
+val temperature_at : profile -> float -> float
+(** [temperature_at p r] — temperature (°C) at lateral distance [r]
+    from the pulse centre. *)
+
+val neighbour_temperature : profile -> pitch:float -> float
+(** Temperature of the nearest neighbouring dot. *)
+
+val damage_probability : Constants.material -> profile -> r:float -> float
+(** Probability that the dot at distance [r] loses its interfaces during
+    the pulse (the mixing fraction reached counts as the probability of
+    destroying a single dot's delicate stack). *)
+
+val neighbour_damage_probability :
+  Constants.material -> profile -> pitch:float -> float
+
+val target_destroyed : Constants.material -> profile -> bool
+(** Does the pulse actually destroy the target dot (mixing fraction at
+    the centre > 0.999)?  A profile that fails this is an under-powered
+    ewb and the device must retry with more energy. *)
+
+val pulse_energy : profile -> float
+(** Rough electrical energy of the pulse in joules, assuming the tip
+    dissipates [dT * G] with a thermal conductance derived from [r0] and
+    the decay length; used for the energy ledger only. *)

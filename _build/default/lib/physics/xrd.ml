@@ -1,0 +1,94 @@
+type point = { two_theta : float; intensity : float }
+type scan = point list
+
+let deg_of_rad r = r *. 180. /. Float.pi
+let rad_of_deg d = d *. Float.pi /. 180.
+
+let superlattice_peak_deg (m : Constants.material) =
+  2. *. deg_of_rad (asin (Constants.cu_k_alpha /. (2. *. m.bilayer_period)))
+
+let copt_111_peak_deg = 41.7
+
+let bilayer_period_from_peak ~peak_deg =
+  Constants.cu_k_alpha /. (2. *. sin (rad_of_deg (peak_deg /. 2.)))
+
+let mixing m anneal_temp_c =
+  match anneal_temp_c with
+  | None -> 0.
+  | Some t -> Anisotropy.mixing_fraction m ~temp_c:t ~duration:m.anneal_duration
+
+let crystallisation m anneal_temp_c =
+  match anneal_temp_c with
+  | None -> 0.
+  | Some t ->
+      Anisotropy.crystallised_fraction m ~temp_c:t ~duration:m.anneal_duration
+
+let gaussian_peak ~centre ~width ~height x =
+  let d = (x -. centre) /. width in
+  height *. exp (-0.5 *. d *. d)
+
+let sample_range ~lo ~hi ~step f =
+  let n = int_of_float (Float.round ((hi -. lo) /. step)) in
+  List.init (n + 1) (fun i ->
+      let x = lo +. (float_of_int i *. step) in
+      { two_theta = x; intensity = f x })
+
+let low_angle_scan (m : Constants.material) ~anneal_temp_c =
+  let mix = mixing m anneal_temp_c in
+  let peak_pos = superlattice_peak_deg m in
+  (* Peak width from the finite number of bilayers (Scherrer-like):
+     fewer repeats -> wider peak.  20 bilayers give ~0.4 deg. *)
+  let width = 8. /. float_of_int m.n_bilayers in
+  let contrast = (1. -. mix) ** 2. in
+  let critical = 0.6 (* total-reflection edge, degrees 2-theta *) in
+  let background x =
+    (* Fresnel decay ~ theta^-4 beyond the critical angle, floored by
+       diffuse scattering. *)
+    let t = Float.max x critical in
+    (1e4 *. ((critical /. t) ** 4.)) +. 2.
+  in
+  sample_range ~lo:2. ~hi:14. ~step:0.05 (fun x ->
+      background x
+      +. gaussian_peak ~centre:peak_pos ~width ~height:(400. *. contrast) x)
+
+let high_angle_scan (m : Constants.material) ~anneal_temp_c =
+  let cryst = crystallisation m anneal_temp_c in
+  let background _ = 20. in
+  (* As-grown: broad weak average multilayer (111) reflection around
+     40.5 deg (between Co 44.2 and Pt 39.8).  Annealed: sharp CoPt(111)
+     at 41.7 deg; grains grow with the crystallised fraction. *)
+  let broad_height = 30. *. (1. -. cryst) in
+  let sharp_width = 1.2 -. (0.9 *. cryst) in
+  sample_range ~lo:35. ~hi:50. ~step:0.05 (fun x ->
+      background x
+      +. gaussian_peak ~centre:40.5 ~width:2.5 ~height:broad_height x
+      +. gaussian_peak ~centre:copt_111_peak_deg ~width:sharp_width
+           ~height:(900. *. cryst) x)
+
+let peak_amplitude scan ~near_deg ~window =
+  let in_window p = Float.abs (p.two_theta -. near_deg) <= window in
+  let inside = List.filter in_window scan in
+  match inside with
+  | [] -> 0.
+  | _ ->
+      let max_in =
+        List.fold_left (fun acc p -> Float.max acc p.intensity) 0. inside
+      in
+      (* Local background: median of the samples just outside the window
+         (within 3x the window). *)
+      let ring =
+        List.filter
+          (fun p ->
+            (not (in_window p))
+            && Float.abs (p.two_theta -. near_deg) <= 3. *. window)
+          scan
+      in
+      let bg =
+        match ring with
+        | [] -> 0.
+        | _ ->
+            let a = Array.of_list (List.map (fun p -> p.intensity) ring) in
+            Array.sort compare a;
+            a.(Array.length a / 2)
+      in
+      Float.max 0. (max_in -. bg)

@@ -1,0 +1,45 @@
+(** Kinematic X-ray diffraction simulator for the multilayer stack —
+    regenerates Figures 8 (low angle) and 9 (high angle).
+
+    Low angle: the Co/Pt bilayer period Λ ≈ 1.1 nm produces a
+    superlattice Bragg peak at [2θ = 2 asin(λ_x / 2Λ)] ≈ 8°, riding on
+    the steep Fresnel reflectivity background.  Annealing mixes the
+    interfaces; the peak amplitude scales with the square of the
+    surviving interface contrast [(1 - m)²] and vanishes after a 700 °C
+    anneal — exactly the Figure 8 observation.
+
+    High angle: the as-grown film shows only a broad, weak average
+    (111) reflection; annealing grows fct CoPt crystallites whose (111)
+    planes reflect sharply at 2θ ≈ 41.7° (Figure 9), with intensity
+    proportional to the crystallised fraction and width shrinking with
+    grain size (Scherrer). *)
+
+type point = { two_theta : float;  (** degrees *) intensity : float }
+(** One sample of a diffractogram; intensities are arbitrary units on a
+    common scale within one scan. *)
+
+type scan = point list
+
+val superlattice_peak_deg : Constants.material -> float
+(** First-order superlattice peak position (2θ, degrees). *)
+
+val copt_111_peak_deg : float
+(** 41.7° — the fct CoPt (111) reflection the paper identifies. *)
+
+val low_angle_scan :
+  Constants.material -> anneal_temp_c:float option -> scan
+(** 2θ from 2° to 14° in 0.05° steps.  [anneal_temp_c = None] means the
+    as-grown film. *)
+
+val high_angle_scan :
+  Constants.material -> anneal_temp_c:float option -> scan
+(** 2θ from 35° to 50° in 0.05° steps. *)
+
+val peak_amplitude : scan -> near_deg:float -> window:float -> float
+(** Height above the local background of the largest sample within
+    [near_deg ± window] — used by tests to assert peak presence or
+    absence. *)
+
+val bilayer_period_from_peak : peak_deg:float -> float
+(** Inverse Bragg relation: the layer spacing (m) implied by a low-angle
+    peak position — the paper derives 0.6 nm per layer from its 8° peak. *)

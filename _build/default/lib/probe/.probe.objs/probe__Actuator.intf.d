@@ -1,0 +1,1 @@
+lib/probe/actuator.mli: Timing

@@ -1,0 +1,1 @@
+lib/probe/pdevice.ml: Actuator Array Option Physics Pmedia Sim Timing Tips

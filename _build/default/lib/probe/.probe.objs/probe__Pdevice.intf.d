@@ -1,0 +1,1 @@
+lib/probe/pdevice.mli: Physics Pmedia Timing Tips

@@ -1,0 +1,1 @@
+lib/probe/sched.ml: Actuator Format List

@@ -1,0 +1,1 @@
+lib/probe/sched.mli: Actuator Format

@@ -1,0 +1,1 @@
+lib/probe/timing.mli:

@@ -1,0 +1,1 @@
+lib/probe/tips.ml: Array Pmedia

@@ -1,0 +1,1 @@
+lib/probe/tips.mli: Pmedia

@@ -1,0 +1,38 @@
+type t = {
+  timing : Timing.t;
+  pitch : float;
+  field_cols : int;
+  mutable position : int;
+  mutable travel : float;
+}
+
+let create timing ~pitch ~field_cols =
+  if field_cols <= 0 then invalid_arg "Actuator.create: field_cols";
+  { timing; pitch; field_cols; position = 0; travel = 0. }
+
+let position t = t.position
+let travel t = t.travel
+
+let xy_of_offset t off =
+  let row = off / t.field_cols and i = off mod t.field_cols in
+  let col = if row land 1 = 0 then i else t.field_cols - 1 - i in
+  (col, row)
+
+let seek t offset =
+  if offset < 0 then invalid_arg "Actuator.seek: negative offset";
+  if offset = t.position then ()
+  else if offset = t.position + 1 then begin
+    (* Continuous scan: the next dot in the serpentine path is reached
+       within the bit time the caller charges; only wear accrues. *)
+    t.travel <- t.travel +. t.pitch;
+    t.position <- offset
+  end
+  else begin
+    let x0, y0 = xy_of_offset t t.position and x1, y1 = xy_of_offset t offset in
+    let dx = float_of_int (x1 - x0) *. t.pitch
+    and dy = float_of_int (y1 - y0) *. t.pitch in
+    let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+    Timing.charge_seek t.timing ~distance:dist;
+    t.travel <- t.travel +. dist;
+    t.position <- offset
+  end

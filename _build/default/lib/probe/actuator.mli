@@ -1,0 +1,30 @@
+(** Electrostatic stepper actuator (µWalker / Harmonica class, Section 6).
+
+    One actuator moves the whole medium sled; all probe tips therefore
+    always sit over the {e same} (x, y) offset within their own dot
+    field.  Position is tracked in dot-pitch units of the tip field;
+    seeks charge the shared {!Timing} ledger with distance/velocity plus
+    a settle time, and a wear counter tracks total travel. *)
+
+type t
+
+val create : Timing.t -> pitch:float -> field_cols:int -> t
+(** [pitch] in metres; [field_cols] is the width of one tip's field in
+    dots — used to convert a scan-order offset to (x, y). *)
+
+val position : t -> int
+(** Current scan-order offset under the tips (serpentine row-major). *)
+
+val travel : t -> float
+(** Total distance travelled, m (wear figure). *)
+
+val seek : t -> int -> unit
+(** [seek t offset] moves the sled so the tips sit over scan offset
+    [offset].  Moving to the current position is free.  Moving to the
+    {e next} offset in scan order is a continuous scan step and charges
+    one pitch of travel without settle. *)
+
+val xy_of_offset : t -> int -> int * int
+(** Column/row of a scan offset within the tip field (serpentine:
+    odd rows run right-to-left, so adjacent offsets are always
+    physically adjacent). *)

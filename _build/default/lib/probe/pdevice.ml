@@ -1,0 +1,118 @@
+type config = {
+  n_tips : int;
+  costs : Timing.costs;
+  profile : Physics.Thermal.profile option;
+  erb_cycles : int;
+}
+
+let default_config =
+  { n_tips = 256; costs = Timing.default_costs; profile = None; erb_cycles = 8 }
+
+type t = {
+  medium : Pmedia.Medium.t;
+  bitops : Pmedia.Bitops.ctx;
+  tips : Tips.t;
+  actuator : Actuator.t;
+  timing : Timing.t;
+  config : config;
+}
+
+let create ?(config = default_config) medium =
+  let timing = Timing.create ~costs:config.costs () in
+  let tips = Tips.create ~n_tips:config.n_tips ~medium in
+  let bitops = Pmedia.Bitops.make ?profile:config.profile medium in
+  let actuator =
+    Actuator.create timing
+      ~pitch:(Pmedia.Medium.config medium).Pmedia.Medium.geometry.pitch
+      ~field_cols:(Tips.field_cols tips)
+  in
+  { medium; bitops; tips; actuator; timing; config }
+
+let medium t = t.medium
+let tips t = t.tips
+let timing t = t.timing
+let bitops t = t.bitops
+let config t = t.config
+let size t = Pmedia.Medium.size t.medium
+let elapsed t = Timing.elapsed t.timing
+let energy t = Timing.energy t.timing
+let reset_ledger t = Timing.reset t.timing
+
+let check_run t start len =
+  if start < 0 || len < 0 || start + len > size t then
+    invalid_arg "Pdevice: run out of range"
+
+let seek_to_dot t dot =
+  let _, offset = Tips.locate t.tips dot in
+  Actuator.seek t.actuator offset
+
+(* Iterate a run offset-step by offset-step, calling [f dot tip] for
+   every dot in the run, and charging [per_offset] once per step. *)
+let run_offsets t ~start ~len ~per_offset f =
+  if len > 0 then begin
+    let n = Tips.n_tips t.tips in
+    let first_off = start / n and last_off = (start + len - 1) / n in
+    for off = first_off to last_off do
+      Actuator.seek t.actuator off;
+      per_offset ();
+      let lo = max start (off * n) and hi = min (start + len - 1) ((off * n) + n - 1) in
+      for dot = lo to hi do
+        let tip, _ = Tips.locate t.tips dot in
+        Tips.record_use t.tips ~tip;
+        f dot tip
+      done
+    done
+  end
+
+let random_bit t = Sim.Prng.bool (Pmedia.Medium.rng t.medium)
+
+let read_run t ~start ~len =
+  check_run t start len;
+  let out = Array.make len false in
+  run_offsets t ~start ~len
+    ~per_offset:(fun () -> Timing.charge_bits t.timing ~read:1 ~written:0)
+    (fun dot tip ->
+      let v =
+        if Tips.tip_failed t.tips tip then random_bit t
+        else Pmedia.Dot.to_bool (Pmedia.Bitops.mrb t.bitops dot)
+      in
+      out.(dot - start) <- v);
+  out
+
+let write_run t ~start bits =
+  let len = Array.length bits in
+  check_run t start len;
+  run_offsets t ~start ~len
+    ~per_offset:(fun () -> Timing.charge_bits t.timing ~read:0 ~written:1)
+    (fun dot tip ->
+      if not (Tips.tip_failed t.tips tip) then
+        Pmedia.Bitops.mwb t.bitops dot (Pmedia.Dot.of_bool bits.(dot - start)))
+
+let heat_run t ~start pattern =
+  let len = Array.length pattern in
+  check_run t start len;
+  run_offsets t ~start ~len
+    ~per_offset:(fun () -> Timing.charge_ewb t.timing 1)
+    (fun dot tip ->
+      if pattern.(dot - start) && not (Tips.tip_failed t.tips tip) then
+        Pmedia.Bitops.ewb t.bitops dot)
+
+let erb_run ?cycles t ~start ~len =
+  check_run t start len;
+  let cycles = Option.value cycles ~default:t.config.erb_cycles in
+  let out = Array.make len false in
+  run_offsets t ~start ~len
+    ~per_offset:(fun () ->
+      (* Each cycle is read, write, read, write, read = 3 reads + 2
+         writes of the whole tip row. *)
+      Timing.charge_bits t.timing ~read:(3 * cycles) ~written:(2 * cycles))
+    (fun dot tip ->
+      let heated =
+        if Tips.tip_failed t.tips tip then
+          (* A dead tip cannot run the protocol; its verification reads
+             are noise, which reports as heated. *)
+          true
+        else Pmedia.Bitops.erb ~cycles t.bitops dot
+      in
+      out.(dot - start) <- heated);
+  out

@@ -1,0 +1,67 @@
+(** The assembled probe-storage device (µSPAM, Figure 4): patterned
+    medium + tip array + shared actuator + time/energy ledger.
+
+    Operations work on {e runs} of logical dot addresses.  A run is
+    striped across the tips ({!Tips}), so each scan-offset step moves
+    all tips one dot and transfers [n_tips] bits in one bit time; the
+    ledger is charged per offset step, not per bit — tip parallelism is
+    what makes the device competitive with a disk (Section 3 expects
+    hard-disk-class WMRM performance).
+
+    Failed tips surface exactly the way the paper's addressing
+    discussion worries about: their dots read as noise, fail the erb
+    verification, and are indistinguishable from heated dots at this
+    level — disambiguation happens in the SERO layer via framing and
+    known hash locations. *)
+
+type t
+
+type config = {
+  n_tips : int;
+  costs : Timing.costs;
+  profile : Physics.Thermal.profile option;
+      (** Electrical-write thermal profile; [None] = default for the
+          medium geometry. *)
+  erb_cycles : int;
+      (** Invert/verify rounds per electrical bit read (see
+          {!Pmedia.Bitops.erb}); the default 8 pushes the probability of
+          mistaking a heated dot for unheated below 2e-5. *)
+}
+
+val default_config : config
+(** 256 tips, default costs, default profile, 8 erb cycles. *)
+
+val create : ?config:config -> Pmedia.Medium.t -> t
+val medium : t -> Pmedia.Medium.t
+val tips : t -> Tips.t
+val timing : t -> Timing.t
+val bitops : t -> Pmedia.Bitops.ctx
+val config : t -> config
+
+val size : t -> int
+(** Logical dot addresses, = medium size. *)
+
+val read_run : t -> start:int -> len:int -> bool array
+(** Magnetic read; [true] = up = logical 1.  Heated or failed-tip dots
+    yield random values, as the physics dictates. *)
+
+val write_run : t -> start:int -> bool array -> unit
+(** Magnetic write of consecutive dots. *)
+
+val heat_run : t -> start:int -> bool array -> unit
+(** Electrical write: heats dot [start + i] wherever the pattern is
+    [true].  Dots under failed tips receive no pulse. *)
+
+val erb_run : ?cycles:int -> t -> start:int -> len:int -> bool array
+(** Electrical read: [true] = detected heated.  [cycles] overrides the
+    config's [erb_cycles].  One cycle misses a heated dot with
+    probability 1/4 (the two verification reads of the paper's sequence
+    both agree by luck), so callers that must not miss escalate the
+    cycle count on suspicious dots. *)
+
+val seek_to_dot : t -> int -> unit
+(** Pre-position the sled (exposes seek cost to scheduling studies). *)
+
+val elapsed : t -> float
+val energy : t -> float
+val reset_ledger : t -> unit

@@ -1,0 +1,61 @@
+type policy = Fifo | Sstf | Elevator
+
+let pp_policy ppf p =
+  Format.pp_print_string ppf
+    (match p with Fifo -> "fifo" | Sstf -> "sstf" | Elevator -> "elevator")
+
+let all_policies = [ Fifo; Sstf; Elevator ]
+
+let order policy ~current offsets =
+  match policy with
+  | Fifo -> offsets
+  | Sstf ->
+      let remaining = ref offsets and pos = ref current and out = ref [] in
+      while !remaining <> [] do
+        let nearest =
+          List.fold_left
+            (fun best o ->
+              match best with
+              | None -> Some o
+              | Some b -> if abs (o - !pos) < abs (b - !pos) then Some o else best)
+            None !remaining
+        in
+        match nearest with
+        | None -> ()
+        | Some o ->
+            out := o :: !out;
+            pos := o;
+            (* Remove one occurrence. *)
+            let removed = ref false in
+            remaining :=
+              List.filter
+                (fun x ->
+                  if x = o && not !removed then begin
+                    removed := true;
+                    false
+                  end
+                  else true)
+                !remaining
+      done;
+      List.rev !out
+  | Elevator ->
+      let sorted = List.sort compare offsets in
+      let ahead = List.filter (fun o -> o >= current) sorted in
+      let behind = List.filter (fun o -> o < current) sorted in
+      ahead @ behind
+
+let travel_cost act ~current offsets =
+  (* Euclidean distance between consecutive scan offsets under the
+     serpentine mapping, matching what Actuator.seek would charge. *)
+  let dist a b =
+    let xa, ya = Actuator.xy_of_offset act a in
+    let xb, yb = Actuator.xy_of_offset act b in
+    let dx = float_of_int (xb - xa) and dy = float_of_int (yb - ya) in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  let total, _ =
+    List.fold_left
+      (fun (acc, pos) o -> (acc +. dist pos o, o))
+      (0., current) offsets
+  in
+  total

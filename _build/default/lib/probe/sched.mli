@@ -1,0 +1,27 @@
+(** Request scheduling for the shared sled (Section 6).
+
+    One actuator serves every tip, so a batch of block requests is
+    served fastest when their scan offsets are visited in sweep order —
+    the probe-storage equivalent of the disk elevator.  The paper
+    expects the device to behave like a disk for random WMRM IO; this
+    module provides the ordering policies and a cost estimator that the
+    E18 experiment compares. *)
+
+type policy =
+  | Fifo  (** Serve in arrival order. *)
+  | Sstf  (** Shortest seek first (greedy nearest offset). *)
+  | Elevator  (** Sweep ascending from the current position, then wrap. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+val all_policies : policy list
+
+val order : policy -> current:int -> int list -> int list
+(** [order p ~current offsets] returns the service order for a batch of
+    scan offsets starting from sled position [current].  The result is
+    a permutation of the input. *)
+
+val travel_cost :
+  Actuator.t -> current:int -> int list -> float
+(** Total travel distance (metres) of serving the offsets in the given
+    order from [current], using the actuator's serpentine geometry
+    (pure estimate; does not move the actuator). *)

@@ -1,0 +1,56 @@
+type costs = {
+  bit_time : float;
+  ewb_time : float;
+  seek_velocity : float;
+  seek_settle : float;
+  read_bit_energy : float;
+  write_bit_energy : float;
+  ewb_energy : float;
+}
+
+let default_costs =
+  let profile =
+    Physics.Thermal.default_profile Physics.Constants.dot_100nm
+  in
+  {
+    bit_time = 10e-6;
+    ewb_time = 150e-6;
+    seek_velocity = 1e-3;
+    seek_settle = 1e-3;
+    read_bit_energy = 1e-12;
+    write_bit_energy = 5e-12;
+    ewb_energy = Physics.Thermal.pulse_energy profile;
+  }
+
+type t = {
+  costs : costs;
+  mutable elapsed : float;
+  mutable energy : float;
+}
+
+let create ?(costs = default_costs) () = { costs; elapsed = 0.; energy = 0. }
+let costs t = t.costs
+let elapsed t = t.elapsed
+let energy t = t.energy
+
+let reset t =
+  t.elapsed <- 0.;
+  t.energy <- 0.
+
+let charge_bits t ~read ~written =
+  let n = read + written in
+  t.elapsed <- t.elapsed +. (float_of_int n *. t.costs.bit_time);
+  t.energy <-
+    t.energy
+    +. (float_of_int read *. t.costs.read_bit_energy)
+    +. (float_of_int written *. t.costs.write_bit_energy)
+
+let charge_ewb t n =
+  t.elapsed <- t.elapsed +. (float_of_int n *. t.costs.ewb_time);
+  t.energy <- t.energy +. (float_of_int n *. t.costs.ewb_energy)
+
+let charge_seek t ~distance =
+  t.elapsed <-
+    t.elapsed +. t.costs.seek_settle +. (Float.abs distance /. t.costs.seek_velocity)
+
+let charge_time t dt = t.elapsed <- t.elapsed +. dt

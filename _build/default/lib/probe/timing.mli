@@ -1,0 +1,47 @@
+(** Cost model and simulated time/energy ledger for the probe device.
+
+    The paper gives no measured device timings (the hardware never
+    existed); the defaults follow the probe-storage literature it cites
+    (Pozidis et al.): per-tip data rates in the 100 kbit/s range with
+    massive tip parallelism, millisecond-scale sled seeks, and a slow
+    electrical write dominated by the heating pulse.  Every figure-of-
+    merit experiment reports {e ratios} between operations, which are
+    robust to the absolute scale — and every number here is a config
+    field. *)
+
+type costs = {
+  bit_time : float;  (** One magnetic bit read or write under a tip, s. *)
+  ewb_time : float;  (** One electrical write pulse incl. settle, s. *)
+  seek_velocity : float;  (** Sled velocity, m/s. *)
+  seek_settle : float;  (** Per-seek settle time, s. *)
+  read_bit_energy : float;  (** J per magnetic bit read. *)
+  write_bit_energy : float;  (** J per magnetic bit write. *)
+  ewb_energy : float;  (** J per heating pulse. *)
+}
+
+val default_costs : costs
+(** 10 µs/bit, 150 µs/ewb, 1 mm/s sled with 1 ms settle, and pulse
+    energy from {!Physics.Thermal.pulse_energy} of the default profile. *)
+
+type t
+(** Mutable ledger of elapsed simulated time and dissipated energy. *)
+
+val create : ?costs:costs -> unit -> t
+val costs : t -> costs
+val elapsed : t -> float
+(** Simulated seconds so far. *)
+
+val energy : t -> float
+(** Joules so far. *)
+
+val reset : t -> unit
+
+val charge_bits : t -> read:int -> written:int -> unit
+(** Account for a batch of magnetic bit operations that happen in
+    {e sequence} under one tip (parallel tips are accounted once by the
+    caller charging only its longest stripe). *)
+
+val charge_ewb : t -> int -> unit
+val charge_seek : t -> distance:float -> unit
+val charge_time : t -> float -> unit
+(** Arbitrary extra delay (controller overhead etc.). *)

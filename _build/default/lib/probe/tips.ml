@@ -1,0 +1,50 @@
+type t = {
+  n_tips : int;
+  field_size : int;
+  field_cols : int;
+  failed : bool array;
+  uses : int array;
+}
+
+let create ~n_tips ~medium =
+  let n = Pmedia.Medium.size medium in
+  if n_tips <= 0 then invalid_arg "Tips.create: n_tips must be positive";
+  if n mod n_tips <> 0 then
+    invalid_arg "Tips.create: medium size must be a multiple of n_tips";
+  let field_size = n / n_tips in
+  (* Tip fields tile the medium column-wise: each tip's field is a
+     vertical stripe [cols / n_tips] dots wide (when that divides) or a
+     row-major slice otherwise; only the width matters for seek cost. *)
+  let cols = Pmedia.Medium.cols medium in
+  let field_cols = if cols mod n_tips = 0 then cols / n_tips else cols in
+  let field_cols = max 1 (min field_cols field_size) in
+  {
+    n_tips;
+    field_size;
+    field_cols;
+    failed = Array.make n_tips false;
+    uses = Array.make n_tips 0;
+  }
+
+let n_tips t = t.n_tips
+let field_size t = t.field_size
+let field_cols t = t.field_cols
+
+let locate t dot =
+  if dot < 0 || dot >= t.n_tips * t.field_size then
+    invalid_arg "Tips.locate: dot address out of range";
+  (dot mod t.n_tips, dot / t.n_tips)
+
+let dot_of t ~tip ~offset =
+  if tip < 0 || tip >= t.n_tips || offset < 0 || offset >= t.field_size then
+    invalid_arg "Tips.dot_of: out of range";
+  (offset * t.n_tips) + tip
+
+let fail_tip t i = t.failed.(i) <- true
+let tip_failed t i = t.failed.(i)
+
+let failed_count t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.failed
+
+let record_use t ~tip = t.uses.(tip) <- t.uses.(tip) + 1
+let uses t ~tip = t.uses.(tip)

@@ -1,0 +1,44 @@
+(** The probe (tip) array and the dot address mapping.
+
+    The device stripes consecutive logical dot addresses across the
+    tips: logical dot [a] lives under tip [a mod n_tips] at scan offset
+    [a / n_tips] of that tip's private field.  Because one actuator
+    moves all tips together (Section 6, Figure 4), a run of [n_tips]
+    consecutive logical dots is transferred in a single bit time —
+    that is the parallelism that lets a 10 µs/bit tip deliver a usable
+    device data rate.
+
+    Tips wear and can fail outright; dots under a failed tip read as
+    noise and ignore writes, which the sector-level Reed–Solomon code
+    must absorb (this is how bad-block handling is exercised). *)
+
+type t
+
+val create : n_tips:int -> medium:Pmedia.Medium.t -> t
+(** Partitions the medium's dots among [n_tips] tips.
+    @raise Invalid_argument if the medium size is not a multiple of
+    [n_tips]. *)
+
+val n_tips : t -> int
+val field_size : t -> int
+(** Dots per tip field. *)
+
+val field_cols : t -> int
+(** Width in dots of one tip field (the medium's column count divided
+    by the tip-grid width; used by the actuator for 2-D seek cost). *)
+
+val locate : t -> int -> int * int
+(** [locate t dot] is [(tip, offset)] for a logical dot address. *)
+
+val dot_of : t -> tip:int -> offset:int -> int
+(** Inverse of {!locate}. *)
+
+val fail_tip : t -> int -> unit
+(** Mark a tip broken (manufacturing fallout or wear-out). *)
+
+val tip_failed : t -> int -> bool
+val failed_count : t -> int
+
+val record_use : t -> tip:int -> unit
+val uses : t -> tip:int -> int
+(** Operation count per tip — tip wear figure. *)

@@ -1,0 +1,1 @@
+lib/security/attacks.ml: Array Format Hash Lfs List Printf Sero String

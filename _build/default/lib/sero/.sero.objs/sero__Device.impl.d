@@ -1,0 +1,1 @@
+lib/sero/device.ml: Array Char Codec Format Hash Layout List Physics Pmedia Probe String Tamper

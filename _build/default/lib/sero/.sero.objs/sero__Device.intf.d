@@ -1,0 +1,1 @@
+lib/sero/device.mli: Codec Format Hash Layout Physics Probe Tamper

@@ -1,0 +1,1 @@
+lib/sero/image.ml: Bytes Char Codec Device Fun Int32 Physics Pmedia Probe String

@@ -1,0 +1,1 @@
+lib/sero/image.mli: Device

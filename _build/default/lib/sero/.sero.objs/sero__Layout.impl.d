@@ -1,0 +1,1 @@
+lib/sero/layout.ml: Codec List

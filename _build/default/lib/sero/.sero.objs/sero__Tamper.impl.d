@@ -1,0 +1,1 @@
+lib/sero/tamper.ml: Format List

@@ -1,0 +1,1 @@
+lib/sero/tamper.mli: Format

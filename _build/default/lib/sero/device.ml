@@ -1,0 +1,511 @@
+type config = {
+  n_blocks : int;
+  line_exp : int;
+  n_tips : int;
+  seed : int;
+  defect_rate : float;
+  geometry : Physics.Constants.dot_geometry;
+  material : Physics.Constants.material;
+  costs : Probe.Timing.costs;
+  erb_cycles : int;
+  strict_hash_locations : bool;
+}
+
+let default_config ?(n_blocks = 512) ?(line_exp = 3) () =
+  {
+    n_blocks;
+    line_exp;
+    n_tips = 32;
+    seed = 42;
+    defect_rate = 0.;
+    geometry = Physics.Constants.dot_100nm;
+    material = Physics.Constants.co_pt;
+    costs = Probe.Timing.default_costs;
+    erb_cycles = 8;
+    strict_hash_locations = true;
+  }
+
+type t = {
+  config : config;
+  layout : Layout.t;
+  pdevice : Probe.Pdevice.t;
+  generations : int array;
+  heated : bool array; (* per line; cache of the medium's ground truth *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable heats : int;
+  mutable verifies : int;
+}
+
+let create config =
+  let layout = Layout.create ~n_blocks:config.n_blocks ~line_exp:config.line_exp in
+  let medium =
+    Pmedia.Medium.create
+      {
+        Pmedia.Medium.rows = config.n_blocks;
+        cols = Layout.block_dots;
+        geometry = config.geometry;
+        material = config.material;
+        defect_rate = config.defect_rate;
+        seed = config.seed;
+      }
+  in
+  let pconfig =
+    {
+      Probe.Pdevice.n_tips = config.n_tips;
+      costs = config.costs;
+      profile = None;
+      erb_cycles = config.erb_cycles;
+    }
+  in
+  {
+    config;
+    layout;
+    pdevice = Probe.Pdevice.create ~config:pconfig medium;
+    generations = Array.make config.n_blocks 0;
+    heated = Array.make (Layout.n_lines layout) false;
+    reads = 0;
+    writes = 0;
+    heats = 0;
+    verifies = 0;
+  }
+
+let config t = t.config
+let layout t = t.layout
+let pdevice t = t.pdevice
+
+(* Bits are bytes scanned MSB-first, matching Codec.Manchester. *)
+let bits_of_string s =
+  let n = String.length s in
+  Array.init (8 * n) (fun i ->
+      Char.code s.[i / 8] land (1 lsl (7 - (i mod 8))) <> 0)
+
+let string_of_bits bits =
+  let n = Array.length bits / 8 in
+  String.init n (fun byte ->
+      let v = ref 0 in
+      for bit = 0 to 7 do
+        if bits.((byte * 8) + bit) then v := !v lor (1 lsl (7 - bit))
+      done;
+      Char.chr !v)
+
+(* {1 Magnetic sector ops} *)
+
+type write_error = Reserved_hash_block | In_heated_line
+
+type read_error =
+  | Blank
+  | Unreadable of Codec.Sector.error
+  | Wrong_location of int
+
+let pp_write_error ppf = function
+  | Reserved_hash_block ->
+      Format.pp_print_string ppf "reserved hash block"
+  | In_heated_line -> Format.pp_print_string ppf "line is read-only (heated)"
+
+let pp_read_error ppf = function
+  | Blank -> Format.pp_print_string ppf "blank"
+  | Unreadable e -> Format.fprintf ppf "unreadable (%a)" Codec.Sector.pp_error e
+  | Wrong_location pba -> Format.fprintf ppf "frame belongs at PBA %d" pba
+
+let frame_kind pba t =
+  if Layout.is_hash_block t.layout pba then Codec.Sector.Hash_meta
+  else Codec.Sector.Data
+
+let unsafe_write_block t ~pba payload =
+  t.writes <- t.writes + 1;
+  t.generations.(pba) <- t.generations.(pba) + 1;
+  let image =
+    Codec.Sector.encode ~pba ~kind:(frame_kind pba t)
+      ~generation:t.generations.(pba) payload
+  in
+  Probe.Pdevice.write_run t.pdevice
+    ~start:(Layout.block_first_dot t.layout pba)
+    (bits_of_string image)
+
+let unsafe_write_raw t ~pba image =
+  if String.length image <> Codec.Sector.physical_bytes then
+    invalid_arg "Device.unsafe_write_raw: wrong image size";
+  t.writes <- t.writes + 1;
+  Probe.Pdevice.write_run t.pdevice
+    ~start:(Layout.block_first_dot t.layout pba)
+    (bits_of_string image)
+
+let unsafe_read_raw t ~pba =
+  t.reads <- t.reads + 1;
+  let bits =
+    Probe.Pdevice.read_run t.pdevice
+      ~start:(Layout.block_first_dot t.layout pba)
+      ~len:Layout.block_dots
+  in
+  string_of_bits bits
+
+let write_block t ~pba payload =
+  if Layout.is_hash_block t.layout pba then Error Reserved_hash_block
+  else if t.heated.(Layout.line_of_block t.layout pba) then
+    Error In_heated_line
+  else begin
+    unsafe_write_block t ~pba payload;
+    Ok ()
+  end
+
+let all_zero s = String.for_all (fun c -> c = '\x00') s
+
+let read_block t ~pba =
+  let image = unsafe_read_raw t ~pba in
+  match Codec.Sector.decode image with
+  | Error e -> if all_zero image then Error Blank else Error (Unreadable e)
+  | Ok d ->
+      if d.Codec.Sector.pba <> pba then Error (Wrong_location d.Codec.Sector.pba)
+      else Ok d.Codec.Sector.payload
+
+(* {1 The write-once area} *)
+
+let wo_magic = 0x534C
+
+(* Logical layout of the 256 Manchester-encoded bytes: 32-byte hash,
+   then magic, line, data-block count and timestamp; the remainder is
+   zero-filled so that {e every} cell of a burned area is non-blank and
+   nothing can be burned in later without creating HH evidence. *)
+let wo_payload ~hash ~line ~n_data ~timestamp =
+  let w = Codec.Binio.W.create ~capacity:Layout.wo_area_bytes () in
+  Codec.Binio.W.raw w (Hash.Sha256.to_raw hash);
+  Codec.Binio.W.u16 w wo_magic;
+  Codec.Binio.W.u32 w line;
+  Codec.Binio.W.u16 w n_data;
+  Codec.Binio.W.f64 w timestamp;
+  let body = Codec.Binio.W.contents w in
+  body ^ String.make (Layout.wo_area_bytes - String.length body) '\x00'
+
+type burned_meta = {
+  line : int;
+  n_data_blocks : int;
+  timestamp : float;
+  hash : Hash.Sha256.t;
+}
+
+let parse_wo_payload payload =
+  let r = Codec.Binio.R.of_string payload in
+  match
+    let hash = Hash.Sha256.of_raw (Codec.Binio.R.raw r 32) in
+    let magic = Codec.Binio.R.u16 r in
+    let line = Codec.Binio.R.u32 r in
+    let n_data = Codec.Binio.R.u16 r in
+    let timestamp = Codec.Binio.R.f64 r in
+    (hash, magic, line, n_data, timestamp)
+  with
+  | exception Codec.Binio.R.Truncated -> None
+  | hash, magic, line, n_data, timestamp ->
+      if magic <> wo_magic then None
+      else Some { line; n_data_blocks = n_data; timestamp; hash }
+
+(* Electrically read a write-once area whose first dot is [start].
+
+   The paper's erb sequence misreads a heated dot as unheated with
+   probability 1/4 per invert/verify round (its two verification reads
+   of a heated dot are random and can both agree by luck), so a naive
+   single pass over 4096 dots regularly turns one heated dot of a
+   legitimately burned area into a phantom blank cell.  The device
+   therefore reads adaptively: a cheap first pass, then heavy re-probing
+   of only the cells that decoded as blank.  After 2 + 24 rounds the
+   residual miss probability per dot is 4^-26. *)
+let escalation_cycles = 24
+
+let read_wo_area t ~start =
+  let heated_dots =
+    Probe.Pdevice.erb_run t.pdevice ~start ~len:Layout.wo_area_dots
+  in
+  let decode () =
+    Codec.Manchester.decode
+      ~heated:(fun i -> heated_dots.(i))
+      ~n_bytes:Layout.wo_area_bytes
+  in
+  let first = decode () in
+  let n_cells = 8 * Layout.wo_area_bytes in
+  let all_blank =
+    List.length first.Codec.Manchester.blank_cells = n_cells
+  in
+  let decoded =
+    if all_blank || first.Codec.Manchester.blank_cells = [] then first
+    else begin
+      (* Suspicious blanks inside a burned area: re-probe those cells'
+         dots hard before believing them. *)
+      List.iter
+        (fun cell ->
+          let d0 = start + (2 * cell) in
+          let re =
+            Probe.Pdevice.erb_run ~cycles:escalation_cycles t.pdevice
+              ~start:d0 ~len:2
+          in
+          heated_dots.(2 * cell) <- heated_dots.(2 * cell) || re.(0);
+          heated_dots.((2 * cell) + 1) <- heated_dots.((2 * cell) + 1) || re.(1))
+        first.Codec.Manchester.blank_cells;
+      decode ()
+    end
+  in
+  if all_blank then `Not_heated
+  else if decoded.Codec.Manchester.tampered_cells <> [] then
+    `Tampered
+      [ Tamper.Invalid_cells (List.length decoded.Codec.Manchester.tampered_cells) ]
+  else if decoded.Codec.Manchester.blank_cells <> [] then
+    `Tampered [ Tamper.Partially_burned ]
+  else
+    match parse_wo_payload decoded.Codec.Manchester.payload with
+    | None -> `Tampered [ Tamper.Meta_corrupt ]
+    | Some meta -> `Burned meta
+
+let read_hash_block t ~line =
+  read_wo_area t ~start:(Layout.wo_first_dot t.layout ~line)
+
+(* {1 Hashing} *)
+
+let hash_prefix = "SERO-line-v1"
+
+let line_hash_of_payloads ~line payloads =
+  let ctx = Hash.Sha256.init () in
+  Hash.Sha256.feed_string ctx hash_prefix;
+  let w = Codec.Binio.W.create () in
+  Codec.Binio.W.u32 w line;
+  Hash.Sha256.feed_string ctx (Codec.Binio.W.contents w);
+  List.iter
+    (fun (pba, payload) ->
+      let w = Codec.Binio.W.create () in
+      Codec.Binio.W.u64 w pba;
+      Hash.Sha256.feed_string ctx (Codec.Binio.W.contents w);
+      Hash.Sha256.feed_string ctx payload)
+    payloads;
+  Hash.Sha256.finalize ctx
+
+(* Read the data blocks of a region, partitioning failures. *)
+let read_region t ~data_pbas =
+  List.fold_left
+    (fun (ok, unreadable, relocated) pba ->
+      match read_block t ~pba with
+      | Ok payload -> ((pba, payload) :: ok, unreadable, relocated)
+      | Error (Blank | Unreadable _) -> (ok, pba :: unreadable, relocated)
+      | Error (Wrong_location _) -> (ok, unreadable, pba :: relocated))
+    ([], [], []) data_pbas
+  |> fun (ok, u, r) -> (List.rev ok, List.rev u, List.rev r)
+
+(* {1 Heat and verify} *)
+
+type heat_error = Unreadable_data of int list | Already_heated | Burn_verify_failed
+
+let pp_heat_error ppf = function
+  | Unreadable_data pbas ->
+      Format.fprintf ppf "unreadable data blocks: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        pbas
+  | Already_heated -> Format.pp_print_string ppf "line already heated"
+  | Burn_verify_failed -> Format.pp_print_string ppf "burn verification failed"
+
+let burn_wo_area t ~start ~payload =
+  let pattern = Codec.Manchester.encode payload in
+  Probe.Pdevice.heat_run t.pdevice ~start pattern
+
+let heat_line t ~line ?(timestamp = 0.) () =
+  t.heats <- t.heats + 1;
+  let data_pbas = Layout.data_blocks_of_line t.layout line in
+  let payloads, unreadable, relocated = read_region t ~data_pbas in
+  if unreadable <> [] || relocated <> [] then
+    Error (Unreadable_data (unreadable @ relocated))
+  else begin
+    let hash = line_hash_of_payloads ~line payloads in
+    match read_hash_block t ~line with
+    | `Burned meta when Hash.Sha256.equal meta.hash hash ->
+        (* Idempotent re-heat: the burn pattern is already present. *)
+        Ok hash
+    | `Burned _ | `Tampered _ -> Error Already_heated
+    | `Not_heated ->
+        let payload =
+          wo_payload ~hash ~line ~n_data:(List.length payloads) ~timestamp
+        in
+        burn_wo_area t ~start:(Layout.wo_first_dot t.layout ~line) ~payload;
+        (match read_hash_block t ~line with
+        | `Burned meta when Hash.Sha256.equal meta.hash hash ->
+            t.heated.(line) <- true;
+            Ok hash
+        | `Not_heated | `Burned _ | `Tampered _ -> Error Burn_verify_failed)
+  end
+
+let verify_data_against t ~hash ~region_id ~data_pbas =
+  let payloads, unreadable, relocated = read_region t ~data_pbas in
+  let evidence = ref [] in
+  if relocated <> [] then evidence := [ Tamper.Address_mismatch relocated ];
+  if unreadable <> [] then
+    evidence := Tamper.Data_unreadable unreadable :: !evidence;
+  if !evidence <> [] then Tamper.Tampered !evidence
+  else begin
+    let computed = line_hash_of_payloads ~line:region_id payloads in
+    if Hash.Sha256.equal computed hash then Tamper.Intact
+    else Tamper.Tampered [ Tamper.Hash_mismatch ]
+  end
+
+let verify_line t ~line =
+  t.verifies <- t.verifies + 1;
+  match read_hash_block t ~line with
+  | `Not_heated -> Tamper.Not_heated
+  | `Tampered evs -> Tamper.Tampered evs
+  | `Burned meta ->
+      if meta.line <> line then Tamper.Tampered [ Tamper.Meta_corrupt ]
+      else
+        verify_data_against t ~hash:meta.hash ~region_id:line
+          ~data_pbas:(Layout.data_blocks_of_line t.layout line)
+
+let verify_region t ~hash_pba ~data_pbas =
+  t.verifies <- t.verifies + 1;
+  let aligned = Layout.is_hash_block t.layout hash_pba in
+  if t.config.strict_hash_locations && not aligned then
+    (* The device insists hashes live at known physical addresses; a
+       claimed hash anywhere else is itself evidence (Section 5.1). *)
+    Tamper.Tampered [ Tamper.Address_mismatch [ hash_pba ] ]
+  else
+    match read_wo_area t ~start:(Layout.block_first_dot t.layout hash_pba) with
+    | `Not_heated -> Tamper.Not_heated
+    | `Tampered evs -> Tamper.Tampered evs
+    | `Burned meta ->
+        verify_data_against t ~hash:meta.hash ~region_id:meta.line ~data_pbas
+
+let is_line_heated t ~line = t.heated.(line)
+
+(* {1 Whole-device operations} *)
+
+type scan_entry = { scanned_line : int; verdict : Tamper.verdict }
+
+let scan ?(deep = false) t =
+  List.init (Layout.n_lines t.layout) (fun line ->
+      let verdict =
+        match read_hash_block t ~line with
+        | `Not_heated -> Tamper.Not_heated
+        | `Tampered evs -> Tamper.Tampered evs
+        | `Burned _ when not deep -> Tamper.Intact
+        | `Burned _ -> verify_line t ~line
+      in
+      t.heated.(line) <-
+        (match verdict with
+        | Tamper.Not_heated -> false
+        | Tamper.Intact | Tamper.Tampered _ -> true);
+      { scanned_line = line; verdict })
+
+type block_class = Healthy | Heated_block | Bad_block
+
+let pp_block_class ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Healthy -> "healthy"
+    | Heated_block -> "heated"
+    | Bad_block -> "bad")
+
+let classify_block t ~pba =
+  match read_block t ~pba with
+  | Ok _ | Error Blank -> Healthy
+  | Error (Unreadable _ | Wrong_location _) ->
+      (* Probe a sample of the block's dots electrically: heated dots
+         answer the erb protocol as heated, defective-but-magnetic dots
+         do not. *)
+      let start = Layout.block_first_dot t.layout pba in
+      let sample = 128 in
+      let heated = Probe.Pdevice.erb_run t.pdevice ~start ~len:sample in
+      let n = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 heated in
+      if 4 * n >= sample then Heated_block else Bad_block
+
+type stats = {
+  n_lines : int;
+  heated_lines : int;
+  ro_fraction : float;
+  wmrm_data_blocks_left : int;
+  heated_runs : int;
+  elapsed : float;
+  energy : float;
+  reads : int;
+  writes : int;
+  heats : int;
+  verifies : int;
+  collateral_damage : int;
+}
+
+let stats t =
+  let n_lines = Layout.n_lines t.layout in
+  let heated_lines = Array.fold_left (fun a b -> if b then a + 1 else a) 0 t.heated in
+  let runs = ref 0 in
+  Array.iteri
+    (fun i h -> if h && ((i = 0) || not t.heated.(i - 1)) then incr runs)
+    t.heated;
+  let counters = Pmedia.Bitops.counters (Probe.Pdevice.bitops t.pdevice) in
+  {
+    n_lines;
+    heated_lines;
+    ro_fraction = float_of_int heated_lines /. float_of_int n_lines;
+    wmrm_data_blocks_left =
+      (n_lines - heated_lines) * Layout.data_blocks_per_line t.layout;
+    heated_runs = !runs;
+    elapsed = Probe.Pdevice.elapsed t.pdevice;
+    energy = Probe.Pdevice.energy t.pdevice;
+    reads = t.reads;
+    writes = t.writes;
+    heats = t.heats;
+    verifies = t.verifies;
+    collateral_damage = counters.Pmedia.Bitops.collateral;
+  }
+
+let is_fully_ro t = Array.for_all (fun h -> h) t.heated
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "lines=%d heated=%d (%.1f%% RO, %d runs) wmrm-data-blocks=%d@ \
+     ops: %d reads, %d writes, %d heats, %d verifies@ \
+     simulated: %.3f s, %.3g J, %d collateral dots"
+    s.n_lines s.heated_lines (100. *. s.ro_fraction) s.heated_runs
+    s.wmrm_data_blocks_left s.reads s.writes s.heats s.verifies s.elapsed
+    s.energy s.collateral_damage
+
+(* {1 Raw attacker surface} *)
+
+(* The splicing attacker of Section 5.1 knows the WO format and can
+   compute hashes; forging a plausible burned area anywhere is within
+   the threat model.  Only the physical-address discipline defeats it. *)
+let unsafe_forge_burn t ~hash_pba ~data_pbas ~claim_line =
+  let payloads =
+    List.filter_map
+      (fun pba ->
+        match read_block t ~pba with
+        | Ok payload -> Some (pba, payload)
+        | Error _ -> None)
+      data_pbas
+  in
+  let hash = line_hash_of_payloads ~line:claim_line payloads in
+  let payload =
+    wo_payload ~hash ~line:claim_line ~n_data:(List.length payloads)
+      ~timestamp:0.
+  in
+  burn_wo_area t ~start:(Layout.block_first_dot t.layout hash_pba) ~payload
+
+let unsafe_heat_dots t ~dot ~n =
+  let pattern = Array.make n true in
+  Probe.Pdevice.heat_run t.pdevice ~start:dot pattern
+
+let unsafe_magnetic_wipe t =
+  let medium = Probe.Pdevice.medium t.pdevice in
+  let n = Pmedia.Medium.size medium in
+  for i = 0 to n - 1 do
+    match Pmedia.Medium.get medium i with
+    | Pmedia.Dot.Heated -> () (* no perpendicular axis left to erase *)
+    | Pmedia.Dot.Magnetised _ ->
+        Pmedia.Medium.set medium i (Pmedia.Dot.Magnetised Pmedia.Dot.Down)
+  done
+
+let refresh_heated_cache t =
+  let medium = Probe.Pdevice.medium t.pdevice in
+  for line = 0 to Layout.n_lines t.layout - 1 do
+    let start = Layout.wo_first_dot t.layout ~line in
+    let heated_dots = ref 0 in
+    for d = start to start + Layout.wo_area_dots - 1 do
+      if Pmedia.Dot.is_heated (Pmedia.Medium.get medium d) then
+        incr heated_dots
+    done;
+    (* A legitimately burned area has exactly one heated dot per cell,
+       i.e. half the area; anything substantial counts as heated. *)
+    t.heated.(line) <- 4 * !heated_dots >= Layout.wo_area_dots
+  done

@@ -1,0 +1,200 @@
+(** The SERO device: the paper's six sector-level operations on top of
+    the probe device.
+
+    - {!read_block} / {!write_block} — the magnetic sector operations
+      [mrs] / [mws];
+    - {!read_hash_block} / the internal electrical write — [ers] / [ews];
+    - {!heat_line} — the atomic read/hash/burn/verify sequence;
+    - {!verify_line} — recompute and compare.
+
+    Two properties the paper insists on are enforced here and nowhere
+    else:
+
+    {b Physical addressing.}  Blocks are addressed by PBA, every frame
+    embeds its own PBA, and hashes live only in block 0 of each 2^N-
+    aligned line, so a verifier always knows "exactly at which PBA to
+    look for heated hashes" and a splicing attacker cannot present data
+    as a hash (Section 5.1, fourth bullet).  The [strict_hash_locations]
+    flag exists solely so experiment E10 can ablate this and demonstrate
+    the splice going undetected.
+
+    {b Tamper evidence, not prevention.}  Magnetic writes into heated
+    lines are physically possible (the attacker has the hardware) and
+    are not blocked — honest software should consult {!is_line_heated}.
+    What the device guarantees is that {!verify_line} afterwards returns
+    a {!Tamper.verdict} exposing the interference. *)
+
+type t
+
+type config = {
+  n_blocks : int;
+  line_exp : int;  (** Lines are [2^line_exp] blocks. *)
+  n_tips : int;
+  seed : int;
+  defect_rate : float;
+  geometry : Physics.Constants.dot_geometry;
+  material : Physics.Constants.material;
+  costs : Probe.Timing.costs;
+  erb_cycles : int;
+  strict_hash_locations : bool;
+      (** When [false] (ablation only), {!verify_line} accepts a burned
+          hash found at {e any} block of the line. *)
+}
+
+val default_config : ?n_blocks:int -> ?line_exp:int -> unit -> config
+(** 512 blocks in lines of 8, 32 tips, seed 42, no defects, 100 nm
+    Co/Pt medium, default costs, 8 erb cycles, strict locations. *)
+
+val create : config -> t
+val config : t -> config
+val layout : t -> Layout.t
+val pdevice : t -> Probe.Pdevice.t
+
+(** {1 Magnetic sector operations} *)
+
+type write_error =
+  | Reserved_hash_block  (** Block 0 of a line is not for data. *)
+  | In_heated_line
+      (** Honest firmware refuses to overwrite read-only data; attackers
+          use {!unsafe_write_block}. *)
+
+type read_error =
+  | Blank  (** Never written (or wiped): no valid frame. *)
+  | Unreadable of Codec.Sector.error
+  | Wrong_location of int  (** Frame decodes but was written for PBA [n]. *)
+
+val write_block : t -> pba:int -> string -> (unit, write_error) result
+(** [mws]: frame and magnetically write up to 512 bytes at [pba]. *)
+
+val read_block : t -> pba:int -> (string, read_error) result
+(** [mrs]: read and unframe the 512-byte payload at [pba]. *)
+
+val pp_write_error : Format.formatter -> write_error -> unit
+val pp_read_error : Format.formatter -> read_error -> unit
+
+(** {1 Line operations} *)
+
+type heat_error =
+  | Unreadable_data of int list
+      (** Data blocks that failed [mrs]; the line cannot be hashed.
+          Write (e.g. zero-fill) them first. *)
+  | Already_heated
+  | Burn_verify_failed
+      (** The post-burn read-back ([ers]) did not return the burned
+          hash — device failure. *)
+
+val heat_line :
+  t -> line:int -> ?timestamp:float -> unit -> (Hash.Sha256.t, heat_error) result
+(** The WO operation of Section 3: read blocks 1..2^N−1, hash them with
+    their PBAs, burn the Manchester-encoded hash + metadata into block
+    0's write-once area, and verify the burn.  Returns the burned hash. *)
+
+val pp_heat_error : Format.formatter -> heat_error -> unit
+
+type burned_meta = {
+  line : int;
+  n_data_blocks : int;
+  timestamp : float;
+  hash : Hash.Sha256.t;
+}
+
+val read_hash_block :
+  t -> line:int -> [ `Not_heated | `Burned of burned_meta | `Tampered of Tamper.evidence list ]
+(** [ers]: electrically read line [line]'s write-once area. *)
+
+val verify_line : t -> line:int -> Tamper.verdict
+(** Recompute the hash of the line's data blocks and compare against the
+    burned hash; any discrepancy is evidence (Section 3, "Verify a
+    heated line"). *)
+
+val verify_region : t -> hash_pba:int -> data_pbas:int list -> Tamper.verdict
+(** Verify an arbitrary (hash block, data blocks) region — the primitive
+    behind the splice/coalesce attack study (E10).  A strict device
+    rejects a [hash_pba] that is not a line's block 0 as evidence
+    ([Address_mismatch]); the ablated device ([strict_hash_locations =
+    false]) accepts any burned-looking area, which is exactly what lets
+    the Section 5.1 splicing attack pass. *)
+
+val is_line_heated : t -> line:int -> bool
+(** Cheap cached query (maintained by heat/scan operations). *)
+
+(** {1 Whole-device operations} *)
+
+type scan_entry = { scanned_line : int; verdict : Tamper.verdict }
+
+val scan : ?deep:bool -> t -> scan_entry list
+(** The fsck-style recovery pass (Section 5.2: after an attacker clears
+    the directory structure, "a scan of the medium would definitely
+    recover (albeit slowly) all the heated files").  Reads every line's
+    write-once area electrically; with [deep] also verifies the data of
+    burned lines.  Rebuilds the heated-line cache as a side effect. *)
+
+type block_class = Healthy | Heated_block | Bad_block
+
+val classify_block : t -> pba:int -> block_class
+(** The paper's bad-block challenge: "a heated block should not be
+    misinterpreted as a bad block."  An unreadable block is probed
+    electrically — heated dots answer the erb protocol as heated, while
+    a merely defective (bad) block still holds reversible magnetisation. *)
+
+val pp_block_class : Format.formatter -> block_class -> unit
+
+type stats = {
+  n_lines : int;
+  heated_lines : int;
+  ro_fraction : float;
+  wmrm_data_blocks_left : int;  (** Data blocks in unheated lines. *)
+  heated_runs : int;
+      (** Maximal runs of consecutive heated lines — low relative to
+          [heated_lines] means well-clustered RO space (Section 4.1). *)
+  elapsed : float;  (** Simulated seconds on the device ledger. *)
+  energy : float;
+  reads : int;  (** mrs count *)
+  writes : int;  (** mws count *)
+  heats : int;  (** heat_line count *)
+  verifies : int;
+  collateral_damage : int;  (** Dots destroyed as thermal bystanders. *)
+}
+
+val stats : t -> stats
+val is_fully_ro : t -> bool
+(** Device end-of-life: every line heated (Section 8, the device
+    "ends life as a Read-only device"). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Raw access (attacker / test surface)}
+
+    These bypass the honest firmware checks but obey physics: magnetic
+    writes cannot alter heated dots and electrical writes are one-way. *)
+
+val unsafe_write_block : t -> pba:int -> string -> unit
+(** Frame and magnetically write anywhere, including heated lines and
+    hash blocks. *)
+
+val unsafe_write_raw : t -> pba:int -> string -> unit
+(** Write a pre-framed 604-byte image verbatim (lets an attacker forge a
+    frame whose embedded PBA differs from where it lands). *)
+
+val unsafe_read_raw : t -> pba:int -> string
+(** The raw framed bytes as the magnetic channel returns them. *)
+
+val unsafe_forge_burn :
+  t -> hash_pba:int -> data_pbas:int list -> claim_line:int -> unit
+(** Burn a structurally valid hash+metadata area at an arbitrary block,
+    covering [data_pbas] and claiming region id [claim_line] — the
+    splice/coalesce forgery of Section 5.1.  {!verify_region} on a
+    strict device still rejects it by location; the ablated device
+    accepts it (E10). *)
+
+val unsafe_heat_dots : t -> dot:int -> n:int -> unit
+(** Apply ewb pulses to [n] consecutive dots starting at [dot]. *)
+
+val unsafe_magnetic_wipe : t -> unit
+(** Bulk eraser (Section 5.2): drives every dot's magnetisation to a
+    single direction.  Heated dots are unaffected — they have no
+    perpendicular axis left — so burned evidence survives. *)
+
+val refresh_heated_cache : t -> unit
+(** Re-derive the heated-line cache from the medium (used after raw
+    attacks so honest queries see ground truth). *)

@@ -1,0 +1,148 @@
+let magic = "SEROIMG2"
+
+let write_float = Codec.Binio.W.f64
+let read_float = Codec.Binio.R.f64
+
+let save (dev : Device.t) path =
+  let cfg = Device.config dev in
+  let medium = Probe.Pdevice.medium (Device.pdevice dev) in
+  let w = Codec.Binio.W.create ~capacity:4096 () in
+  Codec.Binio.W.raw w magic;
+  Codec.Binio.W.u32 w cfg.Device.n_blocks;
+  Codec.Binio.W.u8 w cfg.Device.line_exp;
+  Codec.Binio.W.u16 w cfg.Device.n_tips;
+  Codec.Binio.W.u32 w cfg.Device.seed;
+  write_float w cfg.Device.defect_rate;
+  (* Geometry *)
+  write_float w cfg.Device.geometry.Physics.Constants.diameter;
+  write_float w cfg.Device.geometry.Physics.Constants.thickness;
+  write_float w cfg.Device.geometry.Physics.Constants.pitch;
+  (* Material *)
+  Codec.Binio.W.str w cfg.Device.material.Physics.Constants.label;
+  write_float w cfg.Device.material.Physics.Constants.k_interface;
+  write_float w cfg.Device.material.Physics.Constants.ms;
+  write_float w cfg.Device.material.Physics.Constants.bilayer_period;
+  Codec.Binio.W.u16 w cfg.Device.material.Physics.Constants.n_bilayers;
+  write_float w cfg.Device.material.Physics.Constants.mix_activation_energy;
+  write_float w cfg.Device.material.Physics.Constants.mix_attempt_rate;
+  write_float w cfg.Device.material.Physics.Constants.cryst_activation_energy;
+  write_float w cfg.Device.material.Physics.Constants.cryst_attempt_rate;
+  write_float w cfg.Device.material.Physics.Constants.anneal_duration;
+  Codec.Binio.W.u8 w cfg.Device.erb_cycles;
+  Codec.Binio.W.u8 w (if cfg.Device.strict_hash_locations then 1 else 0);
+  (* Dot states: 2 bits per dot, packed as the oracle sees them. *)
+  let n = Pmedia.Medium.size medium in
+  Codec.Binio.W.u32 w n;
+  let packed = Bytes.make ((n + 3) / 4) '\x00' in
+  for i = 0 to n - 1 do
+    let v =
+      match Pmedia.Medium.get medium i with
+      | Pmedia.Dot.Magnetised Pmedia.Dot.Down -> 0
+      | Pmedia.Dot.Magnetised Pmedia.Dot.Up -> 1
+      | Pmedia.Dot.Heated -> 2
+    in
+    let byte = i / 4 and shift = 2 * (i mod 4) in
+    Bytes.set packed byte
+      (Char.chr (Char.code (Bytes.get packed byte) lor (v lsl shift)))
+  done;
+  Codec.Binio.W.str w (Bytes.unsafe_to_string packed);
+  let body = Codec.Binio.W.contents w in
+  let crc = Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc body;
+      let tail = Codec.Binio.W.create () in
+      Codec.Binio.W.u32 tail crc;
+      output_string oc (Codec.Binio.W.contents tail))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | raw ->
+      if String.length raw < 12 then Error "image too short"
+      else begin
+        let body = String.sub raw 0 (String.length raw - 4) in
+        let crc_r = Codec.Binio.R.of_string ~off:(String.length raw - 4) raw in
+        let stored_crc = Codec.Binio.R.u32 crc_r in
+        if Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF <> stored_crc
+        then Error "image checksum mismatch"
+        else begin
+          let r = Codec.Binio.R.of_string body in
+          match
+            let m = Codec.Binio.R.raw r (String.length magic) in
+            if not (String.equal m magic) then failwith "bad magic";
+            let n_blocks = Codec.Binio.R.u32 r in
+            let line_exp = Codec.Binio.R.u8 r in
+            let n_tips = Codec.Binio.R.u16 r in
+            let seed = Codec.Binio.R.u32 r in
+            let defect_rate = read_float r in
+            let diameter = read_float r in
+            let thickness = read_float r in
+            let pitch = read_float r in
+            let label = Codec.Binio.R.str r in
+            let k_interface = read_float r in
+            let ms = read_float r in
+            let bilayer_period = read_float r in
+            let n_bilayers = Codec.Binio.R.u16 r in
+            let mix_activation_energy = read_float r in
+            let mix_attempt_rate = read_float r in
+            let cryst_activation_energy = read_float r in
+            let cryst_attempt_rate = read_float r in
+            let anneal_duration = read_float r in
+            let erb_cycles = Codec.Binio.R.u8 r in
+            let strict = Codec.Binio.R.u8 r = 1 in
+            let n = Codec.Binio.R.u32 r in
+            let packed = Codec.Binio.R.str r in
+            let config =
+              {
+                Device.n_blocks;
+                line_exp;
+                n_tips;
+                seed;
+                defect_rate;
+                geometry = { Physics.Constants.diameter; thickness; pitch };
+                material =
+                  {
+                    Physics.Constants.label;
+                    k_interface;
+                    ms;
+                    bilayer_period;
+                    n_bilayers;
+                    mix_activation_energy;
+                    mix_attempt_rate;
+                    cryst_activation_energy;
+                    cryst_attempt_rate;
+                    anneal_duration;
+                  };
+                costs = Probe.Timing.default_costs;
+                erb_cycles;
+                strict_hash_locations = strict;
+              }
+            in
+            let dev = Device.create config in
+            let medium = Probe.Pdevice.medium (Device.pdevice dev) in
+            if Pmedia.Medium.size medium <> n then failwith "size mismatch";
+            for i = 0 to n - 1 do
+              let byte = Char.code packed.[i / 4] in
+              let v = (byte lsr (2 * (i mod 4))) land 3 in
+              Pmedia.Medium.set medium i
+                (match v with
+                | 0 -> Pmedia.Dot.Magnetised Pmedia.Dot.Down
+                | 1 -> Pmedia.Dot.Magnetised Pmedia.Dot.Up
+                | _ -> Pmedia.Dot.Heated)
+            done;
+            Device.refresh_heated_cache dev;
+            dev
+          with
+          | exception Failure e -> Error e
+          | exception Codec.Binio.R.Truncated -> Error "image truncated"
+          | dev -> Ok dev
+        end
+      end

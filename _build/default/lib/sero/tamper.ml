@@ -1,0 +1,59 @@
+type evidence =
+  | Hash_mismatch
+  | Invalid_cells of int
+  | Partially_burned
+  | Data_unreadable of int list
+  | Address_mismatch of int list
+  | Meta_corrupt
+
+type verdict = Intact | Not_heated | Tampered of evidence list
+
+let equal_evidence a b =
+  match (a, b) with
+  | Hash_mismatch, Hash_mismatch -> true
+  | Invalid_cells x, Invalid_cells y -> x = y
+  | Partially_burned, Partially_burned -> true
+  | Data_unreadable x, Data_unreadable y -> x = y
+  | Address_mismatch x, Address_mismatch y -> x = y
+  | Meta_corrupt, Meta_corrupt -> true
+  | ( ( Hash_mismatch | Invalid_cells _ | Partially_burned
+      | Data_unreadable _ | Address_mismatch _ | Meta_corrupt ),
+      _ ) ->
+      false
+
+let equal_verdict a b =
+  match (a, b) with
+  | Intact, Intact | Not_heated, Not_heated -> true
+  | Tampered x, Tampered y ->
+      List.length x = List.length y && List.for_all2 equal_evidence x y
+  | (Intact | Not_heated | Tampered _), _ -> false
+
+let pp_evidence ppf = function
+  | Hash_mismatch -> Format.pp_print_string ppf "hash mismatch"
+  | Invalid_cells n -> Format.fprintf ppf "%d invalid (HH) cells" n
+  | Partially_burned -> Format.pp_print_string ppf "partially burned hash area"
+  | Data_unreadable pbas ->
+      Format.fprintf ppf "unreadable data blocks %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        pbas
+  | Meta_corrupt -> Format.pp_print_string ppf "metadata does not parse"
+  | Address_mismatch pbas ->
+      Format.fprintf ppf "relocated blocks found at %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        pbas
+
+let pp_verdict ppf = function
+  | Intact -> Format.pp_print_string ppf "intact"
+  | Not_heated -> Format.pp_print_string ppf "not heated"
+  | Tampered evs ->
+      Format.fprintf ppf "TAMPERED (%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_evidence)
+        evs
+
+let is_tampered = function Tampered _ -> true | Intact | Not_heated -> false

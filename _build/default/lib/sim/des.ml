@@ -1,0 +1,38 @@
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  queue : (int * (t -> unit)) Heap.t;
+}
+
+let create () = { clock = 0.; seq = 0; queue = Heap.create () }
+let now t = t.clock
+
+let schedule_at t ~at f =
+  if at < t.clock then invalid_arg "Des.schedule_at: event in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.queue at (t.seq, f)
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Des.schedule: negative delay";
+  schedule_at t ~at:(t.clock +. delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, (_, f)) ->
+      t.clock <- at;
+      f t;
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match (Heap.peek t.queue, until) with
+    | None, _ -> continue := false
+    | Some (at, _), Some limit when at > limit ->
+        t.clock <- limit;
+        continue := false
+    | Some _, _ -> ignore (step t)
+  done
+
+let pending t = Heap.size t.queue

@@ -1,0 +1,29 @@
+(** Minimal discrete-event simulation kernel.
+
+    The device timing model is mostly a ledger of per-operation costs,
+    but the file-system experiments (cleaner running concurrently with
+    foreground writes, snapshot scheduling) need ordered future events.
+    Events are thunks fired in timestamp order; events with equal
+    timestamps fire in unspecified order. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    @raise Invalid_argument if [delay < 0]. *)
+
+val schedule_at : t -> at:float -> (t -> unit) -> unit
+(** @raise Invalid_argument if [at < now t]. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, optionally stopping once simulated time would
+    exceed [until] (remaining events stay queued). *)
+
+val step : t -> bool
+(** Fire the single next event; [false] if the queue was empty. *)
+
+val pending : t -> int

@@ -1,0 +1,67 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.; vals = Array.make 16 None; size = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let grow t =
+  let n = Array.length t.keys in
+  let keys = Array.make (2 * n) 0. and vals = Array.make (2 * n) None in
+  Array.blit t.keys 0 keys 0 n;
+  Array.blit t.vals 0 vals 0 n;
+  t.keys <- keys;
+  t.vals <- vals
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.vals.(j) <- v
+
+let push t key v =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.vals.(t.size) <- Some v;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  while !i > 0 && t.keys.((!i - 1) / 2) > t.keys.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek t =
+  if t.size = 0 then None
+  else
+    match t.vals.(0) with Some v -> Some (t.keys.(0), v) | None -> None
+
+let pop t =
+  match peek t with
+  | None -> None
+  | Some _ as result ->
+      t.size <- t.size - 1;
+      t.keys.(0) <- t.keys.(t.size);
+      t.vals.(0) <- t.vals.(t.size);
+      t.vals.(t.size) <- None;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+        if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap t !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      result
+
+let clear t =
+  Array.fill t.vals 0 (Array.length t.vals) None;
+  t.size <- 0

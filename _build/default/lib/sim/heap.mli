@@ -1,0 +1,12 @@
+(** Binary min-heap keyed by float, used by the event queue ({!Des}) and
+    by the LFS cleaner's cost-benefit segment selection. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val peek : 'a t -> (float * 'a) option
+val pop : 'a t -> (float * 'a) option
+val clear : 'a t -> unit

@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable minv : float;
+  mutable maxv : float;
+  mutable total : float;
+  mutable samples : float list; (* kept for percentiles; reversed order *)
+}
+
+let create ?(name = "") () =
+  {
+    name;
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    minv = infinity;
+    maxv = neg_infinity;
+    total = 0.;
+    samples = [];
+  }
+
+let name t = t.name
+
+let add t x =
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.minv then t.minv <- x;
+  if x > t.maxv then t.maxv <- x;
+  t.samples <- x :: t.samples
+
+let count t = t.n
+let total t = t.total
+let mean t = if t.n = 0 then 0. else t.mean
+let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+let min_value t = if t.n = 0 then 0. else t.minv
+let max_value t = if t.n = 0 then 0. else t.maxv
+
+let percentile t p =
+  if t.n = 0 then 0.
+  else begin
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    let rank = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
+    a.(max 0 (min (t.n - 1) rank))
+  end
+
+let merge a b =
+  let t = create ~name:a.name () in
+  List.iter (add t) (List.rev_append a.samples []);
+  List.iter (add t) (List.rev_append b.samples []);
+  t
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p99=%.4g max=%.4g" t.name
+    t.n (mean t) (stddev t) (min_value t) (percentile t 0.5)
+    (percentile t 0.99) (max_value t)
+
+module Histogram = struct
+  type h = { lo : float; hi : float; bins : int array }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 || hi <= lo then invalid_arg "Histogram.create";
+    { lo; hi; bins = Array.make bins 0 }
+
+  let add h x =
+    let n = Array.length h.bins in
+    let i =
+      int_of_float (float_of_int n *. (x -. h.lo) /. (h.hi -. h.lo))
+    in
+    let i = max 0 (min (n - 1) i) in
+    h.bins.(i) <- h.bins.(i) + 1
+
+  let counts h = Array.copy h.bins
+
+  let bin_label h i =
+    let n = float_of_int (Array.length h.bins) in
+    h.lo +. ((float_of_int i +. 0.5) *. (h.hi -. h.lo) /. n)
+
+  let total h = Array.fold_left ( + ) 0 h.bins
+
+  let pp ppf h =
+    let tot = max 1 (total h) in
+    Array.iteri
+      (fun i c ->
+        let bar = String.make (60 * c / tot) '#' in
+        Format.fprintf ppf "%8.3f | %5d %s@." (bin_label h i) c bar)
+      h.bins
+end

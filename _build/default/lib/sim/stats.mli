@@ -1,0 +1,44 @@
+(** Streaming measurement counters used by the experiment harness:
+    mean/variance via Welford's algorithm plus an exact reservoir of all
+    samples for percentiles (experiments are small enough to keep them). *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0 for fewer than 2 samples. *)
+
+val min_value : t -> float
+val max_value : t -> float
+(** Both 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] — nearest-rank on the recorded samples.
+    0 when empty. *)
+
+val merge : t -> t -> t
+(** Combined statistics of two counters (name taken from the first). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: n, mean, sd, min, p50, p99, max. *)
+
+(** Simple fixed-width histogram for utilisation plots. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> bins:int -> h
+  val add : h -> float -> unit
+  val counts : h -> int array
+  val bin_label : h -> int -> float
+  (** Midpoint of bin [i]. *)
+
+  val total : h -> int
+  val pp : Format.formatter -> h -> unit
+end

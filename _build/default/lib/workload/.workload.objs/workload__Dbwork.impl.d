@@ -1,0 +1,1 @@
+lib/workload/dbwork.ml: Char Format Lfs List Printf Probe Sero Sim String Zipf

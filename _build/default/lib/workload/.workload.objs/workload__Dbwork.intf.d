@@ -1,0 +1,1 @@
+lib/workload/dbwork.mli: Lfs Sero

@@ -1,0 +1,1 @@
+lib/workload/retention.ml: Array Char Format Lfs List Printf Sero Sim String

@@ -1,0 +1,1 @@
+lib/workload/retention.mli: Lfs Sero

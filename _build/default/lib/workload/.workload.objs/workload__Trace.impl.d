@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Codec Format In_channel Lfs List Out_channel Printf Result String

@@ -1,0 +1,141 @@
+type op =
+  | Update of { table : int; page : int }
+  | Snap_begin of { snap : int }
+  | Snap_chunk of { snap : int; seq : int; pages : int }
+  | Snap_freeze of { snap : int }
+
+type config = {
+  tables : int;
+  pages_per_table : int;
+  zipf_theta : float;
+  updates_between_snapshots : int;
+  snapshot_pages : int;
+  chunk_pages : int;
+  interleave : int;
+  snapshots : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    tables = 4;
+    pages_per_table = 256;
+    zipf_theta = 0.9;
+    updates_between_snapshots = 400;
+    snapshot_pages = 64;
+    chunk_pages = 8;
+    interleave = 6;
+    snapshots = 8;
+    seed = 7;
+  }
+
+let generate cfg =
+  let rng = Sim.Prng.create cfg.seed in
+  let zipf = Zipf.create ~n:cfg.pages_per_table ~theta:cfg.zipf_theta in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let emit_update () =
+    emit
+      (Update
+         { table = Sim.Prng.int rng cfg.tables; page = Zipf.sample zipf rng })
+  in
+  for snap = 0 to cfg.snapshots - 1 do
+    for _ = 1 to cfg.updates_between_snapshots do
+      emit_update ()
+    done;
+    emit (Snap_begin { snap });
+    let chunks = (cfg.snapshot_pages + cfg.chunk_pages - 1) / cfg.chunk_pages in
+    for seq = 0 to chunks - 1 do
+      let pages =
+        min cfg.chunk_pages (cfg.snapshot_pages - (seq * cfg.chunk_pages))
+      in
+      emit (Snap_chunk { snap; seq; pages });
+      (* Live traffic continues while the snapshot materialises. *)
+      for _ = 1 to cfg.interleave do
+        emit_update ()
+      done
+    done;
+    emit (Snap_freeze { snap })
+  done;
+  List.rev !ops
+
+type run_result = {
+  fs_stats : Lfs.Fs.stats;
+  snap_verdicts_ok : int;
+  snap_verdicts_bad : int;
+  updates_blocked : int;
+  wall : float;
+}
+
+let fail fmt = Format.kasprintf failwith fmt
+let ok_exn what = function Ok v -> v | Error e -> fail "dbwork %s: %s" what e
+
+let page_bytes = 512
+
+let run ?(strategy = Lfs.Heat.Auto) ~clustering ~device cfg =
+  let dev = Sero.Device.create device in
+  let policy = { Lfs.State.default_policy with Lfs.State.clustering } in
+  let fs = Lfs.Fs.format ~policy dev in
+  let table_path t = Printf.sprintf "/table-%d" t in
+  let snap_path s = Printf.sprintf "/snap-%d" s in
+  (* Live tables are heat group 0 (never heated); each snapshot gets its
+     own group so the clustering allocator can segregate it. *)
+  for t = 0 to cfg.tables - 1 do
+    ok_exn "create table" (Lfs.Fs.create fs ~heat_group:0 (table_path t));
+    (* Materialise every page once so updates are overwrites. *)
+    ok_exn "init table"
+      (Lfs.Fs.write_file fs (table_path t) ~offset:0
+         (String.make (cfg.pages_per_table * page_bytes) '\x00'))
+  done;
+  let page_payload rng =
+    String.init page_bytes (fun _ -> Char.chr (33 + Sim.Prng.int rng 94))
+  in
+  let rng = Sim.Prng.create (cfg.seed + 1) in
+  let snaps = ref [] in
+  let blocked = ref 0 in
+  List.iter
+    (fun op ->
+      match op with
+      | Update { table; page } -> (
+          (* An in-place heat may have frozen the page's line; the
+             database sees the update refused (collateral damage of
+             heating without clustering). *)
+          match
+            Lfs.Fs.write_file fs (table_path table)
+              ~offset:(page * page_bytes) (page_payload rng)
+          with
+          | Ok () -> ()
+          | Error _ -> incr blocked)
+      | Snap_begin { snap } ->
+          ok_exn "snap create"
+            (Lfs.Fs.create fs ~heat_group:(1 + snap) (snap_path snap));
+          snaps := snap :: !snaps
+      | Snap_chunk { snap; seq; pages } ->
+          ok_exn "snap chunk"
+            (Lfs.Fs.write_file fs (snap_path snap)
+               ~offset:(seq * cfg.chunk_pages * page_bytes)
+               (String.concat ""
+                  (List.init pages (fun _ -> page_payload rng))))
+      | Snap_freeze { snap } ->
+          let _ = ok_exn "freeze" (Lfs.Fs.heat fs ~strategy (snap_path snap)) in
+          ())
+    (generate cfg);
+  Lfs.Fs.sync fs;
+  let ok_count = ref 0 and bad = ref 0 in
+  List.iter
+    (fun snap ->
+      let verdicts = ok_exn "verify" (Lfs.Fs.verify fs (snap_path snap)) in
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Sero.Tamper.Intact -> incr ok_count
+          | Sero.Tamper.Not_heated | Sero.Tamper.Tampered _ -> incr bad)
+        verdicts)
+    !snaps;
+  {
+    fs_stats = Lfs.Fs.stats fs;
+    snap_verdicts_ok = !ok_count;
+    snap_verdicts_bad = !bad;
+    updates_blocked = !blocked;
+    wall = Probe.Pdevice.elapsed (Sero.Device.pdevice dev);
+  }

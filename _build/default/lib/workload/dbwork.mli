@@ -1,0 +1,58 @@
+(** The paper's motivating workload (Section 1): a live database under
+    random page updates, periodically snapshotted for audit, where each
+    snapshot must become tamper-evident while the live data stays hot.
+
+    The generator produces a fine-grained op stream in which snapshot
+    materialisation is {e interleaved} with ongoing page updates — this
+    concurrency is what scatters snapshot blocks under a naive
+    single-log-head allocator and what the clustering policy defends
+    against (E9). *)
+
+type op =
+  | Update of { table : int; page : int }
+      (** Rewrite one 512-byte page of a live table file. *)
+  | Snap_begin of { snap : int }
+  | Snap_chunk of { snap : int; seq : int; pages : int }
+      (** Append [pages] pages to the snapshot file. *)
+  | Snap_freeze of { snap : int }  (** Heat the completed snapshot. *)
+
+type config = {
+  tables : int;
+  pages_per_table : int;
+  zipf_theta : float;
+  updates_between_snapshots : int;
+  snapshot_pages : int;  (** Size of each snapshot in pages. *)
+  chunk_pages : int;  (** Snapshot materialisation granularity. *)
+  interleave : int;
+      (** Live updates interleaved between successive snapshot chunks —
+          the concurrency knob. *)
+  snapshots : int;
+  seed : int;
+}
+
+val default_config : config
+(** 4 tables × 256 pages, theta 0.9, 400 updates between snapshots,
+    64-page snapshots in 8-page chunks with 6 interleaved updates,
+    8 snapshots, seed 7. *)
+
+val generate : config -> op list
+
+type run_result = {
+  fs_stats : Lfs.Fs.stats;
+  snap_verdicts_ok : int;
+  snap_verdicts_bad : int;
+  updates_blocked : int;
+      (** Live-page updates refused because an in-place heat froze the
+          line they lived in — the collateral cost of heating without
+          clustering (Section 4.1). *)
+  wall : float;  (** Simulated seconds for the whole run. *)
+}
+
+val run :
+  ?strategy:Lfs.Heat.strategy ->
+  clustering:bool ->
+  device:Sero.Device.config ->
+  config ->
+  run_result
+(** Build a device + LFS with the given allocation policy, replay the
+    op stream, verify every frozen snapshot, and report. *)

@@ -1,0 +1,85 @@
+type record = { klass : int; payload : string }
+
+type config = {
+  classes : int;
+  records : int;
+  record_bytes : int;
+  audit_every : int;
+  seed : int;
+}
+
+let default_config =
+  { classes = 3; records = 300; record_bytes = 256; audit_every = 40; seed = 11 }
+
+let generate cfg =
+  let rng = Sim.Prng.create cfg.seed in
+  List.init cfg.records (fun i ->
+      {
+        klass = Sim.Prng.int rng cfg.classes;
+        payload =
+          String.init cfg.record_bytes (fun j ->
+              Char.chr (65 + ((i + j) mod 26)));
+      })
+
+type class_result = {
+  class_id : int;
+  records_stored : int;
+  heated_lines : int;
+  verdict_ok : bool;
+}
+
+type run_result = { per_class : class_result list; fs_stats : Lfs.Fs.stats }
+
+let fail fmt = Format.kasprintf failwith fmt
+let ok_exn what = function Ok v -> v | Error e -> fail "retention %s: %s" what e
+
+let run ~device cfg =
+  let dev = Sero.Device.create device in
+  let fs = Lfs.Fs.format dev in
+  (* One archive file per retention class; a new epoch file is opened
+     after each audit freeze (heated files are immutable). *)
+  let epoch = Array.make cfg.classes 0 in
+  let since_audit = Array.make cfg.classes 0 in
+  let stored = Array.make cfg.classes 0 in
+  let heated_lines = Array.make cfg.classes 0 in
+  let verdicts_ok = Array.make cfg.classes true in
+  let path k = Printf.sprintf "/class-%d.%d" k epoch.(k) in
+  for k = 0 to cfg.classes - 1 do
+    ok_exn "create" (Lfs.Fs.create fs ~heat_group:(k + 1) (path k))
+  done;
+  List.iter
+    (fun r ->
+      let k = r.klass in
+      ok_exn "append" (Lfs.Fs.append fs (path k) r.payload);
+      stored.(k) <- stored.(k) + 1;
+      since_audit.(k) <- since_audit.(k) + 1;
+      if since_audit.(k) >= cfg.audit_every then begin
+        let result = ok_exn "heat" (Lfs.Fs.heat fs (path k)) in
+        heated_lines.(k) <- heated_lines.(k) + List.length result.Lfs.Heat.lines;
+        let verdicts = ok_exn "verify" (Lfs.Fs.verify fs (path k)) in
+        if
+          not
+            (List.for_all
+               (fun (_, v) ->
+                 match v with
+                 | Sero.Tamper.Intact -> true
+                 | Sero.Tamper.Not_heated | Sero.Tamper.Tampered _ -> false)
+               verdicts)
+        then verdicts_ok.(k) <- false;
+        since_audit.(k) <- 0;
+        epoch.(k) <- epoch.(k) + 1;
+        ok_exn "create epoch" (Lfs.Fs.create fs ~heat_group:(k + 1) (path k))
+      end)
+    (generate cfg);
+  Lfs.Fs.sync fs;
+  {
+    per_class =
+      List.init cfg.classes (fun k ->
+          {
+            class_id = k;
+            records_stored = stored.(k);
+            heated_lines = heated_lines.(k);
+            verdict_ok = verdicts_ok.(k);
+          });
+    fs_stats = Lfs.Fs.stats fs;
+  }

@@ -1,0 +1,44 @@
+(** File-system operation traces: record, serialise, replay.
+
+    Experiments that compare allocation policies need the {e same}
+    operation stream applied to differently configured file systems; a
+    trace makes the stream a first-class, storable value.  Replay is
+    deterministic: replaying one trace onto two identically configured
+    devices yields bit-identical media (tested). *)
+
+type op =
+  | Mkdir of string
+  | Create of { path : string; heat_group : int }
+  | Write of { path : string; offset : int; data : string }
+  | Append of { path : string; data : string }
+  | Unlink of string
+  | Heat of string
+  | Sync
+
+val pp_op : Format.formatter -> op -> unit
+
+type t = op list
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val save : t -> string -> unit
+(** Write to a file.  @raise Sys_error on IO failure. *)
+
+val load : string -> (t, string) result
+
+type outcome = {
+  applied : int;
+  refused : int;  (** Operations the FS rejected (e.g. writes to heated files). *)
+}
+
+val replay : ?strategy:Lfs.Heat.strategy -> Lfs.Fs.t -> t -> outcome
+(** Apply every operation in order; refusals are counted, not fatal —
+    a trace captured on one policy may legitimately see refusals on
+    another. *)
+
+val recorder : Lfs.Fs.t -> (op -> (unit, string) result) * (unit -> t)
+(** [(exec, captured) = recorder fs]: [exec op] applies [op] to [fs]
+    and appends it to the trace being built (refused operations are
+    recorded too — they are part of the workload); [captured ()]
+    returns the trace so far. *)

@@ -1,0 +1,11 @@
+(** Zipf-distributed sampling for skewed access patterns (hot database
+    pages, popular files). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** Support {0..n-1} with exponent [theta] (0 = uniform; 0.99 = the
+    usual YCSB-style hot spot). *)
+
+val sample : t -> Sim.Prng.t -> int
+val pmf : t -> int -> float

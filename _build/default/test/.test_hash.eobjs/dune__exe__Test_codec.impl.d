@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bytes Char Codec Gen Hashtbl List QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Buffer Expt Float Format Lfs List Printf String

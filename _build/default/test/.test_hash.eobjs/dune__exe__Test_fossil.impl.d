@@ -1,0 +1,1 @@
+test/test_fossil.ml: Alcotest Fossil List Printf QCheck QCheck_alcotest Result Sero String

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Gen Hash List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Char Filename Fun Lfs List Printf QCheck QCheck_alcotest Selfsec Sero String Sys

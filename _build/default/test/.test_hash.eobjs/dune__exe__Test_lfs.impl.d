@@ -1,0 +1,1 @@
+test/test_lfs.ml: Alcotest Array Bytes Char Gen Hash Lfs List Printf QCheck QCheck_alcotest Sero String

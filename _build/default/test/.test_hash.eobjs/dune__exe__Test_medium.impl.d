@@ -1,0 +1,1 @@
+test/test_medium.ml: Alcotest Float Format List Physics Pmedia QCheck QCheck_alcotest String

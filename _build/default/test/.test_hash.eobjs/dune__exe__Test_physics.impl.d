@@ -1,0 +1,1 @@
+test/test_physics.ml: Alcotest Array Float List Physics Printf QCheck QCheck_alcotest Sim

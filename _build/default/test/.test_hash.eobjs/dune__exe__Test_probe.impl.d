@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Array List Pmedia Probe QCheck QCheck_alcotest Sim

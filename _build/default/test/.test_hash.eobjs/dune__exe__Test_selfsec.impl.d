@@ -1,0 +1,1 @@
+test/test_selfsec.ml: Alcotest Hash Lfs List Printf Selfsec Sero String

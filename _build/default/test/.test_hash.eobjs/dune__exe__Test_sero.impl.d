@@ -1,0 +1,1 @@
+test/test_sero.ml: Alcotest Bytes Char Filename Fun Gen Hash In_channel List Out_channel Pmedia Printf Probe QCheck QCheck_alcotest Sero Sim String Sys

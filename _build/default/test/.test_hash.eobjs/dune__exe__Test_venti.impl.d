@@ -1,0 +1,1 @@
+test/test_venti.ml: Alcotest Char Gen Hash List Printf QCheck QCheck_alcotest Result Sero String Venti

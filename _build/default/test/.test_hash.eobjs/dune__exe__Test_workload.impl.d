@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Char Hash Lfs List Pmedia Printf Probe QCheck QCheck_alcotest Sero Sim String Workload

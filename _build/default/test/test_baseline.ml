@@ -1,0 +1,89 @@
+(* The WORM technology comparison: the paper's qualitative claims must
+   hold as inequalities over the model's outputs. *)
+
+let sc = Baseline.Compare.default_scenario
+let outcomes = lazy (Baseline.Compare.run_all sc)
+
+let find tech =
+  List.find (fun o -> o.Baseline.Compare.tech = tech) (Lazy.force outcomes)
+
+let cases =
+  [
+    Alcotest.test_case "every technology reports" `Quick (fun () ->
+        Alcotest.(check int) "6 rows" 6 (List.length (Lazy.force outcomes)));
+    Alcotest.test_case "plain HDD cannot freeze anything" `Quick (fun () ->
+        let o = find Baseline.Tech.Hdd in
+        Alcotest.(check int) "no freezes" 0 o.Baseline.Compare.snapshots_frozen;
+        Alcotest.(check bool) "rewrite undetected" true
+          (o.Baseline.Compare.attack = Baseline.Tech.Rewrite_undetected));
+    Alcotest.test_case "software WORM freezes but gives no real evidence"
+      `Quick (fun () ->
+        let o = find Baseline.Tech.Soft_worm in
+        Alcotest.(check int) "all snapshots" sc.Baseline.Compare.snapshots
+          o.Baseline.Compare.snapshots_frozen;
+        Alcotest.(check bool) "undetected" true
+          (o.Baseline.Compare.attack = Baseline.Tech.Rewrite_undetected));
+    Alcotest.test_case "tape freezes the whole cartridge (collateral)" `Quick
+      (fun () ->
+        let o = find Baseline.Tech.Tape_lto3 in
+        Alcotest.(check int) "one freeze only" 1 o.Baseline.Compare.snapshots_frozen;
+        Alcotest.(check bool) "massive collateral" true
+          (o.Baseline.Compare.collateral_blocks > 90000));
+    Alcotest.test_case "tape random access is catastrophically slow" `Quick
+      (fun () ->
+        let tape = find Baseline.Tech.Tape_lto3 in
+        let disk = find Baseline.Tech.Hdd in
+        Alcotest.(check bool) "1000x slower" true
+          (tape.Baseline.Compare.total_s > 1000. *. disk.Baseline.Compare.total_s));
+    Alcotest.test_case "optical WORM blocks rewrites but loses WMRM use"
+      `Quick (fun () ->
+        let o = find Baseline.Tech.Optical_worm in
+        Alcotest.(check bool) "blocked" true
+          (o.Baseline.Compare.attack = Baseline.Tech.Rewrite_blocked);
+        Alcotest.(check int) "no writable WMRM area" 0 o.Baseline.Compare.writable_left);
+    Alcotest.test_case "fuse platter is one-shot and coarse" `Quick (fun () ->
+        let o = find Baseline.Tech.Fuse_platter in
+        Alcotest.(check int) "single freeze" 1 o.Baseline.Compare.snapshots_frozen;
+        Alcotest.(check bool) "collateral" true (o.Baseline.Compare.collateral_blocks > 100000 / 2));
+    Alcotest.test_case
+      "SERO: every snapshot, zero collateral, WMRM preserved, detection"
+      `Quick (fun () ->
+        let o = find Baseline.Tech.Sero_probe in
+        Alcotest.(check int) "all snapshots" sc.Baseline.Compare.snapshots
+          o.Baseline.Compare.snapshots_frozen;
+        Alcotest.(check int) "zero collateral" 0 o.Baseline.Compare.collateral_blocks;
+        Alcotest.(check bool) "most of the device writable" true
+          (o.Baseline.Compare.writable_left > 90000);
+        Alcotest.(check bool) "detected" true
+          (o.Baseline.Compare.attack = Baseline.Tech.Rewrite_detected));
+    Alcotest.test_case "SERO is the only tech with all four properties"
+      `Quick (fun () ->
+        let good o =
+          o.Baseline.Compare.snapshots_frozen = sc.Baseline.Compare.snapshots
+          && o.Baseline.Compare.collateral_blocks = 0
+          && o.Baseline.Compare.writable_left > 0
+          && o.Baseline.Compare.attack <> Baseline.Tech.Rewrite_undetected
+        in
+        let winners = List.filter good (Lazy.force outcomes) in
+        Alcotest.(check int) "exactly one" 1 (List.length winners);
+        Alcotest.(check bool) "it is SERO" true
+          ((List.hd winners).Baseline.Compare.tech = Baseline.Tech.Sero_probe));
+    Alcotest.test_case "SERO freeze latency is the price paid" `Quick
+      (fun () ->
+        let sero = find Baseline.Tech.Sero_probe in
+        let soft = find Baseline.Tech.Soft_worm in
+        Alcotest.(check bool) "slower than a flag write" true
+          (sero.Baseline.Compare.snapshot_latency_s
+          > soft.Baseline.Compare.snapshot_latency_s));
+    Alcotest.test_case "params table is self-consistent" `Quick (fun () ->
+        List.iter
+          (fun tech ->
+            let p = Baseline.Tech.params tech in
+            Alcotest.(check bool) "positive perf" true
+              (p.Baseline.Tech.read_s > 0. && p.Baseline.Tech.write_s > 0.);
+            Alcotest.(check bool) "granularity sane" true
+              (p.Baseline.Tech.freeze_granularity >= 0))
+          Baseline.Tech.all);
+  ]
+
+let () = Alcotest.run "baseline" [ ("comparison", cases) ]

@@ -1,0 +1,296 @@
+(* The experiment modules: each must produce its series and the series
+   must show the paper's shape (who wins, where the cliffs are). *)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let smoke =
+  (* Every figure/experiment renders non-trivially and mentions its
+     anchor content. *)
+  List.map
+    (fun (name, f, marker) ->
+      Alcotest.test_case name `Slow (fun () ->
+          let out = render f in
+          Alcotest.(check bool) "non-trivial output" true (String.length out > 200);
+          Alcotest.(check bool)
+            (Printf.sprintf "mentions %S" marker)
+            true (contains out marker)))
+    [
+      ("fig1", Expt.Figures.fig1, "peak");
+      ("fig2", Expt.Figures.fig2, "ewb");
+      ("fig3", Expt.Figures.fig3, "UH");
+      ("fig7", Expt.Figures.fig7, "500");
+      ("fig8", Expt.Figures.fig8, "peak height");
+      ("fig9", Expt.Figures.fig9, "41.7");
+      ("ops", Expt.Ops.print, "erb");
+      ("heat", Expt.Heatcost.print, "overhead");
+      ("security", Expt.Security_matrix.print, "DETECTED");
+      ("worm", Expt.Worm_compare.print, "SERO");
+      ("archive", Expt.Archive.print, "Fossilised");
+      ("thermal", Expt.Thermal_study.print, "Manchester");
+      ("coding", Expt.Coding.print, "Rivest");
+      ("aging", Expt.Aging.print, "end of life");
+      ("erb", Expt.Erb_study.print, "adaptive");
+      ("media", Expt.Reliability.print, "tip sparing");
+    ]
+
+let ops_shape =
+  [
+    Alcotest.test_case "erb at least 5x mrb (paper, Section 3)" `Quick
+      (fun () ->
+        let rows = Expt.Ops.bit_ops () in
+        let find op = List.find (fun r -> r.Expt.Ops.op = op) rows in
+        Alcotest.(check bool) "erb >= 5x" true ((find "erb (1 cycle)").Expt.Ops.vs_mrb >= 5.);
+        Alcotest.(check bool) "ewb > mwb" true
+          ((find "ewb").Expt.Ops.sim_latency_s > (find "mwb").Expt.Ops.sim_latency_s));
+    Alcotest.test_case "hash read dominates sector ops" `Quick (fun () ->
+        let rows = Expt.Ops.sector_ops () in
+        let find op = List.find (fun r -> r.Expt.Ops.op = op) rows in
+        Alcotest.(check bool) "ers slowest read" true
+          ((find "ers (read hash blk)").Expt.Ops.sim_latency_s
+          > 5. *. (find "mrs (read sector)").Expt.Ops.sim_latency_s));
+  ]
+
+let heat_shape =
+  [
+    Alcotest.test_case "overhead halves as N grows; heat cost grows" `Quick
+      (fun () ->
+        let rows = Expt.Heatcost.sweep ~ns:[ 2; 3; 4; 5 ] () in
+        let rec pairwise = function
+          | a :: (b :: _ as rest) ->
+              Alcotest.(check bool) "overhead falls" true
+                (b.Expt.Heatcost.space_overhead < a.Expt.Heatcost.space_overhead);
+              Alcotest.(check bool) "heat latency grows" true
+                (b.Expt.Heatcost.heat_latency_s > a.Expt.Heatcost.heat_latency_s);
+              pairwise rest
+          | _ -> ()
+        in
+        pairwise rows);
+  ]
+
+let lfs_shape =
+  [
+    Alcotest.test_case
+      "clustering eliminates relocation copies (Section 4.1)" `Slow
+      (fun () ->
+        let c = Expt.Lfs_study.run_point ~clustering:true ~snapshots:4 () in
+        let n = Expt.Lfs_study.run_point ~clustering:false ~snapshots:4 () in
+        Alcotest.(check int) "clustered: no copies" 0 c.Expt.Lfs_study.relocated_blocks;
+        Alcotest.(check bool) "naive: many copies" true
+          (n.Expt.Lfs_study.relocated_blocks > 50);
+        Alcotest.(check bool) "naive writes more blocks" true
+          (n.Expt.Lfs_study.fs_block_writes > c.Expt.Lfs_study.fs_block_writes);
+        Alcotest.(check int) "clustered freezes no foreign blocks" 0
+          c.Expt.Lfs_study.collateral_frozen;
+        Alcotest.(check bool)
+          "clustered: only boundary segments partially heated" true
+          (c.Expt.Lfs_study.partially_heated <= 4));
+    Alcotest.test_case
+      "in-place heating without clustering breaks bimodality (Section 4.1)"
+      `Slow (fun () ->
+        let q =
+          Expt.Lfs_study.run_point ~strategy:Lfs.Heat.Never_relocate
+            ~clustering:false ~snapshots:4 ()
+        in
+        Alcotest.(check bool) "foreign live blocks frozen" true
+          (q.Expt.Lfs_study.collateral_frozen > 0);
+        Alcotest.(check bool) "live updates blocked by frozen pages" true
+          (q.Expt.Lfs_study.updates_blocked > 0);
+        Alcotest.(check int) "no copies were paid" 0
+          q.Expt.Lfs_study.relocated_blocks);
+  ]
+
+let archive_shape =
+  [
+    Alcotest.test_case "venti rows verify and restore" `Quick (fun () ->
+        List.iter
+          (fun eager ->
+            let r = Expt.Archive.venti_run ~eager_heat:eager in
+            Alcotest.(check bool) "restore" true r.Expt.Archive.restore_ok;
+            Alcotest.(check bool) "verify" true r.Expt.Archive.verify_ok)
+          [ true; false ]);
+    Alcotest.test_case "eager heats more lines than lazy" `Quick (fun () ->
+        let eager = Expt.Archive.venti_run ~eager_heat:true in
+        let lazy_ = Expt.Archive.venti_run ~eager_heat:false in
+        Alcotest.(check bool) "more lines" true
+          (eager.Expt.Archive.lines_heated > lazy_.Expt.Archive.lines_heated));
+    Alcotest.test_case "fossil scales: more inserts, more sealed nodes"
+      `Quick (fun () ->
+        let small = Expt.Archive.fossil_run ~inserts:50 in
+        let large = Expt.Archive.fossil_run ~inserts:600 in
+        Alcotest.(check bool) "all found (small)" true small.Expt.Archive.found_all;
+        Alcotest.(check bool) "all found (large)" true large.Expt.Archive.found_all;
+        Alcotest.(check bool) "seals grow" true
+          (large.Expt.Archive.sealed > small.Expt.Archive.sealed);
+        Alcotest.(check bool) "sealed verify" true large.Expt.Archive.sealed_verify_ok);
+  ]
+
+let thermal_shape =
+  [
+    Alcotest.test_case "nominal profile: target dies, neighbour lives" `Quick
+      (fun () ->
+        let rows = Expt.Thermal_study.damage_sweep () in
+        (* At 1650 C, lambda = pitch/2 on Co/Pt the target is destroyed
+           with negligible neighbour risk. *)
+        let nominal =
+          List.find
+            (fun r ->
+              r.Expt.Thermal_study.peak_c = 1650.
+              && r.Expt.Thermal_study.decay_over_pitch = 0.5
+              && contains r.Expt.Thermal_study.material "Fig. 7")
+            rows
+        in
+        Alcotest.(check bool) "destroyed" true nominal.Expt.Thermal_study.target_destroyed;
+        Alcotest.(check bool) "neighbour safe" true
+          (nominal.Expt.Thermal_study.neighbour_damage_p < 1e-6));
+    Alcotest.test_case "overdriven pulse on poor substrate endangers" `Quick
+      (fun () ->
+        let rows = Expt.Thermal_study.damage_sweep () in
+        let hostile =
+          List.find
+            (fun r ->
+              r.Expt.Thermal_study.peak_c = 4000.
+              && r.Expt.Thermal_study.decay_over_pitch = 8.
+              && not (contains r.Expt.Thermal_study.material "Fig. 7"))
+            rows
+        in
+        Alcotest.(check bool) "neighbour at risk" true
+          (hostile.Expt.Thermal_study.neighbour_damage_p > 1e-3));
+    Alcotest.test_case
+      "spreading bounds runs, but not surviving-dot risk (finding)" `Quick
+      (fun () ->
+        match Expt.Thermal_study.spreading () with
+        | [ manchester; dense ] ->
+            Alcotest.(check bool) "manchester max run <= 2" true
+              (manchester.Expt.Thermal_study.max_run <= 2);
+            Alcotest.(check bool) "dense runs longer" true
+              (dense.Expt.Thermal_study.max_run > 2);
+            (* The reproduction finding: under independent per-pulse
+               damage, the worst SURVIVING dot is equally exposed under
+               both encodings (both contain an H-U-H), and Manchester's
+               2x pulse count costs MORE total collateral.  The paper's
+               "spreading is good for reliability" claim protects only
+               already-destroyed dots. *)
+            Alcotest.(check bool) "worst-dot risk no better" true
+              (manchester.Expt.Thermal_study.worst_dot_risk
+              >= dense.Expt.Thermal_study.worst_dot_risk *. 0.9);
+            Alcotest.(check bool) "manchester pays more total collateral" true
+              (manchester.Expt.Thermal_study.expected_collateral
+              >= dense.Expt.Thermal_study.expected_collateral)
+        | _ -> Alcotest.fail "expected two rows");
+  ]
+
+let erb_shape =
+  [
+    Alcotest.test_case "measured miss rate tracks 4^-k" `Quick (fun () ->
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "cycles=%d" r.Expt.Erb_study.cycles)
+              true
+              (Float.abs (r.Expt.Erb_study.measured_miss -. r.Expt.Erb_study.theory_miss)
+              < 0.02 +. (0.3 *. r.Expt.Erb_study.theory_miss)))
+          (Expt.Erb_study.miss_sweep ~trials:5000 ()));
+    Alcotest.test_case "adaptive read: no false alarms, bounded cost" `Quick
+      (fun () ->
+        match Expt.Erb_study.area_comparison ~areas:20 () with
+        | [ naive1; naive8; adaptive ] ->
+            Alcotest.(check bool) "1-cycle read false-alarms a lot" true
+              (naive1.Expt.Erb_study.false_blank_areas > 10);
+            Alcotest.(check int) "adaptive never false-alarms" 0
+              adaptive.Expt.Erb_study.false_blank_areas;
+            Alcotest.(check bool) "adaptive cheaper than 2x the 8-cycle read" true
+              (adaptive.Expt.Erb_study.mean_bitops
+              < 2. *. naive8.Expt.Erb_study.mean_bitops)
+        | _ -> Alcotest.fail "expected three strategies");
+  ]
+
+let reliability_shape =
+  [
+    Alcotest.test_case "defect cliff sits between 0.2% and 3.2%" `Quick
+      (fun () ->
+        let rows = Expt.Reliability.defect_sweep () in
+        let at rate =
+          List.find (fun r -> r.Expt.Reliability.defect_rate = rate) rows
+        in
+        Alcotest.(check int) "pristine medium fully readable"
+          (at 0.).Expt.Reliability.sectors (at 0.).Expt.Reliability.readable;
+        Alcotest.(check bool) "0.2% mostly readable, with corrections" true
+          (let r = at 0.002 in
+           r.Expt.Reliability.readable > (r.Expt.Reliability.sectors * 9 / 10)
+           && r.Expt.Reliability.mean_corrected > 0.);
+        Alcotest.(check bool) "3.2% mostly lost" true
+          (let r = at 0.032 in
+           r.Expt.Reliability.readable < r.Expt.Reliability.sectors / 2));
+    Alcotest.test_case "one dead tip defeats the sector code" `Quick
+      (fun () ->
+        let rows = Expt.Reliability.tip_sweep ~max_failed:1 () in
+        match rows with
+        | [ healthy; one ] ->
+            Alcotest.(check int) "all readable with no failures"
+              healthy.Expt.Reliability.sectors healthy.Expt.Reliability.readable;
+            Alcotest.(check bool) "mostly unreadable with one failure" true
+              (one.Expt.Reliability.readable < one.Expt.Reliability.sectors / 4);
+            Alcotest.(check int) "never misclassified as heated" 0
+              one.Expt.Reliability.classified_heated
+        | _ -> Alcotest.fail "expected two rows");
+  ]
+
+let aging_shape =
+  [
+    Alcotest.test_case "device life: monotone RO growth to end of life" `Slow
+      (fun () ->
+        let life = Expt.Aging.run ~n_blocks:1024 () in
+        Alcotest.(check bool) "reached end of life" true
+          (life.Expt.Aging.end_of_life_at <> None);
+        Alcotest.(check bool) "audits intact" true life.Expt.Aging.all_audits_intact;
+        Alcotest.(check bool) "records written" true
+          (life.Expt.Aging.records_written > 100);
+        let rec monotone = function
+          | a :: (b :: _ as rest) ->
+              a.Expt.Aging.ro_fraction <= b.Expt.Aging.ro_fraction +. 1e-9
+              && monotone rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "RO fraction monotone" true
+          (monotone life.Expt.Aging.samples);
+        let final = List.nth life.Expt.Aging.samples
+            (List.length life.Expt.Aging.samples - 1) in
+        Alcotest.(check bool) "most of the device is RO at death" true
+          (final.Expt.Aging.ro_fraction > 0.5));
+    Alcotest.test_case "clustering keeps the RO area less fragmented" `Slow
+      (fun () ->
+        let frag life =
+          let final = List.nth life.Expt.Aging.samples
+              (List.length life.Expt.Aging.samples - 1) in
+          float_of_int final.Expt.Aging.heated_runs
+          /. float_of_int (max 1 final.Expt.Aging.heated_lines)
+        in
+        let c = Expt.Aging.run ~n_blocks:1024 ~clustering:true () in
+        let n = Expt.Aging.run ~n_blocks:1024 ~clustering:false () in
+        Alcotest.(check bool) "fewer runs per heated line" true
+          (frag c <= frag n +. 1e-9));
+  ]
+
+let () =
+  Alcotest.run "expt"
+    [
+      ("smoke", smoke);
+      ("erb-shape", erb_shape);
+      ("reliability-shape", reliability_shape);
+      ("aging-shape", aging_shape);
+      ("ops-shape", ops_shape);
+      ("heat-shape", heat_shape);
+      ("lfs-shape", lfs_shape);
+      ("archive-shape", archive_shape);
+      ("thermal-shape", thermal_shape);
+    ]

@@ -1,0 +1,131 @@
+(* The fossilised index. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let ok what = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" what e
+
+let make ?(n_blocks = 4096) ?branching () =
+  Fossil.create ?branching
+    (Sero.Device.create (Sero.Device.default_config ~n_blocks ~line_exp:3 ()))
+
+let basic_cases =
+  [
+    Alcotest.test_case "insert then find" `Quick (fun () ->
+        let f = make () in
+        ok "insert" (Fossil.insert f ~key:"k" ~value:"v");
+        Alcotest.(check (list string)) "found" [ "v" ] (ok "find" (Fossil.find f ~key:"k")));
+    Alcotest.test_case "absent key finds nothing" `Quick (fun () ->
+        let f = make () in
+        ok "insert" (Fossil.insert f ~key:"k" ~value:"v");
+        Alcotest.(check (list string)) "empty" [] (ok "find" (Fossil.find f ~key:"nope")));
+    Alcotest.test_case "duplicate keys keep all values in order" `Quick
+      (fun () ->
+        let f = make () in
+        ok "i1" (Fossil.insert f ~key:"k" ~value:"first");
+        ok "i2" (Fossil.insert f ~key:"k" ~value:"second");
+        Alcotest.(check (list string)) "both" [ "first"; "second" ]
+          (ok "find" (Fossil.find f ~key:"k")));
+    Alcotest.test_case "oversized value refused" `Quick (fun () ->
+        let f = make () in
+        match Fossil.insert f ~key:"k" ~value:(String.make 200 'v') with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "accepted");
+  ]
+
+let many_inserts_found =
+  QCheck.Test.make ~name:"hundreds of inserts all findable" ~count:5
+    QCheck.(int_range 100 400)
+    (fun n ->
+      let f = make () in
+      for i = 0 to n - 1 do
+        Result.get_ok
+          (Fossil.insert f ~key:(Printf.sprintf "key%d" i)
+             ~value:(Printf.sprintf "val%d" i))
+      done;
+      List.for_all
+        (fun i ->
+          Fossil.find f ~key:(Printf.sprintf "key%d" i)
+          = Ok [ Printf.sprintf "val%d" i ])
+        (List.init n (fun i -> i)))
+
+let sealing_cases =
+  [
+    Alcotest.test_case "enough inserts seal the root and grow depth" `Quick
+      (fun () ->
+        let f = make () in
+        for i = 0 to 499 do
+          ok "insert" (Fossil.insert f ~key:(string_of_int i) ~value:"x")
+        done;
+        let s = Fossil.stats f in
+        Alcotest.(check bool) "sealed some" true (s.Fossil.sealed_nodes >= 1);
+        Alcotest.(check bool) "descended" true (s.Fossil.depth >= 1);
+        Alcotest.(check int) "all entries" 500 s.Fossil.entries);
+    Alcotest.test_case "sealed nodes verify Intact" `Quick (fun () ->
+        let f = make () in
+        for i = 0 to 499 do
+          ok "insert" (Fossil.insert f ~key:(string_of_int i) ~value:"x")
+        done;
+        List.iter
+          (fun (line, v) ->
+            Alcotest.(check bool) (Printf.sprintf "line %d" line) true
+              (Sero.Tamper.equal_verdict v Sero.Tamper.Intact))
+          (Fossil.verify f));
+    Alcotest.test_case "tampering a sealed node is detected" `Quick (fun () ->
+        let f = make () in
+        for i = 0 to 499 do
+          ok "insert" (Fossil.insert f ~key:(string_of_int i) ~value:"x")
+        done;
+        match Fossil.verify f with
+        | [] -> Alcotest.fail "nothing sealed"
+        | (line, _) :: _ ->
+            let dev = Fossil.device f in
+            Sero.Device.unsafe_write_block dev
+              ~pba:(List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) line))
+              "falsified entry";
+            let v = List.assoc line (Fossil.verify f) in
+            Alcotest.(check bool) "tampered" true (Sero.Tamper.is_tampered v));
+    Alcotest.test_case "entries in sealed nodes remain findable" `Quick
+      (fun () ->
+        let f = make () in
+        for i = 0 to 499 do
+          ok "insert" (Fossil.insert f ~key:(Printf.sprintf "k%d" i) ~value:(Printf.sprintf "v%d" i))
+        done;
+        (* Some of the early keys necessarily live in sealed nodes now. *)
+        List.iter
+          (fun i ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "k%d" i)
+              [ Printf.sprintf "v%d" i ]
+              (ok "find" (Fossil.find f ~key:(Printf.sprintf "k%d" i))))
+          [ 0; 1; 2; 3; 4 ]);
+  ]
+
+let reload_cases =
+  [
+    Alcotest.test_case "reload rebuilds the index from the medium" `Quick
+      (fun () ->
+        let f = make () in
+        for i = 0 to 199 do
+          ok "insert" (Fossil.insert f ~key:(Printf.sprintf "k%d" i) ~value:(Printf.sprintf "v%d" i))
+        done;
+        let dev = Fossil.device f in
+        let f2 = ok "reload" (Fossil.reload dev) in
+        List.iter
+          (fun i ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "k%d" i)
+              [ Printf.sprintf "v%d" i ]
+              (ok "find" (Fossil.find f2 ~key:(Printf.sprintf "k%d" i))))
+          [ 0; 50; 99; 150; 199 ];
+        let s1 = Fossil.stats f and s2 = Fossil.stats f2 in
+        Alcotest.(check int) "nodes" s1.Fossil.nodes s2.Fossil.nodes;
+        Alcotest.(check int) "entries" s1.Fossil.entries s2.Fossil.entries;
+        Alcotest.(check int) "sealed" s1.Fossil.sealed_nodes s2.Fossil.sealed_nodes);
+  ]
+
+let () =
+  Alcotest.run "fossil"
+    [
+      ("basic", basic_cases @ [ qtest many_inserts_found ]);
+      ("sealing", sealing_cases);
+      ("reload", reload_cases);
+    ]

@@ -1,0 +1,141 @@
+(* SHA-256 against the FIPS 180-4 / NIST CAVS vectors, plus streaming
+   and encoding properties. *)
+
+let check_digest name input expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string)
+        name expected
+        (Hash.Sha256.to_hex (Hash.Sha256.digest_string input)))
+
+let nist_vectors =
+  [
+    ( "empty",
+      "",
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" );
+    ( "abc",
+      "abc",
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" );
+    ( "448-bit",
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "896-bit",
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      ^ "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ( "one-block-exactly (64 bytes)",
+      String.make 64 'a',
+      "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb" );
+    ( "len-55 (padding boundary)",
+      String.make 55 'b',
+      "eb2c86e932179f4ba13fe8715a26124b77d6bad290b9b4c1cc140cf633300c19" );
+    ( "len-56 (padding boundary)",
+      String.make 56 'b',
+      "a5fc6e203a4c2b657d0d153885932414b2ffc6a93f0f8bf8b3183315e5a7212c" );
+  ]
+
+let million_a =
+  Alcotest.test_case "million 'a' (streaming)" `Slow (fun () ->
+      let ctx = Hash.Sha256.init () in
+      let chunk = String.make 1000 'a' in
+      for _ = 1 to 1000 do
+        Hash.Sha256.feed_string ctx chunk
+      done;
+      Alcotest.(check string)
+        "digest"
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        (Hash.Sha256.to_hex (Hash.Sha256.finalize ctx)))
+
+let streaming_equals_oneshot =
+  QCheck.Test.make ~name:"streaming equals one-shot at any chunking" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 500)) (int_range 1 64))
+    (fun (s, chunk) ->
+      let ctx = Hash.Sha256.init () in
+      let rec go off =
+        if off < String.length s then begin
+          let take = min chunk (String.length s - off) in
+          Hash.Sha256.feed_bytes ctx (Bytes.of_string s) off take;
+          go (off + take)
+        end
+      in
+      go 0;
+      Hash.Sha256.equal (Hash.Sha256.finalize ctx) (Hash.Sha256.digest_string s))
+
+let concat_matches =
+  QCheck.Test.make ~name:"digest_concat = digest of concatenation" ~count:200
+    QCheck.(small_list (string_of_size Gen.(0 -- 50)))
+    (fun parts ->
+      Hash.Sha256.equal
+        (Hash.Sha256.digest_concat parts)
+        (Hash.Sha256.digest_string (String.concat "" parts)))
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"to_hex/of_hex roundtrip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.return 10))
+    (fun s ->
+      let d = Hash.Sha256.digest_string s in
+      Hash.Sha256.equal d (Hash.Sha256.of_hex (Hash.Sha256.to_hex d)))
+
+let raw_roundtrip =
+  QCheck.Test.make ~name:"to_raw/of_raw roundtrip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      let d = Hash.Sha256.digest_string s in
+      Hash.Sha256.equal d (Hash.Sha256.of_raw (Hash.Sha256.to_raw d)))
+
+let no_trivial_collisions =
+  QCheck.Test.make ~name:"distinct inputs give distinct digests" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 80)) (string_of_size Gen.(0 -- 80)))
+    (fun (a, b) ->
+      String.equal a b
+      || not (Hash.Sha256.equal (Hash.Sha256.digest_string a) (Hash.Sha256.digest_string b)))
+
+let misuse =
+  [
+    Alcotest.test_case "finalize twice raises" `Quick (fun () ->
+        let ctx = Hash.Sha256.init () in
+        ignore (Hash.Sha256.finalize ctx);
+        Alcotest.check_raises "second finalize"
+          (Invalid_argument "Sha256.finalize: finalized context") (fun () ->
+            ignore (Hash.Sha256.finalize ctx)));
+    Alcotest.test_case "feed after finalize raises" `Quick (fun () ->
+        let ctx = Hash.Sha256.init () in
+        ignore (Hash.Sha256.finalize ctx);
+        Alcotest.check_raises "feed"
+          (Invalid_argument "Sha256.feed_bytes: finalized context") (fun () ->
+            Hash.Sha256.feed_string ctx "x"));
+    Alcotest.test_case "of_raw wrong size raises" `Quick (fun () ->
+        Alcotest.check_raises "of_raw"
+          (Invalid_argument "Sha256.of_raw: need 32 bytes") (fun () ->
+            ignore (Hash.Sha256.of_raw "short")));
+    Alcotest.test_case "of_hex bad digit raises" `Quick (fun () ->
+        Alcotest.check_raises "of_hex"
+          (Invalid_argument "Sha256.of_hex: bad digit") (fun () ->
+            ignore (Hash.Sha256.of_hex (String.make 64 'z'))));
+    Alcotest.test_case "zero digest is 32 zero bytes" `Quick (fun () ->
+        Alcotest.(check string)
+          "raw"
+          (String.make 32 '\x00')
+          (Hash.Sha256.to_raw Hash.Sha256.zero));
+    Alcotest.test_case "compare is a total order consistent with equal" `Quick
+      (fun () ->
+        let a = Hash.Sha256.digest_string "a"
+        and b = Hash.Sha256.digest_string "b" in
+        Alcotest.(check bool) "equal self" true (Hash.Sha256.compare a a = 0);
+        Alcotest.(check bool)
+          "antisym" true
+          (Hash.Sha256.compare a b = -Hash.Sha256.compare b a));
+  ]
+
+let () =
+  Alcotest.run "hash"
+    [
+      ("nist-vectors", List.map (fun (n, i, e) -> check_digest n i e) nist_vectors);
+      ("large", [ million_a ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            streaming_equals_oneshot; concat_matches; hex_roundtrip;
+            raw_roundtrip; no_trivial_collisions;
+          ] );
+      ("misuse", misuse);
+    ]

@@ -1,0 +1,516 @@
+(* The log-structured file system: encodings, file IO against a model,
+   directories, cleaner, heat strategies, remount, fsck. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let ok what = function Ok v -> v | Error e -> Alcotest.failf "%s: %s" what e
+
+let make_fs ?(n_blocks = 2048) ?(clustering = true) () =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks ~line_exp:3 ())
+  in
+  let policy = { Lfs.State.default_policy with Lfs.State.clustering } in
+  (dev, Lfs.Fs.format ~policy dev)
+
+(* {1 Encodings} *)
+
+let arb_inode =
+  QCheck.make
+    QCheck.Gen.(
+      let* ino = int_range 1 100000 in
+      let* kind = oneofl [ Lfs.Enc.Regular; Lfs.Enc.Directory ] in
+      let* nlink = int_range 1 100 in
+      let* heat_group = int_range 0 1000 in
+      let* size = int_range 0 2_000_000 in
+      let* generation = int_range 0 100000 in
+      let* direct = array_size (return Lfs.Enc.n_direct) (int_range 0 100000) in
+      let* single_ind = int_range 0 100000 in
+      let* double_ind = int_range 0 100000 in
+      return
+        {
+          Lfs.Enc.ino;
+          kind;
+          nlink;
+          heat_group;
+          size;
+          mtime = 42.5;
+          generation;
+          direct;
+          single_ind;
+          double_ind;
+        })
+
+let inode_roundtrip =
+  QCheck.Test.make ~name:"inode encode/decode roundtrip" ~count:200 arb_inode
+    (fun i ->
+      match Lfs.Enc.decode_inode (Lfs.Enc.encode_inode i) with
+      | Some j -> i = j
+      | None -> false)
+
+let arb_dirents =
+  QCheck.(
+    small_list
+      (map
+         (fun (name, ino, dir) ->
+           {
+             Lfs.Enc.name = "f" ^ String.map (fun c -> Char.chr (97 + (Char.code c mod 26))) name;
+             entry_ino = 1 + (ino mod 1000);
+             entry_kind = (if dir then Lfs.Enc.Directory else Lfs.Enc.Regular);
+           })
+         (triple (string_of_size Gen.(0 -- 8)) small_nat bool)))
+
+let dirents_roundtrip =
+  QCheck.Test.make ~name:"dirent list roundtrip" ~count:200 arb_dirents
+    (fun es ->
+      let es = List.filteri (fun i _ -> i < 15) es in
+      match Lfs.Enc.decode_dirents (Lfs.Enc.encode_dirents es) with
+      | Some got -> got = es
+      | None -> false)
+
+let arb_owner =
+  QCheck.make
+    QCheck.Gen.(
+      oneof
+        [
+          return Lfs.Enc.Unused;
+          return Lfs.Enc.Summary_block;
+          (let* o_ino = int_range 1 9999 in
+           let* block_index = int_range 0 4000 in
+           return (Lfs.Enc.Data_of { o_ino; block_index }));
+          (let* ino = int_range 1 9999 in
+           return (Lfs.Enc.Inode_of ino));
+          (let* o_ino = int_range 1 9999 in
+           let* slot = int_range (-2) 60 in
+           return (Lfs.Enc.Indirect_of { o_ino; slot }));
+        ])
+
+let summary_roundtrip =
+  QCheck.Test.make ~name:"segment summary roundtrip" ~count:200
+    (QCheck.array_of_size (QCheck.Gen.return 28) arb_owner)
+    (fun owners ->
+      let s = { Lfs.Enc.seg_index = 17; owners } in
+      match Lfs.Enc.decode_summary (Lfs.Enc.encode_summary s) with
+      | Some got -> got.Lfs.Enc.seg_index = 17 && got.Lfs.Enc.owners = owners
+      | None -> false)
+
+let checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint roundtrip" ~count:100
+    QCheck.(pair (small_list (pair (int_range 1 999) (int_range 1 99999))) small_nat)
+    (fun (imap, seq) ->
+      let imap = List.sort_uniq compare imap in
+      let segments =
+        Array.init 8 (fun i ->
+            {
+              Lfs.Enc.state =
+                List.nth
+                  [ Lfs.Enc.Seg_free; Lfs.Enc.Seg_open; Lfs.Enc.Seg_closed; Lfs.Enc.Seg_heated ]
+                  (i mod 4);
+              live_blocks = i * 3;
+              seg_group = i;
+              age = 100 - i;
+            })
+      in
+      let c = { Lfs.Enc.seq; timestamp = 9.75; next_ino = 42; imap; segments } in
+      match Lfs.Enc.decode_checkpoint (Lfs.Enc.encode_checkpoint c) with
+      | Some got -> got = c
+      | None -> false)
+
+let pointer_roundtrip =
+  QCheck.Test.make ~name:"pointer block roundtrip" ~count:200
+    (QCheck.array_of_size (QCheck.Gen.return Lfs.Enc.pointers_per_indirect)
+       (QCheck.int_range 0 1_000_000))
+    (fun ptrs ->
+      match Lfs.Enc.decode_pointer_block (Lfs.Enc.encode_pointer_block ptrs) with
+      | Some got -> got = ptrs
+      | None -> false)
+
+let enc_cases =
+  [
+    Alcotest.test_case "garbage never decodes" `Quick (fun () ->
+        Alcotest.(check bool) "inode" true (Lfs.Enc.decode_inode (String.make 512 'q') = None);
+        Alcotest.(check bool) "dirents" true (Lfs.Enc.decode_dirents (String.make 512 'q') = None);
+        Alcotest.(check bool) "summary" true (Lfs.Enc.decode_summary (String.make 512 'q') = None);
+        Alcotest.(check bool) "checkpoint" true (Lfs.Enc.decode_checkpoint (String.make 512 'q') = None));
+  ]
+
+(* {1 File IO against a reference model} *)
+
+(* Model: a growable byte buffer with the same write/read semantics. *)
+module Model = struct
+  type t = { mutable data : Bytes.t; mutable size : int }
+
+  let create () = { data = Bytes.create 0; size = 0 }
+
+  let ensure t n =
+    if n > Bytes.length t.data then begin
+      let bigger = Bytes.make (max n (2 * Bytes.length t.data)) '\x00' in
+      Bytes.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end
+
+  let write t ~offset s =
+    ensure t (offset + String.length s);
+    Bytes.blit_string s 0 t.data offset (String.length s);
+    t.size <- max t.size (offset + String.length s)
+
+  let read t ~offset ~len =
+    let len = max 0 (min len (t.size - offset)) in
+    Bytes.sub_string t.data offset len
+end
+
+let file_io_model =
+  QCheck.Test.make ~name:"random writes match a byte-buffer model" ~count:30
+    QCheck.(
+      small_list (pair (int_range 0 8000) (string_of_size Gen.(1 -- 900))))
+    (fun ops ->
+      let _, fs = make_fs () in
+      (match Lfs.Fs.create fs "/f" with Ok () -> () | Error e -> failwith e);
+      let model = Model.create () in
+      List.for_all
+        (fun (offset, data) ->
+          match Lfs.Fs.write_file fs "/f" ~offset data with
+          | Error _ -> false
+          | Ok () ->
+              Model.write model ~offset data;
+              let got =
+                match Lfs.Fs.read_file fs "/f" with
+                | Ok s -> s
+                | Error e -> failwith e
+              in
+              String.equal got (Model.read model ~offset:0 ~len:model.Model.size))
+        ops)
+
+let file_cases =
+  [
+    Alcotest.test_case "sparse file: holes read as zeros" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/sparse");
+        ok "write" (Lfs.Fs.write_file fs "/sparse" ~offset:5000 "tail");
+        let s = ok "read" (Lfs.Fs.read_file fs "/sparse") in
+        Alcotest.(check int) "size" 5004 (String.length s);
+        Alcotest.(check bool) "hole zeroed" true
+          (String.for_all (fun c -> c = '\x00') (String.sub s 0 5000));
+        Alcotest.(check string) "tail" "tail" (String.sub s 5000 4));
+    Alcotest.test_case "double-indirect file (100 KB) roundtrips" `Quick
+      (fun () ->
+        let _, fs = make_fs ~n_blocks:4096 () in
+        ok "create" (Lfs.Fs.create fs "/big");
+        let data = String.init 102400 (fun i -> Char.chr (i mod 251)) in
+        ok "write" (Lfs.Fs.write_file fs "/big" ~offset:0 data);
+        Lfs.Fs.sync fs;
+        let got = ok "read" (Lfs.Fs.read_file fs "/big") in
+        Alcotest.(check bool) "equal" true (String.equal got data));
+    Alcotest.test_case "read past EOF truncates" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/s");
+        ok "write" (Lfs.Fs.write_file fs "/s" ~offset:0 "abc");
+        Alcotest.(check string) "clipped" "bc"
+          (ok "read" (Lfs.Fs.read_range fs "/s" ~offset:1 ~len:100)));
+    Alcotest.test_case "append grows the file" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/log");
+        ok "a1" (Lfs.Fs.append fs "/log" "one ");
+        ok "a2" (Lfs.Fs.append fs "/log" "two");
+        Alcotest.(check string) "contents" "one two" (ok "read" (Lfs.Fs.read_file fs "/log")));
+  ]
+
+(* {1 Namespace} *)
+
+let namespace_cases =
+  [
+    Alcotest.test_case "mkdir / create / readdir / lookup" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "mkdir" (Lfs.Fs.mkdir fs "/a");
+        ok "mkdir" (Lfs.Fs.mkdir fs "/a/b");
+        ok "create" (Lfs.Fs.create fs "/a/b/f");
+        Alcotest.(check bool) "exists" true (Lfs.Fs.exists fs "/a/b/f");
+        Alcotest.(check bool) "missing" false (Lfs.Fs.exists fs "/a/b/g");
+        let names =
+          List.map (fun e -> e.Lfs.Enc.name) (ok "readdir" (Lfs.Fs.readdir fs "/a/b"))
+        in
+        Alcotest.(check (list string)) "entries" [ "f" ] names);
+    Alcotest.test_case "duplicate names refused" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/x");
+        match Lfs.Fs.create fs "/x" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "duplicate allowed");
+    Alcotest.test_case "unlink frees and removes" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/t");
+        ok "write" (Lfs.Fs.write_file fs "/t" ~offset:0 (String.make 4096 'x'));
+        ok "unlink" (Lfs.Fs.unlink fs "/t");
+        Alcotest.(check bool) "gone" false (Lfs.Fs.exists fs "/t"));
+    Alcotest.test_case "non-empty directory cannot be removed" `Quick
+      (fun () ->
+        let _, fs = make_fs () in
+        ok "mkdir" (Lfs.Fs.mkdir fs "/d");
+        ok "create" (Lfs.Fs.create fs "/d/f");
+        match Lfs.Fs.unlink fs "/d" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "removed non-empty dir");
+    Alcotest.test_case "hard links share content; unlink decrements" `Quick
+      (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/orig");
+        ok "write" (Lfs.Fs.write_file fs "/orig" ~offset:0 "shared");
+        ok "link" (Lfs.Fs.link fs "/orig" "/alias");
+        Alcotest.(check string) "alias reads" "shared" (ok "read" (Lfs.Fs.read_file fs "/alias"));
+        ok "unlink orig" (Lfs.Fs.unlink fs "/orig");
+        Alcotest.(check string) "alias survives" "shared"
+          (ok "read" (Lfs.Fs.read_file fs "/alias")));
+    Alcotest.test_case "large directory spans blocks" `Quick (fun () ->
+        let _, fs = make_fs () in
+        for i = 0 to 120 do
+          ok "create" (Lfs.Fs.create fs (Printf.sprintf "/file-%03d" i))
+        done;
+        Alcotest.(check int) "all listed" 121
+          (List.length (ok "readdir" (Lfs.Fs.readdir fs "/"))));
+    Alcotest.test_case "relative and dotted paths rejected" `Quick (fun () ->
+        let _, fs = make_fs () in
+        (match Lfs.Fs.create fs "relative" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "relative path accepted");
+        match Lfs.Fs.create fs "/a/../b" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "dotted path accepted");
+  ]
+
+(* {1 Cleaner} *)
+
+let cleaner_cases =
+  [
+    Alcotest.test_case "churn forces cleaning and space survives" `Quick
+      (fun () ->
+        let _, fs = make_fs ~n_blocks:512 () in
+        (* Interleave long-lived blocks with churn in the same segments:
+           no segment ever becomes fully dead (which would self-free
+           without copying), so survival requires the cleaner to copy
+           the keepers out. *)
+        ok "create keep" (Lfs.Fs.create fs "/keep");
+        ok "create churn" (Lfs.Fs.create fs "/churn");
+        for round = 0 to 60 do
+          ok "keep"
+            (Lfs.Fs.write_file fs "/keep" ~offset:(512 * (round mod 24))
+               (String.make 512 (Char.chr (97 + (round mod 26)))));
+          ok "churn"
+            (Lfs.Fs.write_file fs "/churn" ~offset:0
+               (String.make 6144 (Char.chr (65 + (round mod 26)))))
+        done;
+        let s = Lfs.Fs.stats fs in
+        Alcotest.(check bool) "cleaner ran" true
+          (s.Lfs.Fs.metrics.Lfs.State.segments_cleaned > 0);
+        Alcotest.(check bool) "cleaner copied live blocks" true
+          (s.Lfs.Fs.metrics.Lfs.State.cleaner_copies > 0);
+        Alcotest.(check string) "churn data intact"
+          (String.make 10 (Char.chr (65 + (60 mod 26))))
+          (String.sub (ok "read" (Lfs.Fs.read_file fs "/churn")) 0 10);
+        (* Block 0 of /keep was last rewritten at round 48. *)
+        Alcotest.(check string) "keeper data intact"
+          (String.make 10 (Char.chr (97 + (48 mod 26))))
+          (String.sub (ok "read" (Lfs.Fs.read_file fs "/keep")) 0 10));
+    Alcotest.test_case "cleaner skips heated segments" `Quick (fun () ->
+        let dev, fs = make_fs ~n_blocks:512 () in
+        ok "create" (Lfs.Fs.create fs "/frozen");
+        ok "write" (Lfs.Fs.write_file fs "/frozen" ~offset:0 (String.make 4096 'f'));
+        let _ = ok "heat" (Lfs.Fs.heat fs "/frozen") in
+        let st = Lfs.Fs.state fs in
+        let heated_segs =
+          List.sort_uniq compare
+            (List.map
+               (fun l -> l / st.Lfs.State.policy.Lfs.State.segment_lines)
+               (Lfs.Heat.file_lines st
+                  ~ino:
+                    (match Lfs.Dirops.lookup st "/frozen" with
+                    | Some (i, _) -> i
+                    | None -> Alcotest.fail "lost")))
+        in
+        ok "create" (Lfs.Fs.create fs "/churn");
+        for round = 0 to 60 do
+          ok "write"
+            (Lfs.Fs.write_file fs "/churn" ~offset:0
+               (String.make 8192 (Char.chr (97 + (round mod 26)))))
+        done;
+        (* The heated file must be untouched and verified. *)
+        List.iter
+          (fun (_, v) ->
+            Alcotest.(check bool) "intact" true
+              (Sero.Tamper.equal_verdict v Sero.Tamper.Intact))
+          (ok "verify" (Lfs.Fs.verify fs "/frozen"));
+        List.iter
+          (fun seg ->
+            Alcotest.(check bool) "still heated state" true
+              (Lfs.Enc.equal_seg_state st.Lfs.State.segs.(seg).Lfs.State.state
+                 Lfs.Enc.Seg_heated))
+          heated_segs;
+        ignore dev);
+    Alcotest.test_case "out of space reported, not crashed" `Quick (fun () ->
+        let _, fs = make_fs ~n_blocks:256 () in
+        ok "create" (Lfs.Fs.create fs "/fill");
+        let rec fill i =
+          if i > 400 then None
+          else
+            match
+              Lfs.Fs.write_file fs "/fill" ~offset:(i * 512) (String.make 512 'z')
+            with
+            | Ok () -> fill (i + 1)
+            | Error e -> Some e
+        in
+        match fill 0 with
+        | Some e -> Alcotest.(check string) "message" "out of space" e
+        | None -> Alcotest.fail "never filled up");
+  ]
+
+(* {1 Heat strategies} *)
+
+let heat_cases =
+  [
+    Alcotest.test_case "clustered file heats in place (no copies)" `Quick
+      (fun () ->
+        let _, fs = make_fs ~clustering:true () in
+        ok "create" (Lfs.Fs.create fs ~heat_group:5 "/solo");
+        ok "write" (Lfs.Fs.write_file fs "/solo" ~offset:0 (String.make 8192 's'));
+        let r = ok "heat" (Lfs.Fs.heat fs "/solo") in
+        Alcotest.(check int) "no relocation" 0 r.Lfs.Heat.relocated_blocks;
+        Alcotest.(check bool) "heated" true (ok "is" (Lfs.Fs.is_heated fs "/solo")));
+    Alcotest.test_case "interleaved naive allocation forces relocation" `Quick
+      (fun () ->
+        let _, fs = make_fs ~clustering:false () in
+        ok "c1" (Lfs.Fs.create fs ~heat_group:1 "/a");
+        ok "c2" (Lfs.Fs.create fs ~heat_group:2 "/b");
+        for i = 0 to 15 do
+          ok "wa" (Lfs.Fs.write_file fs "/a" ~offset:(i * 512) (String.make 512 'a'));
+          ok "wb" (Lfs.Fs.write_file fs "/b" ~offset:(i * 512) (String.make 512 'b'))
+        done;
+        Lfs.Fs.sync fs;
+        let r = ok "heat" (Lfs.Fs.heat fs "/a") in
+        Alcotest.(check bool) "relocated" true (r.Lfs.Heat.relocated_blocks > 0);
+        Alcotest.(check bool) "file intact after relocation" true
+          (String.equal
+             (ok "read" (Lfs.Fs.read_file fs "/a"))
+             (String.make 8192 'a'));
+        List.iter
+          (fun (_, v) ->
+            Alcotest.(check bool) "intact" true
+              (Sero.Tamper.equal_verdict v Sero.Tamper.Intact))
+          (ok "verify" (Lfs.Fs.verify fs "/a")));
+    Alcotest.test_case "Never_relocate freezes bystanders (collateral)" `Quick
+      (fun () ->
+        let _, fs = make_fs ~clustering:false () in
+        ok "c1" (Lfs.Fs.create fs ~heat_group:1 "/a");
+        ok "c2" (Lfs.Fs.create fs ~heat_group:2 "/b");
+        for i = 0 to 7 do
+          ok "wa" (Lfs.Fs.write_file fs "/a" ~offset:(i * 512) (String.make 512 'a'));
+          ok "wb" (Lfs.Fs.write_file fs "/b" ~offset:(i * 512) (String.make 512 'b'))
+        done;
+        Lfs.Fs.sync fs;
+        let r = ok "heat" (Lfs.Fs.heat fs ~strategy:Lfs.Heat.Never_relocate "/a") in
+        Alcotest.(check bool) "collateral counted" true (r.Lfs.Heat.collateral_frozen > 0);
+        (* The bystander is now read-only too. *)
+        match Lfs.Fs.write_file fs "/b" ~offset:0 "x" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "bystander writable");
+    Alcotest.test_case "heating an empty file fails" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/empty");
+        match Lfs.Fs.heat fs "/empty" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "heated an empty file");
+    Alcotest.test_case "double heat refused" `Quick (fun () ->
+        let _, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/once");
+        ok "write" (Lfs.Fs.write_file fs "/once" ~offset:0 "data");
+        let _ = ok "heat" (Lfs.Fs.heat fs "/once") in
+        match Lfs.Fs.heat fs "/once" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "double heat");
+  ]
+
+(* {1 Remount and fsck} *)
+
+let persistence_cases =
+  [
+    Alcotest.test_case "remount preserves namespace and data" `Quick (fun () ->
+        let dev, fs = make_fs () in
+        ok "mkdir" (Lfs.Fs.mkdir fs "/dir");
+        ok "create" (Lfs.Fs.create fs "/dir/file");
+        ok "write" (Lfs.Fs.write_file fs "/dir/file" ~offset:0 "survives remount");
+        Lfs.Fs.unmount fs;
+        let fs2 = ok "mount" (Lfs.Fs.mount dev) in
+        Alcotest.(check string) "data" "survives remount"
+          (ok "read" (Lfs.Fs.read_file fs2 "/dir/file")));
+    Alcotest.test_case "remount after heat keeps heated state" `Quick
+      (fun () ->
+        let dev, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs "/h");
+        ok "write" (Lfs.Fs.write_file fs "/h" ~offset:0 "frozen");
+        let _ = ok "heat" (Lfs.Fs.heat fs "/h") in
+        Lfs.Fs.unmount fs;
+        let fs2 = ok "mount" (Lfs.Fs.mount dev) in
+        Alcotest.(check bool) "still heated" true (ok "is" (Lfs.Fs.is_heated fs2 "/h"));
+        match Lfs.Fs.write_file fs2 "/h" ~offset:0 "y" with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "heated file writable after remount");
+    Alcotest.test_case "mount without checkpoint fails cleanly" `Quick
+      (fun () ->
+        let dev =
+          Sero.Device.create (Sero.Device.default_config ~n_blocks:256 ~line_exp:3 ())
+        in
+        match Lfs.Fs.mount dev with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "mounted an unformatted device");
+    Alcotest.test_case "cleaner works after remount (summaries reload)" `Quick
+      (fun () ->
+        let dev, fs = make_fs ~n_blocks:512 () in
+        ok "create" (Lfs.Fs.create fs "/churn");
+        for i = 0 to 30 do
+          ok "w" (Lfs.Fs.write_file fs "/churn" ~offset:0 (String.make 4096 (Char.chr (65 + (i mod 26)))))
+        done;
+        Lfs.Fs.unmount fs;
+        let fs2 = ok "mount" (Lfs.Fs.mount dev) in
+        for i = 0 to 30 do
+          ok "w" (Lfs.Fs.write_file fs2 "/churn" ~offset:0 (String.make 4096 (Char.chr (97 + (i mod 26)))))
+        done;
+        Alcotest.(check bool) "alive" true
+          (String.length (ok "read" (Lfs.Fs.read_file fs2 "/churn")) = 4096));
+    Alcotest.test_case "fsck recovers heated files after total wipeout" `Quick
+      (fun () ->
+        let dev, fs = make_fs () in
+        ok "create" (Lfs.Fs.create fs ~heat_group:1 "/precious");
+        let body = String.init 3000 (fun i -> Char.chr (32 + (i mod 90))) in
+        ok "write" (Lfs.Fs.write_file fs "/precious" ~offset:0 body);
+        let _ = ok "heat" (Lfs.Fs.heat fs "/precious") in
+        Lfs.Fs.sync fs;
+        (* Destroy namespace AND checkpoints. *)
+        let lay = Sero.Device.layout dev in
+        for line = 0 to 7 do
+          List.iter
+            (fun pba -> Sero.Device.unsafe_write_block dev ~pba (String.make 512 '\x00'))
+            (Sero.Layout.data_blocks_of_line lay line)
+        done;
+        let report = Lfs.Fsck.run dev in
+        Alcotest.(check bool) "file recovered" true
+          (List.exists
+             (fun r ->
+               r.Lfs.Fsck.r_complete
+               && r.Lfs.Fsck.r_size = 3000
+               &&
+               match r.Lfs.Fsck.r_content_sha256 with
+               | Some d -> Hash.Sha256.equal d (Hash.Sha256.digest_string body)
+               | None -> false)
+             report.Lfs.Fsck.recovered_files));
+  ]
+
+let () =
+  Alcotest.run "lfs"
+    [
+      ( "encodings",
+        enc_cases
+        @ List.map qtest
+            [ inode_roundtrip; dirents_roundtrip; summary_roundtrip;
+              checkpoint_roundtrip; pointer_roundtrip ] );
+      ("file-io", file_cases @ [ qtest file_io_model ]);
+      ("namespace", namespace_cases);
+      ("cleaner", cleaner_cases);
+      ("heat", heat_cases);
+      ("persistence", persistence_cases);
+    ]

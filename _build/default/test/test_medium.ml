@@ -1,0 +1,252 @@
+(* The patterned medium: dot state machine (Figure 2), packed state
+   matrix, and the four bit operations. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let dot_state =
+  QCheck.make
+    (QCheck.Gen.oneofl
+       [ Pmedia.Dot.Magnetised Pmedia.Dot.Up;
+         Pmedia.Dot.Magnetised Pmedia.Dot.Down; Pmedia.Dot.Heated ])
+    ~print:(Format.asprintf "%a" Pmedia.Dot.pp)
+
+(* {1 Figure 2: state machine} *)
+
+let dot_cases =
+  [
+    Alcotest.test_case "exhaustive transition table matches Figure 2" `Quick
+      (fun () ->
+        let expect =
+          [
+            (Pmedia.Dot.Magnetised Pmedia.Dot.Up, "mwb 0", Pmedia.Dot.Magnetised Pmedia.Dot.Down);
+            (Pmedia.Dot.Magnetised Pmedia.Dot.Up, "mwb 1", Pmedia.Dot.Magnetised Pmedia.Dot.Up);
+            (Pmedia.Dot.Magnetised Pmedia.Dot.Up, "ewb", Pmedia.Dot.Heated);
+            (Pmedia.Dot.Magnetised Pmedia.Dot.Down, "mwb 0", Pmedia.Dot.Magnetised Pmedia.Dot.Down);
+            (Pmedia.Dot.Magnetised Pmedia.Dot.Down, "mwb 1", Pmedia.Dot.Magnetised Pmedia.Dot.Up);
+            (Pmedia.Dot.Magnetised Pmedia.Dot.Down, "ewb", Pmedia.Dot.Heated);
+            (Pmedia.Dot.Heated, "mwb 0", Pmedia.Dot.Heated);
+            (Pmedia.Dot.Heated, "mwb 1", Pmedia.Dot.Heated);
+            (Pmedia.Dot.Heated, "ewb", Pmedia.Dot.Heated);
+          ]
+        in
+        List.iter
+          (fun (s, op, s') ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a --%s--> %a" Pmedia.Dot.pp s op Pmedia.Dot.pp s')
+              true
+              (List.exists
+                 (fun (a, b, c) ->
+                   Pmedia.Dot.equal a s && String.equal b op && Pmedia.Dot.equal c s')
+                 Pmedia.Dot.transition_table))
+          expect;
+        Alcotest.(check int) "exactly 9 edges" 9
+          (List.length Pmedia.Dot.transition_table));
+  ]
+
+let heated_absorbing =
+  QCheck.Test.make ~name:"Heated is absorbing" ~count:100 dot_state (fun s ->
+      Pmedia.Dot.equal (Pmedia.Dot.transition_ewb s) Pmedia.Dot.Heated
+      && Pmedia.Dot.equal
+           (Pmedia.Dot.transition_mwb Pmedia.Dot.Heated Pmedia.Dot.Up)
+           Pmedia.Dot.Heated)
+
+let mwb_sets_direction =
+  QCheck.Test.make ~name:"mwb sets direction on magnetised dots" ~count:100
+    (QCheck.pair dot_state QCheck.bool) (fun (s, up) ->
+      let d = Pmedia.Dot.of_bool up in
+      match Pmedia.Dot.transition_mwb s d with
+      | Pmedia.Dot.Magnetised d' -> Pmedia.Dot.equal_direction d d'
+      | Pmedia.Dot.Heated -> Pmedia.Dot.is_heated s)
+
+(* {1 Medium matrix} *)
+
+let medium_cases =
+  [
+    Alcotest.test_case "virgin medium all Down, none heated" `Quick (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:8 ~cols:8) in
+        for i = 0 to 63 do
+          Alcotest.(check bool) "down" true
+            (Pmedia.Dot.equal (Pmedia.Medium.get m i)
+               (Pmedia.Dot.Magnetised Pmedia.Dot.Down))
+        done;
+        Alcotest.(check int) "heated" 0 (Pmedia.Medium.heated_count m));
+    Alcotest.test_case "out-of-range access raises" `Quick (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:4 ~cols:4) in
+        Alcotest.check_raises "get"
+          (Invalid_argument "Medium: dot index out of range") (fun () ->
+            ignore (Pmedia.Medium.get m 16)));
+    Alcotest.test_case "neighbours of corner, edge, interior" `Quick (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:4 ~cols:4) in
+        Alcotest.(check (list int)) "corner" [ 1; 4 ] (List.sort compare (Pmedia.Medium.neighbours m 0));
+        Alcotest.(check (list int)) "interior" [ 1; 4; 6; 9 ]
+          (List.sort compare (Pmedia.Medium.neighbours m 5));
+        Alcotest.(check (list int)) "edge" [ 2; 7 ]
+          (List.sort compare (Pmedia.Medium.neighbours m 3)));
+    Alcotest.test_case "defect rate places defects deterministically" `Quick
+      (fun () ->
+        let cfg =
+          { (Pmedia.Medium.default_config ~rows:100 ~cols:100) with
+            Pmedia.Medium.defect_rate = 0.05 }
+        in
+        let m1 = Pmedia.Medium.create cfg and m2 = Pmedia.Medium.create cfg in
+        let count m =
+          let n = ref 0 in
+          for i = 0 to Pmedia.Medium.size m - 1 do
+            if Pmedia.Medium.is_defect m i then incr n
+          done;
+          !n
+        in
+        let c1 = count m1 in
+        Alcotest.(check int) "same seed, same defects" c1 (count m2);
+        Alcotest.(check bool) "rate roughly honoured" true (c1 > 300 && c1 < 700));
+    Alcotest.test_case "capacity equals dot count at 1 bit/dot" `Quick
+      (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:10 ~cols:10) in
+        Alcotest.(check bool) "≈100 bits" true
+          (Float.abs (Pmedia.Medium.capacity_bits m -. 100.) < 1.));
+  ]
+
+let set_get_roundtrip =
+  QCheck.Test.make ~name:"set/get roundtrip at any index" ~count:300
+    QCheck.(pair (int_range 0 255) dot_state)
+    (fun (i, s) ->
+      let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:16 ~cols:16) in
+      Pmedia.Medium.set m i s;
+      Pmedia.Dot.equal (Pmedia.Medium.get m i) s)
+
+let heated_count_tracks =
+  QCheck.Test.make ~name:"heated_count tracks set operations" ~count:100
+    QCheck.(small_list (int_range 0 63))
+    (fun idxs ->
+      let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:8 ~cols:8) in
+      List.iter (fun i -> Pmedia.Medium.set m i Pmedia.Dot.Heated) idxs;
+      let distinct = List.sort_uniq compare idxs in
+      Pmedia.Medium.heated_count m = List.length distinct)
+
+(* {1 Bit operations} *)
+
+let make_ctx () =
+  Pmedia.Bitops.make
+    (Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:16 ~cols:16))
+
+let bitops_cases =
+  [
+    Alcotest.test_case "mwb then mrb reads back" `Quick (fun () ->
+        let ctx = make_ctx () in
+        Pmedia.Bitops.mwb ctx 3 Pmedia.Dot.Up;
+        Alcotest.(check bool) "up" true
+          (Pmedia.Dot.equal_direction (Pmedia.Bitops.mrb ctx 3) Pmedia.Dot.Up);
+        Pmedia.Bitops.mwb ctx 3 Pmedia.Dot.Down;
+        Alcotest.(check bool) "down" true
+          (Pmedia.Dot.equal_direction (Pmedia.Bitops.mrb ctx 3) Pmedia.Dot.Down));
+    Alcotest.test_case "ewb is irreversible; mwb has no effect after" `Quick
+      (fun () ->
+        let ctx = make_ctx () in
+        Pmedia.Bitops.ewb ctx 7;
+        Pmedia.Bitops.mwb ctx 7 Pmedia.Dot.Up;
+        Alcotest.(check bool) "still heated" true
+          (Pmedia.Dot.is_heated (Pmedia.Medium.get (Pmedia.Bitops.medium ctx) 7)));
+    Alcotest.test_case "erb detects a heated dot (with enough cycles)" `Quick
+      (fun () ->
+        let ctx = make_ctx () in
+        Pmedia.Bitops.ewb ctx 5;
+        Alcotest.(check bool) "heated detected" true
+          (Pmedia.Bitops.erb ~cycles:30 ctx 5));
+    Alcotest.test_case "erb on healthy dot reports unheated and restores data"
+      `Quick (fun () ->
+        let ctx = make_ctx () in
+        Pmedia.Bitops.mwb ctx 9 Pmedia.Dot.Up;
+        Alcotest.(check bool) "not heated" false (Pmedia.Bitops.erb ~cycles:8 ctx 9);
+        Alcotest.(check bool) "data intact" true
+          (Pmedia.Dot.equal_direction (Pmedia.Bitops.mrb ctx 9) Pmedia.Dot.Up));
+    Alcotest.test_case "erb sequence costs 5 primitive ops per cycle" `Quick
+      (fun () ->
+        let ctx = make_ctx () in
+        Pmedia.Bitops.mwb ctx 2 Pmedia.Dot.Down;
+        Pmedia.Bitops.reset_counters ctx;
+        ignore (Pmedia.Bitops.erb ~cycles:1 ctx 2);
+        let c = Pmedia.Bitops.counters ctx in
+        Alcotest.(check int) "5 ops (3 reads + 2 writes)" 5
+          (Pmedia.Bitops.primitive_ops c);
+        Alcotest.(check int) "3 reads" 3 c.Pmedia.Bitops.mrb;
+        Alcotest.(check int) "2 writes" 2 c.Pmedia.Bitops.mwb);
+    Alcotest.test_case "mrb of heated dot is a coin flip" `Quick (fun () ->
+        let ctx = make_ctx () in
+        Pmedia.Bitops.ewb ctx 0;
+        let ups = ref 0 in
+        for _ = 1 to 400 do
+          if Pmedia.Dot.equal_direction (Pmedia.Bitops.mrb ctx 0) Pmedia.Dot.Up
+          then incr ups
+        done;
+        Alcotest.(check bool) "roughly balanced" true (!ups > 120 && !ups < 280));
+    Alcotest.test_case "defective dot reads inverted" `Quick (fun () ->
+        let cfg =
+          { (Pmedia.Medium.default_config ~rows:32 ~cols:32) with
+            Pmedia.Medium.defect_rate = 0.2 }
+        in
+        let medium = Pmedia.Medium.create cfg in
+        let ctx = Pmedia.Bitops.make medium in
+        (* find a defect *)
+        let defect = ref (-1) in
+        for i = 0 to Pmedia.Medium.size medium - 1 do
+          if !defect < 0 && Pmedia.Medium.is_defect medium i then defect := i
+        done;
+        Alcotest.(check bool) "found a defect" true (!defect >= 0);
+        Pmedia.Bitops.mwb ctx !defect Pmedia.Dot.Up;
+        Alcotest.(check bool) "reads inverted" true
+          (Pmedia.Dot.equal_direction (Pmedia.Bitops.mrb ctx !defect) Pmedia.Dot.Down));
+    Alcotest.test_case "aggressive thermal profile causes collateral damage"
+      `Quick (fun () ->
+        (* A low-mixing-temperature material under an overdriven pulse
+           with hardly any substrate heat-sinking: the neighbour reaches
+           ~1000 C and its interfaces mix within the pulse. *)
+        let cfg =
+          { (Pmedia.Medium.default_config ~rows:32 ~cols:32) with
+            Pmedia.Medium.material = Physics.Constants.co_pt_low_temp }
+        in
+        let medium = Pmedia.Medium.create cfg in
+        let profile =
+          {
+            (Physics.Thermal.default_profile cfg.Pmedia.Medium.geometry) with
+            Physics.Thermal.peak_temp_c = 5000.;
+            decay_length = 50. *. cfg.Pmedia.Medium.geometry.Physics.Constants.pitch;
+          }
+        in
+        let ctx = Pmedia.Bitops.make ~profile medium in
+        for i = 100 to 140 do
+          Pmedia.Bitops.ewb ctx i
+        done;
+        let c = Pmedia.Bitops.counters ctx in
+        Alcotest.(check bool) "collateral > 0" true (c.Pmedia.Bitops.collateral > 0));
+    Alcotest.test_case "read_ber flips healthy reads occasionally" `Quick
+      (fun () ->
+        let medium = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:16 ~cols:16) in
+        let ctx = Pmedia.Bitops.make ~read_ber:0.2 medium in
+        Pmedia.Bitops.mwb ctx 0 Pmedia.Dot.Up;
+        let flips = ref 0 in
+        for _ = 1 to 500 do
+          if Pmedia.Dot.equal_direction (Pmedia.Bitops.mrb ctx 0) Pmedia.Dot.Down
+          then incr flips
+        done;
+        Alcotest.(check bool) "~20% flips" true (!flips > 50 && !flips < 160));
+  ]
+
+let erb_false_negative_rate =
+  Alcotest.test_case "erb misses a heated dot ~25% per single cycle (paper flaw)"
+    `Quick (fun () ->
+      let ctx = make_ctx () in
+      Pmedia.Bitops.ewb ctx 11;
+      let missed = ref 0 in
+      for _ = 1 to 1000 do
+        if not (Pmedia.Bitops.erb ~cycles:1 ctx 11) then incr missed
+      done;
+      (* P(miss) = 1/4: both verification reads agree by luck. *)
+      Alcotest.(check bool) "20%..31%" true (!missed > 200 && !missed < 310))
+
+let () =
+  Alcotest.run "medium"
+    [
+      ("dot", dot_cases @ List.map qtest [ heated_absorbing; mwb_sets_direction ]);
+      ("matrix", medium_cases @ List.map qtest [ set_get_roundtrip; heated_count_tracks ]);
+      ("bitops", bitops_cases @ [ erb_false_negative_rate ]);
+    ]

@@ -1,0 +1,226 @@
+(* Physics models: the Figure 7/8/9 anchors, thermal model, MFM channel
+   and Stoner–Wohlfarth switching. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let m = Physics.Constants.co_pt
+let lt = Physics.Constants.co_pt_low_temp
+
+let anisotropy_cases =
+  [
+    Alcotest.test_case "as-grown K is 80 kJ/m^3 (paper)" `Quick (fun () ->
+        Alcotest.(check (float 1.)) "K0" 80e3 (Physics.Anisotropy.k_as_grown m));
+    Alcotest.test_case "K maintained up to 500 C (paper)" `Quick (fun () ->
+        List.iter
+          (fun t ->
+            let k = Physics.Anisotropy.k_after_anneal m ~temp_c:t in
+            Alcotest.(check bool)
+              (Printf.sprintf "K(%.0f) within 2%%" t)
+              true
+              (k > 0.98 *. 80e3))
+          [ 25.; 100.; 200.; 300.; 400.; 500. ]);
+    Alcotest.test_case "K collapses by 700 C (paper)" `Quick (fun () ->
+        Alcotest.(check bool) "K(700) < 5%" true
+          (Physics.Anisotropy.k_after_anneal m ~temp_c:700. < 0.05 *. 80e3));
+    Alcotest.test_case "destruction threshold just above 600 C" `Quick
+      (fun () ->
+        let t = Physics.Anisotropy.destruction_threshold_c m in
+        Alcotest.(check bool) "in (550, 700)" true (t > 550. && t < 700.));
+    Alcotest.test_case "low-temperature stack thresholds near 300 C" `Quick
+      (fun () ->
+        let t = Physics.Anisotropy.destruction_threshold_c lt in
+        Alcotest.(check bool) "in (250, 400)" true (t > 250. && t < 400.));
+    Alcotest.test_case "easy axis: perpendicular, then tilted at 700 C" `Quick
+      (fun () ->
+        Alcotest.(check bool) "as-grown perpendicular" true
+          (Physics.Anisotropy.equal_axis
+             (Physics.Anisotropy.easy_axis_after_anneal m ~temp_c:25.)
+             Physics.Anisotropy.Perpendicular);
+        Alcotest.(check bool) "700 C tilted (fct CoPt, Fig. 9 discussion)" true
+          (Physics.Anisotropy.equal_axis
+             (Physics.Anisotropy.easy_axis_after_anneal m ~temp_c:700.)
+             Physics.Anisotropy.Tilted));
+  ]
+
+let k_monotone =
+  QCheck.Test.make ~name:"K(T) non-increasing in T" ~count:200
+    QCheck.(pair (float_range 0. 900.) (float_range 0. 900.))
+    (fun (t1, t2) ->
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      Physics.Anisotropy.k_after_anneal m ~temp_c:lo
+      >= Physics.Anisotropy.k_after_anneal m ~temp_c:hi -. 1e-9)
+
+let mixing_bounds =
+  QCheck.Test.make ~name:"mixing fraction stays in [0,1]" ~count:200
+    QCheck.(pair (float_range (-50.) 2000.) (float_range 0. 1e6))
+    (fun (t, d) ->
+      let f = Physics.Anisotropy.mixing_fraction m ~temp_c:t ~duration:d in
+      f >= 0. && f <= 1.)
+
+let thermal_cases =
+  [
+    Alcotest.test_case "default pulse destroys the target dot" `Quick (fun () ->
+        let p = Physics.Thermal.default_profile Physics.Constants.dot_100nm in
+        Alcotest.(check bool) "destroyed" true (Physics.Thermal.target_destroyed m p));
+    Alcotest.test_case "default pulse spares the neighbour" `Quick (fun () ->
+        let g = Physics.Constants.dot_100nm in
+        let p = Physics.Thermal.default_profile g in
+        Alcotest.(check bool) "p < 1e-6" true
+          (Physics.Thermal.neighbour_damage_probability m p
+             ~pitch:g.Physics.Constants.pitch
+          < 1e-6));
+    Alcotest.test_case "poor heat sinking endangers the neighbour" `Quick
+      (fun () ->
+        let g = Physics.Constants.dot_100nm in
+        let p =
+          {
+            (Physics.Thermal.default_profile g) with
+            Physics.Thermal.peak_temp_c = 4000.;
+            decay_length = 20. *. g.Physics.Constants.pitch;
+          }
+        in
+        Alcotest.(check bool) "low-temp material neighbour at risk" true
+          (Physics.Thermal.neighbour_damage_probability lt p
+             ~pitch:g.Physics.Constants.pitch
+          > 0.01));
+    Alcotest.test_case "pulse energy positive and tiny" `Quick (fun () ->
+        let p = Physics.Thermal.default_profile Physics.Constants.dot_100nm in
+        let e = Physics.Thermal.pulse_energy p in
+        Alcotest.(check bool) "0 < E < 1e-6 J" true (e > 0. && e < 1e-6));
+  ]
+
+let temperature_decreasing =
+  QCheck.Test.make ~name:"temperature decreases with distance" ~count:200
+    QCheck.(pair (float_range 1e-9 1e-6) (float_range 1e-9 1e-6))
+    (fun (r1, r2) ->
+      let p = Physics.Thermal.default_profile Physics.Constants.dot_100nm in
+      let lo = Float.min r1 r2 and hi = Float.max r1 r2 in
+      Physics.Thermal.temperature_at p lo >= Physics.Thermal.temperature_at p hi -. 1e-9)
+
+let xrd_cases =
+  [
+    Alcotest.test_case "superlattice peak near 8 degrees (paper)" `Quick
+      (fun () ->
+        let peak = Physics.Xrd.superlattice_peak_deg m in
+        Alcotest.(check bool) "7..9 deg" true (peak > 7. && peak < 9.));
+    Alcotest.test_case "Fig 8: low-angle peak vanishes after 700 C" `Quick
+      (fun () ->
+        let peak = Physics.Xrd.superlattice_peak_deg m in
+        let amp anneal =
+          Physics.Xrd.peak_amplitude
+            (Physics.Xrd.low_angle_scan m ~anneal_temp_c:anneal)
+            ~near_deg:peak ~window:1.0
+        in
+        Alcotest.(check bool) "as-grown strong" true (amp None > 100.);
+        Alcotest.(check bool) "annealed gone" true
+          (amp (Some 700.) < 0.02 *. amp None));
+    Alcotest.test_case "Fig 9: CoPt(111) appears at 41.7 after 700 C" `Quick
+      (fun () ->
+        let amp anneal =
+          Physics.Xrd.peak_amplitude
+            (Physics.Xrd.high_angle_scan m ~anneal_temp_c:anneal)
+            ~near_deg:Physics.Xrd.copt_111_peak_deg ~window:1.5
+        in
+        Alcotest.(check bool) "annealed strong" true (amp (Some 700.) > 300.);
+        Alcotest.(check bool) "as-grown weak" true
+          (amp None < 0.2 *. amp (Some 700.)));
+    Alcotest.test_case "bilayer period recoverable from peak (0.6nm/layer)"
+      `Quick (fun () ->
+        let peak = Physics.Xrd.superlattice_peak_deg m in
+        let period = Physics.Xrd.bilayer_period_from_peak ~peak_deg:peak in
+        Alcotest.(check bool) "within 2%" true
+          (Float.abs (period -. m.Physics.Constants.bilayer_period)
+          < 0.02 *. m.Physics.Constants.bilayer_period));
+    Alcotest.test_case "500 C anneal keeps the superlattice peak" `Quick
+      (fun () ->
+        let peak = Physics.Xrd.superlattice_peak_deg m in
+        let amp anneal =
+          Physics.Xrd.peak_amplitude
+            (Physics.Xrd.low_angle_scan m ~anneal_temp_c:anneal)
+            ~near_deg:peak ~window:1.0
+        in
+        Alcotest.(check bool) "survives" true (amp (Some 500.) > 0.9 *. amp None));
+  ]
+
+let mfm_cases =
+  [
+    Alcotest.test_case "healthy dots detect correctly at 200nm pitch" `Quick
+      (fun () ->
+        let g = Physics.Constants.dot_200nm in
+        let c = Physics.Mfm.default_channel in
+        let rng = Sim.Prng.create 5 in
+        let dots = Array.init 16 (fun i -> if i mod 3 = 0 then Physics.Mfm.Up else Physics.Mfm.Down) in
+        Array.iteri
+          (fun i expected ->
+            let got = Physics.Mfm.detect c g ~rng ~dots i in
+            Alcotest.(check bool) (Printf.sprintf "dot %d" i) true (got = expected))
+          dots);
+    Alcotest.test_case "destroyed dot gives near-zero signal" `Quick (fun () ->
+        let g = Physics.Constants.dot_200nm in
+        let c = { Physics.Mfm.default_channel with Physics.Mfm.noise_sigma = 0. } in
+        let rng = Sim.Prng.create 5 in
+        let dots = [| Physics.Mfm.Destroyed |] in
+        Alcotest.(check bool) "small" true
+          (Float.abs (Physics.Mfm.read_dot c g ~rng ~dots 0) < 0.1));
+    Alcotest.test_case "raw BER is low at 200nm" `Quick (fun () ->
+        let g = Physics.Constants.dot_200nm in
+        let rng = Sim.Prng.create 99 in
+        let ber = Physics.Mfm.ber Physics.Mfm.default_channel g ~rng ~trials:2000 in
+        Alcotest.(check bool) "< 1%" true (ber < 0.01));
+    Alcotest.test_case "higher flying height broadens the peak" `Quick
+      (fun () ->
+        let g = Physics.Constants.dot_100nm in
+        let near = { Physics.Mfm.default_channel with Physics.Mfm.flying_height = 10e-9 } in
+        let far = { Physics.Mfm.default_channel with Physics.Mfm.flying_height = 60e-9 } in
+        Alcotest.(check bool) "wider" true
+          (Physics.Mfm.peak_width far g > Physics.Mfm.peak_width near g));
+  ]
+
+let switching_cases =
+  [
+    Alcotest.test_case "astroid minimum at 45 degrees" `Quick (fun () ->
+        let k = m.Physics.Constants.k_interface in
+        let h45 = Physics.Switching.switching_field m ~k ~psi:(Float.pi /. 4.) in
+        let h0 = Physics.Switching.switching_field m ~k ~psi:1e-6 in
+        let h90 = Physics.Switching.switching_field m ~k ~psi:(Float.pi /. 2. -. 1e-6) in
+        Alcotest.(check bool) "h45 < h0" true (h45 < h0);
+        Alcotest.(check bool) "h45 < h90" true (h45 < h90);
+        Alcotest.(check (float 1.)) "h45 = Hk/2" (Physics.Switching.anisotropy_field m ~k /. 2.) h45);
+    Alcotest.test_case "destroyed dot cannot be written" `Quick (fun () ->
+        Alcotest.(check bool) "no write" false
+          (Physics.Switching.write_succeeds m ~k:0. ~field:1e9 ~psi:0.3));
+    Alcotest.test_case "healthy dot thermally stable for years" `Quick
+      (fun () ->
+        Alcotest.(check bool) "delta > 40" true
+          (Physics.Switching.retains m Physics.Constants.dot_100nm
+             ~k:m.Physics.Constants.k_interface ~temp_c:25.));
+    Alcotest.test_case "degraded dot loses retention" `Quick (fun () ->
+        Alcotest.(check bool) "delta < 40" false
+          (Physics.Switching.retains m Physics.Constants.dot_100nm ~k:100.
+             ~temp_c:25.));
+  ]
+
+let constants_cases =
+  [
+    Alcotest.test_case "100nm pitch gives 10 Gbit/cm^2 (paper)" `Quick
+      (fun () ->
+        Alcotest.(check bool) "within 1%" true
+          (Float.abs
+             (Physics.Constants.areal_density_bits_per_cm2 Physics.Constants.dot_100nm
+             -. 1e10)
+          < 1e8));
+    Alcotest.test_case "temperature conversions" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "0C" 273.15 (Physics.Constants.celsius_to_kelvin 0.);
+        Alcotest.(check (float 1e-9)) "roundtrip" 123.
+          (Physics.Constants.kelvin_to_celsius (Physics.Constants.celsius_to_kelvin 123.)));
+  ]
+
+let () =
+  Alcotest.run "physics"
+    [
+      ("anisotropy", anisotropy_cases @ List.map qtest [ k_monotone; mixing_bounds ]);
+      ("thermal", thermal_cases @ [ qtest temperature_decreasing ]);
+      ("xrd", xrd_cases);
+      ("mfm", mfm_cases);
+      ("switching", switching_cases);
+      ("constants", constants_cases);
+    ]

@@ -1,0 +1,217 @@
+(* Probe device: tip striping, actuator, timing ledger, run operations. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let make_medium ?(rows = 32) ?(cols = 32) () =
+  Pmedia.Medium.create (Pmedia.Medium.default_config ~rows ~cols)
+
+let make_pdev ?(n_tips = 16) () =
+  Probe.Pdevice.create
+    ~config:{ Probe.Pdevice.default_config with Probe.Pdevice.n_tips }
+    (make_medium ())
+
+(* {1 Tips} *)
+
+let tips_bijection =
+  QCheck.Test.make ~name:"locate/dot_of bijection" ~count:300
+    QCheck.(int_range 0 1023)
+    (fun dot ->
+      let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+      let tip, offset = Probe.Tips.locate tips dot in
+      Probe.Tips.dot_of tips ~tip ~offset = dot)
+
+let tips_striping =
+  QCheck.Test.make ~name:"consecutive dots land on consecutive tips" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun dot ->
+      let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+      let t1, o1 = Probe.Tips.locate tips dot in
+      let t2, o2 = Probe.Tips.locate tips (dot + 1) in
+      if t1 < 15 then t2 = t1 + 1 && o2 = o1 else t2 = 0 && o2 = o1 + 1)
+
+let tips_cases =
+  [
+    Alcotest.test_case "creation requires divisibility" `Quick (fun () ->
+        Alcotest.check_raises "not divisible"
+          (Invalid_argument "Tips.create: medium size must be a multiple of n_tips")
+          (fun () ->
+            ignore (Probe.Tips.create ~n_tips:7 ~medium:(make_medium ()))));
+    Alcotest.test_case "failed tips tracked" `Quick (fun () ->
+        let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+        Alcotest.(check int) "none" 0 (Probe.Tips.failed_count tips);
+        Probe.Tips.fail_tip tips 3;
+        Probe.Tips.fail_tip tips 9;
+        Alcotest.(check int) "two" 2 (Probe.Tips.failed_count tips);
+        Alcotest.(check bool) "tip 3" true (Probe.Tips.tip_failed tips 3);
+        Alcotest.(check bool) "tip 4" false (Probe.Tips.tip_failed tips 4));
+    Alcotest.test_case "usage counters" `Quick (fun () ->
+        let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+        Probe.Tips.record_use tips ~tip:2;
+        Probe.Tips.record_use tips ~tip:2;
+        Alcotest.(check int) "2 uses" 2 (Probe.Tips.uses tips ~tip:2));
+  ]
+
+(* {1 Actuator} *)
+
+let actuator_cases =
+  [
+    Alcotest.test_case "seek to current position is free" `Quick (fun () ->
+        let timing = Probe.Timing.create () in
+        let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:8 in
+        Probe.Actuator.seek act 0;
+        Alcotest.(check (float 0.)) "no time" 0. (Probe.Timing.elapsed timing));
+    Alcotest.test_case "scan step accrues wear but no settle" `Quick (fun () ->
+        let timing = Probe.Timing.create () in
+        let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:8 in
+        Probe.Actuator.seek act 1;
+        Alcotest.(check (float 0.)) "no settle" 0. (Probe.Timing.elapsed timing);
+        Alcotest.(check (float 1e-12)) "one pitch" 100e-9 (Probe.Actuator.travel act));
+    Alcotest.test_case "random seek pays settle + travel" `Quick (fun () ->
+        let timing = Probe.Timing.create () in
+        let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:8 in
+        Probe.Actuator.seek act 40;
+        Alcotest.(check bool) "settle charged" true
+          (Probe.Timing.elapsed timing >= (Probe.Timing.default_costs).Probe.Timing.seek_settle));
+    Alcotest.test_case "serpentine keeps adjacent offsets adjacent" `Quick
+      (fun () ->
+        let timing = Probe.Timing.create () in
+        let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:4 in
+        (* Offsets 3 and 4: end of row 0 and start of row 1; serpentine
+           places them in the same column. *)
+        let x3, y3 = Probe.Actuator.xy_of_offset act 3 in
+        let x4, y4 = Probe.Actuator.xy_of_offset act 4 in
+        Alcotest.(check int) "same column" x3 x4;
+        Alcotest.(check int) "next row" (y3 + 1) y4);
+  ]
+
+(* {1 Timing ledger} *)
+
+let timing_cases =
+  [
+    Alcotest.test_case "charges accumulate" `Quick (fun () ->
+        let t = Probe.Timing.create () in
+        Probe.Timing.charge_bits t ~read:10 ~written:5;
+        Probe.Timing.charge_ewb t 2;
+        let c = Probe.Timing.costs t in
+        let expect =
+          (15. *. c.Probe.Timing.bit_time) +. (2. *. c.Probe.Timing.ewb_time)
+        in
+        Alcotest.(check (float 1e-12)) "elapsed" expect (Probe.Timing.elapsed t);
+        Alcotest.(check bool) "energy > 0" true (Probe.Timing.energy t > 0.);
+        Probe.Timing.reset t;
+        Alcotest.(check (float 0.)) "reset" 0. (Probe.Timing.elapsed t));
+  ]
+
+(* {1 Pdevice runs} *)
+
+let bools = QCheck.array_of_size (QCheck.Gen.int_range 1 200) QCheck.bool
+
+let write_read_roundtrip =
+  QCheck.Test.make ~name:"write_run/read_run roundtrip" ~count:100
+    QCheck.(pair bools (int_range 0 200))
+    (fun (bits, start) ->
+      let p = make_pdev () in
+      let start = min start (Probe.Pdevice.size p - Array.length bits) in
+      Probe.Pdevice.write_run p ~start bits;
+      let got = Probe.Pdevice.read_run p ~start ~len:(Array.length bits) in
+      got = bits)
+
+let heat_then_erb =
+  QCheck.Test.make ~name:"heat_run pattern detected by erb_run" ~count:50
+    bools
+    (fun pattern ->
+      let p = make_pdev () in
+      Probe.Pdevice.heat_run p ~start:0 pattern;
+      let got = Probe.Pdevice.erb_run ~cycles:30 p ~start:0 ~len:(Array.length pattern) in
+      got = pattern)
+
+let pdevice_cases =
+  [
+    Alcotest.test_case "failed tip turns its dots to noise" `Quick (fun () ->
+        let p = make_pdev ~n_tips:16 () in
+        let bits = Array.make 64 true in
+        Probe.Pdevice.write_run p ~start:0 bits;
+        Probe.Tips.fail_tip (Probe.Pdevice.tips p) 5;
+        (* Dots 5, 21, 37, 53 belong to tip 5: reads become random; over
+           several trials at least one disagrees. *)
+        let diffs = ref 0 in
+        for _ = 1 to 20 do
+          let got = Probe.Pdevice.read_run p ~start:0 ~len:64 in
+          for k = 0 to 3 do
+            if not got.((16 * k) + 5) then incr diffs
+          done
+        done;
+        Alcotest.(check bool) "noise observed" true (!diffs > 0));
+    Alcotest.test_case "failed tip reports heated on erb (bad-block overlap)"
+      `Quick (fun () ->
+        let p = make_pdev ~n_tips:16 () in
+        Probe.Tips.fail_tip (Probe.Pdevice.tips p) 0;
+        let got = Probe.Pdevice.erb_run p ~start:0 ~len:16 in
+        Alcotest.(check bool) "dot 0 heated-looking" true got.(0));
+    Alcotest.test_case "parallelism: run cost scales with offsets not bits"
+      `Quick (fun () ->
+        let p = make_pdev ~n_tips:16 () in
+        Probe.Pdevice.reset_ledger p;
+        Probe.Pdevice.write_run p ~start:0 (Array.make 16 true);
+        let one_row = Probe.Pdevice.elapsed p in
+        Probe.Pdevice.reset_ledger p;
+        Probe.Pdevice.write_run p ~start:0 (Array.make 160 true);
+        let ten_rows = Probe.Pdevice.elapsed p in
+        Alcotest.(check bool) "10x not 160x" true
+          (ten_rows < 12. *. one_row && ten_rows > 8. *. one_row));
+    Alcotest.test_case "out-of-range run rejected" `Quick (fun () ->
+        let p = make_pdev () in
+        Alcotest.check_raises "range" (Invalid_argument "Pdevice: run out of range")
+          (fun () -> ignore (Probe.Pdevice.read_run p ~start:0 ~len:(Probe.Pdevice.size p + 1))));
+    Alcotest.test_case "energy grows with electrical writes" `Quick (fun () ->
+        let p = make_pdev () in
+        let e0 = Probe.Pdevice.energy p in
+        Probe.Pdevice.heat_run p ~start:0 (Array.make 32 true);
+        Alcotest.(check bool) "more energy" true (Probe.Pdevice.energy p > e0));
+  ]
+
+(* {1 Sled scheduling} *)
+
+let sched_permutation =
+  QCheck.Test.make ~name:"every policy returns a permutation" ~count:200
+    QCheck.(pair (small_list (int_range 0 500)) (int_range 0 500))
+    (fun (offsets, current) ->
+      List.for_all
+        (fun policy ->
+          List.sort compare (Probe.Sched.order policy ~current offsets)
+          = List.sort compare offsets)
+        Probe.Sched.all_policies)
+
+let sched_cases =
+  [
+    Alcotest.test_case "elevator sweeps up then wraps" `Quick (fun () ->
+        Alcotest.(check (list int)) "order" [ 12; 30; 3; 7 ]
+          (Probe.Sched.order Probe.Sched.Elevator ~current:10 [ 3; 30; 12; 7 ]));
+    Alcotest.test_case "sstf picks nearest first" `Quick (fun () ->
+        Alcotest.(check (list int)) "order" [ 12; 7; 3; 30 ]
+          (Probe.Sched.order Probe.Sched.Sstf ~current:10 [ 3; 30; 12; 7 ]));
+    Alcotest.test_case "ordered service travels no further than fifo" `Quick
+      (fun () ->
+        let timing = Probe.Timing.create () in
+        let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:32 in
+        let rng = Sim.Prng.create 9 in
+        let offsets = List.init 64 (fun _ -> Sim.Prng.int rng 1024) in
+        let cost p =
+          Probe.Sched.travel_cost act ~current:0
+            (Probe.Sched.order p ~current:0 offsets)
+        in
+        Alcotest.(check bool) "elevator <= fifo" true
+          (cost Probe.Sched.Elevator <= cost Probe.Sched.Fifo);
+        Alcotest.(check bool) "sstf <= fifo" true
+          (cost Probe.Sched.Sstf <= cost Probe.Sched.Fifo));
+  ]
+
+let () =
+  Alcotest.run "probe"
+    [
+      ("tips", tips_cases @ List.map qtest [ tips_bijection; tips_striping ]);
+      ("actuator", actuator_cases);
+      ("timing", timing_cases);
+      ("pdevice", pdevice_cases @ List.map qtest [ write_read_roundtrip; heat_then_erb ]);
+      ("sched", sched_cases @ [ qtest sched_permutation ]);
+    ]

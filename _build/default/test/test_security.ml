@@ -1,0 +1,81 @@
+(* The Section 5 security analysis, attack by attack. *)
+
+let outcome_class = function
+  | Security.Attacks.Refused _ -> `Refused
+  | Security.Attacks.Ineffective _ -> `Ineffective
+  | Security.Attacks.Detected _ -> `Detected
+  | Security.Attacks.Undetected _ -> `Undetected
+
+let class_name = function
+  | `Refused -> "refused"
+  | `Ineffective -> "ineffective"
+  | `Detected -> "detected"
+  | `Undetected -> "undetected"
+
+let per_attack =
+  List.map
+    (fun a ->
+      Alcotest.test_case (Security.Attacks.label a) `Quick (fun () ->
+          let outcome = Security.Attacks.run a in
+          Alcotest.(check string)
+            (Security.Attacks.paper_ref a)
+            (class_name (Security.Attacks.expected a))
+            (class_name (outcome_class outcome))))
+    Security.Attacks.all
+
+let matrix_cases =
+  [
+    Alcotest.test_case "full matrix matches the paper" `Quick (fun () ->
+        Alcotest.(check bool) "matches" true
+          (Security.Attacks.matrix_matches_paper (Security.Attacks.matrix ())));
+    Alcotest.test_case "matrix is deterministic for a fixed seed" `Quick
+      (fun () ->
+        let c1 = List.map (fun (_, o) -> outcome_class o) (Security.Attacks.matrix ~seed:5 ()) in
+        let c2 = List.map (fun (_, o) -> outcome_class o) (Security.Attacks.matrix ~seed:5 ()) in
+        Alcotest.(check bool) "same" true (c1 = c2));
+    Alcotest.test_case "matrix robust across seeds" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d" seed)
+              true
+              (Security.Attacks.matrix_matches_paper (Security.Attacks.matrix ~seed ())))
+          [ 1; 2; 3 ]);
+  ]
+
+let splice_cases =
+  [
+    Alcotest.test_case "strict addressing defeats the splice" `Quick (fun () ->
+        match Security.Attacks.run_splice ~strict:true () with
+        | Security.Attacks.Detected _ -> ()
+        | o -> Alcotest.failf "%a" Security.Attacks.pp_outcome o);
+    Alcotest.test_case "floating hashes fall to the splice (ablation)" `Quick
+      (fun () ->
+        match Security.Attacks.run_splice ~strict:false () with
+        | Security.Attacks.Undetected _ -> ()
+        | o -> Alcotest.failf "%a" Security.Attacks.pp_outcome o);
+  ]
+
+let threat_cases =
+  [
+    Alcotest.test_case "attacker model covers all four capabilities" `Quick
+      (fun () ->
+        Alcotest.(check int) "4" 4 (List.length Security.Threat.attacker_capabilities));
+    Alcotest.test_case "every attack has a paper reference" `Quick (fun () ->
+        List.iter
+          (fun a ->
+            Alcotest.(check bool)
+              (Security.Attacks.label a)
+              true
+              (String.length (Security.Attacks.paper_ref a) > 0))
+          Security.Attacks.all);
+  ]
+
+let () =
+  Alcotest.run "security"
+    [
+      ("per-attack", per_attack);
+      ("matrix", matrix_cases);
+      ("splice-ablation", splice_cases);
+      ("threat-model", threat_cases);
+    ]

@@ -1,0 +1,491 @@
+(* The SERO device: layout arithmetic, sector ops, heat/verify, tamper
+   verdicts, scanning, block classification and image persistence. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let make_dev ?(n_blocks = 128) ?(line_exp = 3) ?(seed = 42) ?(strict = true) () =
+  let c = Sero.Device.default_config ~n_blocks ~line_exp () in
+  Sero.Device.create { c with Sero.Device.seed; strict_hash_locations = strict }
+
+let fill_line dev line =
+  List.iteri
+    (fun i pba ->
+      match Sero.Device.write_block dev ~pba (Printf.sprintf "line %d block %d" line i) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "fill: %a" Sero.Device.pp_write_error e)
+    (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) line)
+
+let heat_ok dev line =
+  match Sero.Device.heat_line dev ~line () with
+  | Ok h -> h
+  | Error e -> Alcotest.failf "heat: %a" Sero.Device.pp_heat_error e
+
+(* {1 Layout} *)
+
+let layout = Sero.Layout.create ~n_blocks:1024 ~line_exp:4
+
+let layout_props =
+  [
+    QCheck.Test.make ~name:"line_of_block consistent with data_blocks_of_line"
+      ~count:300
+      QCheck.(int_range 0 1023)
+      (fun pba ->
+        let line = Sero.Layout.line_of_block layout pba in
+        if Sero.Layout.is_hash_block layout pba then
+          Sero.Layout.hash_block_of_line layout line = pba
+        else List.mem pba (Sero.Layout.data_blocks_of_line layout line));
+    QCheck.Test.make ~name:"blocks partition into lines" ~count:100
+      QCheck.(int_range 0 63)
+      (fun line ->
+        let blocks =
+          Sero.Layout.hash_block_of_line layout line
+          :: Sero.Layout.data_blocks_of_line layout line
+        in
+        List.length blocks = Sero.Layout.blocks_per_line layout
+        && List.for_all (fun b -> Sero.Layout.line_of_block layout b = line) blocks);
+    QCheck.Test.make ~name:"dot ranges of blocks do not overlap" ~count:100
+      QCheck.(pair (int_range 0 1023) (int_range 0 1023))
+      (fun (a, b) ->
+        a = b
+        || abs (Sero.Layout.block_first_dot layout a - Sero.Layout.block_first_dot layout b)
+           >= Sero.Layout.block_dots);
+  ]
+
+let layout_cases =
+  [
+    Alcotest.test_case "constructor validation" `Quick (fun () ->
+        Alcotest.check_raises "misaligned"
+          (Invalid_argument "Layout.create: n_blocks must be a positive multiple of 2^N")
+          (fun () -> ignore (Sero.Layout.create ~n_blocks:100 ~line_exp:3)));
+    Alcotest.test_case "overhead = 1/2^N" `Quick (fun () ->
+        Alcotest.(check (float 1e-9)) "1/16" (1. /. 16.) (Sero.Layout.space_overhead layout));
+    Alcotest.test_case "wo area is 4096 dots / 256 bytes (Fig. 3)" `Quick
+      (fun () ->
+        Alcotest.(check int) "dots" 4096 Sero.Layout.wo_area_dots;
+        Alcotest.(check int) "bytes" 256 Sero.Layout.wo_area_bytes);
+  ]
+
+(* {1 Sector ops} *)
+
+let device_cases =
+  [
+    Alcotest.test_case "write/read roundtrip pads to 512" `Quick (fun () ->
+        let dev = make_dev () in
+        (match Sero.Device.write_block dev ~pba:9 "hello" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "%a" Sero.Device.pp_write_error e);
+        match Sero.Device.read_block dev ~pba:9 with
+        | Ok p ->
+            Alcotest.(check int) "padded" 512 (String.length p);
+            Alcotest.(check string) "prefix" "hello" (String.sub p 0 5)
+        | Error e -> Alcotest.failf "%a" Sero.Device.pp_read_error e);
+    Alcotest.test_case "hash blocks are reserved" `Quick (fun () ->
+        let dev = make_dev () in
+        match Sero.Device.write_block dev ~pba:8 "x" with
+        | Error Sero.Device.Reserved_hash_block -> ()
+        | Ok () | Error _ -> Alcotest.fail "hash block writable");
+    Alcotest.test_case "virgin block reads Blank" `Quick (fun () ->
+        let dev = make_dev () in
+        match Sero.Device.read_block dev ~pba:17 with
+        | Error Sero.Device.Blank -> ()
+        | Ok _ | Error _ -> Alcotest.fail "expected Blank");
+    Alcotest.test_case "frame written elsewhere reads Wrong_location" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        ignore (Sero.Device.write_block dev ~pba:9 "original");
+        let image = Sero.Device.unsafe_read_raw dev ~pba:9 in
+        Sero.Device.unsafe_write_raw dev ~pba:10 image;
+        match Sero.Device.read_block dev ~pba:10 with
+        | Error (Sero.Device.Wrong_location 9) -> ()
+        | Ok _ | Error _ -> Alcotest.fail "copy not distinguished");
+  ]
+
+(* {1 Heat / verify lifecycle} *)
+
+let lifecycle_cases =
+  [
+    Alcotest.test_case "heat then verify is Intact" `Quick (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        Alcotest.(check bool) "intact" true
+          (Sero.Tamper.equal_verdict (Sero.Device.verify_line dev ~line:2) Sero.Tamper.Intact));
+    Alcotest.test_case "unheated line verifies Not_heated" `Quick (fun () ->
+        let dev = make_dev () in
+        Alcotest.(check bool) "not heated" true
+          (Sero.Tamper.equal_verdict (Sero.Device.verify_line dev ~line:3) Sero.Tamper.Not_heated));
+    Alcotest.test_case "heat requires readable data blocks" `Quick (fun () ->
+        let dev = make_dev () in
+        match Sero.Device.heat_line dev ~line:4 () with
+        | Error (Sero.Device.Unreadable_data pbas) ->
+            Alcotest.(check int) "all 7 unwritten" 7 (List.length pbas)
+        | Ok _ | Error _ -> Alcotest.fail "heated a blank line");
+    Alcotest.test_case "re-heat with same content is idempotent" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        let h1 = heat_ok dev 2 in
+        let h2 = heat_ok dev 2 in
+        Alcotest.(check bool) "same hash" true (Hash.Sha256.equal h1 h2));
+    Alcotest.test_case "re-heat after data change is refused" `Quick (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        Sero.Device.unsafe_write_block dev
+          ~pba:(List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2))
+          "changed";
+        match Sero.Device.heat_line dev ~line:2 () with
+        | Error Sero.Device.Already_heated -> ()
+        | Ok _ | Error _ -> Alcotest.fail "re-heat allowed");
+    Alcotest.test_case "burned metadata roundtrips" `Quick (fun () ->
+        let dev = make_dev () in
+        fill_line dev 5;
+        (match Sero.Device.heat_line dev ~line:5 ~timestamp:123.25 () with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "%a" Sero.Device.pp_heat_error e);
+        match Sero.Device.read_hash_block dev ~line:5 with
+        | `Burned meta ->
+            Alcotest.(check int) "line" 5 meta.Sero.Device.line;
+            Alcotest.(check int) "n_data" 7 meta.Sero.Device.n_data_blocks;
+            Alcotest.(check (float 1e-9)) "timestamp" 123.25 meta.Sero.Device.timestamp
+        | `Not_heated | `Tampered _ -> Alcotest.fail "no burned meta");
+    Alcotest.test_case "honest write into heated line refused" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        match
+          Sero.Device.write_block dev
+            ~pba:(List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2))
+            "z"
+        with
+        | Error Sero.Device.In_heated_line -> ()
+        | Ok () | Error _ -> Alcotest.fail "write allowed");
+  ]
+
+(* {1 Tamper evidence verdicts} *)
+
+let tamper_cases =
+  [
+    Alcotest.test_case "magnetic rewrite of data -> Hash_mismatch" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        Sero.Device.unsafe_write_block dev
+          ~pba:(List.nth (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2) 3)
+          "forged";
+        match Sero.Device.verify_line dev ~line:2 with
+        | Sero.Tamper.Tampered [ Sero.Tamper.Hash_mismatch ] -> ()
+        | v -> Alcotest.failf "unexpected: %a" Sero.Tamper.pp_verdict v);
+    Alcotest.test_case "extra heat on the hash -> Invalid_cells" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        Sero.Device.unsafe_heat_dots dev
+          ~dot:(Sero.Layout.wo_first_dot (Sero.Device.layout dev) ~line:2)
+          ~n:32;
+        match Sero.Device.verify_line dev ~line:2 with
+        | Sero.Tamper.Tampered (Sero.Tamper.Invalid_cells n :: _) ->
+            Alcotest.(check int) "16 cells" 16 n
+        | v -> Alcotest.failf "unexpected: %a" Sero.Tamper.pp_verdict v);
+    Alcotest.test_case "heating data dots -> Data_unreadable" `Quick (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let victim =
+          List.nth (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2) 1
+        in
+        Sero.Device.unsafe_heat_dots dev
+          ~dot:(Sero.Layout.block_first_dot (Sero.Device.layout dev) victim)
+          ~n:600;
+        match Sero.Device.verify_line dev ~line:2 with
+        | Sero.Tamper.Tampered evs ->
+            Alcotest.(check bool) "mentions the victim" true
+              (List.exists
+                 (function
+                   | Sero.Tamper.Data_unreadable pbas -> List.mem victim pbas
+                   | _ -> false)
+                 evs)
+        | v -> Alcotest.failf "unexpected: %a" Sero.Tamper.pp_verdict v);
+    Alcotest.test_case "relocated frame -> Address_mismatch" `Quick (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let lay = Sero.Device.layout dev in
+        let src = List.hd (Sero.Layout.data_blocks_of_line lay 3) in
+        ignore (Sero.Device.write_block dev ~pba:src "elsewhere");
+        let image = Sero.Device.unsafe_read_raw dev ~pba:src in
+        let dst = List.nth (Sero.Layout.data_blocks_of_line lay 2) 2 in
+        Sero.Device.unsafe_write_raw dev ~pba:dst image;
+        match Sero.Device.verify_line dev ~line:2 with
+        | Sero.Tamper.Tampered evs ->
+            Alcotest.(check bool) "address mismatch" true
+              (List.exists
+                 (function Sero.Tamper.Address_mismatch _ -> true | _ -> false)
+                 evs)
+        | v -> Alcotest.failf "unexpected: %a" Sero.Tamper.pp_verdict v);
+    Alcotest.test_case "bulk wipe leaves burned hash, kills data" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        Sero.Device.unsafe_magnetic_wipe dev;
+        Sero.Device.refresh_heated_cache dev;
+        (match Sero.Device.read_hash_block dev ~line:2 with
+        | `Burned _ -> ()
+        | `Not_heated | `Tampered _ -> Alcotest.fail "burned hash lost");
+        match Sero.Device.verify_line dev ~line:2 with
+        | Sero.Tamper.Tampered evs ->
+            Alcotest.(check bool) "data unreadable" true
+              (List.exists
+                 (function Sero.Tamper.Data_unreadable _ -> true | _ -> false)
+                 evs)
+        | v -> Alcotest.failf "unexpected: %a" Sero.Tamper.pp_verdict v);
+  ]
+
+(* {1 verify_region: the splice discipline} *)
+
+let region_cases =
+  [
+    Alcotest.test_case "strict device rejects interior hash locations" `Quick
+      (fun () ->
+        let dev = make_dev ~strict:true () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let lay = Sero.Device.layout dev in
+        let blocks = Sero.Layout.data_blocks_of_line lay 2 in
+        let dp = List.nth blocks 1 in
+        let tail = List.filter (fun p -> p > dp) blocks in
+        Sero.Device.unsafe_forge_burn dev ~hash_pba:dp ~data_pbas:tail ~claim_line:2;
+        match Sero.Device.verify_region dev ~hash_pba:dp ~data_pbas:tail with
+        | Sero.Tamper.Tampered (Sero.Tamper.Address_mismatch _ :: _) -> ()
+        | v -> Alcotest.failf "splice not rejected: %a" Sero.Tamper.pp_verdict v);
+    Alcotest.test_case "non-strict device is fooled by the splice (ablation)"
+      `Quick (fun () ->
+        let dev = make_dev ~strict:false () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let lay = Sero.Device.layout dev in
+        let blocks = Sero.Layout.data_blocks_of_line lay 2 in
+        let dp = List.nth blocks 1 in
+        let tail = List.filter (fun p -> p > dp) blocks in
+        Sero.Device.unsafe_forge_burn dev ~hash_pba:dp ~data_pbas:tail ~claim_line:2;
+        match Sero.Device.verify_region dev ~hash_pba:dp ~data_pbas:tail with
+        | Sero.Tamper.Intact -> ()
+        | v -> Alcotest.failf "expected fooled-Intact, got %a" Sero.Tamper.pp_verdict v);
+    Alcotest.test_case "verify_region accepts a legitimate line" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let lay = Sero.Device.layout dev in
+        match
+          Sero.Device.verify_region dev
+            ~hash_pba:(Sero.Layout.hash_block_of_line lay 2)
+            ~data_pbas:(Sero.Layout.data_blocks_of_line lay 2)
+        with
+        | Sero.Tamper.Intact -> ()
+        | v -> Alcotest.failf "%a" Sero.Tamper.pp_verdict v);
+  ]
+
+(* {1 Scan, classification, stats, end of life} *)
+
+let whole_device_cases =
+  [
+    Alcotest.test_case "scan finds exactly the heated lines" `Quick (fun () ->
+        let dev = make_dev () in
+        List.iter
+          (fun l ->
+            fill_line dev l;
+            ignore (heat_ok dev l))
+          [ 1; 4; 5 ];
+        let entries = Sero.Device.scan dev in
+        let heated =
+          List.filter_map
+            (fun e ->
+              match e.Sero.Device.verdict with
+              | Sero.Tamper.Not_heated -> None
+              | _ -> Some e.Sero.Device.scanned_line)
+            entries
+        in
+        Alcotest.(check (list int)) "lines" [ 1; 4; 5 ] heated);
+    Alcotest.test_case "classify: healthy vs heated vs bad" `Quick (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let lay = Sero.Device.layout dev in
+        let healthy = List.hd (Sero.Layout.data_blocks_of_line lay 3) in
+        Alcotest.(check bool) "healthy" true
+          (Sero.Device.classify_block dev ~pba:healthy = Sero.Device.Healthy);
+        (* Destroy a block by heating all its dots: heated class. *)
+        let heated_pba = List.hd (Sero.Layout.data_blocks_of_line lay 6) in
+        Sero.Device.unsafe_heat_dots dev
+          ~dot:(Sero.Layout.block_first_dot lay heated_pba)
+          ~n:Sero.Layout.block_dots;
+        Alcotest.(check bool) "heated" true
+          (Sero.Device.classify_block dev ~pba:heated_pba = Sero.Device.Heated_block);
+        (* A magnetically corrupted (but not heated) block: bad. *)
+        let bad_pba = List.nth (Sero.Layout.data_blocks_of_line lay 6) 1 in
+        ignore (Sero.Device.write_block dev ~pba:bad_pba "ok");
+        let medium = Probe.Pdevice.medium (Sero.Device.pdevice dev) in
+        let start = Sero.Layout.block_first_dot lay bad_pba in
+        for d = start to start + 2000 do
+          Pmedia.Medium.set medium d
+            (Pmedia.Dot.Magnetised (if d mod 3 = 0 then Pmedia.Dot.Up else Pmedia.Dot.Down))
+        done;
+        Alcotest.(check bool) "bad" true
+          (Sero.Device.classify_block dev ~pba:bad_pba = Sero.Device.Bad_block));
+    Alcotest.test_case "stats track RO growth and runs" `Quick (fun () ->
+        let dev = make_dev () in
+        List.iter
+          (fun l ->
+            fill_line dev l;
+            ignore (heat_ok dev l))
+          [ 1; 2; 7 ];
+        let s = Sero.Device.stats dev in
+        Alcotest.(check int) "heated" 3 s.Sero.Device.heated_lines;
+        Alcotest.(check int) "runs" 2 s.Sero.Device.heated_runs;
+        Alcotest.(check bool) "not fully RO" false (Sero.Device.is_fully_ro dev));
+    Alcotest.test_case "device end of life: all lines heated" `Quick (fun () ->
+        let dev = make_dev ~n_blocks:32 () in
+        for l = 0 to 3 do
+          fill_line dev l;
+          ignore (heat_ok dev l)
+        done;
+        Alcotest.(check bool) "fully RO" true (Sero.Device.is_fully_ro dev);
+        Alcotest.(check int) "no WMRM left" 0
+          (Sero.Device.stats dev).Sero.Device.wmrm_data_blocks_left);
+  ]
+
+(* {1 Image persistence} *)
+
+let image_cases =
+  [
+    Alcotest.test_case "save/load roundtrips medium and heated state" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        ignore (Sero.Device.write_block dev ~pba:25 "persisted");
+        let path = Filename.temp_file "sero" ".img" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sero.Image.save dev path;
+            match Sero.Image.load path with
+            | Error e -> Alcotest.failf "load: %s" e
+            | Ok dev2 ->
+                Alcotest.(check bool) "line 2 heated" true
+                  (Sero.Device.is_line_heated dev2 ~line:2);
+                Alcotest.(check bool) "verifies intact" true
+                  (Sero.Tamper.equal_verdict
+                     (Sero.Device.verify_line dev2 ~line:2)
+                     Sero.Tamper.Intact);
+                (match Sero.Device.read_block dev2 ~pba:25 with
+                | Ok p -> Alcotest.(check string) "data" "persisted" (String.sub p 0 9)
+                | Error e -> Alcotest.failf "read: %a" Sero.Device.pp_read_error e)));
+    Alcotest.test_case "corrupted image rejected" `Quick (fun () ->
+        let dev = make_dev ~n_blocks:32 () in
+        let path = Filename.temp_file "sero" ".img" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sero.Image.save dev path;
+            let data = In_channel.with_open_bin path In_channel.input_all in
+            let b = Bytes.of_string data in
+            Bytes.set b 100 (Char.chr (Char.code (Bytes.get b 100) lxor 1));
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_bytes oc b);
+            match Sero.Image.load path with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "corrupt image accepted"));
+  ]
+
+(* Noise below the RS budget is transparently absorbed (verdict stays
+   Intact); gross corruption of a block surfaces as evidence.  This is
+   the boundary between "media noise" and "tampering" that the 15%
+   overhead buys. *)
+let ecc_absorbs_noise =
+  QCheck.Test.make ~name:"sub-budget dot noise never alarms verify" ~count:25
+    QCheck.(int_range 0 8)
+    (fun flips ->
+      let dev = make_dev ~seed:(100 + flips) () in
+      fill_line dev 2;
+      ignore (heat_ok dev 2);
+      (* Flip a few dots inside one data block (one dot = one bad byte
+         symbol at worst; 8 < 12-symbol budget per codeword). *)
+      let lay = Sero.Device.layout dev in
+      let pba = List.nth (Sero.Layout.data_blocks_of_line lay 2) 3 in
+      let medium = Probe.Pdevice.medium (Sero.Device.pdevice dev) in
+      let start = Sero.Layout.block_first_dot lay pba in
+      let rng = Sim.Prng.create flips in
+      for _ = 1 to flips do
+        (* Restrict flips to one RS codeword's dot range (first 255
+           bytes of the frame) so the per-codeword budget applies. *)
+        let d = start + Sim.Prng.int rng (255 * 8) in
+        match Pmedia.Medium.get medium d with
+        | Pmedia.Dot.Magnetised dir ->
+            Pmedia.Medium.set medium d (Pmedia.Dot.Magnetised (Pmedia.Dot.invert dir))
+        | Pmedia.Dot.Heated -> ()
+      done;
+      Sero.Tamper.equal_verdict (Sero.Device.verify_line dev ~line:2) Sero.Tamper.Intact)
+
+let gross_corruption_always_evident =
+  QCheck.Test.make ~name:"gross block corruption is always evidence" ~count:25
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let dev = make_dev ~seed:(2000 + seed) () in
+      fill_line dev 2;
+      ignore (heat_ok dev 2);
+      let lay = Sero.Device.layout dev in
+      let pba = List.nth (Sero.Layout.data_blocks_of_line lay 2) 2 in
+      let medium = Probe.Pdevice.medium (Sero.Device.pdevice dev) in
+      let start = Sero.Layout.block_first_dot lay pba in
+      let rng = Sim.Prng.create seed in
+      (* Flip ~600 random dots across the frame: far beyond the code. *)
+      for _ = 1 to 600 do
+        let d = start + Sim.Prng.int rng Sero.Layout.block_dots in
+        match Pmedia.Medium.get medium d with
+        | Pmedia.Dot.Magnetised dir ->
+            Pmedia.Medium.set medium d (Pmedia.Dot.Magnetised (Pmedia.Dot.invert dir))
+        | Pmedia.Dot.Heated -> ()
+      done;
+      Sero.Tamper.is_tampered (Sero.Device.verify_line dev ~line:2))
+
+let roundtrip_any_line =
+  QCheck.Test.make ~name:"heat+verify intact for random payloads" ~count:25
+    QCheck.(small_list (string_of_size Gen.(0 -- 512)))
+    (fun payloads ->
+      let dev = make_dev () in
+      let lay = Sero.Device.layout dev in
+      List.iteri
+        (fun i pba ->
+          let payload =
+            match List.nth_opt payloads i with Some p -> p | None -> "pad"
+          in
+          match Sero.Device.write_block dev ~pba payload with
+          | Ok () -> ()
+          | Error _ -> ())
+        (Sero.Layout.data_blocks_of_line lay 3);
+      match Sero.Device.heat_line dev ~line:3 () with
+      | Ok _ ->
+          Sero.Tamper.equal_verdict (Sero.Device.verify_line dev ~line:3) Sero.Tamper.Intact
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "sero"
+    [
+      ("layout", layout_cases @ List.map qtest layout_props);
+      ("sector-ops", device_cases);
+      ("heat-verify",
+        lifecycle_cases
+        @ List.map qtest
+            [ roundtrip_any_line; ecc_absorbs_noise;
+              gross_corruption_always_evident ]);
+      ("tamper", tamper_cases);
+      ("verify-region", region_cases);
+      ("whole-device", whole_device_cases);
+      ("image", image_cases);
+    ]

@@ -1,0 +1,210 @@
+(* The simulation substrate: PRNG, statistics, heap, event kernel. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* {1 PRNG} *)
+
+let prng_cases =
+  [
+    Alcotest.test_case "same seed, same stream" `Quick (fun () ->
+        let a = Sim.Prng.create 99 and b = Sim.Prng.create 99 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same" (Sim.Prng.bits64 a) (Sim.Prng.bits64 b)
+        done);
+    Alcotest.test_case "copy forks the stream" `Quick (fun () ->
+        let a = Sim.Prng.create 7 in
+        ignore (Sim.Prng.bits64 a);
+        let b = Sim.Prng.copy a in
+        Alcotest.(check int64) "same next" (Sim.Prng.bits64 a) (Sim.Prng.bits64 b));
+    Alcotest.test_case "split diverges from parent" `Quick (fun () ->
+        let a = Sim.Prng.create 7 in
+        let b = Sim.Prng.split a in
+        Alcotest.(check bool) "different" true
+          (Sim.Prng.bits64 a <> Sim.Prng.bits64 b));
+    Alcotest.test_case "uniform mean near 1/2" `Quick (fun () ->
+        let rng = Sim.Prng.create 3 in
+        let acc = ref 0. in
+        for _ = 1 to 10000 do
+          acc := !acc +. Sim.Prng.uniform rng
+        done;
+        Alcotest.(check bool) "0.48..0.52" true
+          (!acc /. 10000. > 0.48 && !acc /. 10000. < 0.52));
+    Alcotest.test_case "bernoulli respects p" `Quick (fun () ->
+        let rng = Sim.Prng.create 4 in
+        let hits = ref 0 in
+        for _ = 1 to 10000 do
+          if Sim.Prng.bernoulli rng 0.3 then incr hits
+        done;
+        Alcotest.(check bool) "±3%" true (!hits > 2700 && !hits < 3300));
+    Alcotest.test_case "exponential mean" `Quick (fun () ->
+        let rng = Sim.Prng.create 5 in
+        let acc = ref 0. in
+        for _ = 1 to 20000 do
+          acc := !acc +. Sim.Prng.exponential rng 4.
+        done;
+        Alcotest.(check bool) "mean ≈ 4" true
+          (!acc /. 20000. > 3.8 && !acc /. 20000. < 4.2));
+    Alcotest.test_case "gaussian moments" `Quick (fun () ->
+        let rng = Sim.Prng.create 6 in
+        let st = Sim.Stats.create () in
+        for _ = 1 to 20000 do
+          Sim.Stats.add st (Sim.Prng.gaussian rng ~mu:10. ~sigma:2.)
+        done;
+        Alcotest.(check bool) "mean ≈ 10" true
+          (Float.abs (Sim.Stats.mean st -. 10.) < 0.1);
+        Alcotest.(check bool) "sd ≈ 2" true
+          (Float.abs (Sim.Stats.stddev st -. 2.) < 0.1));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let rng = Sim.Prng.create 8 in
+        let a = Array.init 50 (fun i -> i) in
+        Sim.Prng.shuffle rng a;
+        let sorted = Array.copy a in
+        Array.sort compare sorted;
+        Alcotest.(check bool) "same multiset" true
+          (sorted = Array.init 50 (fun i -> i));
+        Alcotest.(check bool) "actually moved" true (a <> Array.init 50 (fun i -> i)));
+  ]
+
+let int_in_range =
+  QCheck.Test.make ~name:"int n is always in [0, n)" ~count:300
+    QCheck.(pair (int_range 1 1000000) small_nat)
+    (fun (n, seed) ->
+      let rng = Sim.Prng.create seed in
+      let v = Sim.Prng.int rng n in
+      v >= 0 && v < n)
+
+(* {1 Stats} *)
+
+let stats_cases =
+  [
+    Alcotest.test_case "known sample moments" `Quick (fun () ->
+        let st = Sim.Stats.create ~name:"t" () in
+        List.iter (Sim.Stats.add st) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+        Alcotest.(check (float 1e-9)) "mean" 5. (Sim.Stats.mean st);
+        Alcotest.(check (float 1e-6)) "sample sd" 2.13809 (Sim.Stats.stddev st);
+        Alcotest.(check (float 1e-9)) "min" 2. (Sim.Stats.min_value st);
+        Alcotest.(check (float 1e-9)) "max" 9. (Sim.Stats.max_value st);
+        Alcotest.(check (float 1e-9)) "median" 4. (Sim.Stats.percentile st 0.5);
+        Alcotest.(check int) "count" 8 (Sim.Stats.count st));
+    Alcotest.test_case "empty stats are all zero" `Quick (fun () ->
+        let st = Sim.Stats.create () in
+        Alcotest.(check (float 0.)) "mean" 0. (Sim.Stats.mean st);
+        Alcotest.(check (float 0.)) "sd" 0. (Sim.Stats.stddev st);
+        Alcotest.(check (float 0.)) "p99" 0. (Sim.Stats.percentile st 0.99));
+    Alcotest.test_case "merge equals combined stream" `Quick (fun () ->
+        let a = Sim.Stats.create () and b = Sim.Stats.create () in
+        let all = Sim.Stats.create () in
+        List.iter
+          (fun x ->
+            Sim.Stats.add (if x < 5. then a else b) x;
+            Sim.Stats.add all x)
+          [ 1.; 2.; 3.; 6.; 7.; 8.; 9. ];
+        let m = Sim.Stats.merge a b in
+        Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.mean all) (Sim.Stats.mean m);
+        Alcotest.(check (float 1e-9)) "sd" (Sim.Stats.stddev all) (Sim.Stats.stddev m));
+    Alcotest.test_case "histogram bins and clamps" `Quick (fun () ->
+        let h = Sim.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+        List.iter (Sim.Stats.Histogram.add h) [ -1.; 0.5; 5.5; 9.9; 42. ];
+        let c = Sim.Stats.Histogram.counts h in
+        Alcotest.(check int) "below clamps to first" 2 c.(0);
+        Alcotest.(check int) "mid" 1 c.(5);
+        Alcotest.(check int) "above clamps to last" 2 c.(9);
+        Alcotest.(check int) "total" 5 (Sim.Stats.Histogram.total h));
+  ]
+
+let percentile_bounds =
+  QCheck.Test.make ~name:"percentiles lie within [min, max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.) 100.)) (float_range 0.01 1.))
+    (fun (xs, p) ->
+      let st = Sim.Stats.create () in
+      List.iter (Sim.Stats.add st) xs;
+      let v = Sim.Stats.percentile st p in
+      v >= Sim.Stats.min_value st -. 1e-9 && v <= Sim.Stats.max_value st +. 1e-9)
+
+(* {1 Heap} *)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap pops in key order" ~count:200
+    QCheck.(small_list (float_range (-1000.) 1000.))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h k i) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare keys)
+
+let heap_cases =
+  [
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        Sim.Heap.push h 2. "b";
+        Sim.Heap.push h 1. "a";
+        Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1., "a")) (Sim.Heap.peek h);
+        Alcotest.(check int) "size" 2 (Sim.Heap.size h);
+        Alcotest.(check (option (pair (float 0.) string))) "pop" (Some (1., "a")) (Sim.Heap.pop h);
+        Alcotest.(check int) "size after" 1 (Sim.Heap.size h));
+    Alcotest.test_case "clear empties" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        for i = 1 to 20 do
+          Sim.Heap.push h (float_of_int i) i
+        done;
+        Sim.Heap.clear h;
+        Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h));
+  ]
+
+(* {1 DES kernel} *)
+
+let des_cases =
+  [
+    Alcotest.test_case "events fire in time order" `Quick (fun () ->
+        let des = Sim.Des.create () in
+        let log = ref [] in
+        Sim.Des.schedule des ~delay:3. (fun t -> log := (3, Sim.Des.now t) :: !log);
+        Sim.Des.schedule des ~delay:1. (fun t -> log := (1, Sim.Des.now t) :: !log);
+        Sim.Des.schedule des ~delay:2. (fun t -> log := (2, Sim.Des.now t) :: !log);
+        Sim.Des.run des;
+        Alcotest.(check (list (pair int (float 0.)))) "order"
+          [ (1, 1.); (2, 2.); (3, 3.) ]
+          (List.rev !log));
+    Alcotest.test_case "handlers can schedule more events" `Quick (fun () ->
+        let des = Sim.Des.create () in
+        let count = ref 0 in
+        let rec tick t =
+          incr count;
+          if !count < 5 then Sim.Des.schedule t ~delay:1. tick
+        in
+        Sim.Des.schedule des ~delay:1. tick;
+        Sim.Des.run des;
+        Alcotest.(check int) "5 ticks" 5 !count;
+        Alcotest.(check (float 0.)) "clock at 5" 5. (Sim.Des.now des));
+    Alcotest.test_case "run ~until leaves later events queued" `Quick (fun () ->
+        let des = Sim.Des.create () in
+        let fired = ref [] in
+        List.iter
+          (fun d -> Sim.Des.schedule des ~delay:d (fun _ -> fired := d :: !fired))
+          [ 1.; 2.; 10. ];
+        Sim.Des.run ~until:5. des;
+        Alcotest.(check (list (float 0.))) "only early" [ 2.; 1. ] !fired;
+        Alcotest.(check int) "one pending" 1 (Sim.Des.pending des);
+        Alcotest.(check (float 0.)) "clock clamped" 5. (Sim.Des.now des));
+    Alcotest.test_case "scheduling in the past is rejected" `Quick (fun () ->
+        let des = Sim.Des.create () in
+        Sim.Des.schedule des ~delay:2. (fun t ->
+            Alcotest.check_raises "past"
+              (Invalid_argument "Des.schedule_at: event in the past") (fun () ->
+                Sim.Des.schedule_at t ~at:1. (fun _ -> ())));
+        Sim.Des.run des);
+  ]
+
+let () =
+  Alcotest.run "sim"
+    [
+      ("prng", prng_cases @ [ qtest int_in_range ]);
+      ("stats", stats_cases @ [ qtest percentile_bounds ]);
+      ("heap", heap_cases @ [ qtest heap_sorts ]);
+      ("des", des_cases);
+    ]
