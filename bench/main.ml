@@ -211,19 +211,31 @@ let e17_media =
                 ~sectors:24 ())));
   ]
 
-let e18_sched =
+let e18_fault =
+  [
+    Test.make ~name:"e18 ras read cell (24 sectors, 1 dead tip)"
+      (Staged.stage (fun () ->
+           ignore
+             (Expt.Fault_study.run_cell ~n_blocks:32 ~sectors:24 ~ber:1e-4
+                ~dead_tips:1 ~ras_on:true ~plan_seed:42 ())));
+    Test.make ~name:"e18 scrub pass over torn line"
+      (Staged.stage (fun () ->
+           ignore (Expt.Fault_study.powercut_series ~cuts:[ 1 ] ())));
+  ]
+
+let e19_sched =
   let timing = Probe.Timing.create () in
   let act = Probe.Actuator.create timing ~pitch:100e-9 ~field_cols:64 in
   let rng = Sim.Prng.create 13 in
   let offsets = List.init 64 (fun _ -> Sim.Prng.int rng 4096) in
   [
-    Test.make ~name:"e18 elevator ordering (64 requests)"
+    Test.make ~name:"e19 elevator ordering (64 requests)"
       (Staged.stage (fun () ->
            ignore (Probe.Sched.order Probe.Sched.Elevator ~current:0 offsets)));
-    Test.make ~name:"e18 sstf ordering (64 requests)"
+    Test.make ~name:"e19 sstf ordering (64 requests)"
       (Staged.stage (fun () ->
            ignore (Probe.Sched.order Probe.Sched.Sstf ~current:0 offsets)));
-    Test.make ~name:"e18 travel cost estimate"
+    Test.make ~name:"e19 travel cost estimate"
       (Staged.stage (fun () ->
            ignore (Probe.Sched.travel_cost act ~current:0 offsets)));
   ]
@@ -242,7 +254,8 @@ let groups =
     ("E14 codec", e14_codec);
     ("E16 erb reliability", e16_erb);
     ("E17 media reliability", e17_media);
-    ("E18 scheduling", e18_sched);
+    ("E18 fault & RAS", e18_fault);
+    ("E19 scheduling", e19_sched);
   ]
 
 (* {1 Runner} *)

@@ -22,7 +22,8 @@ let experiments =
     ("aging", "E15: device lifetime, WMRM shrink to read-only", Expt.Aging.print);
     ("erb", "E16: erb protocol reliability (reproduction finding)", Expt.Erb_study.print);
     ("media", "E17: media reliability vs the sector ECC budget", Expt.Reliability.print);
-    ("seek", "E18: sled scheduling for random IO", Expt.Seek_study.print);
+    ("fault", "E18: fault injection and RAS recovery", Expt.Fault_study.print);
+    ("seek", "E19: sled scheduling for random IO", Expt.Seek_study.print);
     ("lfs", "E9: LFS clustering/bimodality study (slowest)", Expt.Lfs_study.print);
   ]
 

@@ -81,6 +81,19 @@ let e17 dir =
            r.Expt.Reliability.mean_corrected)
        (Expt.Reliability.defect_sweep ()))
 
+let e18 dir =
+  write_csv dir "e18_fault.csv"
+    "ber,dead_tips,ras,sectors,unrecoverable,retries,remapped,throughput_mbs"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%.6f,%d,%d,%d,%d,%d,%d,%.4f" r.Expt.Fault_study.ber
+           r.Expt.Fault_study.dead_tips
+           (if r.Expt.Fault_study.ras_on then 1 else 0)
+           r.Expt.Fault_study.sectors r.Expt.Fault_study.unrecoverable
+           r.Expt.Fault_study.retries r.Expt.Fault_study.remapped
+           r.Expt.Fault_study.throughput_mbs)
+       (Expt.Fault_study.sweep ()))
+
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "sero-data" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -90,4 +103,5 @@ let () =
   e8 dir;
   e16 dir;
   e17 dir;
+  e18 dir;
   Printf.printf "done; plot with gnuplot or your tool of choice.\n"

@@ -38,13 +38,17 @@ let with_fs image f =
 
 (* {1 Commands} *)
 
-let mkdev image blocks line_exp =
-  let config = Sero.Device.default_config ~n_blocks:blocks ~line_exp () in
+let mkdev image blocks line_exp ras =
+  let base = Sero.Device.default_config ~n_blocks:blocks ~line_exp () in
+  let config =
+    if ras then { base with Sero.Device.ras = Sero.Device.active_ras } else base
+  in
   match Sero.Device.create config with
   | dev ->
       Sero.Image.save dev image;
-      Format.fprintf std "created %s: %d blocks, lines of %d@." image blocks
-        (1 lsl line_exp);
+      Format.fprintf std "created %s: %d blocks, lines of %d%s@." image blocks
+        (1 lsl line_exp)
+        (if ras then ", RAS on" else "");
       Format.pp_print_flush std ();
       `Ok ()
   | exception Invalid_argument e -> err "%s" e
@@ -162,6 +166,83 @@ let stats image =
       Format.pp_print_flush std ();
       Ok false)
 
+(* Deterministic fault injection against the image: persistent magnetic
+   bit-flips, and optionally a torn burn (power cut mid-heat) on one
+   line.  Heated dots are immune to flips, exactly as on the medium. *)
+let inject image seed flips tear tear_cells =
+  with_device image (fun dev ->
+      let med = Probe.Pdevice.medium (Sero.Device.pdevice dev) in
+      let rng = Sim.Prng.create seed in
+      let n = Pmedia.Medium.size med in
+      let flipped = ref 0 in
+      let attempts = ref 0 in
+      while !flipped < flips && !attempts < (flips * 100) + 100 do
+        incr attempts;
+        let dot = Sim.Prng.int rng n in
+        match Pmedia.Medium.get med dot with
+        | Pmedia.Dot.Magnetised d ->
+            Pmedia.Medium.set med dot
+              (Pmedia.Dot.Magnetised
+                 (match d with
+                 | Pmedia.Dot.Up -> Pmedia.Dot.Down
+                 | Pmedia.Dot.Down -> Pmedia.Dot.Up));
+            incr flipped
+        | Pmedia.Dot.Heated -> ()
+      done;
+      let torn =
+        match tear with
+        | None -> Ok None
+        | Some line
+          when line < 0
+               || line >= Sero.Layout.n_lines (Sero.Device.layout dev) ->
+            Error
+              (Printf.sprintf "--tear %d: the image has lines 0..%d" line
+                 (Sero.Layout.n_lines (Sero.Device.layout dev) - 1))
+        | Some line ->
+            let inj =
+              Fault.Injector.create
+                (Fault.Plan.make ~power_cut_after_ewb:tear_cells ())
+            in
+            Sero.Device.install_fault dev inj;
+            let r =
+              match Sero.Device.heat_line dev ~line () with
+              | exception Fault.Injector.Power_cut -> Ok (Some (line, inj))
+              | Ok _ -> Ok (Some (line, inj))
+              | Error e ->
+                  Error (Format.asprintf "heat: %a" Sero.Device.pp_heat_error e)
+            in
+            Sero.Device.clear_fault dev;
+            r
+      in
+      match torn with
+      | Error e -> Error e
+      | Ok torn ->
+          Format.fprintf std "injected %d magnetic flips (seed %d)@." !flipped
+            seed;
+          (match torn with
+          | None -> ()
+          | Some (line, inj) ->
+              Format.fprintf std
+                "tore the burn of line %d after %d cells; ledger:@.%s" line
+                tear_cells
+                (Fault.Injector.ledger_to_string inj));
+          Format.pp_print_flush std ();
+          Ok true)
+
+let scrub image threshold deep =
+  with_device image (fun dev ->
+      let config =
+        {
+          Sero.Scrub.default_config with
+          Sero.Scrub.correction_threshold = threshold;
+          deep_verify = deep;
+        }
+      in
+      let report = Sero.Scrub.pass ~config dev in
+      Format.fprintf std "%a@." Sero.Scrub.pp_report report;
+      Format.pp_print_flush std ();
+      Ok true)
+
 let attack_names =
   List.map
     (fun a ->
@@ -262,10 +343,45 @@ let () =
   let attack_name =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"ATTACK")
   in
+  let ras =
+    Arg.(
+      value & flag
+      & info [ "ras" ] ~doc:"Enable the RAS layer (retry, sparing, re-pulse).")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Injection seed.")
+  in
+  let flips =
+    Arg.(
+      value & opt int 0
+      & info [ "flips" ] ~docv:"N" ~doc:"Persistent magnetic bit-flips.")
+  in
+  let tear =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tear" ] ~docv:"LINE" ~doc:"Tear the burn of this line.")
+  in
+  let tear_cells =
+    Arg.(
+      value & opt int 700
+      & info [ "tear-cells" ] ~docv:"K"
+          ~doc:"Cut the power after K of 2048 burn pulses.")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 6
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Rewrite sectors at or past T corrected RS symbols.")
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ] ~doc:"Also re-verify heated lines against their hashes.")
+  in
   let cmds =
     [
       cmd "mkdev" "Create a fresh device image."
-        Term.(const mkdev $ image_arg $ blocks $ line_exp);
+        Term.(const mkdev $ image_arg $ blocks $ line_exp $ ras);
       cmd "mkfs" "Format the SERO file system." Term.(const mkfs $ image_arg);
       cmd "ls" "List a directory." Term.(const ls $ image_arg $ path_arg 1);
       cmd "mkdir" "Create a directory."
@@ -287,6 +403,10 @@ let () =
         Term.(const replay $ image_arg $ path_arg 1);
       cmd "attack" "Run a Section 5 attack against the image."
         Term.(const attack $ image_arg $ attack_name);
+      cmd "inject" "Inject deterministic faults (bit-flips, torn burn)."
+        Term.(const inject $ image_arg $ seed $ flips $ tear $ tear_cells);
+      cmd "scrub" "Run one scrubber pass (repair, torn completion)."
+        Term.(const scrub $ image_arg $ threshold $ deep);
     ]
   in
   let doc = "operate a simulated tamper-evident SERO device" in

@@ -58,7 +58,7 @@ let adaptive_read dev ~line =
   let false_alarm =
     match outcome with
     | `Burned _ -> false
-    | `Not_heated | `Tampered _ -> true
+    | `Not_heated | `Torn _ | `Tampered _ -> true
   in
   (false_alarm, after - before)
 

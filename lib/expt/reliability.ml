@@ -86,7 +86,7 @@ let tip_sweep ?(max_failed = 3) ?(sectors = 28) () =
               match Sero.Device.classify_block dev ~pba with
               | Sero.Device.Bad_block -> incr bad
               | Sero.Device.Heated_block -> incr heated
-              | Sero.Device.Healthy -> ()))
+              | Sero.Device.Torn_block | Sero.Device.Healthy -> ()))
         pbas;
       {
         failed_tips;
@@ -121,4 +121,5 @@ let print ppf =
     "finding: the RS budget rides out ~0.5%% dot defects but a single dead \
      tip@.exceeds any per-sector code — probe devices need tip sparing, \
      which the paper@.does not discuss.  Dead-tip blocks classify as bad, \
-     never as heated.@."
+     never as heated.@.Spare-tip remapping now exists (Probe.Tips.remap_tip \
+     / Sero.Device ras config);@.E18 quantifies the recovery it buys.@."

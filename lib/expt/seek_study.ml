@@ -80,7 +80,7 @@ let sweep ?(batches = 40) ?(batch_size = 32) () =
     Probe.Sched.all_policies
 
 let print ppf =
-  Format.fprintf ppf "E18 — sled scheduling for random IO@.";
+  Format.fprintf ppf "E19 — sled scheduling for random IO@.";
   Format.fprintf ppf "%s@." (String.make 60 '-');
   Format.fprintf ppf "  %-10s %-8s %-16s %-8s@." "policy" "batch"
     "mean service (s)" "vs fifo";

@@ -1,4 +1,4 @@
-(** E18 — sled scheduling: random IO service time vs. request ordering.
+(** E19 — sled scheduling: random IO service time vs. request ordering.
 
     Section 3 expects the SERO device to offer disk-class random WMRM
     access; like a disk, the shared sled rewards elevator scheduling.

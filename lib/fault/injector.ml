@@ -1,0 +1,128 @@
+exception Power_cut
+
+type event =
+  | Read_flip of { op : int; dot : int }
+  | Stuck_read of { op : int; dot : int }
+  | Tip_death of { op : int; tip : int }
+  | Weak_pulse of { op : int; dot : int }
+  | Cut of { op : int }
+
+type t = {
+  plan : Plan.t;
+  rng : Sim.Prng.t;
+  stuck_memo : (int, bool) Hashtbl.t;
+  mutable ops : int;
+  mutable ewbs : int;
+  mutable cut_fired : bool;
+  mutable pending_deaths : Plan.tip_death list;
+  mutable events_rev : event list;
+  mutable n_events : int;
+}
+
+let create (plan : Plan.t) =
+  {
+    plan;
+    rng = Sim.Prng.create plan.Plan.seed;
+    stuck_memo = Hashtbl.create 64;
+    ops = 0;
+    ewbs = 0;
+    cut_fired = false;
+    pending_deaths = plan.Plan.tip_deaths;
+    events_rev = [];
+    n_events = 0;
+  }
+
+let plan t = t.plan
+let ops t = t.ops
+let cut_fired t = t.cut_fired
+
+let record t ev =
+  t.events_rev <- ev :: t.events_rev;
+  t.n_events <- t.n_events + 1
+
+let fire_cut t =
+  t.cut_fired <- true;
+  record t (Cut { op = t.ops });
+  raise Power_cut
+
+let tick t =
+  (match t.plan.Plan.power_cut_after_ops with
+  | Some n when (not t.cut_fired) && t.ops >= n -> fire_cut t
+  | _ -> ());
+  t.ops <- t.ops + 1
+
+let tick_ewb t =
+  (match t.plan.Plan.power_cut_after_ewb with
+  | Some n when (not t.cut_fired) && t.ewbs >= n -> fire_cut t
+  | _ -> ());
+  t.ewbs <- t.ewbs + 1
+
+let flip_read t ~dot =
+  t.plan.Plan.read_ber > 0.
+  && Sim.Prng.bernoulli t.rng t.plan.Plan.read_ber
+  &&
+  (record t (Read_flip { op = t.ops; dot });
+   true)
+
+(* Stuck membership hashes the dot address into its own single-use
+   stream: order-independent, so the stuck set is a property of the
+   plan, not of which reads happened first. *)
+let stuck t ~dot =
+  t.plan.Plan.stuck_rate > 0.
+  &&
+  let is_stuck =
+    match Hashtbl.find_opt t.stuck_memo dot with
+    | Some v -> v
+    | None ->
+        let h = Sim.Prng.create (t.plan.Plan.seed lxor ((dot + 1) * 0x2545F491)) in
+        let v = Sim.Prng.bernoulli h t.plan.Plan.stuck_rate in
+        Hashtbl.add t.stuck_memo dot v;
+        v
+  in
+  if is_stuck then record t (Stuck_read { op = t.ops; dot });
+  is_stuck
+
+let weak_pulse t ~dot =
+  t.plan.Plan.weak_ewb_p > 0.
+  && Sim.Prng.bernoulli t.rng t.plan.Plan.weak_ewb_p
+  &&
+  (record t (Weak_pulse { op = t.ops; dot });
+   true)
+
+let newly_dead_tips t =
+  match t.pending_deaths with
+  | [] -> []
+  | pending ->
+      let dead, alive =
+        List.partition (fun d -> t.ops >= d.Plan.after_ops) pending
+      in
+      t.pending_deaths <- alive;
+      List.map
+        (fun d ->
+          record t (Tip_death { op = t.ops; tip = d.Plan.tip });
+          d.Plan.tip)
+        dead
+
+let events t = List.rev t.events_rev
+let n_events t = t.n_events
+
+let pp_event ppf = function
+  | Read_flip { op; dot } -> Format.fprintf ppf "op=%d read-flip dot=%d" op dot
+  | Stuck_read { op; dot } -> Format.fprintf ppf "op=%d stuck-read dot=%d" op dot
+  | Tip_death { op; tip } -> Format.fprintf ppf "op=%d tip-death tip=%d" op tip
+  | Weak_pulse { op; dot } -> Format.fprintf ppf "op=%d weak-pulse dot=%d" op dot
+  | Cut { op } -> Format.fprintf ppf "op=%d power-cut" op
+
+let ledger_to_string t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (Format.asprintf "%a" pp_event ev);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let pp_ledger ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list pp_event)
+    (events t)

@@ -1,0 +1,75 @@
+(** The runtime half of fault injection: a {!Plan.t} plus the mutable
+    state needed to make per-operation decisions and remember every
+    event in a replayable ledger.
+
+    Determinism contract: decisions use a private PRNG seeded only from
+    the plan, never the medium's own stream, so installing an injector
+    does not perturb the simulation's existing randomness.  Identical
+    plans driven by identical operation traces produce bit-identical
+    ledgers ({!ledger_to_string}).
+
+    The hook points live in [Pmedia.Bitops] ({!tick}/{!flip_read}/
+    {!stuck}/{!tick_ewb}/{!weak_pulse}) and [Probe.Pdevice]
+    ({!newly_dead_tips}); user code normally only builds a plan and
+    installs it with [Sero.Device.install_fault]. *)
+
+exception Power_cut
+(** Raised at an operation boundary when the plan's cut triggers.  The
+    interrupted operation has {e not} touched the medium; everything
+    before it has.  The cut disarms itself after firing, so the caller
+    can treat the catch as the reboot and keep using the device. *)
+
+type event =
+  | Read_flip of { op : int; dot : int }
+  | Stuck_read of { op : int; dot : int }
+  | Tip_death of { op : int; tip : int }
+  | Weak_pulse of { op : int; dot : int }
+  | Cut of { op : int }
+
+type t
+
+val create : Plan.t -> t
+val plan : t -> Plan.t
+
+val ops : t -> int
+(** Primitive operations ticked so far. *)
+
+val cut_fired : t -> bool
+
+(** {1 Hook points} *)
+
+val tick : t -> unit
+(** Count one primitive operation; fires {!Power_cut} at the boundary
+    configured by [power_cut_after_ops]. *)
+
+val tick_ewb : t -> unit
+(** Count one ewb pulse; fires {!Power_cut} at the boundary configured
+    by [power_cut_after_ewb].  Call before the pulse takes effect. *)
+
+val flip_read : t -> dot:int -> bool
+(** Decide (and log) whether this magnetic read flips. *)
+
+val stuck : t -> dot:int -> bool
+(** Whether [dot] is stuck at Down — a pure function of the plan seed
+    and the dot address, logged on every read that hits it. *)
+
+val weak_pulse : t -> dot:int -> bool
+(** Decide (and log) whether this ewb pulse is underpowered. *)
+
+val newly_dead_tips : t -> int list
+(** Tips whose scheduled death has passed and has not been reported yet;
+    each is reported (and logged) exactly once. *)
+
+(** {1 The ledger} *)
+
+val events : t -> event list
+(** All injected events, oldest first. *)
+
+val n_events : t -> int
+val pp_event : Format.formatter -> event -> unit
+
+val ledger_to_string : t -> string
+(** One event per line — the replayable record.  Two runs with the same
+    plan and the same operation trace compare byte-equal. *)
+
+val pp_ledger : Format.formatter -> t -> unit

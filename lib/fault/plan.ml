@@ -1,0 +1,70 @@
+type tip_death = { tip : int; after_ops : int }
+
+type t = {
+  seed : int;
+  read_ber : float;
+  stuck_rate : float;
+  tip_deaths : tip_death list;
+  weak_ewb_p : float;
+  power_cut_after_ops : int option;
+  power_cut_after_ewb : int option;
+}
+
+let none =
+  {
+    seed = 0;
+    read_ber = 0.;
+    stuck_rate = 0.;
+    tip_deaths = [];
+    weak_ewb_p = 0.;
+    power_cut_after_ops = None;
+    power_cut_after_ewb = None;
+  }
+
+let check_p name p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Fault.Plan.make: %s must be in [0, 1]" name)
+
+let make ?(seed = 0) ?(read_ber = 0.) ?(stuck_rate = 0.) ?(tip_deaths = [])
+    ?(weak_ewb_p = 0.) ?power_cut_after_ops ?power_cut_after_ewb () =
+  check_p "read_ber" read_ber;
+  check_p "stuck_rate" stuck_rate;
+  check_p "weak_ewb_p" weak_ewb_p;
+  List.iter
+    (fun d ->
+      if d.tip < 0 || d.after_ops < 0 then
+        invalid_arg "Fault.Plan.make: tip_deaths entries must be non-negative")
+    tip_deaths;
+  Option.iter
+    (fun n ->
+      if n < 0 then invalid_arg "Fault.Plan.make: power_cut_after_ops < 0")
+    power_cut_after_ops;
+  Option.iter
+    (fun n ->
+      if n < 0 then invalid_arg "Fault.Plan.make: power_cut_after_ewb < 0")
+    power_cut_after_ewb;
+  {
+    seed;
+    read_ber;
+    stuck_rate;
+    tip_deaths;
+    weak_ewb_p;
+    power_cut_after_ops;
+    power_cut_after_ewb;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "plan{seed=%d ber=%g stuck=%g deaths=[%a] weak-ewb=%g cut-ops=%s \
+     cut-ewb=%s}"
+    t.seed t.read_ber t.stuck_rate
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       (fun ppf d -> Format.fprintf ppf "tip %d@%d" d.tip d.after_ops))
+    t.tip_deaths t.weak_ewb_p
+    (match t.power_cut_after_ops with
+    | None -> "-"
+    | Some n -> string_of_int n)
+    (match t.power_cut_after_ewb with
+    | None -> "-"
+    | Some n -> string_of_int n)

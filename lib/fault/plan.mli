@@ -1,0 +1,52 @@
+(** A declarative, seeded fault plan.
+
+    A plan describes {e what can go wrong} during a run: transient
+    magnetic-read bit flips, dots stuck at Down, probe tips dying after
+    a given operation count, underpowered ewb pulses that fail to heat
+    their dot (the mechanism behind {e torn} burns), and a power cut at
+    an operation boundary.  The plan itself is pure data; {!Injector}
+    turns it into per-operation decisions driven by a splitmix64 stream
+    ({!Sim.Prng}) so that the same plan always produces the same fault
+    sequence for the same operation trace. *)
+
+type tip_death = {
+  tip : int;  (** Logical tip index. *)
+  after_ops : int;  (** The tip dies once this many primitive ops ran. *)
+}
+
+type t = {
+  seed : int;  (** Root of the injector's private PRNG stream. *)
+  read_ber : float;  (** Per-mrb probability of flipping the result. *)
+  stuck_rate : float;
+      (** Fraction of dots stuck at Down; membership is a pure function
+          of [(seed, dot)], so it is stable across runs and independent
+          of operation order. *)
+  tip_deaths : tip_death list;
+  weak_ewb_p : float;
+      (** Per-ewb probability that the pulse is underpowered and fails
+          to heat the dot — torn burns when it strikes mid-heat. *)
+  power_cut_after_ops : int option;
+      (** Cut power at the boundary after this many primitive ops. *)
+  power_cut_after_ewb : int option;
+      (** Cut power after this many ewb pulses — lands the cut inside a
+          specific burn with cell precision. *)
+}
+
+val none : t
+(** The empty plan: nothing ever goes wrong (seed 0). *)
+
+val make :
+  ?seed:int ->
+  ?read_ber:float ->
+  ?stuck_rate:float ->
+  ?tip_deaths:tip_death list ->
+  ?weak_ewb_p:float ->
+  ?power_cut_after_ops:int ->
+  ?power_cut_after_ewb:int ->
+  unit ->
+  t
+(** All faults default to off; [seed] defaults to 0.
+    @raise Invalid_argument on negative counts or probabilities outside
+    [0, 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -33,6 +33,29 @@ let sync t =
 
 let unmount t = sync t
 
+type recovery = { fs : t; torn_completed : int list; fsck : Fsck.report }
+
+(* Power-loss recovery: a cut mid-heat leaves a torn write-once area
+   (burned prefix, blank tail).  The data blocks it covers were written
+   and flushed before the burn started, so completing the burn from
+   them reproduces the interrupted hash exactly; then fsck inventories
+   the heated files and a normal mount replays the latest checkpoint. *)
+let recover ?policy dev =
+  let lay = Sero.Device.layout dev in
+  let torn = ref [] in
+  for line = 0 to Sero.Layout.n_lines lay - 1 do
+    match Sero.Device.read_hash_block dev ~line with
+    | `Torn _ -> (
+        match Sero.Device.heat_line dev ~line () with
+        | Ok _ -> torn := line :: !torn
+        | Error _ -> ())
+    | `Not_heated | `Burned _ | `Tampered _ -> ()
+  done;
+  let fsck = Fsck.run dev in
+  match mount ?policy dev with
+  | Error _ as e -> e
+  | Ok fs -> Ok { fs; torn_completed = List.rev !torn; fsck }
+
 (* Wrap internal exceptions into result errors. *)
 let guard f =
   match f () with

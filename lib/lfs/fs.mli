@@ -25,6 +25,19 @@ val format : ?policy:State.policy -> Sero.Device.t -> t
 val mount : ?policy:State.policy -> Sero.Device.t -> (t, string) result
 (** Load the latest checkpoint. *)
 
+type recovery = {
+  fs : t;
+  torn_completed : int list;
+      (** Lines whose interrupted burn was finished during recovery. *)
+  fsck : Fsck.report;
+}
+
+val recover : ?policy:State.policy -> Sero.Device.t -> (recovery, string) result
+(** Mount after an unclean shutdown (e.g. an injected power cut):
+    complete any torn burns found on the medium ({!Sero.Device.heat_line}
+    is idempotent over the burned prefix), run {!Fsck} to inventory the
+    heated files, then replay the latest checkpoint as {!mount} does. *)
+
 val unmount : t -> unit
 (** Flush everything and write a final checkpoint. *)
 

@@ -12,6 +12,7 @@ type ctx = {
   profile : Physics.Thermal.profile;
   read_ber : float;
   neighbour_damage_p : float;
+  mutable fault : Fault.Injector.t option;
 }
 
 let make ?profile ?(read_ber = 0.) medium =
@@ -31,11 +32,19 @@ let make ?profile ?(read_ber = 0.) medium =
     profile;
     read_ber;
     neighbour_damage_p;
+    fault = None;
   }
 
 let medium t = t.medium
 let counters t = t.counters
 let profile t = t.profile
+let fault t = t.fault
+let set_fault t inj = t.fault <- inj
+
+(* Count one primitive op with the injector (may raise Power_cut at the
+   boundary, before the op touches the medium). *)
+let fault_tick t =
+  match t.fault with None -> () | Some inj -> Fault.Injector.tick inj
 
 let reset_counters t =
   t.counters.mrb <- 0;
@@ -45,6 +54,7 @@ let reset_counters t =
   t.counters.collateral <- 0
 
 let mrb t i =
+  fault_tick t;
   t.counters.mrb <- t.counters.mrb + 1;
   let rng = Medium.rng t.medium in
   match Medium.get t.medium i with
@@ -54,30 +64,51 @@ let mrb t i =
       if Sim.Prng.bool rng then Dot.Up else Dot.Down
   | Dot.Magnetised d ->
       let d = if Medium.is_defect t.medium i then Dot.invert d else d in
-      if t.read_ber > 0. && Sim.Prng.bernoulli rng t.read_ber then
-        Dot.invert d
-      else d
+      let d =
+        if t.read_ber > 0. && Sim.Prng.bernoulli rng t.read_ber then
+          Dot.invert d
+        else d
+      in
+      (match t.fault with
+      | None -> d
+      | Some inj ->
+          if Fault.Injector.stuck inj ~dot:i then Dot.Down
+          else if Fault.Injector.flip_read inj ~dot:i then Dot.invert d
+          else d)
 
 let mwb t i d =
+  fault_tick t;
   t.counters.mwb <- t.counters.mwb + 1;
   match Medium.get t.medium i with
   | Dot.Heated -> () (* write has no perpendicular axis to act on *)
   | Dot.Magnetised _ -> Medium.set t.medium i (Dot.Magnetised d)
 
 let ewb t i =
+  fault_tick t;
+  let weak =
+    match t.fault with
+    | None -> false
+    | Some inj ->
+        Fault.Injector.tick_ewb inj;
+        Fault.Injector.weak_pulse inj ~dot:i
+  in
   t.counters.ewb <- t.counters.ewb + 1;
-  Medium.note_heated t.medium i;
-  if t.neighbour_damage_p > 0. then
-    List.iter
-      (fun j ->
-        if
-          (not (Dot.is_heated (Medium.get t.medium j)))
-          && Sim.Prng.bernoulli (Medium.rng t.medium) t.neighbour_damage_p
-        then begin
-          Medium.note_heated t.medium j;
-          t.counters.collateral <- t.counters.collateral + 1
-        end)
-      (Medium.neighbours t.medium i)
+  if not weak then begin
+    (* An underpowered pulse never reaches the Curie point: the dot
+       stays magnetic and no neighbour heat spills over. *)
+    Medium.note_heated t.medium i;
+    if t.neighbour_damage_p > 0. then
+      List.iter
+        (fun j ->
+          if
+            (not (Dot.is_heated (Medium.get t.medium j)))
+            && Sim.Prng.bernoulli (Medium.rng t.medium) t.neighbour_damage_p
+          then begin
+            Medium.note_heated t.medium j;
+            t.counters.collateral <- t.counters.collateral + 1
+          end)
+        (Medium.neighbours t.medium i)
+  end
 
 (* One invert/verify round of the paper's erb sequence.  Returns [true]
    if the dot behaved as heated (a verification failed). *)

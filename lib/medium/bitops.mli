@@ -45,6 +45,15 @@ val counters : ctx -> counters
 val reset_counters : ctx -> unit
 val profile : ctx -> Physics.Thermal.profile
 
+val fault : ctx -> Fault.Injector.t option
+val set_fault : ctx -> Fault.Injector.t option -> unit
+(** Install (or remove) a fault injector.  With one installed, every
+    primitive op ticks the injector first (so a configured power cut
+    raises {!Fault.Injector.Power_cut} {e before} the op touches the
+    medium); mrb results pass through the stuck-dot and bit-flip
+    filters; ewb pulses may be underpowered and leave their dot
+    magnetic.  [None] (the default) restores fault-free behaviour. *)
+
 val mrb : ctx -> int -> Dot.direction
 val mwb : ctx -> int -> Dot.direction -> unit
 val ewb : ctx -> int -> unit

@@ -1,12 +1,19 @@
 type config = {
   n_tips : int;
+  spare_tips : int;
   costs : Timing.costs;
   profile : Physics.Thermal.profile option;
   erb_cycles : int;
 }
 
 let default_config =
-  { n_tips = 256; costs = Timing.default_costs; profile = None; erb_cycles = 8 }
+  {
+    n_tips = 256;
+    spare_tips = 0;
+    costs = Timing.default_costs;
+    profile = None;
+    erb_cycles = 8;
+  }
 
 type t = {
   medium : Pmedia.Medium.t;
@@ -15,18 +22,19 @@ type t = {
   actuator : Actuator.t;
   timing : Timing.t;
   config : config;
+  mutable fault : Fault.Injector.t option;
 }
 
 let create ?(config = default_config) medium =
   let timing = Timing.create ~costs:config.costs () in
-  let tips = Tips.create ~n_tips:config.n_tips ~medium in
+  let tips = Tips.create ~spares:config.spare_tips ~n_tips:config.n_tips medium in
   let bitops = Pmedia.Bitops.make ?profile:config.profile medium in
   let actuator =
     Actuator.create timing
       ~pitch:(Pmedia.Medium.config medium).Pmedia.Medium.geometry.pitch
       ~field_cols:(Tips.field_cols tips)
   in
-  { medium; bitops; tips; actuator; timing; config }
+  { medium; bitops; tips; actuator; timing; config; fault = None }
 
 let medium t = t.medium
 let tips t = t.tips
@@ -37,6 +45,15 @@ let size t = Pmedia.Medium.size t.medium
 let elapsed t = Timing.elapsed t.timing
 let energy t = Timing.energy t.timing
 let reset_ledger t = Timing.reset t.timing
+let fault t = t.fault
+
+let install_fault t inj =
+  t.fault <- Some inj;
+  Pmedia.Bitops.set_fault t.bitops (Some inj)
+
+let clear_fault t =
+  t.fault <- None;
+  Pmedia.Bitops.set_fault t.bitops None
 
 let check_run t start len =
   if start < 0 || len < 0 || start + len > size t then
@@ -55,6 +72,15 @@ let run_offsets t ~start ~len ~per_offset f =
     for off = first_off to last_off do
       Actuator.seek t.actuator off;
       per_offset ();
+      (* Scheduled tip deaths land at scan-row boundaries. *)
+      (match t.fault with
+      | None -> ()
+      | Some inj ->
+          List.iter (Tips.fail_tip t.tips) (Fault.Injector.newly_dead_tips inj));
+      (* A remapped field is served by a spare parked off-pitch on the
+         same sled: each scan row pays one extra settle to line it up. *)
+      if Tips.remapped_count t.tips > 0 then
+        Timing.charge_time t.timing (Timing.costs t.timing).Timing.seek_settle;
       let lo = max start (off * n) and hi = min (start + len - 1) ((off * n) + n - 1) in
       for dot = lo to hi do
         let tip, _ = Tips.locate t.tips dot in

@@ -18,6 +18,9 @@ type t
 
 type config = {
   n_tips : int;
+  spare_tips : int;
+      (** Physical tips reserved for {!Tips.remap_tip}; they serve no
+          dots until a failed tip's field is remapped onto one. *)
   costs : Timing.costs;
   profile : Physics.Thermal.profile option;
       (** Electrical-write thermal profile; [None] = default for the
@@ -29,7 +32,8 @@ type config = {
 }
 
 val default_config : config
-(** 256 tips, default costs, default profile, 8 erb cycles. *)
+(** 256 tips, no spares, default costs, default profile, 8 erb
+    cycles. *)
 
 val create : ?config:config -> Pmedia.Medium.t -> t
 val medium : t -> Pmedia.Medium.t
@@ -65,3 +69,14 @@ val seek_to_dot : t -> int -> unit
 val elapsed : t -> float
 val energy : t -> float
 val reset_ledger : t -> unit
+
+(** {1 Fault injection} *)
+
+val install_fault : t -> Fault.Injector.t -> unit
+(** Route every bit operation through the injector (see
+    {!Pmedia.Bitops.set_fault}).  Scheduled tip deaths are drained at
+    scan-row boundaries and marked in {!tips}; once any field is
+    remapped to a spare, every scan row pays one extra settle time. *)
+
+val clear_fault : t -> unit
+val fault : t -> Fault.Injector.t option

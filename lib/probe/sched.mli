@@ -5,7 +5,7 @@
     the probe-storage equivalent of the disk elevator.  The paper
     expects the device to behave like a disk for random WMRM IO; this
     module provides the ordering policies and a cost estimator that the
-    E18 experiment compares. *)
+    E19 experiment compares. *)
 
 type policy =
   | Fifo  (** Serve in arrival order. *)

@@ -1,17 +1,24 @@
 type t = {
   n_tips : int;
+  n_spares : int;
+  n_dots : int;
   field_size : int;
   field_cols : int;
-  failed : bool array;
-  uses : int array;
+  failed : bool array; (* length n_tips + n_spares; raw health *)
+  remap : int array; (* length n_tips; spare unit serving the tip, or -1 *)
+  uses : int array; (* length n_tips + n_spares *)
+  mutable next_spare : int;
 }
 
-let create ~n_tips ~medium =
+let create ?(spares = 0) ~n_tips medium =
   let n = Pmedia.Medium.size medium in
   if n_tips <= 0 then invalid_arg "Tips.create: n_tips must be positive";
-  if n mod n_tips <> 0 then
-    invalid_arg "Tips.create: medium size must be a multiple of n_tips";
-  let field_size = n / n_tips in
+  if spares < 0 then invalid_arg "Tips.create: spares must be non-negative";
+  (* Rounding rule: fields are ceil(n / n_tips) dots; when n_tips does
+     not divide the medium size, the trailing scan row is partial and
+     tips with index >= n mod n_tips simply have one dot fewer.  locate
+     and dot_of still range-check against the true dot count. *)
+  let field_size = (n + n_tips - 1) / n_tips in
   (* Tip fields tile the medium column-wise: each tip's field is a
      vertical stripe [cols / n_tips] dots wide (when that divides) or a
      row-major slice otherwise; only the width matters for seek cost. *)
@@ -20,31 +27,83 @@ let create ~n_tips ~medium =
   let field_cols = max 1 (min field_cols field_size) in
   {
     n_tips;
+    n_spares = spares;
+    n_dots = n;
     field_size;
     field_cols;
-    failed = Array.make n_tips false;
-    uses = Array.make n_tips 0;
+    failed = Array.make (n_tips + spares) false;
+    remap = Array.make n_tips (-1);
+    uses = Array.make (n_tips + spares) 0;
+    next_spare = 0;
   }
 
 let n_tips t = t.n_tips
+let spares t = t.n_spares
 let field_size t = t.field_size
 let field_cols t = t.field_cols
 
 let locate t dot =
-  if dot < 0 || dot >= t.n_tips * t.field_size then
+  if dot < 0 || dot >= t.n_dots then
     invalid_arg "Tips.locate: dot address out of range";
   (dot mod t.n_tips, dot / t.n_tips)
 
 let dot_of t ~tip ~offset =
   if tip < 0 || tip >= t.n_tips || offset < 0 || offset >= t.field_size then
     invalid_arg "Tips.dot_of: out of range";
-  (offset * t.n_tips) + tip
+  let dot = (offset * t.n_tips) + tip in
+  if dot >= t.n_dots then invalid_arg "Tips.dot_of: out of range";
+  dot
+
+(* The physical unit currently serving a logical tip. *)
+let serving t i = if i < t.n_tips && t.remap.(i) >= 0 then t.remap.(i) else i
 
 let fail_tip t i = t.failed.(i) <- true
-let tip_failed t i = t.failed.(i)
+let tip_broken t i = t.failed.(i)
+let tip_failed t i = t.failed.(serving t i)
 
 let failed_count t =
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.failed
+  let n = ref 0 in
+  for i = 0 to t.n_tips - 1 do
+    if t.failed.(i) then incr n
+  done;
+  !n
 
-let record_use t ~tip = t.uses.(tip) <- t.uses.(tip) + 1
+let is_remapped t i = i < t.n_tips && t.remap.(i) >= 0
+
+let remapped_count t =
+  Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 t.remap
+
+let spares_used t = t.next_spare
+
+let spares_free t =
+  let free = ref 0 in
+  for s = t.next_spare to t.n_spares - 1 do
+    if not t.failed.(t.n_tips + s) then incr free
+  done;
+  !free
+
+let remap_tip t i =
+  if i < 0 || i >= t.n_tips then invalid_arg "Tips.remap_tip: bad tip";
+  if not (tip_failed t i) then false
+  else begin
+    (* Scan forward for the next healthy, unassigned spare. *)
+    let rec pick () =
+      if t.next_spare >= t.n_spares then false
+      else begin
+        let unit = t.n_tips + t.next_spare in
+        t.next_spare <- t.next_spare + 1;
+        if t.failed.(unit) then pick ()
+        else begin
+          t.remap.(i) <- unit;
+          true
+        end
+      end
+    in
+    pick ()
+  end
+
+let record_use t ~tip =
+  let u = serving t tip in
+  t.uses.(u) <- t.uses.(u) + 1
+
 let uses t ~tip = t.uses.(tip)

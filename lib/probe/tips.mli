@@ -10,18 +10,35 @@
 
     Tips wear and can fail outright; dots under a failed tip read as
     noise and ignore writes, which the sector-level Reed–Solomon code
-    must absorb (this is how bad-block handling is exercised). *)
+    must absorb (this is how bad-block handling is exercised).  A device
+    built with [spares > 0] carries extra tips parked outside the data
+    fields; {!remap_tip} reassigns a failed tip's whole field to a
+    spare, after which the field is readable again at an extra
+    settle-time cost per scan row (the spare rides the same sled but
+    sits off-pitch, see {!Pdevice}). *)
 
 type t
 
-val create : n_tips:int -> medium:Pmedia.Medium.t -> t
+val create : ?spares:int -> n_tips:int -> Pmedia.Medium.t -> t
 (** Partitions the medium's dots among [n_tips] tips.
-    @raise Invalid_argument if the medium size is not a multiple of
-    [n_tips]. *)
+
+    Rounding rule: when the medium size is not a multiple of [n_tips],
+    fields are [ceil (size / n_tips)] dots and the trailing scan row is
+    partial — tips whose index is at least [size mod n_tips] serve one
+    dot fewer.  {!locate} and {!dot_of} range-check against the true
+    medium size, so no phantom addresses appear.
+
+    [spares] (default 0) reserves additional physical tips for
+    {!remap_tip}.
+
+    @raise Invalid_argument if [n_tips <= 0] or [spares < 0]. *)
 
 val n_tips : t -> int
+val spares : t -> int
+(** Spare tips the array was built with. *)
+
 val field_size : t -> int
-(** Dots per tip field. *)
+(** Dots per tip field ([ceil (size / n_tips)]). *)
 
 val field_cols : t -> int
 (** Width in dots of one tip field (the medium's column count divided
@@ -31,14 +48,39 @@ val locate : t -> int -> int * int
 (** [locate t dot] is [(tip, offset)] for a logical dot address. *)
 
 val dot_of : t -> tip:int -> offset:int -> int
-(** Inverse of {!locate}. *)
+(** Inverse of {!locate}.
+    @raise Invalid_argument for the phantom addresses of a partial
+    trailing row. *)
 
 val fail_tip : t -> int -> unit
-(** Mark a tip broken (manufacturing fallout or wear-out). *)
+(** Mark a physical unit broken (manufacturing fallout or wear-out).
+    Indices [0 .. n_tips-1] are the logical tips, [n_tips ..
+    n_tips+spares-1] the spares. *)
 
 val tip_failed : t -> int -> bool
+(** Whether the unit {e currently serving} logical tip [i] is broken —
+    false again once the tip is remapped to a healthy spare. *)
+
+val tip_broken : t -> int -> bool
+(** Raw health of physical unit [i], ignoring remapping. *)
+
 val failed_count : t -> int
+(** Broken logical tips (raw, ignoring remaps). *)
+
+(** {1 Spare-tip remapping} *)
+
+val remap_tip : t -> int -> bool
+(** [remap_tip t i] points logical tip [i]'s field at the next healthy
+    spare.  Returns [false] (and does nothing) when the tip is serving
+    fine already or no healthy spare remains. *)
+
+val is_remapped : t -> int -> bool
+val remapped_count : t -> int
+val spares_used : t -> int
+val spares_free : t -> int
 
 val record_use : t -> tip:int -> unit
+(** Wear accrues on the physical unit serving the tip. *)
+
 val uses : t -> tip:int -> int
-(** Operation count per tip — tip wear figure. *)
+(** Operation count per physical unit — tip wear figure. *)

@@ -1,3 +1,29 @@
+type ras = {
+  ras_enabled : bool;
+  read_retries : int;
+  max_repulses : int;
+  spare_tips : int;
+  scrub_threshold : int;
+}
+
+let default_ras =
+  {
+    ras_enabled = false;
+    read_retries = 0;
+    max_repulses = 0;
+    spare_tips = 0;
+    scrub_threshold = 6;
+  }
+
+let active_ras =
+  {
+    ras_enabled = true;
+    read_retries = 3;
+    max_repulses = 2;
+    spare_tips = 4;
+    scrub_threshold = 6;
+  }
+
 type config = {
   n_blocks : int;
   line_exp : int;
@@ -9,6 +35,7 @@ type config = {
   costs : Probe.Timing.costs;
   erb_cycles : int;
   strict_hash_locations : bool;
+  ras : ras;
 }
 
 let default_config ?(n_blocks = 512) ?(line_exp = 3) () =
@@ -23,6 +50,7 @@ let default_config ?(n_blocks = 512) ?(line_exp = 3) () =
     costs = Probe.Timing.default_costs;
     erb_cycles = 8;
     strict_hash_locations = true;
+    ras = default_ras;
   }
 
 type t = {
@@ -35,6 +63,13 @@ type t = {
   mutable writes : int;
   mutable heats : int;
   mutable verifies : int;
+  (* RAS counters *)
+  mutable retries : int;
+  mutable retry_successes : int;
+  mutable repulses : int;
+  mutable remapped_tips : int;
+  mutable scrub_rewrites : int;
+  mutable torn_completions : int;
 }
 
 let create config =
@@ -53,6 +88,7 @@ let create config =
   let pconfig =
     {
       Probe.Pdevice.n_tips = config.n_tips;
+      spare_tips = config.ras.spare_tips;
       costs = config.costs;
       profile = None;
       erb_cycles = config.erb_cycles;
@@ -68,11 +104,35 @@ let create config =
     writes = 0;
     heats = 0;
     verifies = 0;
+    retries = 0;
+    retry_successes = 0;
+    repulses = 0;
+    remapped_tips = 0;
+    scrub_rewrites = 0;
+    torn_completions = 0;
   }
 
 let config t = t.config
 let layout t = t.layout
 let pdevice t = t.pdevice
+let install_fault t inj = Probe.Pdevice.install_fault t.pdevice inj
+let clear_fault t = Probe.Pdevice.clear_fault t.pdevice
+
+(* Remap every logical tip whose serving unit is broken onto the next
+   healthy spare; returns how many remaps happened. *)
+let service_failed_tips t =
+  if t.config.ras.spare_tips = 0 then 0
+  else begin
+    let tips = Probe.Pdevice.tips t.pdevice in
+    let n = ref 0 in
+    for i = 0 to Probe.Tips.n_tips tips - 1 do
+      if Probe.Tips.tip_failed tips i && Probe.Tips.remap_tip tips i then begin
+        incr n;
+        t.remapped_tips <- t.remapped_tips + 1
+      end
+    done;
+    !n
+  end
 
 (* Bits are bytes scanned MSB-first, matching Codec.Manchester. *)
 let bits_of_string s =
@@ -151,13 +211,38 @@ let write_block t ~pba payload =
 
 let all_zero s = String.for_all (fun c -> c = '\x00') s
 
-let read_block t ~pba =
+let read_block_once t ~pba =
   let image = unsafe_read_raw t ~pba in
   match Codec.Sector.decode image with
   | Error e -> if all_zero image then Error Blank else Error (Unreadable e)
   | Ok d ->
       if d.Codec.Sector.pba <> pba then Error (Wrong_location d.Codec.Sector.pba)
       else Ok d.Codec.Sector.payload
+
+(* Bounded read retry: transient flips decorrelate between attempts, so
+   a re-read often lands within the RS budget.  A persistent failure may
+   be a dead tip — remap to a spare (if configured) before retrying. *)
+let read_block t ~pba =
+  match read_block_once t ~pba with
+  | (Ok _ | Error Blank) as r -> r
+  | Error _ as first ->
+      if not t.config.ras.ras_enabled then first
+      else begin
+        ignore (service_failed_tips t);
+        let rec retry n last =
+          if n >= t.config.ras.read_retries then last
+          else begin
+            t.retries <- t.retries + 1;
+            match read_block_once t ~pba with
+            | Ok _ as ok ->
+                t.retry_successes <- t.retry_successes + 1;
+                ok
+            | Error Blank as b -> b
+            | Error _ as e -> retry (n + 1) e
+          end
+        in
+        retry 0 first
+      end
 
 (* {1 The write-once area} *)
 
@@ -183,6 +268,8 @@ type burned_meta = {
   timestamp : float;
   hash : Hash.Sha256.t;
 }
+
+type torn = { burned_cells : int; partial_payload : string }
 
 let parse_wo_payload payload =
   let r = Codec.Binio.R.of_string payload in
@@ -248,7 +335,18 @@ let read_wo_area t ~start =
     `Tampered
       [ Tamper.Invalid_cells (List.length decoded.Codec.Manchester.tampered_cells) ]
   else if decoded.Codec.Manchester.blank_cells <> [] then
-    `Tampered [ Tamper.Partially_burned ]
+    (* Burned and blank cells mixed, but no HH evidence anywhere: the
+       signature of an interrupted or underpowered burn (cells are
+       written low-to-high, so a power cut leaves a burned prefix;
+       weak pulses leave isolated holes).  Verification still treats
+       this as [Partially_burned] evidence; [heat_line] can complete
+       it. *)
+    `Torn
+      {
+        burned_cells =
+          n_cells - List.length decoded.Codec.Manchester.blank_cells;
+        partial_payload = decoded.Codec.Manchester.payload;
+      }
   else
     match parse_wo_payload decoded.Codec.Manchester.payload with
     | None -> `Tampered [ Tamper.Meta_corrupt ]
@@ -313,21 +411,64 @@ let heat_line t ~line ?(timestamp = 0.) () =
     Error (Unreadable_data (unreadable @ relocated))
   else begin
     let hash = line_hash_of_payloads ~line payloads in
+    let start = Layout.wo_first_dot t.layout ~line in
+    (* Burn, verify, and (with RAS) re-pulse while the readback still
+       looks like an incomplete burn rather than tamper evidence.
+       Re-burning is idempotent: ewb on an already-heated dot is a
+       no-op, so each attempt only fills the missing cells. *)
+    let burn_and_verify payload =
+      let attempts =
+        1 + if t.config.ras.ras_enabled then t.config.ras.max_repulses else 0
+      in
+      let rec go n =
+        burn_wo_area t ~start ~payload;
+        match read_hash_block t ~line with
+        | `Burned meta when Hash.Sha256.equal meta.hash hash ->
+            t.heated.(line) <- true;
+            Ok hash
+        | (`Not_heated | `Torn _ | `Tampered _ | `Burned _) as readback ->
+            let incomplete =
+              match readback with
+              | `Not_heated | `Torn _ -> true
+              | `Tampered evs ->
+                  List.for_all (( = ) Tamper.Partially_burned) evs
+              | `Burned _ -> false
+            in
+            if incomplete && n < attempts then begin
+              t.repulses <- t.repulses + 1;
+              go (n + 1)
+            end
+            else Error Burn_verify_failed
+      in
+      go 1
+    in
     match read_hash_block t ~line with
     | `Burned meta when Hash.Sha256.equal meta.hash hash ->
         (* Idempotent re-heat: the burn pattern is already present. *)
         Ok hash
     | `Burned _ | `Tampered _ -> Error Already_heated
-    | `Not_heated ->
+    | `Torn partial ->
+        (* Torn-burn completion.  If the burned prefix covers the
+           metadata, keep the original timestamp; the recomputed
+           pattern must agree with every already-burned cell or the
+           completion itself creates HH evidence and fails verify —
+           data changed under a torn line stays detectable. *)
+        let timestamp =
+          match parse_wo_payload partial.partial_payload with
+          | Some meta when meta.line = line -> meta.timestamp
+          | Some _ | None -> timestamp
+        in
         let payload =
           wo_payload ~hash ~line ~n_data:(List.length payloads) ~timestamp
         in
-        burn_wo_area t ~start:(Layout.wo_first_dot t.layout ~line) ~payload;
-        (match read_hash_block t ~line with
-        | `Burned meta when Hash.Sha256.equal meta.hash hash ->
-            t.heated.(line) <- true;
-            Ok hash
-        | `Not_heated | `Burned _ | `Tampered _ -> Error Burn_verify_failed)
+        Result.map
+          (fun h ->
+            t.torn_completions <- t.torn_completions + 1;
+            h)
+          (burn_and_verify payload)
+    | `Not_heated ->
+        burn_and_verify
+          (wo_payload ~hash ~line ~n_data:(List.length payloads) ~timestamp)
   end
 
 let verify_data_against t ~hash ~region_id ~data_pbas =
@@ -348,6 +489,10 @@ let verify_line t ~line =
   match read_hash_block t ~line with
   | `Not_heated -> Tamper.Not_heated
   | `Tampered evs -> Tamper.Tampered evs
+  | `Torn _ ->
+      (* Until completed, a torn burn is indistinguishable from an
+         interrupted forgery: report it. *)
+      Tamper.Tampered [ Tamper.Partially_burned ]
   | `Burned meta ->
       if meta.line <> line then Tamper.Tampered [ Tamper.Meta_corrupt ]
       else
@@ -365,6 +510,7 @@ let verify_region t ~hash_pba ~data_pbas =
     match read_wo_area t ~start:(Layout.block_first_dot t.layout hash_pba) with
     | `Not_heated -> Tamper.Not_heated
     | `Tampered evs -> Tamper.Tampered evs
+    | `Torn _ -> Tamper.Tampered [ Tamper.Partially_burned ]
     | `Burned meta ->
         verify_data_against t ~hash:meta.hash ~region_id:meta.line ~data_pbas
 
@@ -380,6 +526,7 @@ let scan ?(deep = false) t =
         match read_hash_block t ~line with
         | `Not_heated -> Tamper.Not_heated
         | `Tampered evs -> Tamper.Tampered evs
+        | `Torn _ -> Tamper.Tampered [ Tamper.Partially_burned ]
         | `Burned _ when not deep -> Tamper.Intact
         | `Burned _ -> verify_line t ~line
       in
@@ -389,27 +536,44 @@ let scan ?(deep = false) t =
         | Tamper.Intact | Tamper.Tampered _ -> true);
       { scanned_line = line; verdict })
 
-type block_class = Healthy | Heated_block | Bad_block
+type block_class = Healthy | Heated_block | Torn_block | Bad_block
 
 let pp_block_class ppf c =
   Format.pp_print_string ppf
     (match c with
     | Healthy -> "healthy"
     | Heated_block -> "heated"
+    | Torn_block -> "torn"
     | Bad_block -> "bad")
 
 let classify_block t ~pba =
   match read_block t ~pba with
   | Ok _ | Error Blank -> Healthy
-  | Error (Unreadable _ | Wrong_location _) ->
-      (* Probe a sample of the block's dots electrically: heated dots
-         answer the erb protocol as heated, defective-but-magnetic dots
-         do not. *)
-      let start = Layout.block_first_dot t.layout pba in
-      let sample = 128 in
-      let heated = Probe.Pdevice.erb_run t.pdevice ~start ~len:sample in
-      let n = Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 heated in
-      if 4 * n >= sample then Heated_block else Bad_block
+  | Error (Unreadable _ | Wrong_location _) -> (
+      (* A hash block with a half-burned write-once area is a torn
+         burn — recoverable by re-running heat_line — not a heated or
+         bad block. *)
+      let torn_hash_area () =
+        if not (Layout.is_hash_block t.layout pba) then None
+        else
+          match read_hash_block t ~line:(Layout.line_of_block t.layout pba) with
+          | `Torn _ -> Some Torn_block
+          | `Burned _ -> Some Heated_block
+          | `Not_heated | `Tampered _ -> None
+      in
+      match torn_hash_area () with
+      | Some c -> c
+      | None ->
+          (* Probe a sample of the block's dots electrically: heated dots
+             answer the erb protocol as heated, defective-but-magnetic
+             dots do not. *)
+          let start = Layout.block_first_dot t.layout pba in
+          let sample = 128 in
+          let heated = Probe.Pdevice.erb_run t.pdevice ~start ~len:sample in
+          let n =
+            Array.fold_left (fun acc h -> if h then acc + 1 else acc) 0 heated
+          in
+          if 4 * n >= sample then Heated_block else Bad_block)
 
 type stats = {
   n_lines : int;
@@ -424,6 +588,12 @@ type stats = {
   heats : int;
   verifies : int;
   collateral_damage : int;
+  retries : int;
+  retry_successes : int;
+  repulses : int;
+  remapped_tips : int;
+  scrub_rewrites : int;
+  torn_completions : int;
 }
 
 let stats t =
@@ -448,18 +618,33 @@ let stats t =
     heats = t.heats;
     verifies = t.verifies;
     collateral_damage = counters.Pmedia.Bitops.collateral;
+    retries = t.retries;
+    retry_successes = t.retry_successes;
+    repulses = t.repulses;
+    remapped_tips = t.remapped_tips;
+    scrub_rewrites = t.scrub_rewrites;
+    torn_completions = t.torn_completions;
   }
 
 let is_fully_ro t = Array.for_all (fun h -> h) t.heated
+
+(* Scrub-initiated rewrite of a decaying (but still correctable) sector:
+   same payload, fresh frame, so the accumulated symbol errors reset. *)
+let scrub_rewrite_block (t : t) ~pba payload =
+  t.scrub_rewrites <- t.scrub_rewrites + 1;
+  unsafe_write_block t ~pba payload
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "lines=%d heated=%d (%.1f%% RO, %d runs) wmrm-data-blocks=%d@ \
      ops: %d reads, %d writes, %d heats, %d verifies@ \
-     simulated: %.3f s, %.3g J, %d collateral dots"
+     simulated: %.3f s, %.3g J, %d collateral dots@ \
+     ras: %d retries (%d won), %d re-pulses, %d remapped tips, %d scrub \
+     rewrites, %d torn completions"
     s.n_lines s.heated_lines (100. *. s.ro_fraction) s.heated_runs
     s.wmrm_data_blocks_left s.reads s.writes s.heats s.verifies s.elapsed
-    s.energy s.collateral_damage
+    s.energy s.collateral_damage s.retries s.retry_successes s.repulses
+    s.remapped_tips s.scrub_rewrites s.torn_completions
 
 (* {1 Raw attacker surface} *)
 

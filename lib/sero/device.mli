@@ -26,6 +26,24 @@
 
 type t
 
+type ras = {
+  ras_enabled : bool;
+      (** Master switch for read retry, burn re-pulse and torn-burn
+          completion; tip sparing additionally needs [spare_tips > 0]. *)
+  read_retries : int;  (** Extra {!read_block} attempts on failure. *)
+  max_repulses : int;  (** Extra burn attempts before giving up. *)
+  spare_tips : int;  (** Physical spare tips built into the array. *)
+  scrub_threshold : int;
+      (** Corrected-symbol count at which {!Scrub} rewrites a sector. *)
+}
+
+val default_ras : ras
+(** Everything off — the fail-stop device of the paper. *)
+
+val active_ras : ras
+(** A serviceable profile: 3 retries, 2 re-pulses, 4 spare tips,
+    rewrite at 6 corrected symbols. *)
+
 type config = {
   n_blocks : int;
   line_exp : int;  (** Lines are [2^line_exp] blocks. *)
@@ -39,16 +57,33 @@ type config = {
   strict_hash_locations : bool;
       (** When [false] (ablation only), {!verify_line} accepts a burned
           hash found at {e any} block of the line. *)
+  ras : ras;
 }
 
 val default_config : ?n_blocks:int -> ?line_exp:int -> unit -> config
 (** 512 blocks in lines of 8, 32 tips, seed 42, no defects, 100 nm
-    Co/Pt medium, default costs, 8 erb cycles, strict locations. *)
+    Co/Pt medium, default costs, 8 erb cycles, strict locations, RAS
+    off. *)
 
 val create : config -> t
 val config : t -> config
 val layout : t -> Layout.t
 val pdevice : t -> Probe.Pdevice.t
+
+(** {1 Fault injection and servicing} *)
+
+val install_fault : t -> Fault.Injector.t -> unit
+(** Route the device's bit operations through a fault injector (see
+    {!Probe.Pdevice.install_fault}); a configured power cut surfaces as
+    {!Fault.Injector.Power_cut} from whatever device call was in
+    flight. *)
+
+val clear_fault : t -> unit
+
+val service_failed_tips : t -> int
+(** Remap every failed logical tip onto a healthy spare (when [ras]
+    reserves any); returns the number of remaps performed.  Called
+    automatically by {!read_block}'s retry path and by {!Scrub}. *)
 
 (** {1 Magnetic sector operations} *)
 
@@ -67,7 +102,11 @@ val write_block : t -> pba:int -> string -> (unit, write_error) result
 (** [mws]: frame and magnetically write up to 512 bytes at [pba]. *)
 
 val read_block : t -> pba:int -> (string, read_error) result
-(** [mrs]: read and unframe the 512-byte payload at [pba]. *)
+(** [mrs]: read and unframe the 512-byte payload at [pba].  With
+    [ras.ras_enabled], a failed decode first remaps any failed tips
+    ({!service_failed_tips}) and then re-reads up to
+    [ras.read_retries] times — transient flips decorrelate between
+    attempts ([stats] counts attempts and wins). *)
 
 val pp_write_error : Format.formatter -> write_error -> unit
 val pp_read_error : Format.formatter -> read_error -> unit
@@ -87,7 +126,15 @@ val heat_line :
   t -> line:int -> ?timestamp:float -> unit -> (Hash.Sha256.t, heat_error) result
 (** The WO operation of Section 3: read blocks 1..2^N−1, hash them with
     their PBAs, burn the Manchester-encoded hash + metadata into block
-    0's write-once area, and verify the burn.  Returns the burned hash. *)
+    0's write-once area, and verify the burn.  Returns the burned hash.
+
+    Recovery semantics: a {e torn} area (interrupted or underpowered
+    earlier burn, see {!read_hash_block}) is completed idempotently —
+    re-burning only fills the missing cells, and if the line's data no
+    longer matches the burned prefix the completion creates HH cells
+    and fails, preserving the tamper evidence.  With
+    [ras.ras_enabled], an incomplete post-burn readback is re-pulsed
+    up to [ras.max_repulses] times before [Burn_verify_failed]. *)
 
 val pp_heat_error : Format.formatter -> heat_error -> unit
 
@@ -98,9 +145,23 @@ type burned_meta = {
   hash : Hash.Sha256.t;
 }
 
+type torn = {
+  burned_cells : int;  (** Cells carrying a valid Manchester symbol. *)
+  partial_payload : string;  (** Blank cells decode as zero bits. *)
+}
+
 val read_hash_block :
-  t -> line:int -> [ `Not_heated | `Burned of burned_meta | `Tampered of Tamper.evidence list ]
-(** [ers]: electrically read line [line]'s write-once area. *)
+  t ->
+  line:int ->
+  [ `Not_heated
+  | `Burned of burned_meta
+  | `Torn of torn
+  | `Tampered of Tamper.evidence list ]
+(** [ers]: electrically read line [line]'s write-once area.  [`Torn] is
+    a mixed burned/blank area with {e no} HH cells — the signature of
+    an interrupted burn (cells burn low-to-high, so a power cut leaves
+    a prefix) or of underpowered pulses; {!verify_line} reports it as
+    [Partially_burned] evidence until {!heat_line} completes it. *)
 
 val verify_line : t -> line:int -> Tamper.verdict
 (** Recompute the hash of the line's data blocks and compare against the
@@ -129,13 +190,15 @@ val scan : ?deep:bool -> t -> scan_entry list
     write-once area electrically; with [deep] also verifies the data of
     burned lines.  Rebuilds the heated-line cache as a side effect. *)
 
-type block_class = Healthy | Heated_block | Bad_block
+type block_class = Healthy | Heated_block | Torn_block | Bad_block
 
 val classify_block : t -> pba:int -> block_class
 (** The paper's bad-block challenge: "a heated block should not be
     misinterpreted as a bad block."  An unreadable block is probed
     electrically — heated dots answer the erb protocol as heated, while
-    a merely defective (bad) block still holds reversible magnetisation. *)
+    a merely defective (bad) block still holds reversible magnetisation.
+    A hash block over a half-burned write-once area is [Torn_block]:
+    recoverable by re-running {!heat_line}, not heated, not bad. *)
 
 val pp_block_class : Format.formatter -> block_class -> unit
 
@@ -154,6 +217,12 @@ type stats = {
   heats : int;  (** heat_line count *)
   verifies : int;
   collateral_damage : int;  (** Dots destroyed as thermal bystanders. *)
+  retries : int;  (** Extra read attempts made by the RAS path. *)
+  retry_successes : int;  (** Retries that recovered the sector. *)
+  repulses : int;  (** Extra burn pulses in {!heat_line}. *)
+  remapped_tips : int;  (** Failed tips remapped onto spares. *)
+  scrub_rewrites : int;  (** Sectors refreshed by {!Scrub}. *)
+  torn_completions : int;  (** Torn burns completed by {!heat_line}. *)
 }
 
 val stats : t -> stats
@@ -167,6 +236,10 @@ val pp_stats : Format.formatter -> stats -> unit
 
     These bypass the honest firmware checks but obey physics: magnetic
     writes cannot alter heated dots and electrical writes are one-way. *)
+
+val scrub_rewrite_block : t -> pba:int -> string -> unit
+(** Rewrite a decaying sector in place with a fresh frame (scrubber
+    use; counted in [stats.scrub_rewrites]). *)
 
 val unsafe_write_block : t -> pba:int -> string -> unit
 (** Frame and magnetically write anywhere, including heated lines and

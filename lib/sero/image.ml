@@ -1,4 +1,4 @@
-let magic = "SEROIMG2"
+let magic = "SEROIMG3"
 
 let write_float = Codec.Binio.W.f64
 let read_float = Codec.Binio.R.f64
@@ -30,6 +30,12 @@ let save (dev : Device.t) path =
   write_float w cfg.Device.material.Physics.Constants.anneal_duration;
   Codec.Binio.W.u8 w cfg.Device.erb_cycles;
   Codec.Binio.W.u8 w (if cfg.Device.strict_hash_locations then 1 else 0);
+  (* RAS profile (format v3) *)
+  Codec.Binio.W.u8 w (if cfg.Device.ras.Device.ras_enabled then 1 else 0);
+  Codec.Binio.W.u8 w cfg.Device.ras.Device.read_retries;
+  Codec.Binio.W.u8 w cfg.Device.ras.Device.max_repulses;
+  Codec.Binio.W.u8 w cfg.Device.ras.Device.spare_tips;
+  Codec.Binio.W.u16 w cfg.Device.ras.Device.scrub_threshold;
   (* Dot states: 2 bits per dot, packed as the oracle sees them. *)
   let n = Pmedia.Medium.size medium in
   Codec.Binio.W.u32 w n;
@@ -98,6 +104,11 @@ let load path =
             let anneal_duration = read_float r in
             let erb_cycles = Codec.Binio.R.u8 r in
             let strict = Codec.Binio.R.u8 r = 1 in
+            let ras_enabled = Codec.Binio.R.u8 r = 1 in
+            let read_retries = Codec.Binio.R.u8 r in
+            let max_repulses = Codec.Binio.R.u8 r in
+            let spare_tips = Codec.Binio.R.u8 r in
+            let scrub_threshold = Codec.Binio.R.u16 r in
             let n = Codec.Binio.R.u32 r in
             let packed = Codec.Binio.R.str r in
             let config =
@@ -124,6 +135,14 @@ let load path =
                 costs = Probe.Timing.default_costs;
                 erb_cycles;
                 strict_hash_locations = strict;
+                ras =
+                  {
+                    Device.ras_enabled;
+                    read_retries;
+                    max_repulses;
+                    spare_tips;
+                    scrub_threshold;
+                  };
               }
             in
             let dev = Device.create config in

@@ -1,0 +1,114 @@
+type config = {
+  correction_threshold : int;
+  period : float;
+  deep_verify : bool;
+}
+
+let default_config =
+  { correction_threshold = 6; period = 3600.; deep_verify = false }
+
+type report = {
+  lines_swept : int;
+  sectors_checked : int;
+  rewritten : int;
+  unrecoverable : int list;
+  tips_remapped : int;
+  torn_completed : int list;
+  tamper_found : (int * Tamper.verdict) list;
+}
+
+(* Erased-block detection: a written sector carries header, CRC and RS
+   parity, so its image is dense in set bits.  A handful of set bits is
+   a blank block that caught stray flips, not a destroyed sector. *)
+let effectively_blank s =
+  let popcount = ref 0 in
+  String.iter
+    (fun c ->
+      let b = ref (Char.code c) in
+      while !b <> 0 do
+        b := !b land (!b - 1);
+        incr popcount
+      done)
+    s;
+  !popcount < 32
+
+let pass ?(config = default_config) dev =
+  let lay = Device.layout dev in
+  (* Remap first so the sweep itself reads through healthy spares. *)
+  let tips_remapped = Device.service_failed_tips dev in
+  let checked = ref 0 and rewritten = ref 0 in
+  let unrecoverable = ref [] in
+  let torn_completed = ref [] in
+  let tamper = ref [] in
+  let n_lines = Layout.n_lines lay in
+  for line = 0 to n_lines - 1 do
+    match Device.read_hash_block dev ~line with
+    | `Not_heated ->
+        (* WMRM territory: refresh decaying sectors before the RS
+           budget runs out. *)
+        List.iter
+          (fun pba ->
+            let image = Device.unsafe_read_raw dev ~pba in
+            if not (effectively_blank image) then begin
+              incr checked;
+              match Codec.Sector.decode image with
+              | Ok d when d.Codec.Sector.pba = pba ->
+                  if
+                    d.Codec.Sector.corrected_symbols
+                    >= config.correction_threshold
+                  then begin
+                    Device.scrub_rewrite_block dev ~pba
+                      d.Codec.Sector.payload;
+                    incr rewritten
+                  end
+              | Ok _ | Error _ -> (
+                  (* Undecodable in one shot: give the device's RAS
+                     read path (retry + remap) a chance. *)
+                  match Device.read_block dev ~pba with
+                  | Ok payload ->
+                      Device.scrub_rewrite_block dev ~pba payload;
+                      incr rewritten
+                  | Error Device.Blank -> ()
+                  | Error _ -> unrecoverable := pba :: !unrecoverable)
+            end)
+          (Layout.data_blocks_of_line lay line)
+    | `Torn _ -> (
+        match Device.heat_line dev ~line () with
+        | Ok _ -> torn_completed := line :: !torn_completed
+        | Error _ ->
+            tamper :=
+              (line, Tamper.Tampered [ Tamper.Partially_burned ]) :: !tamper)
+    | `Burned _ ->
+        if config.deep_verify then (
+          match Device.verify_line dev ~line with
+          | Tamper.Intact -> ()
+          | v -> tamper := (line, v) :: !tamper)
+    | `Tampered evs -> tamper := (line, Tamper.Tampered evs) :: !tamper
+  done;
+  {
+    lines_swept = n_lines;
+    sectors_checked = !checked;
+    rewritten = !rewritten;
+    unrecoverable = List.rev !unrecoverable;
+    tips_remapped;
+    torn_completed = List.rev !torn_completed;
+    tamper_found = List.rev !tamper;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "scrub: %d lines, %d sectors checked, %d rewritten, %d unrecoverable, %d \
+     tips remapped, %d torn completed, %d tampered"
+    r.lines_swept r.sectors_checked r.rewritten
+    (List.length r.unrecoverable)
+    r.tips_remapped
+    (List.length r.torn_completed)
+    (List.length r.tamper_found)
+
+let schedule ?(config = default_config) des dev ~on_pass =
+  let rec arm () =
+    Sim.Des.schedule des ~delay:config.period (fun _ ->
+        on_pass (pass ~config dev);
+        arm ())
+  in
+  arm ()

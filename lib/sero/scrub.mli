@@ -1,0 +1,52 @@
+(** Background media scrubbing.
+
+    Magnetic sectors accumulate symbol errors (defects, stray flips,
+    tip trouble) silently: Reed–Solomon keeps correcting until the
+    budget (12 symbols per codeword) is gone, and only then does a read
+    fail.  The scrubber turns that cliff into a slope — it sweeps the
+    device, {e rewrites} any still-correctable sector whose corrected-
+    symbol count crossed [ras.scrub_threshold] (resetting its error
+    count), remaps failed tips to spares, completes torn burns, and
+    optionally deep-verifies heated lines.
+
+    A pass is a plain function so tests can call it directly;
+    {!schedule} hangs it on the DES kernel ({!Sim.Des}) for periodic
+    background operation. *)
+
+type config = {
+  correction_threshold : int;
+      (** Rewrite a sector once RS had to correct at least this many
+          symbols (the device's [ras.scrub_threshold] by default). *)
+  period : float;  (** Simulated seconds between scheduled passes. *)
+  deep_verify : bool;  (** Also re-verify every heated line's data. *)
+}
+
+val default_config : config
+(** Threshold 6, one pass per simulated hour, no deep verify. *)
+
+type report = {
+  lines_swept : int;
+  sectors_checked : int;
+  rewritten : int;  (** Decaying sectors refreshed. *)
+  unrecoverable : int list;  (** PBAs no retry could bring back. *)
+  tips_remapped : int;
+  torn_completed : int list;  (** Lines whose torn burn was finished. *)
+  tamper_found : (int * Tamper.verdict) list;
+      (** Lines whose write-once area or data is evidence. *)
+}
+
+val pass : ?config:config -> Device.t -> report
+(** One full sweep.  Unheated lines: every written sector is decoded
+    raw; past-threshold sectors are rewritten in place, undecodable
+    ones go through the device's RAS read path and are rewritten on
+    success or reported unrecoverable.  Torn lines are completed via
+    [heat_line].  Heated lines are re-verified when [deep_verify].
+    Failed tips are remapped first so the sweep itself reads through
+    spares. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val schedule :
+  ?config:config -> Sim.Des.t -> Device.t -> on_pass:(report -> unit) -> unit
+(** Run a pass now-ish and re-schedule every [config.period] simulated
+    seconds forever; bound the simulation with [Sim.Des.run ~until]. *)

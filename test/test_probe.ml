@@ -16,7 +16,7 @@ let tips_bijection =
   QCheck.Test.make ~name:"locate/dot_of bijection" ~count:300
     QCheck.(int_range 0 1023)
     (fun dot ->
-      let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+      let tips = Probe.Tips.create ~n_tips:16 (make_medium ()) in
       let tip, offset = Probe.Tips.locate tips dot in
       Probe.Tips.dot_of tips ~tip ~offset = dot)
 
@@ -24,20 +24,51 @@ let tips_striping =
   QCheck.Test.make ~name:"consecutive dots land on consecutive tips" ~count:100
     QCheck.(int_range 0 1000)
     (fun dot ->
-      let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+      let tips = Probe.Tips.create ~n_tips:16 (make_medium ()) in
       let t1, o1 = Probe.Tips.locate tips dot in
       let t2, o2 = Probe.Tips.locate tips (dot + 1) in
       if t1 < 15 then t2 = t1 + 1 && o2 = o1 else t2 = 0 && o2 = o1 + 1)
 
 let tips_cases =
   [
-    Alcotest.test_case "creation requires divisibility" `Quick (fun () ->
-        Alcotest.check_raises "not divisible"
-          (Invalid_argument "Tips.create: medium size must be a multiple of n_tips")
-          (fun () ->
-            ignore (Probe.Tips.create ~n_tips:7 ~medium:(make_medium ()))));
+    Alcotest.test_case "non-multiple medium rounds the field size up" `Quick
+      (fun () ->
+        (* 1024 dots over 7 tips: fields of ceil(1024/7) = 147 offsets;
+           the last scan row is partial. *)
+        let tips = Probe.Tips.create ~n_tips:7 (make_medium ()) in
+        Alcotest.(check int) "field size" 147 (Probe.Tips.field_size tips);
+        Alcotest.(check (pair int int)) "last dot" (1023 mod 7, 1023 / 7)
+          (Probe.Tips.locate tips 1023);
+        Alcotest.(check int) "roundtrip" 1023
+          (Probe.Tips.dot_of tips ~tip:(1023 mod 7) ~offset:(1023 / 7));
+        (* Dots past the medium end do not exist, on either mapping. *)
+        Alcotest.check_raises "locate rejects phantom"
+          (Invalid_argument "Tips.locate: dot address out of range") (fun () ->
+            ignore (Probe.Tips.locate tips 1024));
+        Alcotest.check_raises "dot_of rejects phantom"
+          (Invalid_argument "Tips.dot_of: out of range") (fun () ->
+            ignore (Probe.Tips.dot_of tips ~tip:5 ~offset:146)));
+    Alcotest.test_case "spare tips remap a failed field" `Quick (fun () ->
+        let tips = Probe.Tips.create ~spares:2 ~n_tips:16 (make_medium ()) in
+        Alcotest.(check int) "spares" 2 (Probe.Tips.spares tips);
+        Alcotest.(check bool) "no-op on healthy tip" false
+          (Probe.Tips.remap_tip tips 3);
+        Probe.Tips.fail_tip tips 3;
+        Alcotest.(check bool) "failed" true (Probe.Tips.tip_failed tips 3);
+        Alcotest.(check bool) "remapped" true (Probe.Tips.remap_tip tips 3);
+        Alcotest.(check bool) "serving again" false
+          (Probe.Tips.tip_failed tips 3);
+        Alcotest.(check bool) "still broken raw" true
+          (Probe.Tips.tip_broken tips 3);
+        Alcotest.(check int) "one remap" 1 (Probe.Tips.remapped_count tips);
+        Alcotest.(check int) "one spare left" 1 (Probe.Tips.spares_free tips);
+        (* Wear accrues on the serving spare, not the corpse. *)
+        let before = Probe.Tips.uses tips ~tip:16 in
+        Probe.Tips.record_use tips ~tip:3;
+        Alcotest.(check int) "spare wears" (before + 1)
+          (Probe.Tips.uses tips ~tip:16));
     Alcotest.test_case "failed tips tracked" `Quick (fun () ->
-        let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+        let tips = Probe.Tips.create ~n_tips:16 (make_medium ()) in
         Alcotest.(check int) "none" 0 (Probe.Tips.failed_count tips);
         Probe.Tips.fail_tip tips 3;
         Probe.Tips.fail_tip tips 9;
@@ -45,7 +76,7 @@ let tips_cases =
         Alcotest.(check bool) "tip 3" true (Probe.Tips.tip_failed tips 3);
         Alcotest.(check bool) "tip 4" false (Probe.Tips.tip_failed tips 4));
     Alcotest.test_case "usage counters" `Quick (fun () ->
-        let tips = Probe.Tips.create ~n_tips:16 ~medium:(make_medium ()) in
+        let tips = Probe.Tips.create ~n_tips:16 (make_medium ()) in
         Probe.Tips.record_use tips ~tip:2;
         Probe.Tips.record_use tips ~tip:2;
         Alcotest.(check int) "2 uses" 2 (Probe.Tips.uses tips ~tip:2));

@@ -148,7 +148,7 @@ let lifecycle_cases =
             Alcotest.(check int) "line" 5 meta.Sero.Device.line;
             Alcotest.(check int) "n_data" 7 meta.Sero.Device.n_data_blocks;
             Alcotest.(check (float 1e-9)) "timestamp" 123.25 meta.Sero.Device.timestamp
-        | `Not_heated | `Tampered _ -> Alcotest.fail "no burned meta");
+        | `Not_heated | `Torn _ | `Tampered _ -> Alcotest.fail "no burned meta");
     Alcotest.test_case "honest write into heated line refused" `Quick
       (fun () ->
         let dev = make_dev () in
@@ -235,7 +235,7 @@ let tamper_cases =
         Sero.Device.refresh_heated_cache dev;
         (match Sero.Device.read_hash_block dev ~line:2 with
         | `Burned _ -> ()
-        | `Not_heated | `Tampered _ -> Alcotest.fail "burned hash lost");
+        | `Not_heated | `Torn _ | `Tampered _ -> Alcotest.fail "burned hash lost");
         match Sero.Device.verify_line dev ~line:2 with
         | Sero.Tamper.Tampered evs ->
             Alcotest.(check bool) "data unreadable" true
@@ -348,6 +348,43 @@ let whole_device_cases =
         Alcotest.(check int) "heated" 3 s.Sero.Device.heated_lines;
         Alcotest.(check int) "runs" 2 s.Sero.Device.heated_runs;
         Alcotest.(check bool) "not fully RO" false (Sero.Device.is_fully_ro dev));
+    Alcotest.test_case "pp_stats covers the RAS counters" `Quick (fun () ->
+        let c = Sero.Device.default_config ~n_blocks:128 ~line_exp:3 () in
+        let dev =
+          Sero.Device.create { c with Sero.Device.ras = Sero.Device.active_ras }
+        in
+        fill_line dev 2;
+        let inj =
+          Fault.Injector.create
+            (Fault.Plan.make ~seed:5 ~read_ber:0.004
+               ~tip_deaths:[ { Fault.Plan.tip = 3; after_ops = 0 } ]
+               ())
+        in
+        Sero.Device.install_fault dev inj;
+        List.iter
+          (fun pba -> ignore (Sero.Device.read_block dev ~pba))
+          (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2);
+        Sero.Device.clear_fault dev;
+        let rendered =
+          Format.asprintf "%a" Sero.Device.pp_stats (Sero.Device.stats dev)
+        in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+          in
+          go 0
+        in
+        List.iter
+          (fun label ->
+            Alcotest.(check bool)
+              (Printf.sprintf "mentions %S" label)
+              true (contains rendered label))
+          [ "retries"; "re-pulses"; "remapped tips"; "scrub rewrites"; "torn completions" ];
+        let s = Sero.Device.stats dev in
+        Alcotest.(check bool) "retry counter moved" true (s.Sero.Device.retries > 0);
+        Alcotest.(check bool) "remap counter moved" true
+          (s.Sero.Device.remapped_tips > 0));
     Alcotest.test_case "device end of life: all lines heated" `Quick (fun () ->
         let dev = make_dev ~n_blocks:32 () in
         for l = 0 to 3 do
