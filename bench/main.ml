@@ -86,15 +86,13 @@ let e7_bit_ops =
 
 let e7_sector_ops =
   let dev = small_device () in
-  let data_pba =
-    List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2)
-  in
+  let data_pba = Sero.Layout.first_data_block (Sero.Device.layout dev) 2 in
+  (* Hoisted out of the staged closure (like mws's pba) so the test
+     measures the device read, not per-iteration list allocation. *)
+  let read_pba = Sero.Layout.first_data_block (Sero.Device.layout dev) 1 in
   [
     Test.make ~name:"e7 mrs (read sector)"
-      (Staged.stage (fun () ->
-           ignore
-             (Sero.Device.read_block dev
-                ~pba:(List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 1)))));
+      (Staged.stage (fun () -> ignore (Sero.Device.read_block dev ~pba:read_pba)));
     Test.make ~name:"e7 mws (write sector)"
       (Staged.stage (fun () ->
            ignore (Sero.Device.write_block dev ~pba:data_pba payload_512)));
@@ -269,6 +267,80 @@ let human ns =
   else if ns < 1e9 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
   else Printf.sprintf "%8.2f s " (ns /. 1e9)
 
+(* {1 Machine-readable output}
+
+   Every run also writes BENCH_<sha>.json (test name -> ns/run) next to
+   the human table, so the perf trajectory is scriptable across
+   commits. *)
+
+let read_file path =
+  try Some (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error _ -> None
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* Resolve HEAD by hand: the bench must not depend on a git binary or
+   any process spawning.  BENCH_SHA overrides (CI passes the commit it
+   checked out); failing everything, the file is BENCH_local.json. *)
+let git_sha () =
+  let short s = if String.length s > 12 then String.sub s 0 12 else s in
+  match Sys.getenv_opt "BENCH_SHA" with
+  | Some s when s <> "" -> short (String.trim s)
+  | Some _ | None -> (
+      match read_file ".git/HEAD" with
+      | None -> "local"
+      | Some head -> (
+          let head = String.trim head in
+          if not (starts_with ~prefix:"ref: " head) then short head
+          else
+            let r = String.sub head 5 (String.length head - 5) in
+            match read_file (".git/" ^ r) with
+            | Some sha -> short (String.trim sha)
+            | None -> (
+                (* Ref not loose: scan packed-refs. *)
+                match read_file ".git/packed-refs" with
+                | None -> "local"
+                | Some packed ->
+                    String.split_on_char '\n' packed
+                    |> List.find_map (fun line ->
+                           match String.index_opt line ' ' with
+                           | Some i
+                             when String.equal
+                                    (String.sub line (i + 1)
+                                       (String.length line - i - 1))
+                                    r ->
+                               Some (short (String.sub line 0 i))
+                           | Some _ | None -> None)
+                    |> Option.value ~default:"local")))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~sha ~quota results =
+  let path = Printf.sprintf "BENCH_%s.json" sha in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "{\n  \"sha\": \"%s\",\n  \"quota_s\": %g,\n  \"ns_per_run\": {\n"
+        (json_escape sha) quota;
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) ns
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      Printf.fprintf oc "  }\n}\n");
+  path
+
 let () =
   let quota =
     match Sys.getenv_opt "BENCH_QUOTA_MS" with
@@ -283,6 +355,7 @@ let () =
   Printf.printf "SERO benchmark suite (quota %.1fs per test)\n" quota;
   Printf.printf "%-48s %12s %8s\n" "benchmark" "time/run" "r^2";
   print_endline (String.make 72 '-');
+  let collected = ref [] in
   List.iter
     (fun (group, tests) ->
       Printf.printf "%s\n" group;
@@ -311,10 +384,13 @@ let () =
                 | Some i -> String.sub name (i + 1) (String.length name - i - 1)
                 | None -> name
               in
+              collected := (name, estimate) :: !collected;
               Printf.printf "  %-46s %s %8s\n" name (human estimate) r2)
             analysis)
         tests)
     groups;
   print_endline (String.make 72 '-');
+  let path = write_json ~sha:(git_sha ()) ~quota (List.rev !collected) in
+  Printf.printf "machine-readable results: %s\n" path;
   print_endline
     "simulated-device latencies and the paper's series: dune exec bin/experiments.exe -- all"

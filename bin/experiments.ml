@@ -27,7 +27,10 @@ let experiments =
     ("lfs", "E9: LFS clustering/bimodality study (slowest)", Expt.Lfs_study.print);
   ]
 
-let run_one name =
+let set_jobs = function None -> () | Some n -> Sim.Pool.set_jobs n
+
+let run_one jobs name =
+  set_jobs jobs;
   match List.find_opt (fun (n, _, _) -> String.equal n name) experiments with
   | Some (_, _, f) ->
       f std;
@@ -35,7 +38,8 @@ let run_one name =
       `Ok ()
   | None -> `Error (false, Printf.sprintf "unknown experiment %S" name)
 
-let run_all () =
+let run_all jobs () =
+  set_jobs jobs;
   List.iter
     (fun (name, _, f) ->
       Format.fprintf std "@.===== %s =====@." name;
@@ -45,6 +49,14 @@ let run_all () =
   `Ok ()
 
 open Cmdliner
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel sweeps (E13, E16, E17, E18).  \
+     Defaults to $(b,SERO_JOBS) or the core count; the output is \
+     bit-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let list_cmd =
   let doc = "List the available experiments." in
@@ -64,11 +76,11 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
   in
   let doc = "Run one experiment and print its series." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run_one $ name_arg))
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run_one $ jobs_arg $ name_arg))
 
 let all_cmd =
   let doc = "Run every experiment in order." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run_all $ const ()))
+  Cmd.v (Cmd.info "all" ~doc) Term.(ret (const run_all $ jobs_arg $ const ()))
 
 let () =
   let doc = "regenerate the figures and experiments of the SERO paper" in

@@ -1,11 +1,14 @@
+(* The polynomial arithmetic runs on native ints (every intermediate
+   fits in 32 bits, masked where a shift could carry past them) so the
+   inner loop stays allocation-free; boxed [Int32] appears only at the
+   interface. *)
 let table =
   lazy
     (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
+         let c = ref n in
          for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
          done;
          !c))
 
@@ -13,13 +16,11 @@ let bytes ?(crc = 0l) b off len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Crc32.bytes: out of bounds";
   let tbl = Lazy.force table in
-  let c = ref (Int32.lognot crc) in
+  let c = ref (Int32.to_int (Int32.lognot crc) land 0xFFFFFFFF) in
   for i = off to off + len - 1 do
-    let idx =
-      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xFFl)
-    in
-    c := Int32.logxor tbl.(idx) (Int32.shift_right_logical !c 8)
+    let idx = (!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF in
+    c := Array.unsafe_get tbl idx lxor (!c lsr 8)
   done;
-  Int32.lognot !c
+  Int32.lognot (Int32.of_int !c)
 
 let string ?crc s = bytes ?crc (Bytes.unsafe_of_string s) 0 (String.length s)

@@ -1,4 +1,17 @@
-type code = { npar : int; gen : int array (* generator, highest degree first *) }
+type code = {
+  npar : int;
+  gen : int array; (* generator, highest degree first *)
+  lanes : int; (* ceil(npar / 6): 48-bit lanes holding the remainder *)
+  gpack : int array;
+      (* 256 x lanes: row f is the npar bytes f * gen.(j+1), packed
+         big-endian and left-justified into 48-bit integer lanes, so
+         [parity] can shift and xor whole lanes instead of walking an
+         npar-element byte array per input byte. *)
+  stab : int array; (* npar x 256: stab.(i*256 + s) = s * alpha^i *)
+}
+
+let lane_bytes = 6
+let mask48 = 0xFFFFFFFFFFFF
 
 let make ~nparity =
   if nparity <= 0 || nparity >= 255 then
@@ -8,43 +21,137 @@ let make ~nparity =
   for i = 0 to nparity - 1 do
     gen := Gf256.poly_mul !gen [| 1; Gf256.exp i |]
   done;
-  { npar = nparity; gen = !gen }
+  let gen = !gen in
+  (* One GF multiply per table cell here buys multiply-free inner loops
+     in [parity] and [syndromes] below. *)
+  let lanes = (nparity + lane_bytes - 1) / lane_bytes in
+  let gpack = Array.make (256 * lanes) 0 in
+  for f = 0 to 255 do
+    for j = 0 to nparity - 1 do
+      let v = Gf256.mul f gen.(j + 1) in
+      let lane = j / lane_bytes and byte = j mod lane_bytes in
+      gpack.((f * lanes) + lane) <-
+        gpack.((f * lanes) + lane) lor (v lsl (40 - (8 * byte)))
+    done
+  done;
+  let stab = Array.make (nparity * 256) 0 in
+  for i = 0 to nparity - 1 do
+    let x = Gf256.exp i in
+    for s = 0 to 255 do
+      stab.((i * 256) + s) <- Gf256.mul s x
+    done
+  done;
+  { npar = nparity; gen; lanes; gpack; stab }
 
 let nparity c = c.npar
 let max_data c = 255 - c.npar
 
 (* Polynomial long division of data * x^npar by the generator; the
-   remainder is the parity. *)
+   remainder is the parity.
+
+   The remainder lives in 48-bit integer lanes (6 bytes each,
+   big-endian, left-justified; low pad bytes of the last lane stay
+   zero), so the per-input-byte "shift remainder left one symbol and
+   xor in factor * (gen minus lead)" step costs a few integer ops per
+   lane instead of an npar-element byte-array walk. *)
 let parity c data =
   let len = String.length data in
   if len > max_data c then invalid_arg "Rs.parity: data too long";
-  let rem = Array.make c.npar 0 in
-  for i = 0 to len - 1 do
-    let factor = Gf256.add (Char.code data.[i]) rem.(0) in
-    (* Shift remainder left by one and add factor * (gen minus lead). *)
-    for j = 0 to c.npar - 2 do
-      rem.(j) <- Gf256.add rem.(j + 1) (Gf256.mul factor c.gen.(j + 1))
+  let npar = c.npar in
+  let gpack = c.gpack in
+  let byte_of lanes i =
+    (lanes.(i / lane_bytes) lsr (40 - (8 * (i mod lane_bytes)))) land 0xFF
+  in
+  if c.lanes = 4 then begin
+    (* The hot shape (the sector code's npar = 24): four lanes kept in
+       locals, fully unrolled. *)
+    let r0 = ref 0 and r1 = ref 0 and r2 = ref 0 and r3 = ref 0 in
+    for i = 0 to len - 1 do
+      let factor = Char.code (String.unsafe_get data i) lxor (!r0 lsr 40) in
+      let base = factor lsl 2 in
+      let t0 =
+        (((!r0 lsl 8) land mask48) lor (!r1 lsr 40))
+        lxor Array.unsafe_get gpack base
+      and t1 =
+        (((!r1 lsl 8) land mask48) lor (!r2 lsr 40))
+        lxor Array.unsafe_get gpack (base + 1)
+      and t2 =
+        (((!r2 lsl 8) land mask48) lor (!r3 lsr 40))
+        lxor Array.unsafe_get gpack (base + 2)
+      and t3 = ((!r3 lsl 8) land mask48) lxor Array.unsafe_get gpack (base + 3) in
+      r0 := t0;
+      r1 := t1;
+      r2 := t2;
+      r3 := t3
     done;
-    rem.(c.npar - 1) <- Gf256.mul factor c.gen.(c.npar)
-  done;
-  String.init c.npar (fun i -> Char.chr rem.(i))
+    let lanes = [| !r0; !r1; !r2; !r3 |] in
+    String.init npar (fun i -> Char.chr (byte_of lanes i))
+  end
+  else begin
+    let n_lanes = c.lanes in
+    let rem = Array.make n_lanes 0 in
+    for i = 0 to len - 1 do
+      let factor =
+        Char.code (String.unsafe_get data i) lxor (Array.unsafe_get rem 0 lsr 40)
+      in
+      let base = factor * n_lanes in
+      for j = 0 to n_lanes - 2 do
+        Array.unsafe_set rem j
+          ((((Array.unsafe_get rem j lsl 8) land mask48)
+           lor (Array.unsafe_get rem (j + 1) lsr 40))
+          lxor Array.unsafe_get gpack (base + j))
+      done;
+      Array.unsafe_set rem (n_lanes - 1)
+        (((Array.unsafe_get rem (n_lanes - 1) lsl 8) land mask48)
+        lxor Array.unsafe_get gpack (base + n_lanes - 1))
+    done;
+    String.init npar (fun i -> Char.chr (byte_of rem i))
+  end
 
 type decode_outcome = Ok_clean | Corrected of int | Uncorrectable
 
 let syndromes c cw =
   let n = Bytes.length cw in
-  let synd = Array.make c.npar 0 in
+  let npar = c.npar in
+  let stab = c.stab in
+  let synd = Array.make npar 0 in
+  (* Horner per syndrome, bytes outermost so each input byte is loaded
+     once for all npar accumulators. *)
+  for j = 0 to n - 1 do
+    let b = Char.code (Bytes.unsafe_get cw j) in
+    for i = 0 to npar - 1 do
+      Array.unsafe_set synd i
+        (Array.unsafe_get stab ((i lsl 8) + Array.unsafe_get synd i) lxor b)
+    done
+  done;
   let all_zero = ref true in
-  for i = 0 to c.npar - 1 do
-    let x = Gf256.exp i in
-    let s = ref 0 in
-    for j = 0 to n - 1 do
-      s := Gf256.add (Gf256.mul !s x) (Char.code (Bytes.get cw j))
-    done;
-    synd.(i) <- !s;
-    if !s <> 0 then all_zero := false
+  for i = 0 to npar - 1 do
+    if synd.(i) <> 0 then all_zero := false
   done;
   (synd, !all_zero)
+
+(* How many leading syndromes [probably_clean] evaluates. *)
+let quick_syndromes = 4
+
+let probably_clean c cw ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length cw then
+    invalid_arg "Rs.probably_clean: out of bounds";
+  if c.npar < quick_syndromes then
+    let (_ : int array), clean = syndromes c (Bytes.sub cw off len) in
+    clean
+  else begin
+    let stab = c.stab in
+    (* alpha^0 = 1, so syndrome 0 is a plain running XOR. *)
+    let s0 = ref 0 and s1 = ref 0 and s2 = ref 0 and s3 = ref 0 in
+    for j = off to off + len - 1 do
+      let b = Char.code (Bytes.unsafe_get cw j) in
+      s0 := !s0 lxor b;
+      s1 := Array.unsafe_get stab (256 + !s1) lxor b;
+      s2 := Array.unsafe_get stab (512 + !s2) lxor b;
+      s3 := Array.unsafe_get stab (768 + !s3) lxor b
+    done;
+    !s0 lor !s1 lor !s2 lor !s3 = 0
+  end
 
 (* Berlekamp–Massey: error-locator polynomial from the syndromes.
    Returns the locator with lowest degree first. *)

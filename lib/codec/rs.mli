@@ -31,6 +31,16 @@ val decode : code -> bytes -> decode_outcome
 (** [decode c codeword] checks and repairs a systematic codeword
     (data followed by parity, total length at most 255) in place. *)
 
+val probably_clean : code -> bytes -> off:int -> len:int -> bool
+(** Cheap probabilistic cleanliness test for the codeword at
+    [off, off+len) — evaluates only the first four syndromes instead of
+    all [nparity].  [false] is definitive (the codeword has errors);
+    [true] can be wrong with probability ~2^-32 for a random corruption,
+    so callers must back a fast-path accept with an independent
+    integrity check (e.g. the sector CRC) and fall back to {!decode}
+    whenever anything downstream disagrees.
+    @raise Invalid_argument if the range is out of bounds. *)
+
 val decode_with_erasures : code -> bytes -> erasures:int list -> decode_outcome
 (** Like {!decode}, but [erasures] lists byte positions known to be
     unreliable (e.g. symbols served by a failed probe tip).  Known

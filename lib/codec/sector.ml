@@ -68,10 +68,73 @@ let pp_error ppf e =
     | Bad_crc -> "bad-crc"
     | Bad_header -> "bad-header")
 
-(* Count corrections by decoding slice-by-slice ourselves. *)
-let decode image =
-  if String.length image <> physical_bytes then Error Bad_header
+(* Fast accept for the overwhelmingly common healthy sector: every RS
+   slice passes the cheap {!Rs.probably_clean} test, so the framed bytes
+   are assembled without running the full decoder, then validated by
+   header parse + CRC.  Any disagreement at any stage returns [None] and
+   the caller falls through to the full slice-by-slice decode, so every
+   error path (and the ~2^-32 residual of a corruption that fools the
+   quick syndromes) keeps the slow path's exact semantics; a wrong
+   accept additionally needs a CRC32 collision. *)
+let decode_fast image =
+  let coded = Bytes.unsafe_of_string image in
+  let m = Rs.max_data rs_code and npar = Rs.nparity rs_code in
+  let clean = ref true in
+  let off = ref 0 and remaining = ref framed_bytes in
+  while !remaining > 0 && !clean do
+    let take = min m !remaining in
+    if not (Rs.probably_clean rs_code coded ~off:!off ~len:(take + npar)) then
+      clean := false
+    else begin
+      off := !off + take + npar;
+      remaining := !remaining - take
+    end
+  done;
+  if not !clean then None
   else begin
+    let framed = Bytes.create framed_bytes in
+    let off = ref 0 and pos = ref 0 and remaining = ref framed_bytes in
+    while !remaining > 0 do
+      let take = min m !remaining in
+      Bytes.blit coded !off framed !pos take;
+      off := !off + take + npar;
+      pos := !pos + take;
+      remaining := !remaining - take
+    done;
+    let framed = Bytes.unsafe_to_string framed in
+    let r = Binio.R.of_string framed in
+    match
+      let m = Binio.R.u16 r in
+      let kind_code = Binio.R.u8 r in
+      let _reserved = Binio.R.u8 r in
+      let pba = Binio.R.u64 r in
+      let generation = Binio.R.u32 r in
+      let payload = Binio.R.raw r payload_bytes in
+      let crc = Binio.R.u32 r in
+      (m, kind_code, pba, generation, payload, crc)
+    with
+    | exception Binio.R.Truncated -> None
+    | m, kind_code, pba, generation, payload, crc -> (
+        if m <> magic then None
+        else
+          match kind_of_int kind_code with
+          | None -> None
+          | Some kind ->
+              let body =
+                Bytes.unsafe_of_string framed
+              in
+              let expect =
+                Int32.to_int (Crc32.bytes body 0 (framed_bytes - crc_bytes))
+                land 0xFFFFFFFF
+              in
+              if crc <> expect then None
+              else
+                Some { pba; kind; generation; payload; corrected_symbols = 0 })
+  end
+
+(* Count corrections by decoding slice-by-slice ourselves. *)
+let decode_slow image =
+  begin
     let coded = Bytes.of_string image in
     let m = Rs.max_data rs_code and npar = Rs.nparity rs_code in
     let out = Buffer.create framed_bytes in
@@ -116,3 +179,10 @@ let decode image =
                   Ok { pba; kind; generation; payload; corrected_symbols = !corrected }
     end
   end
+
+let decode image =
+  if String.length image <> physical_bytes then Error Bad_header
+  else
+    match decode_fast image with
+    | Some d -> Ok d
+    | None -> decode_slow image

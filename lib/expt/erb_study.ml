@@ -1,13 +1,16 @@
 type miss_row = { cycles : int; measured_miss : float; theory_miss : float }
 
 let miss_sweep ?(trials = 20000) ?(cycles_list = [ 1; 2; 3; 4; 6; 8 ]) () =
-  let medium =
-    Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:16 ~cols:16)
-  in
-  let ctx = Pmedia.Bitops.make medium in
-  Pmedia.Bitops.ewb ctx 0;
-  List.map
+  (* Each cell gets its own freshly seeded medium (rather than all cells
+     sharing one RNG stream), so cells are independent and the sweep
+     parallelises with bit-identical output in any execution order. *)
+  Sim.Pool.parallel_map
     (fun cycles ->
+      let medium =
+        Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:16 ~cols:16)
+      in
+      let ctx = Pmedia.Bitops.make medium in
+      Pmedia.Bitops.ewb ctx 0;
       let missed = ref 0 in
       for _ = 1 to trials do
         if not (Pmedia.Bitops.erb ~cycles ctx 0) then incr missed

@@ -95,19 +95,28 @@ let run_cell ?(n_blocks = 64) ?(sectors = 56) ~ber ~dead_tips ~ras_on
   { row1 with deterministic = String.equal ledger1 ledger2 }
 
 let sweep ?(bers = [ 0.; 1e-4; 2e-3; 5e-3 ]) ?(dead = [ 0; 1; 2 ]) () =
-  List.concat_map
-    (fun ber ->
-      List.concat_map
-        (fun dead_tips ->
-          (* Same plan seed for both arms: identical fault plans. *)
-          let plan_seed =
-            1 + (1000 * dead_tips) + int_of_float (1e6 *. ber)
-          in
-          List.map
-            (fun ras_on -> run_cell ~ber ~dead_tips ~ras_on ~plan_seed ())
-            [ false; true ])
-        dead)
-    bers
+  (* Each cell builds its own devices and injector from (ber, dead,
+     ras, seed) alone, so the flattened grid fans out on the pool with
+     sequential-identical output. *)
+  let grid =
+    List.concat_map
+      (fun ber ->
+        List.concat_map
+          (fun dead_tips ->
+            (* Same plan seed for both arms: identical fault plans. *)
+            let plan_seed =
+              1 + (1000 * dead_tips) + int_of_float (1e6 *. ber)
+            in
+            List.map
+              (fun ras_on -> (ber, dead_tips, ras_on, plan_seed))
+              [ false; true ])
+          dead)
+      bers
+  in
+  Sim.Pool.parallel_map
+    (fun (ber, dead_tips, ras_on, plan_seed) ->
+      run_cell ~ber ~dead_tips ~ras_on ~plan_seed ())
+    grid
 
 (* {1 Torn-burn recovery} *)
 
@@ -174,7 +183,7 @@ let torn_device ~lines_cut ~ras_on =
   dev
 
 let powercut_series ?(cuts = [ 1; 2; 4 ]) () =
-  List.map
+  Sim.Pool.parallel_map
     (fun lines_cut ->
       let dev_off = torn_device ~lines_cut ~ras_on:false in
       let tampered_without_ras =

@@ -42,7 +42,9 @@ let data_pbas dev n =
 
 let defect_sweep ?(rates = [ 0.; 0.001; 0.002; 0.004; 0.008; 0.016; 0.032 ])
     ?(sectors = 56) () =
-  List.map
+  (* Every cell builds its own seeded device, so the sweep fans out on
+     the pool with output identical to a sequential map. *)
+  Sim.Pool.parallel_map
     (fun defect_rate ->
       let config =
         {
@@ -66,7 +68,7 @@ type tip_row = {
 }
 
 let tip_sweep ?(max_failed = 3) ?(sectors = 28) () =
-  List.map
+  Sim.Pool.parallel_map
     (fun failed_tips ->
       let dev =
         Sero.Device.create (Sero.Device.default_config ~n_blocks:64 ~line_exp:3 ())

@@ -12,39 +12,46 @@ let materials =
   [ Physics.Constants.co_pt; Physics.Constants.co_pt_low_temp ]
 
 let damage_sweep () =
-  List.concat_map
-    (fun m ->
-      List.concat_map
-        (fun geometry ->
-          List.concat_map
-            (fun decay_over_pitch ->
-              List.map
-                (fun peak_c ->
-                  let profile =
-                    {
-                      (Physics.Thermal.default_profile geometry) with
-                      Physics.Thermal.peak_temp_c = peak_c;
-                      decay_length =
-                        decay_over_pitch *. geometry.Physics.Constants.pitch;
-                    }
-                  in
-                  {
-                    material = m.Physics.Constants.label;
-                    pitch_nm = geometry.Physics.Constants.pitch *. 1e9;
-                    decay_over_pitch;
-                    peak_c;
-                    neighbour_c =
-                      Physics.Thermal.neighbour_temperature profile
-                        ~pitch:geometry.Physics.Constants.pitch;
-                    target_destroyed = Physics.Thermal.target_destroyed m profile;
-                    neighbour_damage_p =
-                      Physics.Thermal.neighbour_damage_probability m profile
-                        ~pitch:geometry.Physics.Constants.pitch;
-                  })
-                [ 1200.; 1650.; 2500.; 4000. ])
-            [ 0.5; 2.; 8. ])
-        [ Physics.Constants.dot_100nm ])
-    materials
+  (* Flatten the design grid first (cheap), then evaluate the cells on
+     the pool; each cell is pure, so the flattened order makes parallel
+     output identical to sequential. *)
+  let grid =
+    List.concat_map
+      (fun m ->
+        List.concat_map
+          (fun geometry ->
+            List.concat_map
+              (fun decay_over_pitch ->
+                List.map
+                  (fun peak_c -> (m, geometry, decay_over_pitch, peak_c))
+                  [ 1200.; 1650.; 2500.; 4000. ])
+              [ 0.5; 2.; 8. ])
+          [ Physics.Constants.dot_100nm ])
+      materials
+  in
+  Sim.Pool.parallel_map
+    (fun (m, geometry, decay_over_pitch, peak_c) ->
+      let profile =
+        {
+          (Physics.Thermal.default_profile geometry) with
+          Physics.Thermal.peak_temp_c = peak_c;
+          decay_length = decay_over_pitch *. geometry.Physics.Constants.pitch;
+        }
+      in
+      {
+        material = m.Physics.Constants.label;
+        pitch_nm = geometry.Physics.Constants.pitch *. 1e9;
+        decay_over_pitch;
+        peak_c;
+        neighbour_c =
+          Physics.Thermal.neighbour_temperature profile
+            ~pitch:geometry.Physics.Constants.pitch;
+        target_destroyed = Physics.Thermal.target_destroyed m profile;
+        neighbour_damage_p =
+          Physics.Thermal.neighbour_damage_probability m profile
+            ~pitch:geometry.Physics.Constants.pitch;
+      })
+    grid
 
 type spreading_row = {
   encoding : string;

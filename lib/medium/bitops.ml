@@ -98,8 +98,7 @@ let ewb t i =
        stays magnetic and no neighbour heat spills over. *)
     Medium.note_heated t.medium i;
     if t.neighbour_damage_p > 0. then
-      List.iter
-        (fun j ->
+      Medium.iter_neighbours t.medium i (fun j ->
           if
             (not (Dot.is_heated (Medium.get t.medium j)))
             && Sim.Prng.bernoulli (Medium.rng t.medium) t.neighbour_damage_p
@@ -107,7 +106,6 @@ let ewb t i =
             Medium.note_heated t.medium j;
             t.counters.collateral <- t.counters.collateral + 1
           end)
-        (Medium.neighbours t.medium i)
   end
 
 (* One invert/verify round of the paper's erb sequence.  Returns [true]
@@ -143,3 +141,214 @@ let erb ?(cycles = 1) t i =
   !detected
 
 let primitive_ops c = c.mrb + c.mwb
+
+(* {1 Run kernels}
+
+   Bulk variants of mrb/mwb/erb over a run of consecutive dots.  The
+   fast path must be semantically invisible: it is taken only when no
+   fault injector is installed (so there are no per-op ticks, stuck-dot
+   filters or power-cut boundaries to honour), the read BER is zero and
+   the run is provably defect-free.  Under those guards the only
+   randomness the scalar path would draw is the heated-dot coin flips
+   (mrb) and the heated-dot erb protocol reads, which the kernels
+   reproduce in the exact same order from the same medium PRNG — so
+   medium state, counters and the PRNG stream all stay bit-identical.
+   Anything else falls back to a literal per-dot loop over the scalar
+   ops. *)
+
+let check_run t start len =
+  if start < 0 || len < 0 || start + len > Medium.size t.medium then
+    invalid_arg "Bitops: run out of range"
+
+let fast_read_ok t ~start ~len =
+  t.fault = None && t.read_ber = 0.
+  && Medium.run_defect_free t.medium ~start ~len
+
+let read_fast_available = fast_read_ok
+
+let mrb_run t ~start ~len ~dst ~dst_pos =
+  check_run t start len;
+  if dst_pos < 0 || dst_pos + len > Array.length dst then
+    invalid_arg "Bitops.mrb_run: destination out of range";
+  if not (fast_read_ok t ~start ~len) then
+    for k = 0 to len - 1 do
+      Array.unsafe_set dst (dst_pos + k) (Dot.to_bool (mrb t (start + k)))
+    done
+  else begin
+    t.counters.mrb <- t.counters.mrb + len;
+    let states = Medium.states_bytes t.medium in
+    let rng = Medium.rng t.medium in
+    let k = ref 0 in
+    while !k < len do
+      let i = start + !k in
+      let byte = Char.code (Bytes.unsafe_get states (i lsr 2)) in
+      (* A heated field has its high bit set: mask 0xAA over the byte. *)
+      if i land 3 = 0 && !k + 4 <= len && byte land 0xAA = 0 then begin
+        let p = dst_pos + !k in
+        Array.unsafe_set dst p (byte land 1 <> 0);
+        Array.unsafe_set dst (p + 1) (byte land 4 <> 0);
+        Array.unsafe_set dst (p + 2) (byte land 16 <> 0);
+        Array.unsafe_set dst (p + 3) (byte land 64 <> 0);
+        k := !k + 4
+      end
+      else begin
+        let v = (byte lsr (2 * (i land 3))) land 3 in
+        Array.unsafe_set dst (dst_pos + !k)
+          (if v < 2 then v = 1 else Sim.Prng.bool rng);
+        incr k
+      end
+    done
+  end
+
+(* For a state byte with no heated field (byte land 0xAA = 0), the four
+   dots' logical bits (Up = code 1 = pair bit 0) reversed into the top
+   or bottom nibble of an MSB-first output byte. *)
+let rev_up_nibble =
+  lazy
+    (Array.init 256 (fun b ->
+         ((b land 1) lsl 3)
+         lor (((b lsr 2) land 1) lsl 2)
+         lor (((b lsr 4) land 1) lsl 1)
+         lor ((b lsr 6) land 1)))
+
+let mrb_run_packed t ~start ~len ~dst ~dst_pos =
+  check_run t start len;
+  if dst_pos < 0 || dst_pos + (len lsr 3) > Bytes.length dst then
+    invalid_arg "Bitops.mrb_run_packed: destination out of range";
+  if
+    len = 0 || start land 7 <> 0 || len land 7 <> 0
+    || not (fast_read_ok t ~start ~len)
+  then len = 0
+  else begin
+    t.counters.mrb <- t.counters.mrb + len;
+    let states = Medium.states_bytes t.medium in
+    let rng = Medium.rng t.medium in
+    let tbl = Lazy.force rev_up_nibble in
+    let first = start lsr 2 in
+    for b = 0 to (len lsr 3) - 1 do
+      let s0 = Char.code (Bytes.unsafe_get states (first + (2 * b)))
+      and s1 = Char.code (Bytes.unsafe_get states (first + (2 * b) + 1)) in
+      let v =
+        if (s0 lor s1) land 0xAA = 0 then
+          (Array.unsafe_get tbl s0 lsl 4) lor Array.unsafe_get tbl s1
+        else begin
+          (* A heated dot reads as a coin flip; the draws happen in
+             address order, exactly as the scalar path makes them. *)
+          let acc = ref 0 in
+          for j = 0 to 7 do
+            let byte = if j < 4 then s0 else s1 in
+            let c = (byte lsr (2 * (j land 3))) land 3 in
+            let bit = if c < 2 then c = 1 else Sim.Prng.bool rng in
+            if bit then acc := !acc lor (1 lsl (7 - j))
+          done;
+          !acc
+        end
+      in
+      Bytes.unsafe_set dst (dst_pos + b) (Char.unsafe_chr v)
+    done;
+    true
+  end
+
+let mwb_run t ~start ~len ~src ~src_pos =
+  check_run t start len;
+  if src_pos < 0 || src_pos + len > Array.length src then
+    invalid_arg "Bitops.mwb_run: source out of range";
+  (* mwb ignores defects and draws no randomness, so the only guard is
+     the injector's per-op ticks. *)
+  if t.fault <> None then
+    for k = 0 to len - 1 do
+      mwb t (start + k) (Dot.of_bool (Array.unsafe_get src (src_pos + k)))
+    done
+  else begin
+    t.counters.mwb <- t.counters.mwb + len;
+    let states = Medium.states_bytes t.medium in
+    let k = ref 0 in
+    while !k < len do
+      let i = start + !k in
+      let idx = i lsr 2 in
+      let byte = Char.code (Bytes.unsafe_get states idx) in
+      if i land 3 = 0 && !k + 4 <= len && byte land 0xAA = 0 then begin
+        (* No heated dot in the byte: all four fields are overwritten. *)
+        let p = src_pos + !k in
+        let v =
+          (if Array.unsafe_get src p then 1 else 0)
+          lor (if Array.unsafe_get src (p + 1) then 4 else 0)
+          lor (if Array.unsafe_get src (p + 2) then 16 else 0)
+          lor if Array.unsafe_get src (p + 3) then 64 else 0
+        in
+        Bytes.unsafe_set states idx (Char.unsafe_chr v);
+        k := !k + 4
+      end
+      else begin
+        let shift = 2 * (i land 3) in
+        if (byte lsr shift) land 2 = 0 then begin
+          let v = if Array.unsafe_get src (src_pos + !k) then 1 else 0 in
+          Bytes.unsafe_set states idx
+            (Char.unsafe_chr (byte land lnot (3 lsl shift) lor (v lsl shift)))
+        end;
+        incr k
+      end
+    done
+  end
+
+let erb_run ?(cycles = 1) t ~start ~len ~dst ~dst_pos =
+  if cycles <= 0 then invalid_arg "Bitops.erb_run: cycles must be positive";
+  check_run t start len;
+  if dst_pos < 0 || dst_pos + len > Array.length dst then
+    invalid_arg "Bitops.erb_run: destination out of range";
+  if not (fast_read_ok t ~start ~len) then
+    for k = 0 to len - 1 do
+      Array.unsafe_set dst (dst_pos + k) (erb ~cycles t (start + k))
+    done
+  else begin
+    t.counters.erb <- t.counters.erb + len;
+    let states = Medium.states_bytes t.medium in
+    let rng = Medium.rng t.medium in
+    let n_clean = ref 0 in
+    (* Heated-dot charges accumulate in locals and land on the shared
+       counters once, after the loop (they are int sums, so the totals
+       are exactly the per-dot ones). *)
+    let mrb_acc = ref 0 and mwb_acc = ref 0 in
+    for k = 0 to len - 1 do
+      let i = start + k in
+      let v =
+        (Char.code (Bytes.unsafe_get states (i lsr 2)) lsr (2 * (i land 3)))
+        land 3
+      in
+      if v < 2 then begin
+        (* A healthy dot passes every round (the invert/restore writes
+           cancel out), so only the op charges remain. *)
+        incr n_clean;
+        Array.unsafe_set dst (dst_pos + k) false
+      end
+      else begin
+        (* The protocol on a heated dot: every mrb is a coin flip and
+           every mwb is a no-op, so the rounds collapse to PRNG draws
+           plus counter charges — in the scalar draw order (original,
+           check1[, check2] per round, stopping at the round that
+           detects; check1 = original means check1 differs from the
+           written inverse, detection after 2 reads + 2 writes). *)
+        let detected = ref false in
+        let cyc = ref 0 in
+        while (not !detected) && !cyc < cycles do
+          incr cyc;
+          let original = Sim.Prng.bool rng in
+          let check1 = Sim.Prng.bool rng in
+          if check1 = original then begin
+            mrb_acc := !mrb_acc + 2;
+            mwb_acc := !mwb_acc + 2;
+            detected := true
+          end
+          else begin
+            let check2 = Sim.Prng.bool rng in
+            mrb_acc := !mrb_acc + 3;
+            mwb_acc := !mwb_acc + 2;
+            if check2 <> original then detected := true
+          end
+        done;
+        Array.unsafe_set dst (dst_pos + k) !detected
+      end
+    done;
+    t.counters.mrb <- t.counters.mrb + (3 * cycles * !n_clean) + !mrb_acc;
+    t.counters.mwb <- t.counters.mwb + (2 * cycles * !n_clean) + !mwb_acc
+  end

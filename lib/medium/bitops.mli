@@ -68,3 +68,56 @@ val erb : ?cycles:int -> ctx -> int -> bool
 val primitive_ops : counters -> int
 (** Total mrb + mwb operations issued, counting the ones inside erb —
     the denominator for op-cost accounting. *)
+
+(** {1 Run kernels}
+
+    Bulk mrb/mwb/erb over a run of consecutive dot addresses, with
+    counters charged in bulk.  Each kernel takes a fast, allocation-free
+    path only when that is semantically invisible — no fault injector
+    installed, [read_ber = 0], and (for the read kernels) the run
+    provably defect-free per {!Medium.run_defect_free} — and otherwise
+    falls back to a per-dot loop over the scalar ops, so fault and RAS
+    semantics are bit-identical either way.  The fast paths reproduce
+    the scalar path's PRNG draws (heated-dot coin flips, heated-dot erb
+    protocol reads) in the exact same order from the medium's PRNG. *)
+
+val mrb_run :
+  ctx -> start:int -> len:int -> dst:bool array -> dst_pos:int -> unit
+(** Magnetic read of dots [start, start+len) into [dst.(dst_pos ..)],
+    [true] = Up; equivalent to [len] calls of {!mrb} piped through
+    {!Dot.to_bool}. *)
+
+val read_fast_available : ctx -> start:int -> len:int -> bool
+(** Whether the read kernels' fast path is available over the run: no
+    injector, [read_ber = 0], and the run defect-free.  Lets callers
+    that must not charge anything before committing (see
+    {!mrb_run_packed}) test the guards up front. *)
+
+val mrb_run_packed :
+  ctx -> start:int -> len:int -> dst:Bytes.t -> dst_pos:int -> bool
+(** Magnetic read of an 8-dot-aligned run straight into packed bytes:
+    dot [start + 8b + j] lands in bit [7 - j] of [dst.(dst_pos + b)]
+    (MSB-first, the sector image order), skipping the intermediate bool
+    array entirely.  Only available on the fast path: returns [false]
+    — having charged nothing and drawn nothing — when [start] or [len]
+    is not a multiple of 8 or {!mrb_run}'s fast-path guards fail, and
+    the caller must fall back to {!mrb_run} plus packing.  When it runs
+    it is bit- and draw-identical to that fallback. *)
+
+val mwb_run :
+  ctx -> start:int -> len:int -> src:bool array -> src_pos:int -> unit
+(** Magnetic write of [src.(src_pos ..)] over the run; equivalent to
+    [len] calls of {!mwb} via {!Dot.of_bool} (heated dots ignore the
+    write). *)
+
+val erb_run :
+  ?cycles:int ->
+  ctx ->
+  start:int ->
+  len:int ->
+  dst:bool array ->
+  dst_pos:int ->
+  unit
+(** Electrical read of the run; [dst.(dst_pos + k)] is [true] iff dot
+    [start + k] is detected heated.  Equivalent to [len] calls of
+    {!erb}. *)

@@ -11,6 +11,8 @@ type t = {
   config : config;
   states : Bytes.t; (* 2 bits per dot: 0 = Down, 1 = Up, 2 = Heated *)
   defects : Bytes.t; (* 1 bit per dot *)
+  rows_clean : Bytes.t; (* 1 bit per row: set = no defect in the row *)
+  defect_total : int;
   rng : Sim.Prng.t;
   mutable heated : int;
 }
@@ -35,24 +37,33 @@ let create config =
   if config.rows <= 0 || config.cols <= 0 then
     invalid_arg "Medium.create: non-positive dimensions";
   let n = config.rows * config.cols in
-  let t =
-    {
-      config;
-      states = Bytes.make ((n + 3) / 4) '\x00';
-      defects = Bytes.make ((n + 7) / 8) '\x00';
-      rng = Sim.Prng.create config.seed;
-      heated = 0;
-    }
-  in
+  let rng = Sim.Prng.create config.seed in
+  let defects = Bytes.make ((n + 7) / 8) '\x00' in
+  let rows_clean = Bytes.make ((config.rows + 7) / 8) '\xFF' in
+  let defect_total = ref 0 in
   if config.defect_rate > 0. then
     for i = 0 to n - 1 do
-      if Sim.Prng.bernoulli t.rng config.defect_rate then begin
+      if Sim.Prng.bernoulli rng config.defect_rate then begin
         let byte = i / 8 and bit = i mod 8 in
-        Bytes.set t.defects byte
-          (Char.chr (Char.code (Bytes.get t.defects byte) lor (1 lsl bit)))
+        Bytes.set defects byte
+          (Char.chr (Char.code (Bytes.get defects byte) lor (1 lsl bit)));
+        incr defect_total;
+        let row = i / config.cols in
+        Bytes.set rows_clean (row / 8)
+          (Char.chr
+             (Char.code (Bytes.get rows_clean (row / 8))
+             land lnot (1 lsl (row mod 8))))
       end
     done;
-  t
+  {
+    config;
+    states = Bytes.make ((n + 3) / 4) '\x00';
+    defects;
+    rows_clean;
+    defect_total = !defect_total;
+    rng;
+    heated = 0;
+  }
 
 let check_range t i =
   if i < 0 || i >= size t then invalid_arg "Medium: dot index out of range"
@@ -93,6 +104,84 @@ let is_defect t i =
   check_range t i;
   Char.code (Bytes.get t.defects (i / 8)) land (1 lsl (i mod 8)) <> 0
 
+let defect_count t = t.defect_total
+
+let check_run t start len =
+  if len < 0 || start < 0 || start + len > size t then
+    invalid_arg "Medium: run out of range"
+
+let run_defect_free t ~start ~len =
+  check_run t start len;
+  t.defect_total = 0
+  || len = 0
+  ||
+  let c = t.config.cols in
+  let r0 = start / c and r1 = (start + len - 1) / c in
+  let ok = ref true in
+  for r = r0 to r1 do
+    if Char.code (Bytes.unsafe_get t.rows_clean (r lsr 3)) land (1 lsl (r land 7)) = 0
+    then ok := false
+  done;
+  !ok
+
+let states_bytes t = t.states
+
+(* Number of 2-bit fields per state byte that read back as Heated
+   (raw code >= 2, matching [raw_get]'s decoding). *)
+let heated_per_byte =
+  lazy
+    (Array.init 256 (fun b ->
+         let n = ref 0 in
+         for f = 0 to 3 do
+           if (b lsr (2 * f)) land 3 >= 2 then incr n
+         done;
+         !n))
+
+let count_heated_run t ~start ~len =
+  check_run t start len;
+  let tbl = Lazy.force heated_per_byte in
+  let n = ref 0 in
+  let i = ref start in
+  let stop = start + len in
+  (* Unaligned head *)
+  while !i < stop && !i land 3 <> 0 do
+    if raw_get t !i >= 2 then incr n;
+    incr i
+  done;
+  (* Whole state bytes *)
+  while !i + 4 <= stop do
+    n := !n + Array.unsafe_get tbl (Char.code (Bytes.unsafe_get t.states (!i lsr 2)));
+    i := !i + 4
+  done;
+  (* Tail *)
+  while !i < stop do
+    if raw_get t !i >= 2 then incr n;
+    incr i
+  done;
+  !n
+
+let get_run t ~start ~len ~dst ~dst_pos =
+  check_run t start len;
+  if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+    invalid_arg "Medium.get_run: destination out of range";
+  for k = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + k) (Char.unsafe_chr (raw_get t (start + k)))
+  done
+
+let set_run t ~start ~len ~src ~src_pos =
+  check_run t start len;
+  if src_pos < 0 || src_pos + len > Bytes.length src then
+    invalid_arg "Medium.set_run: source out of range";
+  for k = 0 to len - 1 do
+    let v = Char.code (Bytes.get src (src_pos + k)) in
+    if v > 2 then invalid_arg "Medium.set_run: invalid state code";
+    let i = start + k in
+    let old = raw_get t i in
+    if old >= 2 && v < 2 then t.heated <- t.heated - 1
+    else if old < 2 && v = 2 then t.heated <- t.heated + 1;
+    raw_set t i v
+  done
+
 let neighbours t i =
   check_range t i;
   let c = t.config.cols in
@@ -105,6 +194,18 @@ let neighbours t i =
       if r < 0 || r >= t.config.rows || cl < 0 || cl >= c then None
       else Some ((r * c) + cl))
     candidates
+
+(* Same visit order as [neighbours] — left, right, up, down — so
+   callers drawing randomness per neighbour keep a bit-identical
+   stream whichever entry point they use. *)
+let iter_neighbours t i f =
+  check_range t i;
+  let c = t.config.cols in
+  let row = i / c and col = i mod c in
+  if col > 0 then f (i - 1);
+  if col < c - 1 then f (i + 1);
+  if row > 0 then f (i - c);
+  if row < t.config.rows - 1 then f (i + c)
 
 let heated_count t = t.heated
 let heated_fraction t = float_of_int t.heated /. float_of_int (size t)

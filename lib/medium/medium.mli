@@ -46,9 +46,50 @@ val set : t -> int -> Dot.t -> unit
 
 val is_defect : t -> int -> bool
 
+val defect_count : t -> int
+(** Total manufacturing defects placed at seed time. *)
+
+val run_defect_free : t -> start:int -> len:int -> bool
+(** Whether the run [start, start+len) is guaranteed free of defects.
+    Checked at {e row} granularity against a bitmap precomputed at
+    {!create}, so it is O(rows touched), not O(len); a [false] answer
+    may therefore be conservative (defect elsewhere in a touched row),
+    which only costs callers their fast path, never correctness.
+    @raise Invalid_argument if the run is out of range. *)
+
 val neighbours : t -> int -> int list
 (** The 4-neighbourhood (same row ±1, same column ±1 row) — the dots at
     thermal risk when dot [i] is pulse-heated. *)
+
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+(** Allocation-free {!neighbours}, visiting in the same order (left,
+    right, up, down) so per-neighbour randomness draws stay
+    bit-identical with the list version. *)
+
+(** {1 Run access}
+
+    Allocation-free bulk views for the device hot path.  State codes are
+    the raw 2-bit encoding: 0 = Down, 1 = Up, 2 = Heated. *)
+
+val states_bytes : t -> Bytes.t
+(** The live packed state bytes (4 dots per byte, dot [i] in bits
+    [2*(i mod 4)..2*(i mod 4)+1] of byte [i/4]).  This is the medium's
+    own storage, not a copy — callers that write through it bypass the
+    heated-count bookkeeping and must know what they are doing
+    ({!Bitops} run kernels do). *)
+
+val get_run : t -> start:int -> len:int -> dst:Bytes.t -> dst_pos:int -> unit
+(** Copy the state codes of dots [start, start+len) into [dst] at
+    [dst_pos], one code per byte. *)
+
+val set_run : t -> start:int -> len:int -> src:Bytes.t -> src_pos:int -> unit
+(** Raw bulk override (the run analogue of {!set}): writes the state
+    codes read from [src] and maintains the heated count.
+    @raise Invalid_argument on a code > 2 or an out-of-range run. *)
+
+val count_heated_run : t -> start:int -> len:int -> int
+(** Heated dots in [start, start+len), counted a packed state byte at a
+    time. *)
 
 val heated_count : t -> int
 val heated_fraction : t -> float

@@ -63,53 +63,125 @@ let seek_to_dot t dot =
   let _, offset = Tips.locate t.tips dot in
   Actuator.seek t.actuator offset
 
-(* Iterate a run offset-step by offset-step, calling [f dot tip] for
-   every dot in the run, and charging [per_offset] once per step. *)
-let run_offsets t ~start ~len ~per_offset f =
+(* Iterate a run scan-row by scan-row, charging [per_offset] once per
+   step.  When every logical tip is served by a healthy unit the whole
+   row goes through [bulk] in one call (tip index is [dot - off * n],
+   no per-dot [Tips.locate]); a row with any broken serving tip falls
+   back to per-dot [f dot tip], which keeps the dead-tip noise
+   semantics.  Wear is recorded per row either way, and timing was
+   always charged per offset, so the ledgers are identical on both
+   paths. *)
+let run_offsets t ~start ~len ~per_offset ~bulk f =
   if len > 0 then begin
     let n = Tips.n_tips t.tips in
     let first_off = start / n and last_off = (start + len - 1) / n in
-    for off = first_off to last_off do
-      Actuator.seek t.actuator off;
-      per_offset ();
-      (* Scheduled tip deaths land at scan-row boundaries. *)
-      (match t.fault with
-      | None -> ()
-      | Some inj ->
-          List.iter (Tips.fail_tip t.tips) (Fault.Injector.newly_dead_tips inj));
-      (* A remapped field is served by a spare parked off-pitch on the
-         same sled: each scan row pays one extra settle to line it up. *)
-      if Tips.remapped_count t.tips > 0 then
-        Timing.charge_time t.timing (Timing.costs t.timing).Timing.seek_settle;
-      let lo = max start (off * n) and hi = min (start + len - 1) ((off * n) + n - 1) in
-      for dot = lo to hi do
-        let tip, _ = Tips.locate t.tips dot in
-        Tips.record_use t.tips ~tip;
-        f dot tip
+    if
+      t.fault = None
+      && Tips.remapped_count t.tips = 0
+      && Tips.all_serving_healthy t.tips
+    then begin
+      (* Lean dispatch: with no injector and no broken or remapped tip,
+         none of those states can change mid-run, so the per-offset
+         checks hoist out and the kernel takes the whole run in one
+         call.  The seek/charge/wear sequence below replays the general
+         path's float operations in the same order, and the kernels
+         visit dots in address order either way, so ledgers, counters
+         and the PRNG stream are bit-identical to the general path. *)
+      for off = first_off to last_off do
+        Actuator.seek t.actuator off;
+        per_offset ();
+        let row_base = off * n in
+        let lo = max start row_base
+        and hi = min (start + len - 1) (row_base + n - 1) in
+        Tips.record_use_range t.tips ~lo:(lo - row_base) ~hi:(hi - row_base)
+      done;
+      bulk ~lo:start ~hi:(start + len - 1)
+    end
+    else
+      for off = first_off to last_off do
+        Actuator.seek t.actuator off;
+        per_offset ();
+        (* Scheduled tip deaths land at scan-row boundaries. *)
+        (match t.fault with
+        | None -> ()
+        | Some inj ->
+            List.iter (Tips.fail_tip t.tips) (Fault.Injector.newly_dead_tips inj));
+        (* A remapped field is served by a spare parked off-pitch on the
+           same sled: each scan row pays one extra settle to line it up. *)
+        if Tips.remapped_count t.tips > 0 then
+          Timing.charge_time t.timing (Timing.costs t.timing).Timing.seek_settle;
+        let row_base = off * n in
+        let lo = max start row_base
+        and hi = min (start + len - 1) (row_base + n - 1) in
+        Tips.record_use_range t.tips ~lo:(lo - row_base) ~hi:(hi - row_base);
+        if Tips.all_serving_healthy t.tips then bulk ~lo ~hi
+        else
+          for dot = lo to hi do
+            f dot (dot - row_base)
+          done
       done
-    done
   end
 
 let random_bit t = Sim.Prng.bool (Pmedia.Medium.rng t.medium)
 
-let read_run t ~start ~len =
+let read_run_into t ~start ~len ~dst =
   check_run t start len;
-  let out = Array.make len false in
+  if Array.length dst < len then
+    invalid_arg "Pdevice.read_run_into: dst too short";
   run_offsets t ~start ~len
     ~per_offset:(fun () -> Timing.charge_bits t.timing ~read:1 ~written:0)
+    ~bulk:(fun ~lo ~hi ->
+      Pmedia.Bitops.mrb_run t.bitops ~start:lo ~len:(hi - lo + 1) ~dst
+        ~dst_pos:(lo - start))
     (fun dot tip ->
       let v =
         if Tips.tip_failed t.tips tip then random_bit t
         else Pmedia.Dot.to_bool (Pmedia.Bitops.mrb t.bitops dot)
       in
-      out.(dot - start) <- v);
+      dst.(dot - start) <- v)
+
+let read_run t ~start ~len =
+  let out = Array.make len false in
+  read_run_into t ~start ~len ~dst:out;
   out
+
+(* Whole-run packed read: only when the lean dispatch AND the packed
+   kernel are both available, so the decision is made before any charge
+   or draw and a [false] return leaves the device untouched.  The
+   charge/wear sequence is the same as [read_run_into]'s lean branch,
+   and the kernel draws match the bool-array kernel's, so taking this
+   path is invisible to ledgers, counters and the PRNG stream. *)
+let read_run_packed t ~start ~len ~dst =
+  check_run t start len;
+  if Bytes.length dst < len lsr 3 then
+    invalid_arg "Pdevice.read_run_packed: dst too short";
+  len > 0 && start land 7 = 0 && len land 7 = 0
+  && t.fault = None
+  && Tips.remapped_count t.tips = 0
+  && Tips.all_serving_healthy t.tips
+  && Pmedia.Bitops.read_fast_available t.bitops ~start ~len
+  && begin
+       let n = Tips.n_tips t.tips in
+       let first_off = start / n and last_off = (start + len - 1) / n in
+       for off = first_off to last_off do
+         Actuator.seek t.actuator off;
+         Timing.charge_bits t.timing ~read:1 ~written:0;
+         let row_base = off * n in
+         let lo = max start row_base
+         and hi = min (start + len - 1) (row_base + n - 1) in
+         Tips.record_use_range t.tips ~lo:(lo - row_base) ~hi:(hi - row_base)
+       done;
+       Pmedia.Bitops.mrb_run_packed t.bitops ~start ~len ~dst ~dst_pos:0
+     end
 
 let write_run t ~start bits =
   let len = Array.length bits in
   check_run t start len;
   run_offsets t ~start ~len
     ~per_offset:(fun () -> Timing.charge_bits t.timing ~read:0 ~written:1)
+    ~bulk:(fun ~lo ~hi ->
+      Pmedia.Bitops.mwb_run t.bitops ~start:lo ~len:(hi - lo + 1) ~src:bits
+        ~src_pos:(lo - start))
     (fun dot tip ->
       if not (Tips.tip_failed t.tips tip) then
         Pmedia.Bitops.mwb t.bitops dot (Pmedia.Dot.of_bool bits.(dot - start)))
@@ -119,19 +191,27 @@ let heat_run t ~start pattern =
   check_run t start len;
   run_offsets t ~start ~len
     ~per_offset:(fun () -> Timing.charge_ewb t.timing 1)
+    ~bulk:(fun ~lo ~hi ->
+      for dot = lo to hi do
+        if pattern.(dot - start) then Pmedia.Bitops.ewb t.bitops dot
+      done)
     (fun dot tip ->
       if pattern.(dot - start) && not (Tips.tip_failed t.tips tip) then
         Pmedia.Bitops.ewb t.bitops dot)
 
-let erb_run ?cycles t ~start ~len =
+let erb_run_into ?cycles t ~start ~len ~dst =
   check_run t start len;
+  if Array.length dst < len then
+    invalid_arg "Pdevice.erb_run_into: dst too short";
   let cycles = Option.value cycles ~default:t.config.erb_cycles in
-  let out = Array.make len false in
   run_offsets t ~start ~len
     ~per_offset:(fun () ->
       (* Each cycle is read, write, read, write, read = 3 reads + 2
          writes of the whole tip row. *)
       Timing.charge_bits t.timing ~read:(3 * cycles) ~written:(2 * cycles))
+    ~bulk:(fun ~lo ~hi ->
+      Pmedia.Bitops.erb_run ~cycles t.bitops ~start:lo ~len:(hi - lo + 1)
+        ~dst ~dst_pos:(lo - start))
     (fun dot tip ->
       let heated =
         if Tips.tip_failed t.tips tip then
@@ -140,5 +220,9 @@ let erb_run ?cycles t ~start ~len =
           true
         else Pmedia.Bitops.erb ~cycles t.bitops dot
       in
-      out.(dot - start) <- heated);
+      dst.(dot - start) <- heated)
+
+let erb_run ?cycles t ~start ~len =
+  let out = Array.make len false in
+  erb_run_into ?cycles t ~start ~len ~dst:out;
   out

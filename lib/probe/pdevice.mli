@@ -49,6 +49,22 @@ val read_run : t -> start:int -> len:int -> bool array
 (** Magnetic read; [true] = up = logical 1.  Heated or failed-tip dots
     yield random values, as the physics dictates. *)
 
+val read_run_into : t -> start:int -> len:int -> dst:bool array -> unit
+(** {!read_run} into a caller-owned buffer (filling [dst.(0..len-1)]) —
+    the allocation-free form for hot paths that reuse a scratch array.
+    @raise Invalid_argument if [dst] holds fewer than [len] cells. *)
+
+val read_run_packed : t -> start:int -> len:int -> dst:Bytes.t -> bool
+(** Magnetic read of an 8-dot-aligned run straight into packed
+    MSB-first bytes (dot [start + 8b + j] → bit [7 - j] of
+    [dst.(b)]), skipping the bool-array representation.  Only taken
+    when both the healthy-tips dispatch and the defect-free read kernel
+    are available; returns [false] with the device completely untouched
+    otherwise, and the caller falls back to {!read_run_into} plus
+    packing.  When taken, ledgers, wear, counters and PRNG draws are
+    identical to the fallback.
+    @raise Invalid_argument if [dst] holds fewer than [len/8] bytes. *)
+
 val write_run : t -> start:int -> bool array -> unit
 (** Magnetic write of consecutive dots. *)
 
@@ -62,6 +78,10 @@ val erb_run : ?cycles:int -> t -> start:int -> len:int -> bool array
     probability 1/4 (the two verification reads of the paper's sequence
     both agree by luck), so callers that must not miss escalate the
     cycle count on suspicious dots. *)
+
+val erb_run_into :
+  ?cycles:int -> t -> start:int -> len:int -> dst:bool array -> unit
+(** {!erb_run} into a caller-owned buffer, like {!read_run_into}. *)
 
 val seek_to_dot : t -> int -> unit
 (** Pre-position the sled (exposes seek cost to scheduling studies). *)

@@ -8,6 +8,9 @@ type t = {
   remap : int array; (* length n_tips; spare unit serving the tip, or -1 *)
   uses : int array; (* length n_tips + n_spares *)
   mutable next_spare : int;
+  mutable serving_broken : int; (* logical tips whose serving unit is broken *)
+  mutable n_remapped : int;
+  mutable full_uses : int; (* banked whole-row wear, one per logical tip *)
 }
 
 let create ?(spares = 0) ~n_tips medium =
@@ -35,6 +38,9 @@ let create ?(spares = 0) ~n_tips medium =
     remap = Array.make n_tips (-1);
     uses = Array.make (n_tips + spares) 0;
     next_spare = 0;
+    serving_broken = 0;
+    n_remapped = 0;
+    full_uses = 0;
   }
 
 let n_tips t = t.n_tips
@@ -57,9 +63,39 @@ let dot_of t ~tip ~offset =
 (* The physical unit currently serving a logical tip. *)
 let serving t i = if i < t.n_tips && t.remap.(i) >= 0 then t.remap.(i) else i
 
-let fail_tip t i = t.failed.(i) <- true
+(* Whole-row wear (the hot case: every scan row of a bulk run touches
+   every logical tip once) is banked in a single counter and
+   materialised into [uses] only when the serving map is about to
+   change or a count is read. *)
+let flush_full_uses t =
+  if t.full_uses > 0 then begin
+    for i = 0 to t.n_tips - 1 do
+      let u = serving t i in
+      t.uses.(u) <- t.uses.(u) + t.full_uses
+    done;
+    t.full_uses <- 0
+  end
+
+(* Health transitions (fail, remap) are rare; recounting keeps the
+   cached summaries trivially consistent with the arrays. *)
+let recount t =
+  let broken = ref 0 in
+  for i = 0 to t.n_tips - 1 do
+    if t.failed.(serving t i) then incr broken
+  done;
+  t.serving_broken <- !broken;
+  let remapped = ref 0 in
+  Array.iter (fun s -> if s >= 0 then incr remapped) t.remap;
+  t.n_remapped <- !remapped
+
+let fail_tip t i =
+  flush_full_uses t;
+  t.failed.(i) <- true;
+  recount t
+
 let tip_broken t i = t.failed.(i)
 let tip_failed t i = t.failed.(serving t i)
+let all_serving_healthy t = t.serving_broken = 0
 
 let failed_count t =
   let n = ref 0 in
@@ -70,8 +106,7 @@ let failed_count t =
 
 let is_remapped t i = i < t.n_tips && t.remap.(i) >= 0
 
-let remapped_count t =
-  Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 t.remap
+let remapped_count t = t.n_remapped
 
 let spares_used t = t.next_spare
 
@@ -84,6 +119,7 @@ let spares_free t =
 
 let remap_tip t i =
   if i < 0 || i >= t.n_tips then invalid_arg "Tips.remap_tip: bad tip";
+  flush_full_uses t;
   if not (tip_failed t i) then false
   else begin
     (* Scan forward for the next healthy, unassigned spare. *)
@@ -95,6 +131,7 @@ let remap_tip t i =
         if t.failed.(unit) then pick ()
         else begin
           t.remap.(i) <- unit;
+          recount t;
           true
         end
       end
@@ -106,4 +143,22 @@ let record_use t ~tip =
   let u = serving t tip in
   t.uses.(u) <- t.uses.(u) + 1
 
-let uses t ~tip = t.uses.(tip)
+let record_use_range t ~lo ~hi =
+  if lo < 0 || hi >= t.n_tips then
+    invalid_arg "Tips.record_use_range: tip range out of range";
+  if t.n_remapped = 0 then begin
+    if lo = 0 && hi = t.n_tips - 1 then t.full_uses <- t.full_uses + 1
+    else
+      for i = lo to hi do
+        t.uses.(i) <- t.uses.(i) + 1
+      done
+  end
+  else
+    for i = lo to hi do
+      let u = serving t i in
+      t.uses.(u) <- t.uses.(u) + 1
+    done
+
+let uses t ~tip =
+  flush_full_uses t;
+  t.uses.(tip)

@@ -64,6 +64,10 @@ val tip_failed : t -> int -> bool
 val tip_broken : t -> int -> bool
 (** Raw health of physical unit [i], ignoring remapping. *)
 
+val all_serving_healthy : t -> bool
+(** O(1): no logical tip is currently served by a broken unit — the
+    whole-row guard for the device's bulk transfer path. *)
+
 val failed_count : t -> int
 (** Broken logical tips (raw, ignoring remaps). *)
 
@@ -81,6 +85,10 @@ val spares_free : t -> int
 
 val record_use : t -> tip:int -> unit
 (** Wear accrues on the physical unit serving the tip. *)
+
+val record_use_range : t -> lo:int -> hi:int -> unit
+(** [record_use_range t ~lo ~hi] is {!record_use} for every logical tip
+    in [lo..hi] (one scan row's worth of wear in one call). *)
 
 val uses : t -> tip:int -> int
 (** Operation count per physical unit — tip wear figure. *)

@@ -59,6 +59,12 @@ type t = {
   pdevice : Probe.Pdevice.t;
   generations : int array;
   heated : bool array; (* per line; cache of the medium's ground truth *)
+  (* Reusable bit buffers for the sector and write-once hot paths; a
+     block image is 38 KB as a bool array, too much to allocate per
+     read.  Never live across a nested device call. *)
+  scratch_block : bool array;
+  scratch_wo : bool array;
+  scratch_image : Bytes.t; (* one packed block image, block_dots / 8 *)
   mutable reads : int;
   mutable writes : int;
   mutable heats : int;
@@ -100,6 +106,9 @@ let create config =
     pdevice = Probe.Pdevice.create ~config:pconfig medium;
     generations = Array.make config.n_blocks 0;
     heated = Array.make (Layout.n_lines layout) false;
+    scratch_block = Array.make Layout.block_dots false;
+    scratch_wo = Array.make Layout.wo_area_dots false;
+    scratch_image = Bytes.create (Layout.block_dots / 8);
     reads = 0;
     writes = 0;
     heats = 0;
@@ -135,19 +144,40 @@ let service_failed_tips t =
   end
 
 (* Bits are bytes scanned MSB-first, matching Codec.Manchester. *)
-let bits_of_string s =
+let bits_of_string_into out s =
   let n = String.length s in
-  Array.init (8 * n) (fun i ->
-      Char.code s.[i / 8] land (1 lsl (7 - (i mod 8))) <> 0)
+  for i = 0 to n - 1 do
+    let v = Char.code (String.unsafe_get s i) in
+    let base = 8 * i in
+    Array.unsafe_set out base (v land 0x80 <> 0);
+    Array.unsafe_set out (base + 1) (v land 0x40 <> 0);
+    Array.unsafe_set out (base + 2) (v land 0x20 <> 0);
+    Array.unsafe_set out (base + 3) (v land 0x10 <> 0);
+    Array.unsafe_set out (base + 4) (v land 0x08 <> 0);
+    Array.unsafe_set out (base + 5) (v land 0x04 <> 0);
+    Array.unsafe_set out (base + 6) (v land 0x02 <> 0);
+    Array.unsafe_set out (base + 7) (v land 0x01 <> 0)
+  done;
+  out
 
 let string_of_bits bits =
   let n = Array.length bits / 8 in
-  String.init n (fun byte ->
-      let v = ref 0 in
-      for bit = 0 to 7 do
-        if bits.((byte * 8) + bit) then v := !v lor (1 lsl (7 - bit))
-      done;
-      Char.chr !v)
+  let b = Bytes.create n in
+  for byte = 0 to n - 1 do
+    let base = 8 * byte in
+    let v =
+      (if Array.unsafe_get bits base then 0x80 else 0)
+      lor (if Array.unsafe_get bits (base + 1) then 0x40 else 0)
+      lor (if Array.unsafe_get bits (base + 2) then 0x20 else 0)
+      lor (if Array.unsafe_get bits (base + 3) then 0x10 else 0)
+      lor (if Array.unsafe_get bits (base + 4) then 0x08 else 0)
+      lor (if Array.unsafe_get bits (base + 5) then 0x04 else 0)
+      lor (if Array.unsafe_get bits (base + 6) then 0x02 else 0)
+      lor if Array.unsafe_get bits (base + 7) then 0x01 else 0
+    in
+    Bytes.unsafe_set b byte (Char.unsafe_chr v)
+  done;
+  Bytes.unsafe_to_string b
 
 (* {1 Magnetic sector ops} *)
 
@@ -181,7 +211,7 @@ let unsafe_write_block t ~pba payload =
   in
   Probe.Pdevice.write_run t.pdevice
     ~start:(Layout.block_first_dot t.layout pba)
-    (bits_of_string image)
+    (bits_of_string_into t.scratch_block image)
 
 let unsafe_write_raw t ~pba image =
   if String.length image <> Codec.Sector.physical_bytes then
@@ -189,16 +219,23 @@ let unsafe_write_raw t ~pba image =
   t.writes <- t.writes + 1;
   Probe.Pdevice.write_run t.pdevice
     ~start:(Layout.block_first_dot t.layout pba)
-    (bits_of_string image)
+    (bits_of_string_into t.scratch_block image)
 
 let unsafe_read_raw t ~pba =
   t.reads <- t.reads + 1;
-  let bits =
-    Probe.Pdevice.read_run t.pdevice
-      ~start:(Layout.block_first_dot t.layout pba)
-      ~len:Layout.block_dots
-  in
-  string_of_bits bits
+  let start = Layout.block_first_dot t.layout pba in
+  (* The packed read skips the bool-array unpack/repack round trip; it
+     declines (touching nothing) under faults, broken tips, defects or
+     read noise, and the classic path takes over. *)
+  if
+    Probe.Pdevice.read_run_packed t.pdevice ~start ~len:Layout.block_dots
+      ~dst:t.scratch_image
+  then Bytes.sub_string t.scratch_image 0 (Layout.block_dots / 8)
+  else begin
+    Probe.Pdevice.read_run_into t.pdevice ~start ~len:Layout.block_dots
+      ~dst:t.scratch_block;
+    string_of_bits t.scratch_block
+  end
 
 let write_block t ~pba payload =
   if Layout.is_hash_block t.layout pba then Error Reserved_hash_block
@@ -299,9 +336,9 @@ let parse_wo_payload payload =
 let escalation_cycles = 24
 
 let read_wo_area t ~start =
-  let heated_dots =
-    Probe.Pdevice.erb_run t.pdevice ~start ~len:Layout.wo_area_dots
-  in
+  Probe.Pdevice.erb_run_into t.pdevice ~start ~len:Layout.wo_area_dots
+    ~dst:t.scratch_wo;
+  let heated_dots = t.scratch_wo in
   let decode () =
     Codec.Manchester.decode
       ~heated:(fun i -> heated_dots.(i))
@@ -385,6 +422,17 @@ let read_region t ~data_pbas =
     ([], [], []) data_pbas
   |> fun (ok, u, r) -> (List.rev ok, List.rev u, List.rev r)
 
+(* Same partitioning over a whole line's data blocks without building
+   the PBA list. *)
+let read_line t ~line =
+  let ok = ref [] and unreadable = ref [] and relocated = ref [] in
+  Layout.iter_data_blocks t.layout line (fun pba ->
+      match read_block t ~pba with
+      | Ok payload -> ok := (pba, payload) :: !ok
+      | Error (Blank | Unreadable _) -> unreadable := pba :: !unreadable
+      | Error (Wrong_location _) -> relocated := pba :: !relocated);
+  (List.rev !ok, List.rev !unreadable, List.rev !relocated)
+
 (* {1 Heat and verify} *)
 
 type heat_error = Unreadable_data of int list | Already_heated | Burn_verify_failed
@@ -405,8 +453,7 @@ let burn_wo_area t ~start ~payload =
 
 let heat_line t ~line ?(timestamp = 0.) () =
   t.heats <- t.heats + 1;
-  let data_pbas = Layout.data_blocks_of_line t.layout line in
-  let payloads, unreadable, relocated = read_region t ~data_pbas in
+  let payloads, unreadable, relocated = read_line t ~line in
   if unreadable <> [] || relocated <> [] then
     Error (Unreadable_data (unreadable @ relocated))
   else begin
@@ -471,8 +518,7 @@ let heat_line t ~line ?(timestamp = 0.) () =
           (wo_payload ~hash ~line ~n_data:(List.length payloads) ~timestamp)
   end
 
-let verify_data_against t ~hash ~region_id ~data_pbas =
-  let payloads, unreadable, relocated = read_region t ~data_pbas in
+let verify_payloads ~hash ~region_id (payloads, unreadable, relocated) =
   let evidence = ref [] in
   if relocated <> [] then evidence := [ Tamper.Address_mismatch relocated ];
   if unreadable <> [] then
@@ -483,6 +529,9 @@ let verify_data_against t ~hash ~region_id ~data_pbas =
     if Hash.Sha256.equal computed hash then Tamper.Intact
     else Tamper.Tampered [ Tamper.Hash_mismatch ]
   end
+
+let verify_data_against t ~hash ~region_id ~data_pbas =
+  verify_payloads ~hash ~region_id (read_region t ~data_pbas)
 
 let verify_line t ~line =
   t.verifies <- t.verifies + 1;
@@ -495,9 +544,7 @@ let verify_line t ~line =
       Tamper.Tampered [ Tamper.Partially_burned ]
   | `Burned meta ->
       if meta.line <> line then Tamper.Tampered [ Tamper.Meta_corrupt ]
-      else
-        verify_data_against t ~hash:meta.hash ~region_id:line
-          ~data_pbas:(Layout.data_blocks_of_line t.layout line)
+      else verify_payloads ~hash:meta.hash ~region_id:line (read_line t ~line)
 
 let verify_region t ~hash_pba ~data_pbas =
   t.verifies <- t.verifies + 1;
@@ -685,12 +732,10 @@ let refresh_heated_cache t =
   let medium = Probe.Pdevice.medium t.pdevice in
   for line = 0 to Layout.n_lines t.layout - 1 do
     let start = Layout.wo_first_dot t.layout ~line in
-    let heated_dots = ref 0 in
-    for d = start to start + Layout.wo_area_dots - 1 do
-      if Pmedia.Dot.is_heated (Pmedia.Medium.get medium d) then
-        incr heated_dots
-    done;
+    let heated_dots =
+      Pmedia.Medium.count_heated_run medium ~start ~len:Layout.wo_area_dots
+    in
     (* A legitimately burned area has exactly one heated dot per cell,
        i.e. half the area; anything substantial counts as heated. *)
-    t.heated.(line) <- 4 * !heated_dots >= Layout.wo_area_dots
+    t.heated.(line) <- 4 * heated_dots >= Layout.wo_area_dots
   done

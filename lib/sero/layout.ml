@@ -41,6 +41,17 @@ let data_blocks_of_line t l =
   let base = l * blocks_per_line t in
   List.init (data_blocks_per_line t) (fun i -> base + 1 + i)
 
+let first_data_block t l =
+  check_line t l;
+  (l * blocks_per_line t) + 1
+
+let iter_data_blocks t l f =
+  check_line t l;
+  let base = l * blocks_per_line t in
+  for i = 1 to blocks_per_line t - 1 do
+    f (base + i)
+  done
+
 let block_first_dot t pba =
   check_block t pba;
   pba * block_dots

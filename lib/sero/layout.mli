@@ -47,6 +47,15 @@ val is_hash_block : t -> int -> bool
 val data_blocks_of_line : t -> int -> int list
 (** PBAs of blocks 1..2^N-1 of line [l], in order. *)
 
+val first_data_block : t -> int -> int
+(** PBA of block 1 of line [l] — [List.hd (data_blocks_of_line t l)]
+    without building the list. *)
+
+val iter_data_blocks : t -> int -> (int -> unit) -> unit
+(** Visit the PBAs of {!data_blocks_of_line} in order without
+    allocating the list (the per-line hot loops of {!Device} and
+    {!Scrub}). *)
+
 val block_first_dot : t -> int -> int
 (** First dot address of a block. *)
 

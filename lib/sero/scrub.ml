@@ -46,8 +46,7 @@ let pass ?(config = default_config) dev =
     | `Not_heated ->
         (* WMRM territory: refresh decaying sectors before the RS
            budget runs out. *)
-        List.iter
-          (fun pba ->
+        Layout.iter_data_blocks lay line (fun pba ->
             let image = Device.unsafe_read_raw dev ~pba in
             if not (effectively_blank image) then begin
               incr checked;
@@ -71,7 +70,6 @@ let pass ?(config = default_config) dev =
                   | Error Device.Blank -> ()
                   | Error _ -> unrecoverable := pba :: !unrecoverable)
             end)
-          (Layout.data_blocks_of_line lay line)
     | `Torn _ -> (
         match Device.heat_line dev ~line () with
         | Ok _ -> torn_completed := line :: !torn_completed

@@ -1,0 +1,66 @@
+(* A minimal fork/join pool over raw [Domain.spawn] (OCaml 5 stdlib
+   only — no domainslib in the build environment).  Work is handed out
+   in chunks through an [Atomic] cursor; results land in per-index
+   slots, so the output order is the input order no matter which domain
+   computed what.  Exceptions are captured per item and the first one
+   (in input order) is re-raised after every domain has joined, which is
+   the closest parallel analogue of [List.map]'s failure behaviour. *)
+
+let default_jobs : int option ref = ref None
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
+
+let jobs () =
+  match !default_jobs with
+  | Some n -> n
+  | None -> (
+      match Option.bind (Sys.getenv_opt "SERO_JOBS") parse_jobs with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Sim.Pool.set_jobs: jobs must be >= 1";
+  default_jobs := Some n
+
+let parallel_map ?jobs:requested f xs =
+  let jobs =
+    match requested with
+    | Some n when n < 1 -> invalid_arg "Sim.Pool.parallel_map: jobs must be >= 1"
+    | Some n -> n
+    | None -> jobs ()
+  in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let chunk = max 1 (n / (jobs * 8)) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= n then continue := false
+        else
+          for i = lo to min n (lo + chunk) - 1 do
+            results.(i) <-
+              Some
+                (match f items.(i) with
+                | v -> Ok v
+                | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+          done
+      done
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end

@@ -1,0 +1,25 @@
+(** Domain-parallel map for the embarrassingly parallel experiment
+    sweeps.
+
+    Every sweep cell builds its own seeded medium/device/PRNG, so cells
+    are independent and the only requirement on the pool is that the
+    output order equals the input order — which makes parallel runs
+    bit-identical to sequential ones.  Built on raw [Domain.spawn] with
+    an atomic chunk cursor (OCaml 5 stdlib only). *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map f xs] is [List.map f xs] computed on [jobs] domains
+    (including the calling one).  Results are returned in input order.
+    If any application raises, the first exception in input order is
+    re-raised after all domains join; with [jobs = 1] (or a singleton
+    pool) the work runs entirely in the caller.  [jobs] defaults to
+    {!set_jobs}'s value, else the [SERO_JOBS] environment variable,
+    else [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val set_jobs : int -> unit
+(** Set the process-wide default worker count (overrides [SERO_JOBS]).
+    @raise Invalid_argument if below 1. *)
+
+val jobs : unit -> int
+(** The default worker count currently in effect. *)

@@ -6,15 +6,13 @@ let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
 
 let bits64 t =
-  t.state <- Int64.add t.state golden;
-  let z = t.state in
+  let z = Int64.add t.state golden in
+  t.state <- z;
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t =
-  let s = bits64 t in
-  { state = s }
+let split t = { state = bits64 t }
 
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";

@@ -243,10 +243,181 @@ let erb_false_negative_rate =
       (* P(miss) = 1/4: both verification reads agree by luck. *)
       Alcotest.(check bool) "20%..31%" true (!missed > 200 && !missed < 310))
 
+(* {1 Run kernels}
+
+   The bulk mrb/mwb/erb kernels must be indistinguishable from the
+   per-dot scalar ops: same medium state, same counter charges, same
+   PRNG stream position afterwards.  Each property builds twin
+   media/ctxs from the same config, scrambles both with the same op
+   prefix, then runs the kernel on one and a hand-written scalar loop
+   on the other. *)
+
+let run_access_cases =
+  [
+    Alcotest.test_case "count_heated_run matches a naive count" `Quick
+      (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:16 ~cols:16) in
+        List.iter
+          (fun i -> Pmedia.Medium.set m i Pmedia.Dot.Heated)
+          [ 0; 1; 5; 63; 64; 100; 255 ];
+        List.iter
+          (fun (start, len) ->
+            let naive = ref 0 in
+            for i = start to start + len - 1 do
+              if Pmedia.Dot.is_heated (Pmedia.Medium.get m i) then incr naive
+            done;
+            Alcotest.(check int)
+              (Printf.sprintf "run [%d, %d)" start (start + len))
+              !naive
+              (Pmedia.Medium.count_heated_run m ~start ~len))
+          [ (0, 256); (0, 1); (1, 7); (3, 99); (60, 8); (255, 1); (10, 0) ]);
+    Alcotest.test_case "get_run/set_run roundtrip with heated bookkeeping"
+      `Quick (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:8 ~cols:8) in
+        let codes = Bytes.init 30 (fun i -> Char.chr (i mod 3)) in
+        Pmedia.Medium.set_run m ~start:5 ~len:30 ~src:codes ~src_pos:0;
+        let back = Bytes.create 30 in
+        Pmedia.Medium.get_run m ~start:5 ~len:30 ~dst:back ~dst_pos:0;
+        Alcotest.(check string) "codes back" (Bytes.to_string codes)
+          (Bytes.to_string back);
+        Alcotest.(check int) "heated count" 10 (Pmedia.Medium.heated_count m);
+        Pmedia.Medium.set_run m ~start:5 ~len:30
+          ~src:(Bytes.make 30 '\000') ~src_pos:0;
+        Alcotest.(check int) "un-heated again" 0 (Pmedia.Medium.heated_count m));
+    Alcotest.test_case "set_run rejects an invalid state code" `Quick
+      (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:4 ~cols:4) in
+        Alcotest.check_raises "code 3"
+          (Invalid_argument "Medium.set_run: invalid state code") (fun () ->
+            Pmedia.Medium.set_run m ~start:0 ~len:1 ~src:(Bytes.make 1 '\003')
+              ~src_pos:0));
+    Alcotest.test_case "run_defect_free never false-accepts" `Quick (fun () ->
+        let cfg =
+          { (Pmedia.Medium.default_config ~rows:32 ~cols:32) with
+            Pmedia.Medium.defect_rate = 0.03 }
+        in
+        let m = Pmedia.Medium.create cfg in
+        for start = 0 to 200 do
+          let len = 1 + (start * 7 mod 64) in
+          if Pmedia.Medium.run_defect_free m ~start ~len then
+            for i = start to start + len - 1 do
+              Alcotest.(check bool)
+                (Printf.sprintf "dot %d clean" i)
+                false
+                (Pmedia.Medium.is_defect m i)
+            done
+        done;
+        let clean = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:32 ~cols:32) in
+        Alcotest.(check bool) "defect-free medium accepts" true
+          (Pmedia.Medium.run_defect_free clean ~start:0 ~len:1024));
+    Alcotest.test_case "iter_neighbours visits neighbours in list order"
+      `Quick (fun () ->
+        let m = Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:5 ~cols:7) in
+        for i = 0 to Pmedia.Medium.size m - 1 do
+          let seen = ref [] in
+          Pmedia.Medium.iter_neighbours m i (fun j -> seen := j :: !seen);
+          Alcotest.(check (list int))
+            (Printf.sprintf "dot %d" i)
+            (Pmedia.Medium.neighbours m i)
+            (List.rev !seen)
+        done);
+  ]
+
+(* Twin setups for the equivalence properties.  [fault_idx = 2] installs
+   an empty-plan injector: behaviourally inert (no draws, no cuts) but
+   it forces the kernels onto their scalar fallback, so the properties
+   cover both paths. *)
+let make_twin (seed, dr_idx) (ber_idx, fault_idx) ops =
+  let defect_rate = [| 0.; 0.02; 0.1 |].(dr_idx) in
+  let read_ber = [| 0.; 0.; 0.3 |].(ber_idx) in
+  let cfg =
+    { (Pmedia.Medium.default_config ~rows:16 ~cols:16) with
+      Pmedia.Medium.defect_rate; seed }
+  in
+  let make () =
+    let m = Pmedia.Medium.create cfg in
+    let ctx = Pmedia.Bitops.make ~read_ber m in
+    if fault_idx = 2 then
+      Pmedia.Bitops.set_fault ctx
+        (Some (Fault.Injector.create (Fault.Plan.make ())));
+    (* Scramble: same deterministic prefix of scalar ops on both twins
+       so runs cross heated, Up and Down dots. *)
+    List.iter
+      (fun (i, v) ->
+        if v mod 5 = 0 then Pmedia.Bitops.ewb ctx i
+        else Pmedia.Bitops.mwb ctx i (Pmedia.Dot.of_bool (v mod 2 = 0)))
+      ops;
+    (m, ctx)
+  in
+  (make (), make ())
+
+(* Equality of everything the kernel could disturb: medium state bytes,
+   heated count, op counters, and the PRNG stream position. *)
+let twins_agree (m1, ctx1) (m2, ctx2) =
+  let c1 = Pmedia.Bitops.counters ctx1 and c2 = Pmedia.Bitops.counters ctx2 in
+  Bytes.equal (Pmedia.Medium.states_bytes m1) (Pmedia.Medium.states_bytes m2)
+  && Pmedia.Medium.heated_count m1 = Pmedia.Medium.heated_count m2
+  && c1.Pmedia.Bitops.mrb = c2.Pmedia.Bitops.mrb
+  && c1.Pmedia.Bitops.mwb = c2.Pmedia.Bitops.mwb
+  && c1.Pmedia.Bitops.ewb = c2.Pmedia.Bitops.ewb
+  && c1.Pmedia.Bitops.erb = c2.Pmedia.Bitops.erb
+  && c1.Pmedia.Bitops.collateral = c2.Pmedia.Bitops.collateral
+  && Sim.Prng.bits64 (Pmedia.Medium.rng m1)
+     = Sim.Prng.bits64 (Pmedia.Medium.rng m2)
+
+let equiv_arb =
+  QCheck.(
+    quad
+      (pair (int_range 1 9999) (int_range 0 2))
+      (pair (int_range 0 2) (int_range 0 2))
+      (small_list (pair (int_range 0 255) (int_range 0 9)))
+      (pair (pair (int_range 0 255) (int_range 0 255)) (int_range 1 3)))
+
+let clamp_run start len_raw = (start, min len_raw (256 - start))
+
+let mrb_run_equiv =
+  QCheck.Test.make ~name:"mrb_run == per-dot mrb loop" ~count:300 equiv_arb
+    (fun (seeds, modes, ops, ((start, len_raw), _cycles)) ->
+      let start, len = clamp_run start len_raw in
+      let ((_, ctx1) as t1), ((_, ctx2) as t2) = make_twin seeds modes ops in
+      let d1 = Array.make (len + 1) false and d2 = Array.make (len + 1) false in
+      Pmedia.Bitops.mrb_run ctx1 ~start ~len ~dst:d1 ~dst_pos:1;
+      for k = 0 to len - 1 do
+        d2.(k + 1) <- Pmedia.Dot.to_bool (Pmedia.Bitops.mrb ctx2 (start + k))
+      done;
+      d1 = d2 && twins_agree t1 t2)
+
+let mwb_run_equiv =
+  QCheck.Test.make ~name:"mwb_run == per-dot mwb loop" ~count:300 equiv_arb
+    (fun (seeds, modes, ops, ((start, len_raw), _cycles)) ->
+      let start, len = clamp_run start len_raw in
+      let ((_, ctx1) as t1), ((_, ctx2) as t2) = make_twin seeds modes ops in
+      let src = Array.init (len + 2) (fun i -> i land 1 = 0) in
+      Pmedia.Bitops.mwb_run ctx1 ~start ~len ~src ~src_pos:2;
+      for k = 0 to len - 1 do
+        Pmedia.Bitops.mwb ctx2 (start + k) (Pmedia.Dot.of_bool src.(k + 2))
+      done;
+      twins_agree t1 t2)
+
+let erb_run_equiv =
+  QCheck.Test.make ~name:"erb_run == per-dot erb loop" ~count:200 equiv_arb
+    (fun (seeds, modes, ops, ((start, len_raw), cycles)) ->
+      let start, len = clamp_run start len_raw in
+      let ((_, ctx1) as t1), ((_, ctx2) as t2) = make_twin seeds modes ops in
+      let d1 = Array.make len false and d2 = Array.make len false in
+      Pmedia.Bitops.erb_run ~cycles ctx1 ~start ~len ~dst:d1 ~dst_pos:0;
+      for k = 0 to len - 1 do
+        d2.(k) <- Pmedia.Bitops.erb ~cycles ctx2 (start + k)
+      done;
+      d1 = d2 && twins_agree t1 t2)
+
 let () =
   Alcotest.run "medium"
     [
       ("dot", dot_cases @ List.map qtest [ heated_absorbing; mwb_sets_direction ]);
       ("matrix", medium_cases @ List.map qtest [ set_get_roundtrip; heated_count_tracks ]);
       ("bitops", bitops_cases @ [ erb_false_negative_rate ]);
+      ( "run kernels",
+        run_access_cases
+        @ List.map qtest [ mrb_run_equiv; mwb_run_equiv; erb_run_equiv ] );
     ]

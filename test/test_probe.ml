@@ -237,6 +237,117 @@ let sched_cases =
           (cost Probe.Sched.Sstf <= cost Probe.Sched.Fifo));
   ]
 
+(* {1 Run dispatch equivalence}
+
+   The per-scan-row bulk dispatch must be invisible: a device whose
+   kernels run the fast path and a twin forced onto the scalar fallback
+   (by installing an empty-plan fault injector — inert, but its
+   presence disables the fast path) must produce the same outputs,
+   medium state, timing ledger and tip wear. *)
+
+let twin_pdevs (seed, ops) =
+  let make ~forced_scalar =
+    let cfg =
+      { (Pmedia.Medium.default_config ~rows:32 ~cols:32) with
+        Pmedia.Medium.seed }
+    in
+    let p =
+      Probe.Pdevice.create
+        ~config:{ Probe.Pdevice.default_config with Probe.Pdevice.n_tips = 16 }
+        (Pmedia.Medium.create cfg)
+    in
+    if forced_scalar then
+      Probe.Pdevice.install_fault p
+        (Fault.Injector.create (Fault.Plan.make ()));
+    (* Same scramble on both devices: writes and a few heats. *)
+    List.iter
+      (fun (i, v) ->
+        if v mod 7 = 0 then
+          Probe.Pdevice.heat_run p ~start:i [| true; true; false |]
+        else
+          Probe.Pdevice.write_run p ~start:i
+            [| v land 1 = 0; v land 2 = 0; v land 4 = 0 |])
+      ops;
+    p
+  in
+  (make ~forced_scalar:false, make ~forced_scalar:true)
+
+let pdev_state p =
+  let m = Probe.Pdevice.medium p in
+  let tips = Probe.Pdevice.tips p in
+  ( Bytes.to_string (Pmedia.Medium.states_bytes m),
+    Pmedia.Medium.heated_count m,
+    Probe.Pdevice.elapsed p,
+    Probe.Pdevice.energy p,
+    List.init (Probe.Tips.n_tips tips) (fun tip -> Probe.Tips.uses tips ~tip) )
+
+let scramble_arb =
+  QCheck.(
+    pair (int_range 1 9999)
+      (small_list (pair (int_range 0 1000) (int_range 0 99))))
+
+let run_arb =
+  QCheck.(pair scramble_arb (pair (int_range 0 1000) (int_range 0 23)))
+
+let dispatch_read_equiv =
+  QCheck.Test.make ~name:"bulk vs forced-scalar dispatch: read_run" ~count:100
+    run_arb
+    (fun (scramble, (start, len)) ->
+      let fast, scalar = twin_pdevs scramble in
+      let a = Probe.Pdevice.read_run fast ~start ~len in
+      let b = Probe.Pdevice.read_run scalar ~start ~len in
+      a = b && pdev_state fast = pdev_state scalar)
+
+(* The packed read must be byte- and ledger-identical to reading the
+   same run as bools and packing by hand — and on the forced-scalar
+   twin it must decline without touching anything. *)
+let dispatch_packed_read_equiv =
+  QCheck.Test.make ~name:"packed vs bool read_run: bytes and ledger"
+    ~count:100 run_arb
+    (fun (scramble, (start8, len8)) ->
+      let start = 8 * (start8 mod 120) in
+      let len = 8 * min len8 ((1024 - start) lsr 3) in
+      let fast, scalar = twin_pdevs scramble in
+      let dst = Bytes.create (len lsr 3) in
+      let taken = Probe.Pdevice.read_run_packed fast ~start ~len ~dst in
+      let before = pdev_state scalar in
+      let declined =
+        not (Probe.Pdevice.read_run_packed scalar ~start ~len ~dst:(Bytes.create (len lsr 3)))
+      in
+      let untouched = pdev_state scalar = before in
+      let bits = Probe.Pdevice.read_run scalar ~start ~len in
+      let packed_by_hand =
+        String.init (len lsr 3) (fun b ->
+            let v = ref 0 in
+            for j = 0 to 7 do
+              if bits.((8 * b) + j) then v := !v lor (1 lsl (7 - j))
+            done;
+            Char.chr !v)
+      in
+      (len = 0 || taken)
+      && declined && untouched
+      && Bytes.to_string dst = packed_by_hand
+      && pdev_state fast = pdev_state scalar)
+
+let dispatch_erb_equiv =
+  QCheck.Test.make ~name:"bulk vs forced-scalar dispatch: erb_run" ~count:60
+    run_arb
+    (fun (scramble, (start, len)) ->
+      let fast, scalar = twin_pdevs scramble in
+      let a = Probe.Pdevice.erb_run ~cycles:2 fast ~start ~len in
+      let b = Probe.Pdevice.erb_run ~cycles:2 scalar ~start ~len in
+      a = b && pdev_state fast = pdev_state scalar)
+
+let dispatch_write_equiv =
+  QCheck.Test.make ~name:"bulk vs forced-scalar dispatch: write_run" ~count:100
+    run_arb
+    (fun (scramble, (start, len)) ->
+      let fast, scalar = twin_pdevs scramble in
+      let bits = Array.init len (fun i -> (start + i) land 1 = 0) in
+      Probe.Pdevice.write_run fast ~start bits;
+      Probe.Pdevice.write_run scalar ~start bits;
+      pdev_state fast = pdev_state scalar)
+
 let () =
   Alcotest.run "probe"
     [
@@ -244,5 +355,13 @@ let () =
       ("actuator", actuator_cases);
       ("timing", timing_cases);
       ("pdevice", pdevice_cases @ List.map qtest [ write_read_roundtrip; heat_then_erb ]);
+      ( "run dispatch",
+        List.map qtest
+          [
+            dispatch_read_equiv;
+            dispatch_packed_read_equiv;
+            dispatch_erb_equiv;
+            dispatch_write_equiv;
+          ] );
       ("sched", sched_cases @ [ qtest sched_permutation ]);
     ]

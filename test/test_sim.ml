@@ -200,6 +200,73 @@ let des_cases =
         Sim.Des.run des);
   ]
 
+(* {1 Pool} *)
+
+let pool_cases =
+  [
+    Alcotest.test_case "parallel_map preserves input order" `Quick (fun () ->
+        let xs = List.init 100 (fun i -> i) in
+        List.iter
+          (fun jobs ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "jobs=%d" jobs)
+              (List.map (fun x -> x * x) xs)
+              (Sim.Pool.parallel_map ~jobs (fun x -> x * x) xs))
+          [ 1; 2; 4; 7 ]);
+    Alcotest.test_case "uneven per-item work still lands in order" `Quick
+      (fun () ->
+        (* Early items are the slow ones, so a racing domain would
+           finish late items first; slots must still come back sorted. *)
+        let slow x =
+          let rng = Sim.Prng.create x in
+          let acc = ref 0 in
+          for _ = 1 to (100 - x) * 200 do
+            acc := !acc lxor Sim.Prng.int rng 1000
+          done;
+          ignore !acc;
+          x
+        in
+        let xs = List.init 100 (fun i -> i) in
+        Alcotest.(check (list int)) "identity map" xs
+          (Sim.Pool.parallel_map ~jobs:4 slow xs));
+    Alcotest.test_case "empty and singleton inputs" `Quick (fun () ->
+        Alcotest.(check (list int)) "empty" []
+          (Sim.Pool.parallel_map ~jobs:4 (fun x -> x) []);
+        Alcotest.(check (list int)) "singleton" [ 9 ]
+          (Sim.Pool.parallel_map ~jobs:4 (fun x -> x * 3) [ 3 ]));
+    Alcotest.test_case "an exception in a worker propagates" `Quick (fun () ->
+        List.iter
+          (fun jobs ->
+            Alcotest.check_raises
+              (Printf.sprintf "failure surfaces (jobs=%d)" jobs)
+              (Failure "item 13") (fun () ->
+                ignore
+                  (Sim.Pool.parallel_map ~jobs
+                     (fun x ->
+                       if x = 13 then failwith "item 13" else x)
+                     (List.init 50 (fun i -> i)))))
+          [ 1; 4 ]);
+    Alcotest.test_case "jobs below 1 rejected" `Quick (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Sim.Pool.parallel_map: jobs must be >= 1")
+          (fun () -> ignore (Sim.Pool.parallel_map ~jobs:0 (fun x -> x) [ 1 ]));
+        Alcotest.check_raises "set_jobs zero"
+          (Invalid_argument "Sim.Pool.set_jobs: jobs must be >= 1") (fun () ->
+            Sim.Pool.set_jobs 0));
+    Alcotest.test_case "set_jobs overrides the default" `Quick (fun () ->
+        Sim.Pool.set_jobs 3;
+        Alcotest.(check int) "3" 3 (Sim.Pool.jobs ());
+        Sim.Pool.set_jobs 1;
+        Alcotest.(check int) "1" 1 (Sim.Pool.jobs ()));
+  ]
+
+let pool_matches_list_map =
+  QCheck.Test.make ~name:"parallel_map == List.map for any jobs" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) ->
+      Sim.Pool.parallel_map ~jobs (fun x -> (x * 7) - 1) xs
+      = List.map (fun x -> (x * 7) - 1) xs)
+
 let () =
   Alcotest.run "sim"
     [
@@ -207,4 +274,5 @@ let () =
       ("stats", stats_cases @ [ qtest percentile_bounds ]);
       ("heap", heap_cases @ [ qtest heap_sorts ]);
       ("des", des_cases);
+      ("pool", pool_cases @ [ qtest pool_matches_list_map ]);
     ]
