@@ -238,6 +238,40 @@ let e19_sched =
            ignore (Probe.Sched.travel_cost act ~current:0 offsets)));
   ]
 
+let e20_queue =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:512 ~line_exp:3 ())
+  in
+  let pbas =
+    let lay = Sero.Device.layout dev in
+    List.init (Sero.Layout.n_lines lay) Fun.id
+    |> List.concat_map (Sero.Layout.data_blocks_of_line lay)
+    |> Array.of_list
+  in
+  Array.iter
+    (fun pba -> ignore (Sero.Device.write_block dev ~pba payload_512))
+    pbas;
+  let rng = Sim.Prng.create 29 in
+  let picks =
+    List.init 32 (fun _ -> pbas.(Sim.Prng.int rng (Array.length pbas)))
+  in
+  let round ~policy ~coalesce () =
+    (* Fresh clock and queue per run; the device itself only reads. *)
+    let q = Sero.Queue.create ~policy ~coalesce (Sim.Des.create ()) dev in
+    List.iter (fun pba -> Sero.Queue.submit_read q ~pba (fun _ -> ())) picks;
+    Sero.Queue.drain q
+  in
+  [
+    Test.make ~name:"e20 queue 32 reads (elevator, coalescing)"
+      (Staged.stage (round ~policy:Probe.Sched.Elevator ~coalesce:true));
+    Test.make ~name:"e20 queue 32 reads (fifo, scalar)"
+      (Staged.stage (round ~policy:Probe.Sched.Fifo ~coalesce:false));
+    Test.make ~name:"e20 sync facade read_block"
+      (let q = Sero.Queue.create (Sim.Des.create ()) dev in
+       Staged.stage (fun () ->
+           ignore (Sero.Queue.read_block q ~pba:pbas.(40))));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -254,6 +288,7 @@ let groups =
     ("E17 media reliability", e17_media);
     ("E18 fault & RAS", e18_fault);
     ("E19 scheduling", e19_sched);
+    ("E20 request queue", e20_queue);
   ]
 
 (* {1 Runner} *)

@@ -24,6 +24,7 @@ let experiments =
     ("media", "E17: media reliability vs the sector ECC budget", Expt.Reliability.print);
     ("fault", "E18: fault injection and RAS recovery", Expt.Fault_study.print);
     ("seek", "E19: sled scheduling for random IO", Expt.Seek_study.print);
+    ("queue", "E20: request queueing (depth x policy x scrub)", Expt.Queue_study.print);
     ("lfs", "E9: LFS clustering/bimodality study (slowest)", Expt.Lfs_study.print);
   ]
 

@@ -166,6 +166,33 @@ let stats image =
       Format.pp_print_flush std ();
       Ok false)
 
+(* Replay a trace through the asynchronous request pipeline instead of
+   the direct device path, then print what the queue measured. *)
+let queue_stats image trace_path policy no_coalesce =
+  with_fs image (fun dev fs ->
+      match Workload.Trace.load trace_path with
+      | Error e -> Error (Printf.sprintf "trace: %s" e)
+      | Ok ops ->
+          let des = Sim.Des.create () in
+          let q =
+            Sero.Queue.create ~policy ~coalesce:(not no_coalesce) des dev
+          in
+          Lfs.Fs.attach_queue fs q;
+          let outcome = Workload.Trace.replay fs ops in
+          Sero.Queue.drain q;
+          Format.fprintf std
+            "replayed %d operations (%d refused) through the pipeline@."
+            outcome.Workload.Trace.applied outcome.Workload.Trace.refused;
+          Format.fprintf std "%a" Sero.Queue.pp_summary q;
+          let fg = Sero.Queue.Foreground in
+          let n = Sero.Queue.completed q fg
+          and t_end = Sero.Queue.last_completion q fg in
+          if t_end > 0. then
+            Format.fprintf std "  foreground throughput: %.0f requests/s@."
+              (float_of_int n /. t_end);
+          Format.pp_print_flush std ();
+          Ok true)
+
 (* Deterministic fault injection against the image: persistent magnetic
    bit-flips, and optionally a torn burn (power cut mid-heat) on one
    line.  Heated dots are immune to flips, exactly as on the medium. *)
@@ -378,6 +405,27 @@ let () =
       value & flag
       & info [ "deep" ] ~doc:"Also re-verify heated lines against their hashes.")
   in
+  let policy =
+    let policy_conv =
+      Arg.enum
+        [
+          ("fifo", Probe.Sched.Fifo);
+          ("sstf", Probe.Sched.Sstf);
+          ("elevator", Probe.Sched.Elevator);
+        ]
+    in
+    Arg.(
+      value
+      & opt policy_conv Probe.Sched.Elevator
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Sled scheduling policy: $(b,fifo), $(b,sstf) or $(b,elevator).")
+  in
+  let no_coalesce =
+    Arg.(
+      value & flag
+      & info [ "no-coalesce" ]
+          ~doc:"Do not merge adjacent reads into bulk spans.")
+  in
   let cmds =
     [
       cmd "mkdev" "Create a fresh device image."
@@ -401,6 +449,10 @@ let () =
         Term.(const map_cmd $ image_arg);
       cmd "replay" "Replay a recorded operation trace onto the image."
         Term.(const replay $ image_arg $ path_arg 1);
+      cmd "queue-stats"
+        "Replay a trace through the request queue and print its latency \
+         and throughput."
+        Term.(const queue_stats $ image_arg $ path_arg 1 $ policy $ no_coalesce);
       cmd "attack" "Run a Section 5 attack against the image."
         Term.(const attack $ image_arg $ attack_name);
       cmd "inject" "Inject deterministic faults (bit-flips, torn burn)."

@@ -136,7 +136,17 @@ let clean_segment st seg =
     st.State.metrics.State.segments_cleaned + 1;
   !copies
 
+(* Cleaning is background work: with a request pipeline attached, its
+   copies are tagged [Background] so they only occupy the sled when no
+   foreground request is waiting (and show up in the queue's
+   background-class ledger). *)
+let as_background st f =
+  let saved = State.io_prio st in
+  State.set_io_prio st Sero.Queue.Background;
+  Fun.protect ~finally:(fun () -> State.set_io_prio st saved) f
+
 let maybe_clean st =
+  as_background st @@ fun () ->
   if State.free_segments st < st.State.policy.State.cleaner_low then begin
     let continue = ref true in
     (* Every victim has dead blocks (fully live segments are never

@@ -2,6 +2,8 @@ type t = { st : State.t }
 
 let state t = t.st
 let device t = t.st.State.dev
+let attach_queue t q = State.attach_queue t.st q
+let queue t = State.queue t.st
 
 let format ?policy dev =
   let st = State.create ?policy dev in

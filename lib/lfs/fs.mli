@@ -48,6 +48,17 @@ val device : t -> Sero.Device.t
 val state : t -> State.t
 (** Escape hatch for experiments and tests. *)
 
+val attach_queue : t -> Sero.Queue.t -> unit
+(** Route the file system's block IO through a request pipeline: every
+    foreground operation becomes [Foreground] queued traffic and the
+    cleaner's copies become [Background] traffic, all served under the
+    queue's scheduling policy.  Semantically transparent — results are
+    the ones the direct calls would produce — but latency now includes
+    queueing behind whatever else the device is serving.
+    @raise State.Fs_error if the queue serves a different device. *)
+
+val queue : t -> Sero.Queue.t option
+
 (** {1 Namespace} *)
 
 val mkdir : t -> string -> (unit, string) result

@@ -90,7 +90,7 @@ let burn_lines st lines =
   List.iter
     (fun line ->
       pad_line st line;
-      match Sero.Device.heat_line st.State.dev ~line ~timestamp:(State.now st) () with
+      match State.heat_line_dev st ~line with
       | Ok _ -> st.State.metrics.State.heats <- st.State.metrics.State.heats + 1
       | Error e ->
           raise

@@ -53,6 +53,8 @@ type t = {
   mutable next_ino : int;
   mutable seq : int;
   metrics : metrics;
+  mutable ioq : Sero.Queue.t option;
+  mutable io_prio : Sero.Queue.prio;
 }
 
 let create ?(policy = default_policy) dev =
@@ -100,6 +102,8 @@ let create ?(policy = default_policy) dev =
         segments_cleaned = 0;
         heats = 0;
       };
+    ioq = None;
+    io_prio = Sero.Queue.Foreground;
   }
 
 let now t = Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev)
@@ -142,15 +146,51 @@ let free_segments t =
     t.segs;
   !n
 
-(* {1 Block IO} *)
+(* {1 Block IO}
+
+   Every block the file system moves — foreground ops, cleaner copies,
+   heat relocations — funnels through these three functions.  With a
+   request pipeline attached ({!attach_queue}) they become queued
+   submissions at the state's current priority class; without one they
+   are the original direct device calls. *)
+
+let attach_queue t q =
+  if not (Sero.Queue.device q == t.dev) then
+    raise (Fs_error "attach_queue: queue serves a different device");
+  t.ioq <- Some q
+
+let queue t = t.ioq
+let set_io_prio t prio = t.io_prio <- prio
+let io_prio t = t.io_prio
+
+let dev_read_block t ~pba =
+  match t.ioq with
+  | None -> Sero.Device.read_block t.dev ~pba
+  | Some q -> Sero.Queue.read_block ~prio:t.io_prio q ~pba
+
+let dev_write_block t ~pba payload =
+  match t.ioq with
+  | None -> Sero.Device.write_block t.dev ~pba payload
+  | Some q -> Sero.Queue.write_block ~prio:t.io_prio q ~pba payload
+
+let heat_line_dev t ~line =
+  match t.ioq with
+  | None ->
+      Sero.Device.heat_line t.dev ~line
+        ~timestamp:(Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev))
+        ()
+  | Some q ->
+      Sero.Queue.heat_line q ~line
+        ~timestamp:(Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev))
+        ()
 
 let read_payload_opt t ~pba =
-  match Sero.Device.read_block t.dev ~pba with
+  match dev_read_block t ~pba with
   | Ok payload -> Some payload
   | Error _ -> None
 
 let read_payload t ~pba =
-  match Sero.Device.read_block t.dev ~pba with
+  match dev_read_block t ~pba with
   | Ok payload -> payload
   | Error e ->
       raise
@@ -160,7 +200,7 @@ let read_payload t ~pba =
 
 let write_block_exn t ~pba payload =
   t.metrics.fs_block_writes <- t.metrics.fs_block_writes + 1;
-  match Sero.Device.write_block t.dev ~pba payload with
+  match dev_write_block t ~pba payload with
   | Ok () -> ()
   | Error e ->
       raise

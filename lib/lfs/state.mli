@@ -66,6 +66,11 @@ type t = {
   mutable next_ino : int;
   mutable seq : int;
   metrics : metrics;
+  mutable ioq : Sero.Queue.t option;
+      (** Attached request pipeline; [None] = direct device calls. *)
+  mutable io_prio : Sero.Queue.prio;
+      (** Priority class tagged onto queued block IO ([Foreground]
+          except while the cleaner runs). *)
 }
 
 val create : ?policy:policy -> Sero.Device.t -> t
@@ -86,7 +91,28 @@ val slot_of_pba : t -> int -> int * int
 val lines_of_seg : t -> int -> int list
 val free_segments : t -> int
 
-(** {1 Block IO} *)
+(** {1 Block IO}
+
+    All file-system block traffic (foreground ops, cleaner copies, heat
+    relocations) funnels through {!read_payload}/{!read_payload_opt}/
+    {!write_block_exn}.  With a queue attached, each becomes a queued
+    request at the state's current {!io_prio} served under the queue's
+    scheduling policy (the call still blocks, pumping the DES until its
+    own completion — earlier-queued background work may be served on
+    the way). *)
+
+val attach_queue : t -> Sero.Queue.t -> unit
+(** Route subsequent block IO through a request pipeline.
+    @raise Fs_error if the queue serves a different device. *)
+
+val queue : t -> Sero.Queue.t option
+val set_io_prio : t -> Sero.Queue.prio -> unit
+val io_prio : t -> Sero.Queue.prio
+
+val heat_line_dev :
+  t -> line:int -> (Hash.Sha256.t, Sero.Device.heat_error) result
+(** {!Sero.Device.heat_line} stamped with {!now}, routed through the
+    attached queue when there is one. *)
 
 val read_payload : t -> pba:int -> string
 (** @raise Fs_error on unreadable or relocated frames. *)

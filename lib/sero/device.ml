@@ -248,38 +248,75 @@ let write_block t ~pba payload =
 
 let all_zero s = String.for_all (fun c -> c = '\x00') s
 
-let read_block_once t ~pba =
-  let image = unsafe_read_raw t ~pba in
+let decode_image ~pba image =
   match Codec.Sector.decode image with
   | Error e -> if all_zero image then Error Blank else Error (Unreadable e)
   | Ok d ->
       if d.Codec.Sector.pba <> pba then Error (Wrong_location d.Codec.Sector.pba)
       else Ok d.Codec.Sector.payload
 
+let read_block_once t ~pba = decode_image ~pba (unsafe_read_raw t ~pba)
+
 (* Bounded read retry: transient flips decorrelate between attempts, so
    a re-read often lands within the RS budget.  A persistent failure may
    be a dead tip — remap to a spare (if configured) before retrying. *)
+let ras_reread t ~pba first =
+  ignore (service_failed_tips t);
+  let rec retry n last =
+    if n >= t.config.ras.read_retries then last
+    else begin
+      t.retries <- t.retries + 1;
+      match read_block_once t ~pba with
+      | Ok _ as ok ->
+          t.retry_successes <- t.retry_successes + 1;
+          ok
+      | Error Blank as b -> b
+      | Error _ as e -> retry (n + 1) e
+    end
+  in
+  retry 0 first
+
 let read_block t ~pba =
   match read_block_once t ~pba with
   | (Ok _ | Error Blank) as r -> r
   | Error _ as first ->
-      if not t.config.ras.ras_enabled then first
-      else begin
-        ignore (service_failed_tips t);
-        let rec retry n last =
-          if n >= t.config.ras.read_retries then last
-          else begin
-            t.retries <- t.retries + 1;
-            match read_block_once t ~pba with
-            | Ok _ as ok ->
-                t.retry_successes <- t.retry_successes + 1;
-                ok
-            | Error Blank as b -> b
-            | Error _ as e -> retry (n + 1) e
-          end
-        in
-        retry 0 first
-      end
+      if not t.config.ras.ras_enabled then first else ras_reread t ~pba first
+
+(* Coalesced sector reads: [n] consecutive blocks in one sled pass.
+   When the packed whole-span kernel is available (healthy tips, no
+   faults, defect-free, and block boundaries aligned with scan rows so
+   the per-offset charges land exactly as n single reads would), the
+   span is read in one [read_run_packed] and sliced into frames;
+   otherwise each block goes through the ordinary [read_block].  Either
+   way, results, counters, ledger charges and PRNG draws match the
+   sequential loop — the only divergence is {e when} RAS retries of a
+   failing non-blank frame are issued (after the span instead of
+   mid-pass), which can reorder retry seeks. *)
+let read_blocks t ~pba ~n =
+  if n <= 0 then invalid_arg "Device.read_blocks: n must be positive";
+  if pba < 0 || pba + n > t.config.n_blocks then
+    invalid_arg "Device.read_blocks: PBA range out of bounds";
+  let bytes_per_block = Layout.block_dots / 8 in
+  let len = n * Layout.block_dots in
+  let big = if n > 1 then Bytes.create (n * bytes_per_block) else Bytes.empty in
+  if
+    n > 1
+    && Layout.block_dots mod t.config.n_tips = 0
+    && Probe.Pdevice.read_run_packed t.pdevice
+         ~start:(Layout.block_first_dot t.layout pba)
+         ~len ~dst:big
+  then begin
+    t.reads <- t.reads + n;
+    Array.init n (fun k ->
+        let pba = pba + k in
+        let image = Bytes.sub_string big (k * bytes_per_block) bytes_per_block in
+        match decode_image ~pba image with
+        | (Ok _ | Error Blank) as r -> r
+        | Error _ as first ->
+            if not t.config.ras.ras_enabled then first
+            else ras_reread t ~pba first)
+  end
+  else Array.init n (fun k -> read_block t ~pba:(pba + k))
 
 (* {1 The write-once area} *)
 

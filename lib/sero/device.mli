@@ -108,6 +108,20 @@ val read_block : t -> pba:int -> (string, read_error) result
     [ras.read_retries] times — transient flips decorrelate between
     attempts ([stats] counts attempts and wins). *)
 
+val read_blocks :
+  t -> pba:int -> n:int -> (string, read_error) result array
+(** [n] consecutive sectors [pba .. pba+n-1] in one sled pass — the
+    coalescing primitive behind {!Queue}'s adjacent-request batching.
+    When the bulk packed kernel applies (healthy tips, no fault
+    injector, zero read noise, defect-free span, and block boundaries
+    aligned on scan rows) the whole span is transferred in a single
+    run; otherwise every block falls back to {!read_block}.  Results,
+    counters, ledger charges and PRNG draws are identical to calling
+    {!read_block} sequentially; the only possible divergence is the
+    position of RAS retry re-reads for a corrupted non-blank frame
+    (issued after the span rather than mid-pass).
+    @raise Invalid_argument if the range leaves the device or [n <= 0]. *)
+
 val pp_write_error : Format.formatter -> write_error -> unit
 val pp_read_error : Format.formatter -> read_error -> unit
 

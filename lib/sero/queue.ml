@@ -1,0 +1,405 @@
+type prio = Foreground | Background
+
+let pp_prio ppf = function
+  | Foreground -> Format.pp_print_string ppf "fg"
+  | Background -> Format.pp_print_string ppf "bg"
+
+(* A request's scheduling key is the scan offset of its first dot —
+   the same key E19 feeds to [Sched.order], so measured service order
+   is directly comparable to the estimator. *)
+type kind =
+  | KRead of { pba : int; k : (string, Device.read_error) result -> unit }
+  | KOther of { exec : unit -> unit -> unit }
+      (** [exec ()] performs the device operation immediately (the sled
+          is committed) and returns the completion thunk that fires the
+          caller's callback later. *)
+
+type req = { kind : kind; rprio : prio; offset : int; submitted : float }
+
+type class_stats = {
+  latency : Sim.Stats.t;
+  wait : Sim.Stats.t;
+  mutable energy : float;
+  mutable completed : int;
+  mutable last_completion : float;
+}
+
+type t = {
+  des : Sim.Des.t;
+  dev : Device.t;
+  policy : Probe.Sched.policy;
+  coalesce : bool;
+  max_span : int;
+  mutable pending_fg : req list; (* newest first *)
+  mutable pending_bg : req list; (* newest first *)
+  mutable busy : bool;
+  mutable dispatch_armed : bool;
+  mutable current_offset : int;
+  fg : class_stats;
+  bg : class_stats;
+  service : Sim.Stats.t;
+  depth_hist : Sim.Stats.Histogram.h;
+  mutable served_rev : int list;
+  mutable coalesced : int;
+}
+
+let class_stats_create name =
+  {
+    latency = Sim.Stats.create ~name:(name ^ " latency") ();
+    wait = Sim.Stats.create ~name:(name ^ " wait") ();
+    energy = 0.;
+    completed = 0;
+    last_completion = 0.;
+  }
+
+let create ?(policy = Probe.Sched.Elevator) ?(coalesce = true) ?(max_span = 8)
+    des dev =
+  if max_span < 1 then invalid_arg "Queue.create: max_span must be >= 1";
+  {
+    des;
+    dev;
+    policy;
+    coalesce;
+    max_span;
+    pending_fg = [];
+    pending_bg = [];
+    busy = false;
+    dispatch_armed = false;
+    current_offset = 0;
+    fg = class_stats_create "fg";
+    bg = class_stats_create "bg";
+    service = Sim.Stats.create ~name:"service" ();
+    depth_hist = Sim.Stats.Histogram.create ~lo:0. ~hi:64. ~bins:16;
+    served_rev = [];
+    coalesced = 0;
+  }
+
+let device t = t.dev
+let des t = t.des
+let policy t = t.policy
+let stats_of t = function Foreground -> t.fg | Background -> t.bg
+let pending t = List.length t.pending_fg + List.length t.pending_bg
+let idle t = (not t.busy) && t.pending_fg = [] && t.pending_bg = []
+
+let offset_of_pba t pba =
+  snd
+    (Probe.Tips.locate
+       (Probe.Pdevice.tips (Device.pdevice t.dev))
+       (Layout.block_first_dot (Device.layout t.dev) pba))
+
+let offset_of_line t line =
+  offset_of_pba t (Layout.hash_block_of_line (Device.layout t.dev) line)
+
+(* Remove the first (oldest) pending request of [prio] whose offset is
+   [off]; [pend] is stored newest-first, so "oldest with that offset"
+   is the last matching element. *)
+let take_oldest_at t prio off =
+  let pend =
+    match prio with Foreground -> t.pending_fg | Background -> t.pending_bg
+  in
+  let taken = ref None in
+  let rest =
+    (* Walk oldest-first, take the first match, keep the rest. *)
+    List.fold_left
+      (fun acc r ->
+        if !taken = None && r.offset = off then begin
+          taken := Some r;
+          acc
+        end
+        else r :: acc)
+      [] (List.rev pend)
+  in
+  match !taken with
+  | None -> None
+  | Some r ->
+      (match prio with
+      | Foreground -> t.pending_fg <- rest
+      | Background -> t.pending_bg <- rest);
+      Some r
+
+(* Serve one group: execute the device operations now (they move the
+   sled and charge the ledger), then schedule a completion event after
+   the measured service time that fires the callbacks and re-arms the
+   dispatcher. *)
+let rec serve_group t group =
+  let pd = Device.pdevice t.dev in
+  let t0 = Probe.Pdevice.elapsed pd and e0 = Probe.Pdevice.energy pd in
+  let finishers =
+    match group with
+    | [ { kind = KOther { exec }; _ } ] -> [ exec () ]
+    | [ { kind = KRead { pba; k }; _ } ] ->
+        let r = Device.read_block t.dev ~pba in
+        [ (fun () -> k r) ]
+    | { kind = KRead { pba = first; _ }; _ } :: _ ->
+        let results =
+          Device.read_blocks t.dev ~pba:first ~n:(List.length group)
+        in
+        List.mapi
+          (fun i r ->
+            match r.kind with
+            | KRead { k; _ } -> fun () -> k results.(i)
+            | KOther _ -> assert false)
+          group
+    | _ -> assert false
+  in
+  let dt = Probe.Pdevice.elapsed pd -. t0
+  and de = Probe.Pdevice.energy pd -. e0 in
+  Sim.Stats.add t.service dt;
+  t.coalesced <- t.coalesced + List.length group - 1;
+  List.iter
+    (fun r ->
+      t.served_rev <- r.offset :: t.served_rev;
+      t.current_offset <- r.offset)
+    group;
+  let started = Sim.Des.now t.des in
+  Sim.Des.schedule t.des ~delay:dt (fun des ->
+      let now = Sim.Des.now des in
+      List.iter2
+        (fun r fire ->
+          let cs = stats_of t r.rprio in
+          Sim.Stats.add cs.latency (now -. r.submitted);
+          Sim.Stats.add cs.wait (started -. r.submitted);
+          cs.energy <- cs.energy +. (de /. float_of_int (List.length group));
+          cs.completed <- cs.completed + 1;
+          cs.last_completion <- now;
+          fire ())
+        group finishers;
+      t.busy <- false;
+      arm_dispatch t)
+
+(* Pick the next group to serve: the head of [Sched.order] over the
+   pending offsets of the preferred class, restarted from the sled's
+   current offset.  Re-running the policy on every dispatch reproduces
+   the full-batch order head by head (greedy Sstf stays greedy, the
+   elevator keeps sweeping from wherever it is, Fifo sees arrival
+   order), so the concatenated service log of a settled batch equals
+   one [Sched.order] call over it — the property the conformance test
+   asserts. *)
+and dispatch t =
+  if t.busy then ()
+  else
+    let prio =
+      if t.pending_fg <> [] then Some Foreground
+      else if t.pending_bg <> [] then Some Background
+      else None
+    in
+    match prio with
+    | None -> ()
+    | Some prio ->
+        let pend =
+          match prio with
+          | Foreground -> t.pending_fg
+          | Background -> t.pending_bg
+        in
+        let offsets = List.rev_map (fun r -> r.offset) pend in
+        let ordered =
+          Probe.Sched.order t.policy ~current:t.current_offset offsets
+        in
+        let head_off = List.hd ordered in
+        let head =
+          match take_oldest_at t prio head_off with
+          | Some r -> r
+          | None -> assert false
+        in
+        (* Coalesce: absorb follow-up reads that are both next in the
+           policy's order and physically consecutive, so the group is a
+           prefix of the service order and one sled pass covers it. *)
+        let group =
+          match head.kind with
+          | KOther _ -> [ head ]
+          | KRead { pba = first; _ } when t.coalesce ->
+              let rec absorb acc last_pba = function
+                | _ when List.length acc >= t.max_span -> acc
+                | [] -> acc
+                | off :: rest -> (
+                    let next_pba = last_pba + 1 in
+                    if
+                      next_pba >= (Device.config t.dev).Device.n_blocks
+                      || off <> offset_of_pba t next_pba
+                    then acc
+                    else
+                      (* Only absorb an actual pending read of that PBA. *)
+                      let matches r =
+                        match r.kind with
+                        | KRead { pba; _ } ->
+                            pba = next_pba && r.offset = off
+                        | KOther _ -> false
+                      in
+                      let pend_now =
+                        match prio with
+                        | Foreground -> t.pending_fg
+                        | Background -> t.pending_bg
+                      in
+                      match
+                        List.exists matches (List.rev pend_now)
+                      with
+                      | false -> acc
+                      | true ->
+                          let oldest =
+                            List.find matches (List.rev pend_now)
+                          in
+                          (* The offset head of the remaining order must
+                             be this request; remove it from pending. *)
+                          let rest_pend =
+                            let removed = ref false in
+                            List.filter
+                              (fun r ->
+                                if (not !removed) && r == oldest then begin
+                                  removed := true;
+                                  false
+                                end
+                                else true)
+                              pend_now
+                          in
+                          (match prio with
+                          | Foreground -> t.pending_fg <- rest_pend
+                          | Background -> t.pending_bg <- rest_pend);
+                          absorb (acc @ [ oldest ]) next_pba rest)
+              in
+              absorb [ head ] first (List.tl ordered)
+          | KRead _ -> [ head ]
+        in
+        t.busy <- true;
+        serve_group t group
+
+and arm_dispatch t =
+  if (not t.dispatch_armed) && not t.busy then begin
+    t.dispatch_armed <- true;
+    Sim.Des.schedule t.des ~delay:0. (fun _ ->
+        t.dispatch_armed <- false;
+        dispatch t)
+  end
+
+let enqueue t r =
+  (match r.rprio with
+  | Foreground -> t.pending_fg <- r :: t.pending_fg
+  | Background -> t.pending_bg <- r :: t.pending_bg);
+  Sim.Stats.Histogram.add t.depth_hist
+    (float_of_int (pending t + (if t.busy then 1 else 0)));
+  arm_dispatch t
+
+let submit_read t ?(prio = Foreground) ~pba k =
+  enqueue t
+    {
+      kind = KRead { pba; k };
+      rprio = prio;
+      offset = offset_of_pba t pba;
+      submitted = Sim.Des.now t.des;
+    }
+
+let submit_other t prio offset exec =
+  enqueue t
+    {
+      kind = KOther { exec };
+      rprio = prio;
+      offset;
+      submitted = Sim.Des.now t.des;
+    }
+
+let submit_write t ?(prio = Foreground) ~pba payload k =
+  submit_other t prio (offset_of_pba t pba) (fun () ->
+      let r = Device.write_block t.dev ~pba payload in
+      fun () -> k r)
+
+let submit_heat_line t ?(prio = Foreground) ~line ?timestamp k =
+  let timestamp =
+    match timestamp with Some ts -> ts | None -> Sim.Des.now t.des
+  in
+  submit_other t prio (offset_of_line t line) (fun () ->
+      let r = Device.heat_line t.dev ~line ~timestamp () in
+      fun () -> k r)
+
+let submit_erb t ?(prio = Foreground) ~line k =
+  submit_other t prio (offset_of_line t line) (fun () ->
+      let r = Device.read_hash_block t.dev ~line in
+      fun () -> k r)
+
+let submit_scrub_line t ?(prio = Background) ?config prog ~line k =
+  submit_other t prio (offset_of_line t line) (fun () ->
+      Scrub.add_remapped prog (Device.service_failed_tips t.dev);
+      Scrub.sweep_line ?config t.dev prog ~line;
+      k)
+
+let schedule_scrub ?config t ~period ~stop =
+  let prog = Scrub.progress_create () in
+  let n_lines = Layout.n_lines (Device.layout t.dev) in
+  let next_line = ref 0 in
+  let outstanding = ref false in
+  let rec arm () =
+    Sim.Des.schedule t.des ~delay:period (fun _ ->
+        if not (stop ()) then begin
+          if not !outstanding then begin
+            outstanding := true;
+            submit_scrub_line t ?config prog ~line:!next_line (fun () ->
+                outstanding := false);
+            next_line := (!next_line + 1) mod n_lines
+          end;
+          arm ()
+        end)
+  in
+  arm ();
+  prog
+
+let drain t =
+  while not (idle t) do
+    if not (Sim.Des.step t.des) then
+      failwith "Sero.Queue.drain: pending requests but no scheduled event"
+  done
+
+let await t done_flag =
+  while not !done_flag do
+    if not (Sim.Des.step t.des) then
+      failwith "Sero.Queue: awaited request cannot complete (empty DES)"
+  done
+
+let read_block ?prio t ~pba =
+  let cell = ref None and fin = ref false in
+  submit_read t ?prio ~pba (fun r ->
+      cell := Some r;
+      fin := true);
+  await t fin;
+  Option.get !cell
+
+let write_block ?prio t ~pba payload =
+  let cell = ref None and fin = ref false in
+  submit_write t ?prio ~pba payload (fun r ->
+      cell := Some r;
+      fin := true);
+  await t fin;
+  Option.get !cell
+
+let heat_line t ~line ?timestamp () =
+  let cell = ref None and fin = ref false in
+  submit_heat_line t ~line ?timestamp (fun r ->
+      cell := Some r;
+      fin := true);
+  await t fin;
+  Option.get !cell
+
+let latency t prio = (stats_of t prio).latency
+let wait t prio = (stats_of t prio).wait
+let service t = t.service
+let energy_spent t prio = (stats_of t prio).energy
+let completed t prio = (stats_of t prio).completed
+let last_completion t prio = (stats_of t prio).last_completion
+let depth_histogram t = t.depth_hist
+let served_offsets t = List.rev t.served_rev
+let coalesced_requests t = t.coalesced
+
+let pp_summary ppf t =
+  let pc prio =
+    let cs = stats_of t prio in
+    Format.fprintf ppf
+      "  %a: %d done, lat p50=%.4g p95=%.4g p99=%.4g s, wait mean=%.4g s, \
+       %.3g J@."
+      pp_prio prio cs.completed
+      (Sim.Stats.percentile cs.latency 0.50)
+      (Sim.Stats.percentile cs.latency 0.95)
+      (Sim.Stats.percentile cs.latency 0.99)
+      (Sim.Stats.mean cs.wait) cs.energy
+  in
+  Format.fprintf ppf "queue [%a]: %d pending, %d coalesced, service mean=%.4g s@."
+    Probe.Sched.pp_policy t.policy (pending t) t.coalesced
+    (Sim.Stats.mean t.service);
+  pc Foreground;
+  pc Background

@@ -1,0 +1,185 @@
+(** The asynchronous request pipeline: queued submit/complete I/O
+    through {!Device} on the {!Sim.Des} clock.
+
+    Section 6 of the paper expects the SERO device to "behave like a
+    disk" for random WMRM I/O served by one shared sled.  A disk earns
+    that behaviour from its request queue: requests are {e submitted},
+    wait their turn, are {e served} in whatever order the scheduler
+    picks, and {e complete} asynchronously.  This module gives the SERO
+    device the same lifecycle:
+
+    {v
+      submit ──▶ pending (per priority class)
+                     │   Sched.order picks the next offset
+                     ▼
+                 service (sled pass; adjacent reads coalesce
+                     │    into one bulk Device.read_blocks)
+                     ▼
+      complete ◀── Des event at now + measured service time
+    v}
+
+    One request group is in flight at a time (the sled is a single
+    mechanical resource; service is non-preemptive).  Whenever the sled
+    goes idle, the scheduler re-orders the {e currently pending}
+    requests with {!Probe.Sched.order} from the sled's current scan
+    offset and serves the head — so the configured policy drives the
+    real service order, not just the E19 cost estimate.  Foreground
+    requests strictly precede background ones; background work
+    (scrubbing, cleaning) therefore contends with the foreground only
+    through the non-preemptive service time of the request it already
+    occupies the sled with.
+
+    Timing: the device's own {!Probe.Timing} ledger is read before and
+    after each sled pass and the delta becomes the service time; the
+    completion event fires that many simulated seconds after service
+    starts.  Per-request wait/latency/energy feed {!Sim.Stats}
+    counters, so percentiles and throughput come for free.
+
+    The synchronous facade ({!read_block} / {!write_block} /
+    {!heat_line}) submits and then pumps the DES until that one request
+    completes — with an otherwise empty queue this is bit-identical
+    (results, counters, ledger, PRNG draws) to calling {!Device}
+    directly. *)
+
+type t
+
+type prio =
+  | Foreground  (** FS and user traffic; always served first. *)
+  | Background  (** Scrub and cleaner traffic; fills idle time. *)
+
+val pp_prio : Format.formatter -> prio -> unit
+
+val create :
+  ?policy:Probe.Sched.policy ->
+  ?coalesce:bool ->
+  ?max_span:int ->
+  Sim.Des.t ->
+  Device.t ->
+  t
+(** A queue serving [dev] on the [des] clock.  [policy] defaults to
+    {!Probe.Sched.Elevator}; [coalesce] (default [true]) merges reads
+    of consecutive PBAs that are also adjacent in service order into
+    one {!Device.read_blocks} span of at most [max_span] (default 8)
+    blocks. *)
+
+val device : t -> Device.t
+val des : t -> Sim.Des.t
+val policy : t -> Probe.Sched.policy
+
+(** {1 Asynchronous submission}
+
+    Each [submit_*] enqueues a request and returns immediately; the
+    callback fires from the completion event.  [prio] defaults to
+    [Foreground] except for scrub lines. *)
+
+val submit_read :
+  t -> ?prio:prio -> pba:int -> ((string, Device.read_error) result -> unit) -> unit
+
+val submit_write :
+  t ->
+  ?prio:prio ->
+  pba:int ->
+  string ->
+  ((unit, Device.write_error) result -> unit) ->
+  unit
+
+val submit_heat_line :
+  t ->
+  ?prio:prio ->
+  line:int ->
+  ?timestamp:float ->
+  ((Hash.Sha256.t, Device.heat_error) result -> unit) ->
+  unit
+(** [timestamp] defaults to the DES clock at submit time. *)
+
+val submit_erb :
+  t ->
+  ?prio:prio ->
+  line:int ->
+  ([ `Not_heated
+   | `Burned of Device.burned_meta
+   | `Torn of Device.torn
+   | `Tampered of Tamper.evidence list ] ->
+  unit) ->
+  unit
+(** Electrical read of a line's write-once area
+    ({!Device.read_hash_block}) as a queued request. *)
+
+val submit_scrub_line :
+  t ->
+  ?prio:prio ->
+  ?config:Scrub.config ->
+  Scrub.progress ->
+  line:int ->
+  (unit -> unit) ->
+  unit
+(** One {!Scrub.sweep_line} as a request ([prio] defaults to
+    [Background]); outcomes accumulate into the given progress. *)
+
+val schedule_scrub :
+  ?config:Scrub.config ->
+  t ->
+  period:float ->
+  stop:(unit -> bool) ->
+  Scrub.progress
+(** Background scrubbing as queue traffic: every [period] simulated
+    seconds submit the next line (round-robin over the device, at most
+    one outstanding scrub request at a time) until [stop ()] holds at a
+    tick.  Returns the progress the sweeps accumulate into — snapshot
+    it with {!Scrub.report_of_progress}. *)
+
+(** {1 Pumping} *)
+
+val idle : t -> bool
+(** No request pending or in flight. *)
+
+val pending : t -> int
+(** Requests waiting (not counting the group in service). *)
+
+val drain : t -> unit
+(** Step the DES until the queue is {!idle} — note this also fires any
+    unrelated events scheduled on the same DES that come due. *)
+
+(** {1 Synchronous facade}
+
+    Submit one foreground request and pump the DES until {e that}
+    request completes (earlier-queued requests may be served on the
+    way, exactly as a disk would).  Drop-in replacements for the
+    corresponding {!Device} calls. *)
+
+val read_block : ?prio:prio -> t -> pba:int -> (string, Device.read_error) result
+
+val write_block :
+  ?prio:prio -> t -> pba:int -> string -> (unit, Device.write_error) result
+
+val heat_line :
+  t -> line:int -> ?timestamp:float -> unit -> (Hash.Sha256.t, Device.heat_error) result
+
+(** {1 Measurement}
+
+    All times in simulated seconds.  [latency] = completion − submit;
+    [wait] = service start − submit; [service] is per sled pass (a
+    coalesced span counts once). *)
+
+val latency : t -> prio -> Sim.Stats.t
+val wait : t -> prio -> Sim.Stats.t
+val service : t -> Sim.Stats.t
+val energy_spent : t -> prio -> float
+val completed : t -> prio -> int
+
+val last_completion : t -> prio -> float
+(** DES time of the class's most recent completion (0 if none) — the
+    numerator's clock for closed-loop throughput. *)
+
+val depth_histogram : t -> Sim.Stats.Histogram.h
+(** Queue depth (waiting + in-flight) sampled at each submit. *)
+
+val served_offsets : t -> int list
+(** Scan offsets in actual service order (oldest first) — the
+    observable that the policy-conformance tests compare against
+    {!Probe.Sched.order}. *)
+
+val coalesced_requests : t -> int
+(** Read requests absorbed into a bulk span (span size − 1 per span). *)
+
+val pp_summary : Format.formatter -> t -> unit

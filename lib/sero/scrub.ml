@@ -32,66 +32,97 @@ let effectively_blank s =
     s;
   !popcount < 32
 
+type progress = {
+  mutable p_lines_swept : int;
+  mutable p_sectors_checked : int;
+  mutable p_rewritten : int;
+  mutable p_unrecoverable : int list; (* reversed *)
+  mutable p_tips_remapped : int;
+  mutable p_torn_completed : int list; (* reversed *)
+  mutable p_tamper_found : (int * Tamper.verdict) list; (* reversed *)
+}
+
+let progress_create () =
+  {
+    p_lines_swept = 0;
+    p_sectors_checked = 0;
+    p_rewritten = 0;
+    p_unrecoverable = [];
+    p_tips_remapped = 0;
+    p_torn_completed = [];
+    p_tamper_found = [];
+  }
+
+let add_remapped p n = p.p_tips_remapped <- p.p_tips_remapped + n
+
+let report_of_progress p =
+  {
+    lines_swept = p.p_lines_swept;
+    sectors_checked = p.p_sectors_checked;
+    rewritten = p.p_rewritten;
+    unrecoverable = List.rev p.p_unrecoverable;
+    tips_remapped = p.p_tips_remapped;
+    torn_completed = List.rev p.p_torn_completed;
+    tamper_found = List.rev p.p_tamper_found;
+  }
+
+let sweep_line ?(config = default_config) dev prog ~line =
+  let lay = Device.layout dev in
+  prog.p_lines_swept <- prog.p_lines_swept + 1;
+  match Device.read_hash_block dev ~line with
+  | `Not_heated ->
+      (* WMRM territory: refresh decaying sectors before the RS
+         budget runs out. *)
+      Layout.iter_data_blocks lay line (fun pba ->
+          let image = Device.unsafe_read_raw dev ~pba in
+          if not (effectively_blank image) then begin
+            prog.p_sectors_checked <- prog.p_sectors_checked + 1;
+            match Codec.Sector.decode image with
+            | Ok d when d.Codec.Sector.pba = pba ->
+                if
+                  d.Codec.Sector.corrected_symbols
+                  >= config.correction_threshold
+                then begin
+                  Device.scrub_rewrite_block dev ~pba
+                    d.Codec.Sector.payload;
+                  prog.p_rewritten <- prog.p_rewritten + 1
+                end
+            | Ok _ | Error _ -> (
+                (* Undecodable in one shot: give the device's RAS
+                   read path (retry + remap) a chance. *)
+                match Device.read_block dev ~pba with
+                | Ok payload ->
+                    Device.scrub_rewrite_block dev ~pba payload;
+                    prog.p_rewritten <- prog.p_rewritten + 1
+                | Error Device.Blank -> ()
+                | Error _ ->
+                    prog.p_unrecoverable <- pba :: prog.p_unrecoverable)
+          end)
+  | `Torn _ -> (
+      match Device.heat_line dev ~line () with
+      | Ok _ -> prog.p_torn_completed <- line :: prog.p_torn_completed
+      | Error _ ->
+          prog.p_tamper_found <-
+            (line, Tamper.Tampered [ Tamper.Partially_burned ])
+            :: prog.p_tamper_found)
+  | `Burned _ ->
+      if config.deep_verify then (
+        match Device.verify_line dev ~line with
+        | Tamper.Intact -> ()
+        | v -> prog.p_tamper_found <- (line, v) :: prog.p_tamper_found)
+  | `Tampered evs ->
+      prog.p_tamper_found <-
+        (line, Tamper.Tampered evs) :: prog.p_tamper_found
+
 let pass ?(config = default_config) dev =
   let lay = Device.layout dev in
+  let prog = progress_create () in
   (* Remap first so the sweep itself reads through healthy spares. *)
-  let tips_remapped = Device.service_failed_tips dev in
-  let checked = ref 0 and rewritten = ref 0 in
-  let unrecoverable = ref [] in
-  let torn_completed = ref [] in
-  let tamper = ref [] in
-  let n_lines = Layout.n_lines lay in
-  for line = 0 to n_lines - 1 do
-    match Device.read_hash_block dev ~line with
-    | `Not_heated ->
-        (* WMRM territory: refresh decaying sectors before the RS
-           budget runs out. *)
-        Layout.iter_data_blocks lay line (fun pba ->
-            let image = Device.unsafe_read_raw dev ~pba in
-            if not (effectively_blank image) then begin
-              incr checked;
-              match Codec.Sector.decode image with
-              | Ok d when d.Codec.Sector.pba = pba ->
-                  if
-                    d.Codec.Sector.corrected_symbols
-                    >= config.correction_threshold
-                  then begin
-                    Device.scrub_rewrite_block dev ~pba
-                      d.Codec.Sector.payload;
-                    incr rewritten
-                  end
-              | Ok _ | Error _ -> (
-                  (* Undecodable in one shot: give the device's RAS
-                     read path (retry + remap) a chance. *)
-                  match Device.read_block dev ~pba with
-                  | Ok payload ->
-                      Device.scrub_rewrite_block dev ~pba payload;
-                      incr rewritten
-                  | Error Device.Blank -> ()
-                  | Error _ -> unrecoverable := pba :: !unrecoverable)
-            end)
-    | `Torn _ -> (
-        match Device.heat_line dev ~line () with
-        | Ok _ -> torn_completed := line :: !torn_completed
-        | Error _ ->
-            tamper :=
-              (line, Tamper.Tampered [ Tamper.Partially_burned ]) :: !tamper)
-    | `Burned _ ->
-        if config.deep_verify then (
-          match Device.verify_line dev ~line with
-          | Tamper.Intact -> ()
-          | v -> tamper := (line, v) :: !tamper)
-    | `Tampered evs -> tamper := (line, Tamper.Tampered evs) :: !tamper
+  prog.p_tips_remapped <- Device.service_failed_tips dev;
+  for line = 0 to Layout.n_lines lay - 1 do
+    sweep_line ~config dev prog ~line
   done;
-  {
-    lines_swept = n_lines;
-    sectors_checked = !checked;
-    rewritten = !rewritten;
-    unrecoverable = List.rev !unrecoverable;
-    tips_remapped;
-    torn_completed = List.rev !torn_completed;
-    tamper_found = List.rev !tamper;
-  }
+  report_of_progress prog
 
 let pp_report ppf r =
   Format.fprintf ppf

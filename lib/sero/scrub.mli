@@ -46,6 +46,31 @@ val pass : ?config:config -> Device.t -> report
 
 val pp_report : Format.formatter -> report -> unit
 
+(** {1 Incremental sweeping}
+
+    {!pass} sweeps the whole device in one synchronous call.  The
+    request pipeline ({!Queue}) instead issues one line at a time as a
+    background request, accumulating into a [progress] and turning it
+    into a {!report} whenever the caller wants a snapshot. *)
+
+type progress
+
+val progress_create : unit -> progress
+
+val sweep_line : ?config:config -> Device.t -> progress -> line:int -> unit
+(** Sweep one line exactly as {!pass} would (same per-line decode /
+    rewrite / torn-completion / verify logic) and fold the outcome into
+    [progress].  Unlike {!pass} it does {e not} remap failed tips
+    first — callers servicing tips should use
+    {!Device.service_failed_tips} and add the count themselves. *)
+
+val add_remapped : progress -> int -> unit
+(** Fold a {!Device.service_failed_tips} count into the progress. *)
+
+val report_of_progress : progress -> report
+(** Snapshot of everything swept so far ([lines_swept] counts
+    {!sweep_line} calls, not distinct lines). *)
+
 val schedule :
   ?config:config -> Sim.Des.t -> Device.t -> on_pass:(report -> unit) -> unit
 (** Run a pass now-ish and re-schedule every [config.period] simulated

@@ -1,16 +1,13 @@
-type t = {
-  mutable clock : float;
-  mutable seq : int;
-  queue : (int * (t -> unit)) Heap.t;
-}
+type t = { mutable clock : float; queue : (t -> unit) Heap.t }
 
-let create () = { clock = 0.; seq = 0; queue = Heap.create () }
+let create () = { clock = 0.; queue = Heap.create () }
 let now t = t.clock
 
 let schedule_at t ~at f =
   if at < t.clock then invalid_arg "Des.schedule_at: event in the past";
-  t.seq <- t.seq + 1;
-  Heap.push t.queue at (t.seq, f)
+  (* The heap is stable, so equal-timestamp events fire in the order
+     they were scheduled — no extra sequencing needed here. *)
+  Heap.push t.queue at f
 
 let schedule t ~delay f =
   if delay < 0. then invalid_arg "Des.schedule: negative delay";
@@ -19,7 +16,7 @@ let schedule t ~delay f =
 let step t =
   match Heap.pop t.queue with
   | None -> false
-  | Some (at, (_, f)) ->
+  | Some (at, f) ->
       t.clock <- at;
       f t;
       true

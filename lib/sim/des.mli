@@ -2,9 +2,12 @@
 
     The device timing model is mostly a ledger of per-operation costs,
     but the file-system experiments (cleaner running concurrently with
-    foreground writes, snapshot scheduling) need ordered future events.
-    Events are thunks fired in timestamp order; events with equal
-    timestamps fire in unspecified order. *)
+    foreground writes, snapshot scheduling) and the request pipeline
+    ({!Sero.Queue}) need ordered future events.  Events are thunks
+    fired in timestamp order; events with {e equal} timestamps fire in
+    the order they were scheduled (FIFO — the underlying {!Heap} is
+    stable), so traces are reproducible even when submissions and
+    completions coincide on the clock. *)
 
 type t
 

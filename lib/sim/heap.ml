@@ -1,35 +1,59 @@
 type 'a t = {
   mutable keys : float array;
+  mutable stamps : int array;
   mutable vals : 'a option array;
   mutable size : int;
+  mutable next_stamp : int;
 }
 
-let create () = { keys = Array.make 16 0.; vals = Array.make 16 None; size = 0 }
+let create () =
+  {
+    keys = Array.make 16 0.;
+    stamps = Array.make 16 0;
+    vals = Array.make 16 None;
+    size = 0;
+    next_stamp = 0;
+  }
+
 let is_empty t = t.size = 0
 let size t = t.size
 
 let grow t =
   let n = Array.length t.keys in
-  let keys = Array.make (2 * n) 0. and vals = Array.make (2 * n) None in
+  let keys = Array.make (2 * n) 0.
+  and stamps = Array.make (2 * n) 0
+  and vals = Array.make (2 * n) None in
   Array.blit t.keys 0 keys 0 n;
+  Array.blit t.stamps 0 stamps 0 n;
   Array.blit t.vals 0 vals 0 n;
   t.keys <- keys;
+  t.stamps <- stamps;
   t.vals <- vals
 
 let swap t i j =
-  let k = t.keys.(i) and v = t.vals.(i) in
+  let k = t.keys.(i) and s = t.stamps.(i) and v = t.vals.(i) in
   t.keys.(i) <- t.keys.(j);
+  t.stamps.(i) <- t.stamps.(j);
   t.vals.(i) <- t.vals.(j);
   t.keys.(j) <- k;
+  t.stamps.(j) <- s;
   t.vals.(j) <- v
+
+(* Lexicographic (key, insertion stamp): equal keys pop in push order,
+   which is what makes the heap — and everything above it — stable. *)
+let less t i j =
+  t.keys.(i) < t.keys.(j)
+  || (t.keys.(i) = t.keys.(j) && t.stamps.(i) < t.stamps.(j))
 
 let push t key v =
   if t.size = Array.length t.keys then grow t;
   t.keys.(t.size) <- key;
+  t.stamps.(t.size) <- t.next_stamp;
+  t.next_stamp <- t.next_stamp + 1;
   t.vals.(t.size) <- Some v;
   let i = ref t.size in
   t.size <- t.size + 1;
-  while !i > 0 && t.keys.((!i - 1) / 2) > t.keys.(!i) do
+  while !i > 0 && less t !i ((!i - 1) / 2) do
     swap t !i ((!i - 1) / 2);
     i := (!i - 1) / 2
   done
@@ -45,6 +69,7 @@ let pop t =
   | Some _ as result ->
       t.size <- t.size - 1;
       t.keys.(0) <- t.keys.(t.size);
+      t.stamps.(0) <- t.stamps.(t.size);
       t.vals.(0) <- t.vals.(t.size);
       t.vals.(t.size) <- None;
       let i = ref 0 in
@@ -52,8 +77,8 @@ let pop t =
       while !continue do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
-        if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+        if l < t.size && less t l !smallest then smallest := l;
+        if r < t.size && less t r !smallest then smallest := r;
         if !smallest <> !i then begin
           swap t !i !smallest;
           i := !smallest
@@ -64,4 +89,5 @@ let pop t =
 
 let clear t =
   Array.fill t.vals 0 (Array.length t.vals) None;
-  t.size <- 0
+  t.size <- 0;
+  t.next_stamp <- 0

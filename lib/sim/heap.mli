@@ -1,5 +1,10 @@
 (** Binary min-heap keyed by float, used by the event queue ({!Des}) and
-    by the LFS cleaner's cost-benefit segment selection. *)
+    by the LFS cleaner's cost-benefit segment selection.
+
+    The heap is {e stable}: entries pushed with equal keys pop in push
+    order (each push takes a monotonic insertion stamp and ordering is
+    lexicographic on [(key, stamp)]).  {!Des} relies on this to make
+    equal-timestamp events fire FIFO. *)
 
 type 'a t
 

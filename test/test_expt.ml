@@ -41,6 +41,7 @@ let smoke =
       ("aging", Expt.Aging.print, "end of life");
       ("erb", Expt.Erb_study.print, "adaptive");
       ("media", Expt.Reliability.print, "tip sparing");
+      ("queue", Expt.Queue_study.print, "contention");
     ]
 
 let ops_shape =
@@ -281,6 +282,36 @@ let aging_shape =
           (frag c <= frag n +. 1e-9));
   ]
 
+let queue_shape =
+  [
+    Alcotest.test_case "reordering beats fifo once the queue is deep" `Slow
+      (fun () ->
+        let cell policy =
+          Expt.Queue_study.run_cell ~ops:120 ~policy ~depth:16
+            ~scrub_period:None ()
+        in
+        let fifo = cell Probe.Sched.Fifo
+        and sstf = cell Probe.Sched.Sstf
+        and elev = cell Probe.Sched.Elevator in
+        Alcotest.(check bool) "sstf < fifo" true
+          (sstf.Expt.Queue_study.mean_service_ms
+          < fifo.Expt.Queue_study.mean_service_ms);
+        Alcotest.(check bool) "elevator < fifo" true
+          (elev.Expt.Queue_study.mean_service_ms
+          < fifo.Expt.Queue_study.mean_service_ms));
+    Alcotest.test_case "background scrub inflates depth-1 latency" `Slow
+      (fun () ->
+        let cell scrub_period =
+          Expt.Queue_study.run_cell ~ops:120 ~policy:Probe.Sched.Elevator
+            ~depth:1 ~scrub_period ()
+        in
+        let quiet = cell None and busy = cell (Some 0.04) in
+        Alcotest.(check bool) "scrubber got work done" true
+          (busy.Expt.Queue_study.bg_lines > 0);
+        Alcotest.(check bool) "p95 rises under contention" true
+          (busy.Expt.Queue_study.p95_ms > quiet.Expt.Queue_study.p95_ms));
+  ]
+
 let () =
   Alcotest.run "expt"
     [
@@ -290,6 +321,7 @@ let () =
       ("aging-shape", aging_shape);
       ("ops-shape", ops_shape);
       ("heat-shape", heat_shape);
+      ("queue-shape", queue_shape);
       ("lfs-shape", lfs_shape);
       ("archive-shape", archive_shape);
       ("thermal-shape", thermal_shape);

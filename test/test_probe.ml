@@ -213,6 +213,29 @@ let sched_permutation =
           = List.sort compare offsets)
         Probe.Sched.all_policies)
 
+let sched_permutation_dups =
+  (* A narrow offset range forces duplicates: a policy must keep every
+     occurrence, not just every distinct offset. *)
+  QCheck.Test.make ~name:"permutation holds with duplicate offsets" ~count:300
+    QCheck.(pair (small_list (int_range 0 4)) (int_range 0 4))
+    (fun (offsets, current) ->
+      List.for_all
+        (fun policy ->
+          List.sort compare (Probe.Sched.order policy ~current offsets)
+          = List.sort compare offsets)
+        Probe.Sched.all_policies)
+
+let elevator_wrap =
+  (* The elevator is a C-SCAN: everything at or ahead of the sled in
+     ascending order, then the wrap — the offsets behind it, ascending. *)
+  QCheck.Test.make ~name:"elevator = sorted ahead, then sorted behind"
+    ~count:300
+    QCheck.(pair (small_list (int_range 0 100)) (int_range 0 100))
+    (fun (offsets, current) ->
+      let ahead, behind = List.partition (fun o -> o >= current) offsets in
+      Probe.Sched.order Probe.Sched.Elevator ~current offsets
+      = List.sort compare ahead @ List.sort compare behind)
+
 let sched_cases =
   [
     Alcotest.test_case "elevator sweeps up then wraps" `Quick (fun () ->
@@ -363,5 +386,11 @@ let () =
             dispatch_erb_equiv;
             dispatch_write_equiv;
           ] );
-      ("sched", sched_cases @ [ qtest sched_permutation ]);
+      ( "sched",
+        sched_cases
+        @ [
+            qtest sched_permutation;
+            qtest sched_permutation_dups;
+            qtest elevator_wrap;
+          ] );
     ]

@@ -137,6 +137,27 @@ let heap_sorts =
       let popped = drain [] in
       popped = List.sort compare keys)
 
+let heap_stable =
+  (* Push (key, seq) pairs; among equal keys the pop order must be the
+     push order — {!Sim.Des} relies on this for FIFO ties. *)
+  QCheck.Test.make ~name:"equal keys pop in push order" ~count:300
+    QCheck.(small_list (int_range 0 3))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h (float_of_int k) (k, i)) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      let stable =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      popped = stable)
+
 let heap_cases =
   [
     Alcotest.test_case "peek does not remove" `Quick (fun () ->
@@ -191,6 +212,19 @@ let des_cases =
         Alcotest.(check (list (float 0.))) "only early" [ 2.; 1. ] !fired;
         Alcotest.(check int) "one pending" 1 (Sim.Des.pending des);
         Alcotest.(check (float 0.)) "clock clamped" 5. (Sim.Des.now des));
+    Alcotest.test_case "equal timestamps fire FIFO" `Quick (fun () ->
+        let des = Sim.Des.create () in
+        let log = ref [] in
+        (* Interleave two timestamps; within each, scheduling order must
+           be firing order. *)
+        List.iter
+          (fun (at, tag) ->
+            Sim.Des.schedule_at des ~at (fun _ -> log := tag :: !log))
+          [ (2., "b0"); (1., "a0"); (2., "b1"); (1., "a1"); (2., "b2") ];
+        Sim.Des.run des;
+        Alcotest.(check (list string)) "fifo ties"
+          [ "a0"; "a1"; "b0"; "b1"; "b2" ]
+          (List.rev !log));
     Alcotest.test_case "scheduling in the past is rejected" `Quick (fun () ->
         let des = Sim.Des.create () in
         Sim.Des.schedule des ~delay:2. (fun t ->
@@ -272,7 +306,7 @@ let () =
     [
       ("prng", prng_cases @ [ qtest int_in_range ]);
       ("stats", stats_cases @ [ qtest percentile_bounds ]);
-      ("heap", heap_cases @ [ qtest heap_sorts ]);
+      ("heap", heap_cases @ [ qtest heap_sorts; qtest heap_stable ]);
       ("des", des_cases);
       ("pool", pool_cases @ [ qtest pool_matches_list_map ]);
     ]
