@@ -272,6 +272,32 @@ let e20_queue =
            ignore (Sero.Queue.read_block q ~pba:pbas.(40))));
   ]
 
+let e21_bcache =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:256 ~line_exp:3 ())
+  in
+  let lay = Sero.Device.layout dev in
+  let pbas = Array.of_list (Sero.Layout.data_blocks_of_line lay 1) in
+  Array.iter
+    (fun pba -> ignore (Sero.Device.write_block dev ~pba payload_512))
+    pbas;
+  let q = Sero.Queue.create (Sim.Des.create ()) dev in
+  let bc = Sero.Bcache.create ~capacity:64 ~read_ahead:0 q in
+  (match Sero.Bcache.read_block bc ~pba:pbas.(0) with
+  | Ok _ -> ()
+  | Error _ -> ());
+  [
+    Test.make ~name:"e21 bcache read hit (zero sled service)"
+      (Staged.stage (fun () -> ignore (Sero.Bcache.read_block bc ~pba:pbas.(0))));
+    Test.make ~name:"e21 bcache write absorb (write-behind)"
+      (Staged.stage (fun () ->
+           ignore (Sero.Bcache.write_block bc ~pba:pbas.(1) payload_512)));
+    Test.make ~name:"e21 bcache flush + drain (1 dirty span)"
+      (Staged.stage (fun () ->
+           ignore (Sero.Bcache.write_block bc ~pba:pbas.(2) payload_512);
+           Sero.Bcache.sync bc));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -289,6 +315,7 @@ let groups =
     ("E18 fault & RAS", e18_fault);
     ("E19 scheduling", e19_sched);
     ("E20 request queue", e20_queue);
+    ("E21 buffer cache", e21_bcache);
   ]
 
 (* {1 Runner} *)
@@ -304,13 +331,27 @@ let human ns =
 
 (* {1 Machine-readable output}
 
-   Every run also writes BENCH_<sha>.json (test name -> ns/run) next to
-   the human table, so the perf trajectory is scriptable across
-   commits. *)
+   Every run also writes BENCH_<sha>.json (test name -> ns/run, plus a
+   deterministic "simulated" section with the E21 headline) at the repo
+   root, so the perf trajectory is scriptable across commits.  With
+   --compare BASELINE.json the run additionally prints per-group deltas
+   against the baseline and exits non-zero when the simulated smoke set
+   regresses by more than 25%. *)
 
 let read_file path =
   try Some (In_channel.with_open_text path In_channel.input_all)
   with Sys_error _ -> None
+
+(* The repo root (nearest ancestor holding [.git]) anchors both the
+   HEAD lookup and the output file, so the bench lands BENCH_<sha>.json
+   at the root no matter which directory launched it. *)
+let repo_root () =
+  let rec up dir n =
+    if n = 0 then "."
+    else if Sys.file_exists (Filename.concat dir ".git") then dir
+    else up (Filename.concat dir Filename.parent_dir_name) (n - 1)
+  in
+  up Filename.current_dir_name 16
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
@@ -320,22 +361,24 @@ let starts_with ~prefix s =
    any process spawning.  BENCH_SHA overrides (CI passes the commit it
    checked out); failing everything, the file is BENCH_local.json. *)
 let git_sha () =
+  let git p = Filename.concat (repo_root ()) (Filename.concat ".git" p) in
+  let read_file p = read_file (git p) in
   let short s = if String.length s > 12 then String.sub s 0 12 else s in
   match Sys.getenv_opt "BENCH_SHA" with
   | Some s when s <> "" -> short (String.trim s)
   | Some _ | None -> (
-      match read_file ".git/HEAD" with
+      match read_file "HEAD" with
       | None -> "local"
       | Some head -> (
           let head = String.trim head in
           if not (starts_with ~prefix:"ref: " head) then short head
           else
             let r = String.sub head 5 (String.length head - 5) in
-            match read_file (".git/" ^ r) with
+            match read_file r with
             | Some sha -> short (String.trim sha)
             | None -> (
                 (* Ref not loose: scan packed-refs. *)
-                match read_file ".git/packed-refs" with
+                match read_file "packed-refs" with
                 | None -> "local"
                 | Some packed ->
                     String.split_on_char '\n' packed
@@ -363,18 +406,142 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~sha ~quota results =
-  let path = Printf.sprintf "BENCH_%s.json" sha in
+(* {2 The simulated smoke set}
+
+   Deterministic simulated-device metrics (the E21 headline cell pair):
+   unlike ns/run these are byte-stable across machines and quotas, so
+   --compare enforces them as the regression gate. *)
+
+let simulated_metrics () =
+  let h = Expt.Cache_study.headline () in
+  [
+    ("e21 nocache read ms", h.Expt.Cache_study.nocache_read_ms);
+    ("e21 cached read ms", h.Expt.Cache_study.cached_read_ms);
+    ("e21 read speedup", h.Expt.Cache_study.speedup);
+    ("e21 hit pct", h.Expt.Cache_study.headline_hit_pct);
+  ]
+
+let pp_section oc name kvs last =
+  Printf.fprintf oc "  \"%s\": {\n" name;
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape k) v
+        (if i = List.length kvs - 1 then "" else ","))
+    kvs;
+  Printf.fprintf oc "  }%s\n" (if last then "" else ",")
+
+let write_json ~sha ~quota ~simulated results =
+  let path = Filename.concat (repo_root ()) (Printf.sprintf "BENCH_%s.json" sha) in
   Out_channel.with_open_text path (fun oc ->
-      Printf.fprintf oc "{\n  \"sha\": \"%s\",\n  \"quota_s\": %g,\n  \"ns_per_run\": {\n"
+      Printf.fprintf oc "{\n  \"sha\": \"%s\",\n  \"quota_s\": %g,\n"
         (json_escape sha) quota;
-      List.iteri
-        (fun i (name, ns) ->
-          Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) ns
-            (if i = List.length results - 1 then "" else ","))
-        results;
-      Printf.fprintf oc "  }\n}\n");
+      pp_section oc "ns_per_run" results false;
+      pp_section oc "simulated" simulated true;
+      Printf.fprintf oc "}\n");
   path
+
+(* {2 Baseline comparison}
+
+   The baseline is a file this very program wrote, so a line-oriented
+   scan is enough: inside a section, every line is ["name": value,]. *)
+
+let parse_baseline path =
+  match read_file path with
+  | None -> Error (Printf.sprintf "cannot read baseline %s" path)
+  | Some text ->
+      let section = ref "" in
+      let ns = ref [] and sim = ref [] in
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             let line = String.trim line in
+             match String.split_on_char '"' line with
+             | [ _; name; tail ] -> (
+                 let tail = String.trim tail in
+                 if String.length tail > 0 && tail.[0] = ':' then
+                   let v = String.sub tail 1 (String.length tail - 1) in
+                   let v = String.trim v in
+                   let v =
+                     if String.length v > 0 && v.[String.length v - 1] = ','
+                     then String.sub v 0 (String.length v - 1)
+                     else v
+                   in
+                   match (v, float_of_string_opt v) with
+                   | "{", _ -> section := name
+                   | _, Some f ->
+                       if String.equal !section "ns_per_run" then
+                         ns := (name, f) :: !ns
+                       else if String.equal !section "simulated" then
+                         sim := (name, f) :: !sim
+                   | _, None -> ())
+             | _ -> ());
+      Ok (List.rev !ns, List.rev !sim)
+
+(* ns/run deltas are informational (they move with the machine and the
+   quota); the simulated metrics are deterministic and gate the run. *)
+let compare_baseline ~baseline ~results ~simulated =
+  match parse_baseline baseline with
+  | Error e ->
+      Printf.printf "compare: %s\n" e;
+      false
+  | Ok (base_ns, base_sim) ->
+      Printf.printf "\ncomparison against %s (informational ns/run deltas)\n"
+        baseline;
+      let by_group = Hashtbl.create 16 in
+      List.iter
+        (fun (group, name, ns) ->
+          match List.assoc_opt name base_ns with
+          | None -> ()
+          | Some old when old > 0. && ns > 0. ->
+              let cur = try Hashtbl.find by_group group with Not_found -> [] in
+              Hashtbl.replace by_group group ((ns /. old) :: cur)
+          | Some _ -> ())
+        results;
+      List.iter
+        (fun (group, _) ->
+          match Hashtbl.find_opt by_group group with
+          | None | Some [] -> ()
+          | Some ratios ->
+              let geo =
+                exp
+                  (List.fold_left (fun a r -> a +. log r) 0. ratios
+                  /. float_of_int (List.length ratios))
+              in
+              Printf.printf "  %-24s %+6.1f%% (%d tests)\n" group
+                ((geo -. 1.) *. 100.)
+                (List.length ratios))
+        groups;
+      let ok = ref true in
+      Printf.printf "simulated smoke set (gated at +25%%)\n";
+      List.iter
+        (fun (name, now) ->
+          match List.assoc_opt name base_sim with
+          | None -> Printf.printf "  %-24s %10.2f (new metric)\n" name now
+          | Some old ->
+              (* "e21 read speedup" and "e21 hit pct" are
+                 higher-is-better; the latency metrics lower-is-better. *)
+              let higher_better =
+                String.length name >= 4
+                && String.equal (String.sub name (String.length name - 3) 3)
+                     "pct"
+                || List.mem name [ "e21 read speedup" ]
+              in
+              let regressed =
+                if higher_better then now < old *. 0.75
+                else now > old *. 1.25
+              in
+              if regressed then ok := false;
+              Printf.printf "  %-24s %10.2f -> %10.2f  %s\n" name old now
+                (if regressed then "REGRESSED" else "ok"))
+        simulated;
+      !ok
+
+let baseline_arg () =
+  let rec go = function
+    | "--compare" :: path :: _ -> Some path
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
 
 let () =
   let quota =
@@ -419,13 +586,29 @@ let () =
                 | Some i -> String.sub name (i + 1) (String.length name - i - 1)
                 | None -> name
               in
-              collected := (name, estimate) :: !collected;
+              collected := (group, name, estimate) :: !collected;
               Printf.printf "  %-46s %s %8s\n" name (human estimate) r2)
             analysis)
         tests)
     groups;
   print_endline (String.make 72 '-');
-  let path = write_json ~sha:(git_sha ()) ~quota (List.rev !collected) in
+  let results = List.rev !collected in
+  let simulated = simulated_metrics () in
+  Printf.printf "simulated smoke set (deterministic)\n";
+  List.iter
+    (fun (name, v) -> Printf.printf "  %-46s %10.2f\n" name v)
+    simulated;
+  let path =
+    write_json ~sha:(git_sha ()) ~quota ~simulated
+      (List.map (fun (_, name, ns) -> (name, ns)) results)
+  in
   Printf.printf "machine-readable results: %s\n" path;
   print_endline
-    "simulated-device latencies and the paper's series: dune exec bin/experiments.exe -- all"
+    "simulated-device latencies and the paper's series: dune exec bin/experiments.exe -- all";
+  match baseline_arg () with
+  | None -> ()
+  | Some baseline ->
+      if not (compare_baseline ~baseline ~results ~simulated) then begin
+        print_endline "FAIL: simulated smoke set regressed past the 25% gate";
+        exit 1
+      end

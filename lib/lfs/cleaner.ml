@@ -3,7 +3,7 @@ let rec is_live st ~pba owner =
   | Enc.Unused | Enc.Summary_block -> false
   | Enc.Data_of { o_ino; block_index } -> (
       match State.inode_pba st o_ino with
-      | None -> Hashtbl.mem st.State.icache o_ino && check_ptr st o_ino block_index pba
+      | None -> Sim.Lru.mem st.State.icache o_ino && check_ptr st o_ino block_index pba
       | Some _ -> check_ptr st o_ino block_index pba)
   | Enc.Inode_of ino -> State.inode_pba st ino = Some pba
   | Enc.Indirect_of { o_ino; slot } -> (
@@ -79,9 +79,9 @@ let clean_segment st seg =
                 ~owner:(Enc.Data_of { o_ino; block_index })
                 payload
             in
+            State.mark_dirty st o_ino;
             File.set_pointer st o_ino block_index new_pba;
             State.free_block st ~pba;
-            State.mark_dirty st o_ino;
             Hashtbl.replace touched o_ino ();
             incr copies
           end

@@ -11,9 +11,11 @@ let create_inode (st : State.t) ~kind ~heat_group =
   st.State.next_ino <- ino + 1;
   let inode = Enc.fresh_inode ~ino ~kind ~heat_group in
   let inode = { inode with Enc.mtime = State.now st } in
-  State.cache_inode st inode;
-  Hashtbl.replace st.State.pcache ino [||];
+  (* Dirty before cached: insertion can trigger eviction, and only the
+     dirty mark pins the new inode (it exists nowhere on the medium). *)
   State.mark_dirty st ino;
+  State.cache_inode st inode;
+  ignore (Sim.Lru.add st.State.pcache ino [||]);
   inode
 
 (* Rebuild the flat pointer array of [inode] from the medium. *)
@@ -48,11 +50,11 @@ let load_pointers st (inode : Enc.inode) =
   ptrs
 
 let pointers st ino =
-  match Hashtbl.find_opt st.State.pcache ino with
+  match Sim.Lru.find st.State.pcache ino with
   | Some p -> p
   | None ->
       let p = load_pointers st (State.load_inode st ino) in
-      Hashtbl.replace st.State.pcache ino p;
+      ignore (Sim.Lru.add st.State.pcache ino p);
       p
 
 let set_pointer st ino index pba =
@@ -64,7 +66,7 @@ let set_pointer st ino index pba =
         raise (State.Fs_error "file exceeds the maximum size");
       let bigger = Array.make (index + 1) 0 in
       Array.blit p 0 bigger 0 (Array.length p);
-      Hashtbl.replace st.State.pcache ino bigger;
+      ignore (Sim.Lru.add st.State.pcache ino bigger);
       bigger
     end
   in
@@ -102,6 +104,9 @@ let write st ino ~offset data =
   if len > 0 then begin
     let inode = State.load_inode st ino in
     let group = inode.Enc.heat_group in
+    (* Dirty up front: the pointer updates below live only in the
+       caches, so the ino must be pinned before the first insertion. *)
+    State.mark_dirty st ino;
     ignore (pointers st ino);
     let pos = ref 0 in
     while !pos < len do
@@ -143,7 +148,6 @@ let write st ino ~offset data =
         mtime = State.now st;
         generation = inode.Enc.generation + 1;
       };
-    State.mark_dirty st ino;
     st.State.metrics.State.user_bytes_written <-
       st.State.metrics.State.user_bytes_written + len
   end
@@ -152,17 +156,17 @@ let truncate st ino ~size =
   if size < 0 then raise (State.Fs_error "negative truncate size");
   let inode = State.load_inode st ino in
   if size < inode.Enc.size then begin
+    State.mark_dirty st ino;
     let keep = (size + block_size - 1) / block_size in
     let ptrs = pointers st ino in
     let n = Array.length ptrs in
     for bi = keep to n - 1 do
       if ptrs.(bi) <> 0 then State.free_block st ~pba:ptrs.(bi)
     done;
-    Hashtbl.replace st.State.pcache ino (Array.sub ptrs 0 (min keep n));
+    ignore (Sim.Lru.add st.State.pcache ino (Array.sub ptrs 0 (min keep n)));
     State.cache_inode st
       { inode with Enc.size; mtime = State.now st;
-        generation = inode.Enc.generation + 1 };
-    State.mark_dirty st ino
+        generation = inode.Enc.generation + 1 }
   end
 
 (* Write the indirect tree for the current pointer array; returns the
@@ -277,7 +281,11 @@ let flush_inode st ino =
 
 let flush_all st =
   let inos = Hashtbl.fold (fun ino () acc -> ino :: acc) st.State.dirty [] in
-  List.iter (flush_inode st) (List.sort compare inos)
+  List.iter (flush_inode st) (List.sort compare inos);
+  (* Flushing released the dirty pins; shed any excess the pins were
+     holding past the soft capacity. *)
+  ignore (Sim.Lru.trim st.State.icache);
+  ignore (Sim.Lru.trim st.State.pcache)
 
 let all_block_pbas st ino =
   let inode = State.load_inode st ino in
@@ -309,6 +317,6 @@ let delete st ino =
     raise (State.Fs_error "file lies in heated (read-only) lines");
   List.iter (fun pba -> State.free_block st ~pba) pbas;
   Hashtbl.remove st.State.imap ino;
-  Hashtbl.remove st.State.icache ino;
-  Hashtbl.remove st.State.pcache ino;
+  Sim.Lru.remove st.State.icache ino;
+  Sim.Lru.remove st.State.pcache ino;
   Hashtbl.remove st.State.dirty ino

@@ -3,17 +3,19 @@ type t = { st : State.t }
 let state t = t.st
 let device t = t.st.State.dev
 let attach_queue t q = State.attach_queue t.st q
+let attach_cache t c = State.attach_cache t.st c
 let queue t = State.queue t.st
+let cache t = State.cache t.st
 
-let format ?policy dev =
-  let st = State.create ?policy dev in
+let format ?policy ?icache_cap ?pcache_cap dev =
+  let st = State.create ?policy ?icache_cap ?pcache_cap dev in
   Dirops.init_root st;
   File.flush_all st;
   State.write_checkpoint st;
   { st }
 
-let mount ?policy dev =
-  let st = State.create ?policy dev in
+let mount ?policy ?icache_cap ?pcache_cap dev =
+  let st = State.create ?policy ?icache_cap ?pcache_cap dev in
   match State.read_latest_checkpoint dev st.State.policy with
   | None -> Error "no valid checkpoint found"
   | Some cp ->
@@ -31,7 +33,10 @@ let mount ?policy dev =
 let sync t =
   File.flush_all t.st;
   State.close_open_segments t.st;
-  State.write_checkpoint t.st
+  State.write_checkpoint t.st;
+  (* sync means durable: write-behind data (including the checkpoint
+     blocks just written) must reach the medium before returning. *)
+  State.flush_block_cache t.st
 
 let unmount t = sync t
 
@@ -133,9 +138,9 @@ let unlink t path =
           let inode = State.load_inode t.st ino in
           if inode.Enc.nlink <= 1 then File.delete t.st ino
           else begin
+            State.mark_dirty t.st ino;
             State.cache_inode t.st
-              { inode with Enc.nlink = inode.Enc.nlink - 1 };
-            State.mark_dirty t.st ino
+              { inode with Enc.nlink = inode.Enc.nlink - 1 }
           end)
 
 let link t existing fresh =
@@ -149,8 +154,8 @@ let link t existing fresh =
       | Error e -> raise (State.Fs_error e)
       | Ok (parent, name) ->
           let inode = State.load_inode t.st ino in
-          State.cache_inode t.st { inode with Enc.nlink = inode.Enc.nlink + 1 };
           State.mark_dirty t.st ino;
+          State.cache_inode t.st { inode with Enc.nlink = inode.Enc.nlink + 1 };
           Dirops.add_entry t.st ~dir:parent
             { Enc.name; entry_ino = ino; entry_kind = Enc.Regular })
 
@@ -195,6 +200,7 @@ let heat t ?(strategy = Heat.Auto) path =
          one (its directory entry lives in a possibly-dirty parent). *)
       File.flush_all t.st;
       State.write_checkpoint t.st;
+      State.flush_block_cache t.st;
       r)
 
 let verify t path =

@@ -18,11 +18,22 @@
 
 type t
 
-val format : ?policy:State.policy -> Sero.Device.t -> t
+val format :
+  ?policy:State.policy ->
+  ?icache_cap:int ->
+  ?pcache_cap:int ->
+  Sero.Device.t ->
+  t
 (** Initialise an empty file system (root directory + first checkpoint)
-    on a fresh device. *)
+    on a fresh device.  [icache_cap] / [pcache_cap] bound the in-memory
+    inode and pointer caches (see {!State.create}). *)
 
-val mount : ?policy:State.policy -> Sero.Device.t -> (t, string) result
+val mount :
+  ?policy:State.policy ->
+  ?icache_cap:int ->
+  ?pcache_cap:int ->
+  Sero.Device.t ->
+  (t, string) result
 (** Load the latest checkpoint. *)
 
 type recovery = {
@@ -58,6 +69,17 @@ val attach_queue : t -> Sero.Queue.t -> unit
     @raise State.Fs_error if the queue serves a different device. *)
 
 val queue : t -> Sero.Queue.t option
+
+val attach_cache : t -> Sero.Bcache.t -> unit
+(** Route the file system's block IO through a {!Sero.Bcache} buffer
+    cache layered over its queue: repeat reads hit with zero sled
+    service, sequential reads prefetch, writes are write-behind
+    buffered until {!sync}, {!heat}, or cache pressure flushes them.
+    [sync] (and [unmount]) remain durable: they flush the cache
+    through to the medium before returning.
+    @raise State.Fs_error if the cache serves a different device. *)
+
+val cache : t -> Sero.Bcache.t option
 
 (** {1 Namespace} *)
 

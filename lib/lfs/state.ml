@@ -47,17 +47,22 @@ type t = {
   segs : seg array;
   open_segs : (int, int) Hashtbl.t;
   imap : (int, int) Hashtbl.t;
-  icache : (int, Enc.inode) Hashtbl.t;
-  pcache : (int, int array) Hashtbl.t;
+  icache : (int, Enc.inode) Sim.Lru.t;
+  pcache : (int, int array) Sim.Lru.t;
   dirty : (int, unit) Hashtbl.t;
   mutable next_ino : int;
   mutable seq : int;
   metrics : metrics;
   mutable ioq : Sero.Queue.t option;
   mutable io_prio : Sero.Queue.prio;
+  mutable bcache : Sero.Bcache.t option;
 }
 
-let create ?(policy = default_policy) dev =
+let default_icache_cap = 256
+let default_pcache_cap = 256
+
+let create ?(policy = default_policy) ?(icache_cap = default_icache_cap)
+    ?(pcache_cap = default_pcache_cap) dev =
   let lay = Sero.Device.layout dev in
   let n_lines = Sero.Layout.n_lines lay in
   if policy.segment_lines <= 0 || n_lines mod policy.segment_lines <> 0 then
@@ -68,6 +73,7 @@ let create ?(policy = default_policy) dev =
   let usable_per_seg =
     policy.segment_lines * Sero.Layout.data_blocks_per_line lay
   in
+  let dirty = Hashtbl.create 64 in
   {
     dev;
     lay;
@@ -87,9 +93,18 @@ let create ?(policy = default_policy) dev =
           });
     open_segs = Hashtbl.create 8;
     imap = Hashtbl.create 64;
-    icache = Hashtbl.create 64;
-    pcache = Hashtbl.create 64;
-    dirty = Hashtbl.create 64;
+    (* Bounded caches: a dirty inode's latest state (and its pointer
+       array, which may be newer than the on-medium inode) exists
+       nowhere else yet, so dirty inos are pinned until flushed. *)
+    icache =
+      Sim.Lru.create
+        ~evictable:(fun ino _ -> not (Hashtbl.mem dirty ino))
+        ~capacity:icache_cap ();
+    pcache =
+      Sim.Lru.create
+        ~evictable:(fun ino _ -> not (Hashtbl.mem dirty ino))
+        ~capacity:pcache_cap ();
+    dirty;
     next_ino = 1;
     seq = 0;
     metrics =
@@ -104,6 +119,7 @@ let create ?(policy = default_policy) dev =
       };
     ioq = None;
     io_prio = Sero.Queue.Foreground;
+    bcache = None;
   }
 
 let now t = Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev)
@@ -159,30 +175,43 @@ let attach_queue t q =
     raise (Fs_error "attach_queue: queue serves a different device");
   t.ioq <- Some q
 
+let attach_cache t c =
+  if not (Sero.Bcache.device c == t.dev) then
+    raise (Fs_error "attach_cache: cache serves a different device");
+  t.bcache <- Some c;
+  t.ioq <- Some (Sero.Bcache.queue c)
+
 let queue t = t.ioq
+let cache t = t.bcache
 let set_io_prio t prio = t.io_prio <- prio
 let io_prio t = t.io_prio
 
 let dev_read_block t ~pba =
-  match t.ioq with
-  | None -> Sero.Device.read_block t.dev ~pba
-  | Some q -> Sero.Queue.read_block ~prio:t.io_prio q ~pba
+  match t.bcache with
+  | Some c -> Sero.Bcache.read_block ~prio:t.io_prio c ~pba
+  | None -> (
+      match t.ioq with
+      | None -> Sero.Device.read_block t.dev ~pba
+      | Some q -> Sero.Queue.read_block ~prio:t.io_prio q ~pba)
 
 let dev_write_block t ~pba payload =
-  match t.ioq with
-  | None -> Sero.Device.write_block t.dev ~pba payload
-  | Some q -> Sero.Queue.write_block ~prio:t.io_prio q ~pba payload
+  match t.bcache with
+  | Some c -> Sero.Bcache.write_block ~prio:t.io_prio c ~pba payload
+  | None -> (
+      match t.ioq with
+      | None -> Sero.Device.write_block t.dev ~pba payload
+      | Some q -> Sero.Queue.write_block ~prio:t.io_prio q ~pba payload)
 
 let heat_line_dev t ~line =
-  match t.ioq with
-  | None ->
-      Sero.Device.heat_line t.dev ~line
-        ~timestamp:(Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev))
-        ()
-  | Some q ->
-      Sero.Queue.heat_line q ~line
-        ~timestamp:(Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev))
-        ()
+  let timestamp = Probe.Pdevice.elapsed (Sero.Device.pdevice t.dev) in
+  match t.bcache with
+  | Some c -> Sero.Bcache.heat_line c ~line ~timestamp ()
+  | None -> (
+      match t.ioq with
+      | None -> Sero.Device.heat_line t.dev ~line ~timestamp ()
+      | Some q -> Sero.Queue.heat_line q ~line ~timestamp ())
+
+let flush_block_cache t = Option.iter Sero.Bcache.sync t.bcache
 
 let read_payload_opt t ~pba =
   match dev_read_block t ~pba with
@@ -350,7 +379,7 @@ let mark_segment_heated t seg = t.segs.(seg).state <- Enc.Seg_heated
 let inode_pba t ino = Hashtbl.find_opt t.imap ino
 
 let load_inode t ino =
-  match Hashtbl.find_opt t.icache ino with
+  match Sim.Lru.find t.icache ino with
   | Some i -> i
   | None -> (
       match Hashtbl.find_opt t.imap ino with
@@ -360,10 +389,10 @@ let load_inode t ino =
           | None ->
               raise (Fs_error (Printf.sprintf "inode %d does not parse" ino))
           | Some i ->
-              Hashtbl.replace t.icache ino i;
+              ignore (Sim.Lru.add t.icache ino i);
               i))
 
-let cache_inode t (i : Enc.inode) = Hashtbl.replace t.icache i.Enc.ino i
+let cache_inode t (i : Enc.inode) = ignore (Sim.Lru.add t.icache i.Enc.ino i)
 let mark_dirty t ino = Hashtbl.replace t.dirty ino ()
 
 (* {1 Checkpoint} *)
@@ -462,8 +491,8 @@ let restore_from_checkpoint t (c : Enc.checkpoint) =
   t.next_ino <- c.Enc.next_ino;
   Hashtbl.reset t.imap;
   List.iter (fun (ino, pba) -> Hashtbl.replace t.imap ino pba) c.Enc.imap;
-  Hashtbl.reset t.icache;
-  Hashtbl.reset t.pcache;
+  Sim.Lru.clear t.icache;
+  Sim.Lru.clear t.pcache;
   Hashtbl.reset t.dirty;
   Hashtbl.reset t.open_segs;
   if Array.length c.Enc.segments <> t.n_segs then

@@ -58,10 +58,14 @@ type t = {
   segs : seg array;
   open_segs : (int, int) Hashtbl.t;  (** group -> open segment. *)
   imap : (int, int) Hashtbl.t;  (** ino -> inode PBA. *)
-  icache : (int, Enc.inode) Hashtbl.t;
-  pcache : (int, int array) Hashtbl.t;
+  icache : (int, Enc.inode) Sim.Lru.t;
+      (** Bounded inode cache; dirty inodes are pinned until flushed
+          (their latest state exists nowhere else). *)
+  pcache : (int, int array) Sim.Lru.t;
       (** Fully resolved block-pointer arrays (direct + indirect),
-          rebuilt lazily from the medium; see {!File}. *)
+          rebuilt lazily from the medium; see {!File}.  Bounded like
+          {!icache}, with dirty inos pinned (their array can be newer
+          than the on-medium inode). *)
   dirty : (int, unit) Hashtbl.t;
   mutable next_ino : int;
   mutable seq : int;
@@ -71,11 +75,17 @@ type t = {
   mutable io_prio : Sero.Queue.prio;
       (** Priority class tagged onto queued block IO ([Foreground]
           except while the cleaner runs). *)
+  mutable bcache : Sero.Bcache.t option;
+      (** Attached block buffer cache; takes precedence over [ioq] for
+          block IO (the cache itself fetches through its queue). *)
 }
 
-val create : ?policy:policy -> Sero.Device.t -> t
+val create :
+  ?policy:policy -> ?icache_cap:int -> ?pcache_cap:int -> Sero.Device.t -> t
 (** Fresh in-memory state over a device (no on-medium initialisation —
-    see {!format_checkpoint} / [Lfs.format]). *)
+    see {!format_checkpoint} / [Lfs.format]).  [icache_cap] and
+    [pcache_cap] (default 256 each) bound the inode and pointer caches;
+    see {!Sim.Lru}. *)
 
 val now : t -> float
 (** The device's simulated clock — used for mtimes and heat stamps. *)
@@ -105,7 +115,20 @@ val attach_queue : t -> Sero.Queue.t -> unit
 (** Route subsequent block IO through a request pipeline.
     @raise Fs_error if the queue serves a different device. *)
 
+val attach_cache : t -> Sero.Bcache.t -> unit
+(** Route subsequent block IO through a buffer cache (reads may hit
+    with zero sled service, writes are write-behind buffered); also
+    records the cache's queue as the attached pipeline.
+    @raise Fs_error if the cache serves a different device. *)
+
 val queue : t -> Sero.Queue.t option
+val cache : t -> Sero.Bcache.t option
+
+val flush_block_cache : t -> unit
+(** {!Sero.Bcache.sync} on the attached cache, if any: write-behind
+    data reaches the medium and the pipeline drains.  No-op without a
+    cache. *)
+
 val set_io_prio : t -> Sero.Queue.prio -> unit
 val io_prio : t -> Sero.Queue.prio
 

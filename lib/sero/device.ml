@@ -76,6 +76,12 @@ type t = {
   mutable remapped_tips : int;
   mutable scrub_rewrites : int;
   mutable torn_completions : int;
+  (* Mutation listeners let a layer above (the buffer cache) observe
+     every path that changes block contents under it — scrub rewrites,
+     heat/burn completions, attacker writes — so stale copies can never
+     mask what is actually on the medium. *)
+  mutable mutation_listeners : (pba:int -> n:int -> unit) list;
+  mutable fault_listeners : (unit -> unit) list;
 }
 
 let create config =
@@ -119,12 +125,31 @@ let create config =
     remapped_tips = 0;
     scrub_rewrites = 0;
     torn_completions = 0;
+    mutation_listeners = [];
+    fault_listeners = [];
   }
 
 let config t = t.config
 let layout t = t.layout
 let pdevice t = t.pdevice
-let install_fault t inj = Probe.Pdevice.install_fault t.pdevice inj
+
+let add_mutation_listener t f =
+  t.mutation_listeners <- f :: t.mutation_listeners
+
+let notify_mutation t ~pba ~n =
+  List.iter (fun f -> f ~pba ~n) t.mutation_listeners
+
+let on_fault_install t f = t.fault_listeners <- f :: t.fault_listeners
+let fault_installed t = Probe.Pdevice.fault t.pdevice <> None
+
+let install_fault t inj =
+  (* Listeners run first, before the injector arms: a cache flushing
+     write-behind data here still writes through a healthy device, so
+     the medium a fault plan perturbs is the same one an uncached
+     device would present. *)
+  List.iter (fun f -> f ()) t.fault_listeners;
+  Probe.Pdevice.install_fault t.pdevice inj
+
 let clear_fault t = Probe.Pdevice.clear_fault t.pdevice
 
 (* Remap every logical tip whose serving unit is broken onto the next
@@ -211,7 +236,8 @@ let unsafe_write_block t ~pba payload =
   in
   Probe.Pdevice.write_run t.pdevice
     ~start:(Layout.block_first_dot t.layout pba)
-    (bits_of_string_into t.scratch_block image)
+    (bits_of_string_into t.scratch_block image);
+  notify_mutation t ~pba ~n:1
 
 let unsafe_write_raw t ~pba image =
   if String.length image <> Codec.Sector.physical_bytes then
@@ -219,7 +245,8 @@ let unsafe_write_raw t ~pba image =
   t.writes <- t.writes + 1;
   Probe.Pdevice.write_run t.pdevice
     ~start:(Layout.block_first_dot t.layout pba)
-    (bits_of_string_into t.scratch_block image)
+    (bits_of_string_into t.scratch_block image);
+  notify_mutation t ~pba ~n:1
 
 let unsafe_read_raw t ~pba =
   t.reads <- t.reads + 1;
@@ -488,7 +515,7 @@ let burn_wo_area t ~start ~payload =
   let pattern = Codec.Manchester.encode payload in
   Probe.Pdevice.heat_run t.pdevice ~start pattern
 
-let heat_line t ~line ?(timestamp = 0.) () =
+let heat_line_inner t ~line ~timestamp =
   t.heats <- t.heats + 1;
   let payloads, unreadable, relocated = read_line t ~line in
   if unreadable <> [] || relocated <> [] then
@@ -554,6 +581,19 @@ let heat_line t ~line ?(timestamp = 0.) () =
         burn_and_verify
           (wo_payload ~hash ~line ~n_data:(List.length payloads) ~timestamp)
   end
+
+let heat_line t ~line ?(timestamp = 0.) () =
+  let r = heat_line_inner t ~line ~timestamp in
+  (* A successful heat (fresh burn, torn completion, or idempotent
+     re-heat) freezes the line and burns its write-once area: anything
+     cached for those blocks must now be re-read from the medium. *)
+  (match r with
+  | Ok _ ->
+      notify_mutation t
+        ~pba:(Layout.hash_block_of_line t.layout line)
+        ~n:(Layout.blocks_per_line t.layout)
+  | Error _ -> ());
+  r
 
 let verify_payloads ~hash ~region_id (payloads, unreadable, relocated) =
   let evidence = ref [] in
@@ -749,11 +789,15 @@ let unsafe_forge_burn t ~hash_pba ~data_pbas ~claim_line =
     wo_payload ~hash ~line:claim_line ~n_data:(List.length payloads)
       ~timestamp:0.
   in
-  burn_wo_area t ~start:(Layout.block_first_dot t.layout hash_pba) ~payload
+  burn_wo_area t ~start:(Layout.block_first_dot t.layout hash_pba) ~payload;
+  notify_mutation t ~pba:hash_pba ~n:1
 
 let unsafe_heat_dots t ~dot ~n =
   let pattern = Array.make n true in
-  Probe.Pdevice.heat_run t.pdevice ~start:dot pattern
+  Probe.Pdevice.heat_run t.pdevice ~start:dot pattern;
+  let first = dot / Layout.block_dots in
+  let last = min (t.config.n_blocks - 1) ((dot + n - 1) / Layout.block_dots) in
+  notify_mutation t ~pba:first ~n:(last - first + 1)
 
 let unsafe_magnetic_wipe t =
   let medium = Probe.Pdevice.medium t.pdevice in
@@ -763,7 +807,8 @@ let unsafe_magnetic_wipe t =
     | Pmedia.Dot.Heated -> () (* no perpendicular axis left to erase *)
     | Pmedia.Dot.Magnetised _ ->
         Pmedia.Medium.set medium i (Pmedia.Dot.Magnetised Pmedia.Dot.Down)
-  done
+  done;
+  notify_mutation t ~pba:0 ~n:t.config.n_blocks
 
 let refresh_heated_cache t =
   let medium = Probe.Pdevice.medium t.pdevice in

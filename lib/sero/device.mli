@@ -80,6 +80,25 @@ val install_fault : t -> Fault.Injector.t -> unit
 
 val clear_fault : t -> unit
 
+val fault_installed : t -> bool
+(** Whether a fault injector is currently routed through the device's
+    bit operations. *)
+
+val on_fault_install : t -> (unit -> unit) -> unit
+(** Register a callback that fires at each {!install_fault}, {e before}
+    the injector arms.  The buffer cache uses this as a barrier: it
+    flushes write-behind data through the still-healthy device and
+    drops its copies, so a fault plan perturbs exactly the medium an
+    uncached device would present. *)
+
+val add_mutation_listener : t -> (pba:int -> n:int -> unit) -> unit
+(** Register a callback fired after any operation that changes block
+    contents on the medium — writes (including {!scrub_rewrite_block}
+    and the raw attacker surface), successful {!heat_line} burns and
+    torn-burn completions, and {!unsafe_magnetic_wipe} — with the
+    affected PBA range.  Lets a cache above the device invalidate
+    stale copies so they can never mask a tamper verdict. *)
+
 val service_failed_tips : t -> int
 (** Remap every failed logical tip onto a healthy spare (when [ras]
     reserves any); returns the number of remaps performed.  Called

@@ -301,6 +301,22 @@ let submit_write t ?(prio = Foreground) ~pba payload k =
       let r = Device.write_block t.dev ~pba payload in
       fun () -> k r)
 
+let submit_write_span t ?(prio = Foreground) ~pba payloads k =
+  let n = Array.length payloads in
+  if n = 0 then invalid_arg "Queue.submit_write_span: empty span";
+  if pba < 0 || pba + n > (Device.config t.dev).Device.n_blocks then
+    invalid_arg "Queue.submit_write_span: PBA range out of bounds";
+  (* One request, one sled pass: the span is a single non-preemptive
+     service group, so a write-behind flush of n consecutive dirty
+     blocks costs one queue slot instead of n. *)
+  submit_other t prio (offset_of_pba t pba) (fun () ->
+      let rs =
+        Array.mapi (fun i p -> Device.write_block t.dev ~pba:(pba + i) p)
+          payloads
+      in
+      t.coalesced <- t.coalesced + (n - 1);
+      fun () -> k rs)
+
 let submit_heat_line t ?(prio = Foreground) ~line ?timestamp k =
   let timestamp =
     match timestamp with Some ts -> ts | None -> Sim.Des.now t.des
@@ -363,6 +379,14 @@ let read_block ?prio t ~pba =
 let write_block ?prio t ~pba payload =
   let cell = ref None and fin = ref false in
   submit_write t ?prio ~pba payload (fun r ->
+      cell := Some r;
+      fin := true);
+  await t fin;
+  Option.get !cell
+
+let write_span ?prio t ~pba payloads =
+  let cell = ref None and fin = ref false in
+  submit_write_span t ?prio ~pba payloads (fun r ->
       cell := Some r;
       fin := true);
   await t fin;

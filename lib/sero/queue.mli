@@ -83,6 +83,19 @@ val submit_write :
   ((unit, Device.write_error) result -> unit) ->
   unit
 
+val submit_write_span :
+  t ->
+  ?prio:prio ->
+  pba:int ->
+  string array ->
+  ((unit, Device.write_error) result array -> unit) ->
+  unit
+(** Write [n] consecutive blocks starting at [pba] as {e one} request:
+    a single non-preemptive sled pass serves the whole span, which is
+    how the buffer cache flushes write-behind data without paying one
+    queue slot per dirty block.  Per-block results come back in order;
+    counted in {!coalesced_requests} as span size − 1. *)
+
 val submit_heat_line :
   t ->
   ?prio:prio ->
@@ -151,6 +164,9 @@ val read_block : ?prio:prio -> t -> pba:int -> (string, Device.read_error) resul
 
 val write_block :
   ?prio:prio -> t -> pba:int -> string -> (unit, Device.write_error) result
+
+val write_span :
+  ?prio:prio -> t -> pba:int -> string array -> (unit, Device.write_error) result array
 
 val heat_line :
   t -> line:int -> ?timestamp:float -> unit -> (Hash.Sha256.t, Device.heat_error) result

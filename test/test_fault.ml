@@ -380,6 +380,78 @@ let lfs_cases =
                   "file data survives the crash" true
                   (String.length data > 0)
             | Error e -> Alcotest.failf "read after recover: %s" e);
+    Alcotest.test_case "no stale cache survives a crash and recover" `Quick
+      (fun () ->
+        let dev = make_dev ~n_blocks:256 ~ras:true () in
+        let q = Sero.Queue.create (Sim.Des.create ()) dev in
+        let bc = Sero.Bcache.create ~capacity:64 ~read_ahead:8 q in
+        let fs = Lfs.Fs.format dev in
+        Lfs.Fs.attach_queue fs q;
+        Lfs.Fs.attach_cache fs bc;
+        let durable =
+          String.concat "\n"
+            (List.init 60 (fun i -> Printf.sprintf "entry %04d" i))
+        in
+        (match Lfs.Fs.create fs "/ledger" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "create: %s" e);
+        (match Lfs.Fs.write_file fs "/ledger" ~offset:0 durable with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %s" e);
+        Lfs.Fs.sync fs;
+        (* Prime the block cache, then stage an update that only lives
+           in the volatile caches (inode + buffered blocks). *)
+        (match Lfs.Fs.read_file fs "/ledger" with
+        | Ok d -> Alcotest.(check string) "primed read" durable d
+        | Error e -> Alcotest.failf "read: %s" e);
+        (match Lfs.Fs.append fs "/ledger" "\nVOLATILE TAIL" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "append: %s" e);
+        (* Power dies while the next sync is mid-flight: some blocks
+           land, the checkpoint does not. *)
+        let inj =
+          Fault.Injector.create (Fault.Plan.make ~power_cut_after_ops:10 ())
+        in
+        Sero.Device.install_fault dev inj;
+        (match Lfs.Fs.sync fs with
+        | exception Fault.Injector.Power_cut -> ()
+        | () -> Alcotest.fail "expected the power cut to interrupt the sync");
+        Sero.Device.clear_fault dev;
+        (* Reboot: fs, queue and cache above are dead with the power.
+           Recovery sees only the medium. *)
+        match Lfs.Fs.recover dev with
+        | Error e -> Alcotest.failf "recover: %s" e
+        | Ok r ->
+            let read_via fs =
+              match Lfs.Fs.read_file fs "/ledger" with
+              | Ok d -> d
+              | Error e -> Alcotest.failf "read after recover: %s" e
+            in
+            let direct = read_via r.Lfs.Fs.fs in
+            Alcotest.(check string)
+              "recovered content is the durable state, not the cached tail"
+              durable direct;
+            (* A fresh cache over the recovered FS must agree with the
+               uncached view — twice, so the second read is a pure
+               cache hit. *)
+            let q2 = Sero.Queue.create (Sim.Des.create ()) dev in
+            let bc2 = Sero.Bcache.create ~capacity:64 ~read_ahead:8 q2 in
+            Lfs.Fs.attach_queue r.Lfs.Fs.fs q2;
+            Lfs.Fs.attach_cache r.Lfs.Fs.fs bc2;
+            Alcotest.(check string)
+              "cached read agrees" durable
+              (read_via r.Lfs.Fs.fs);
+            Alcotest.(check string)
+              "cache-hit read agrees" durable
+              (read_via r.Lfs.Fs.fs);
+            (* And so must an independent uncached mount. *)
+            (match Lfs.Fs.mount dev with
+            | Error e -> Alcotest.failf "second mount: %s" e
+            | Ok m2 ->
+                Alcotest.(check string)
+                  "independent mount agrees" durable (read_via m2));
+            Sero.Bcache.sync bc2;
+            Sero.Queue.drain q2);
   ]
 
 let () =

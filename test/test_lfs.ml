@@ -500,9 +500,71 @@ let persistence_cases =
              report.Lfs.Fsck.recovered_files));
   ]
 
+(* {1 Bounded metadata caches}
+
+   The inode and pointer caches share the [Sim.Lru] core with the block
+   buffer cache: a soft capacity that evicts clean entries LRU-first
+   while dirty (pinned) ones survive until flushed. *)
+
+let cache_bound_cases =
+  [
+    Alcotest.test_case "icache stays within its soft bound" `Quick (fun () ->
+        let dev =
+          Sero.Device.create
+            (Sero.Device.default_config ~n_blocks:2048 ~line_exp:3 ())
+        in
+        let fs = Lfs.Fs.format ~icache_cap:8 ~pcache_cap:8 dev in
+        for i = 0 to 39 do
+          ok "create" (Lfs.Fs.create fs (Printf.sprintf "/f%d" i))
+        done;
+        Lfs.Fs.sync fs;
+        (* All inodes are clean after sync; touching one more forces the
+           shrink walk, after which the soft bound holds exactly. *)
+        Alcotest.(check bool)
+          "exists" true
+          (Lfs.Fs.exists fs "/f0");
+        let st = Lfs.Fs.state fs in
+        Alcotest.(check bool)
+          "icache bounded" true
+          (Sim.Lru.length st.Lfs.State.icache <= 8);
+        Alcotest.(check bool)
+          "pcache bounded" true
+          (Sim.Lru.length st.Lfs.State.pcache <= 8);
+        (* Eviction is not loss: every file remains reachable, its
+           inode reloaded from the medium on demand. *)
+        for i = 0 to 39 do
+          Alcotest.(check bool)
+            "reachable after eviction" true
+            (Lfs.Fs.exists fs (Printf.sprintf "/f%d" i))
+        done);
+    Alcotest.test_case "dirty inodes are pinned past the bound" `Quick
+      (fun () ->
+        let dev =
+          Sero.Device.create
+            (Sero.Device.default_config ~n_blocks:2048 ~line_exp:3 ())
+        in
+        let fs = Lfs.Fs.format ~icache_cap:4 dev in
+        (* Without a sync, every created inode is dirty: the cache must
+           hold all of them even though the capacity is 4. *)
+        for i = 0 to 19 do
+          ok "create" (Lfs.Fs.create fs (Printf.sprintf "/d%d" i))
+        done;
+        let st = Lfs.Fs.state fs in
+        Alcotest.(check bool)
+          "dirty entries exceed the soft bound" true
+          (Sim.Lru.length st.Lfs.State.icache > 4);
+        Lfs.Fs.sync fs;
+        for i = 0 to 19 do
+          Alcotest.(check bool)
+            "intact after flush" true
+            (Lfs.Fs.exists fs (Printf.sprintf "/d%d" i))
+        done);
+  ]
+
 let () =
   Alcotest.run "lfs"
     [
+      ("caches", cache_bound_cases);
       ( "encodings",
         enc_cases
         @ List.map qtest

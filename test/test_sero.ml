@@ -511,6 +511,399 @@ let roundtrip_any_line =
           Sero.Tamper.equal_verdict (Sero.Device.verify_line dev ~line:3) Sero.Tamper.Intact
       | Error _ -> false)
 
+(* {1 Buffer cache}
+
+   The block buffer cache over the request pipeline: hit/miss
+   behaviour, read-ahead, write-behind, and the coherence rules that
+   keep it from ever masking what is on the medium. *)
+
+let make_cached ?(n_blocks = 128) ?(capacity = 32) ?(read_ahead = 0) () =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks ~line_exp:3 ())
+  in
+  let q = Sero.Queue.create (Sim.Des.create ()) dev in
+  (dev, q, Sero.Bcache.create ~capacity ~read_ahead q)
+
+(* Device reads return full-block payloads padded with NULs; the cache
+   hands back exactly what was written.  Strip the padding so the two
+   can be compared as logical payloads. *)
+let unpad s =
+  match String.index_opt s '\000' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let read_ok what r =
+  match r with
+  | Ok p -> unpad p
+  | Error e -> Alcotest.failf "%s: %a" what Sero.Device.pp_read_error e
+
+let bcache_cases =
+  [
+    Alcotest.test_case "read hit: zero simulated time, zero device ops" `Quick
+      (fun () ->
+        let dev, q, bc = make_cached () in
+        fill_line dev 1;
+        let pba = Sero.Layout.first_data_block (Sero.Device.layout dev) 1 in
+        let first = read_ok "miss" (Sero.Bcache.read_block bc ~pba) in
+        let reads0 = (Sero.Device.stats dev).Sero.Device.reads in
+        let t0 = Sim.Des.now (Sero.Queue.des q) in
+        let again = read_ok "hit" (Sero.Bcache.read_block bc ~pba) in
+        Alcotest.(check string) "same payload" first again;
+        Alcotest.(check int)
+          "no mrs issued" reads0 (Sero.Device.stats dev).Sero.Device.reads;
+        Alcotest.(check (float 0.))
+          "no simulated time" t0
+          (Sim.Des.now (Sero.Queue.des q));
+        let s = Sero.Bcache.stats bc in
+        Alcotest.(check int) "one hit" 1 s.Sero.Bcache.hits;
+        Alcotest.(check int) "one miss" 1 s.Sero.Bcache.misses);
+    Alcotest.test_case "read-ahead fills forward; joined reads are hits"
+      `Quick (fun () ->
+        let dev, q, bc = make_cached ~read_ahead:4 () in
+        fill_line dev 1;
+        fill_line dev 2;
+        let pbas =
+          Array.of_list
+            (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 1)
+        in
+        ignore (read_ok "miss" (Sero.Bcache.read_block bc ~pba:pbas.(0)));
+        Sero.Queue.drain q;
+        (* The next three blocks arrived as Background prefetches. *)
+        for i = 1 to 3 do
+          ignore (read_ok "ra hit" (Sero.Bcache.read_block bc ~pba:pbas.(i)))
+        done;
+        let s = Sero.Bcache.stats bc in
+        Alcotest.(check int) "prefetches issued" 4 s.Sero.Bcache.read_aheads;
+        Alcotest.(check int) "served from prefetch" 3 s.Sero.Bcache.read_ahead_hits;
+        Alcotest.(check int) "one miss only" 1 s.Sero.Bcache.misses);
+    Alcotest.test_case "write-behind: buffered, absorbed, flushed as a span"
+      `Quick (fun () ->
+        let dev, _q, bc = make_cached () in
+        fill_line dev 1;
+        let pbas =
+          Array.of_list
+            (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 1)
+        in
+        let writes0 = (Sero.Device.stats dev).Sero.Device.writes in
+        for i = 0 to 2 do
+          match Sero.Bcache.write_block bc ~pba:pbas.(i) "buffered" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e
+        done;
+        (match Sero.Bcache.write_block bc ~pba:pbas.(0) "rewritten" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e);
+        Alcotest.(check int)
+          "nothing on the medium yet" writes0
+          (Sero.Device.stats dev).Sero.Device.writes;
+        Alcotest.(check string)
+          "medium still has the old block" "line 1 block 0"
+          (read_ok "direct" (Sero.Device.read_block dev ~pba:pbas.(0)));
+        Sero.Bcache.sync bc;
+        Alcotest.(check string)
+          "flushed latest" "rewritten"
+          (read_ok "direct" (Sero.Device.read_block dev ~pba:pbas.(0)));
+        let s = Sero.Bcache.stats bc in
+        Alcotest.(check int) "absorbed overwrite" 1 s.Sero.Bcache.write_absorbed;
+        Alcotest.(check int) "one coalesced span" 1 s.Sero.Bcache.flushed_spans;
+        Alcotest.(check int) "three blocks" 3 s.Sero.Bcache.flushed_blocks);
+    Alcotest.test_case "heat flushes the line, then invalidates it" `Quick
+      (fun () ->
+        let dev, _q, bc = make_cached () in
+        let pbas =
+          Array.of_list
+            (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) 2)
+        in
+        Array.iteri
+          (fun i pba ->
+            match Sero.Bcache.write_block bc ~pba (Printf.sprintf "cell %d" i) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e)
+          pbas;
+        (match Sero.Bcache.heat_line bc ~line:2 () with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "heat: %a" Sero.Device.pp_heat_error e);
+        Alcotest.(check bool)
+          "line heated" true
+          (Sero.Device.is_line_heated dev ~line:2);
+        Alcotest.(check bool)
+          "verdict intact" true
+          (Sero.Tamper.equal_verdict
+             (Sero.Bcache.verify_line bc ~line:2)
+             Sero.Tamper.Intact);
+        (* The re-read comes from the medium, not a stale buffer. *)
+        let s = Sero.Bcache.stats bc in
+        Alcotest.(check bool)
+          "line invalidated" true
+          (s.Sero.Bcache.invalidations >= Array.length pbas);
+        ignore (read_ok "reread" (Sero.Bcache.read_block bc ~pba:pbas.(0)));
+        Alcotest.(check int)
+          "miss after invalidation" 1 (Sero.Bcache.stats bc).Sero.Bcache.misses;
+        (* Writes to the heated line refuse exactly like the device. *)
+        match Sero.Bcache.write_block bc ~pba:pbas.(0) "tamper" with
+        | Error Sero.Device.In_heated_line -> ()
+        | Ok () | Error _ -> Alcotest.fail "heated write must refuse");
+    Alcotest.test_case "foreign mutation invalidates the cached copy" `Quick
+      (fun () ->
+        let dev, _q, bc = make_cached () in
+        fill_line dev 1;
+        let pba = Sero.Layout.first_data_block (Sero.Device.layout dev) 1 in
+        ignore (read_ok "prime" (Sero.Bcache.read_block bc ~pba));
+        Sero.Device.unsafe_write_block dev ~pba "attacked";
+        Alcotest.(check string)
+          "reads what the medium holds" "attacked"
+          (read_ok "after attack" (Sero.Bcache.read_block bc ~pba));
+        (* The medium also wins over a buffered (dirty) write: the
+           attack post-dates the acknowledged write, so flushing the
+           stale buffer over it would repair evidence of tampering. *)
+        (match Sero.Bcache.write_block bc ~pba "buffered then attacked" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e);
+        Sero.Device.unsafe_write_block dev ~pba "attacked again";
+        Sero.Bcache.sync bc;
+        Alcotest.(check string)
+          "dirty buffer dropped, not flushed over the attack"
+          "attacked again"
+          (read_ok "direct" (Sero.Device.read_block dev ~pba)));
+    Alcotest.test_case "fault install: flush barrier, then bypass" `Quick
+      (fun () ->
+        let dev, _q, bc = make_cached () in
+        fill_line dev 1;
+        let pba = Sero.Layout.first_data_block (Sero.Device.layout dev) 1 in
+        (match Sero.Bcache.write_block bc ~pba "durable before the plan" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e);
+        Sero.Device.install_fault dev
+          (Fault.Injector.create (Fault.Plan.make ()));
+        (* The barrier pushed the buffered write through the healthy
+           device before the plan armed. *)
+        Alcotest.(check string)
+          "flushed by the barrier" "durable before the plan"
+          (read_ok "direct" (Sero.Device.read_block dev ~pba));
+        ignore (read_ok "bypass" (Sero.Bcache.read_block bc ~pba));
+        Alcotest.(check bool)
+          "ops bypass while installed" true
+          ((Sero.Bcache.stats bc).Sero.Bcache.bypasses >= 1);
+        Sero.Device.clear_fault dev);
+    Alcotest.test_case "hash blocks refuse buffered writes" `Quick (fun () ->
+        let dev, _q, bc = make_cached () in
+        let hash_pba = Sero.Layout.hash_block_of_line (Sero.Device.layout dev) 1 in
+        match Sero.Bcache.write_block bc ~pba:hash_pba "no" with
+        | Error Sero.Device.Reserved_hash_block -> ()
+        | Ok () | Error _ -> Alcotest.fail "hash block write must refuse");
+  ]
+
+(* {2 The twin-device equivalence law}
+
+   A cached device must be indistinguishable from an uncached one:
+   same read payloads, same heat results, same tamper verdicts — under
+   random interleavings of IO with scrub sweeps, raw-medium attacks and
+   torn-burn recovery.  Two qualifications make the law exact.
+   Payload-level equality is the right notion: write-behind
+   legitimately collapses generation counters, so frames differ
+   bit-wise while every observable result is identical.  And
+   device-side events (attacks, scrub, power cuts) are compared at
+   flush boundaries: write-behind genuinely reorders acknowledged
+   writes against concurrent medium mutations, so the executor settles
+   the cache before each one — mid-stream, the cache's "medium wins"
+   rule is pinned by a unit test instead. *)
+
+type twin_op =
+  | T_read of int
+  | T_write of int * int
+  | T_heat of int
+  | T_verify of int
+  | T_corrupt of int * int
+  | T_heat_dots of int
+  | T_scrub of int
+  | T_torn_burn of int * int
+
+let twin_equivalence =
+  let n_blocks = 64 and line_exp = 3 in
+  let lay = Sero.Layout.create ~n_blocks ~line_exp in
+  let n_lines = Sero.Layout.n_lines lay in
+  let data_pbas =
+    Array.of_list
+      (List.concat_map
+         (Sero.Layout.data_blocks_of_line lay)
+         (List.init n_lines Fun.id))
+  in
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map (fun i -> T_read i) (int_range 0 (Array.length data_pbas - 1)));
+          ( 6,
+            map2
+              (fun i tag -> T_write (i, tag))
+              (int_range 0 (Array.length data_pbas - 1))
+              (int_range 0 999) );
+          (2, map (fun l -> T_heat l) (int_range 0 (n_lines - 1)));
+          (2, map (fun l -> T_verify l) (int_range 0 (n_lines - 1)));
+          ( 1,
+            map2
+              (fun i tag -> T_corrupt (i, tag))
+              (int_range 0 (Array.length data_pbas - 1))
+              (int_range 0 999) );
+          (1, map (fun l -> T_heat_dots l) (int_range 0 (n_lines - 1)));
+          (1, map (fun l -> T_scrub l) (int_range 0 (n_lines - 1)));
+          ( 1,
+            map2
+              (fun l k -> T_torn_burn (l, k))
+              (int_range 0 (n_lines - 1))
+              (int_range 50 1500) );
+        ])
+  in
+  let print_op = function
+    | T_read i -> Printf.sprintf "read %d" i
+    | T_write (i, t) -> Printf.sprintf "write %d #%d" i t
+    | T_heat l -> Printf.sprintf "heat %d" l
+    | T_verify l -> Printf.sprintf "verify %d" l
+    | T_corrupt (i, t) -> Printf.sprintf "corrupt %d #%d" i t
+    | T_heat_dots l -> Printf.sprintf "heat_dots %d" l
+    | T_scrub l -> Printf.sprintf "scrub %d" l
+    | T_torn_burn (l, k) -> Printf.sprintf "torn_burn %d @%d" l k
+  in
+  let equal_read r1 r2 =
+    match (r1, r2) with
+    | Ok a, Ok b -> String.equal (unpad a) (unpad b)
+    | Error _, Error _ -> true
+    | Ok _, Error _ | Error _, Ok _ -> false
+  in
+  let equal_heat r1 r2 =
+    match (r1, r2) with
+    | Ok a, Ok b -> Hash.Sha256.equal a b
+    | Error _, Error _ -> true
+    | Ok _, Error _ | Error _, Ok _ -> false
+  in
+  let payload_of tag pba = Printf.sprintf "twin %d @%d" tag pba in
+  QCheck.Test.make ~name:"cached == uncached for every observable result"
+    ~count:60
+    QCheck.(
+      make
+        Gen.(
+          triple (int_range 4 32) (int_range 0 8) (list_size (5 -- 40) op_gen))
+        ~print:(fun (cap, ra, ops) ->
+          Printf.sprintf "cap=%d ra=%d: %s" cap ra
+            (String.concat "; " (List.map print_op ops))))
+    (fun (capacity, read_ahead, ops) ->
+      let mk () =
+        Sero.Device.create (Sero.Device.default_config ~n_blocks ~line_exp ())
+      in
+      let dev_a = mk () and dev_b = mk () in
+      let q_a = Sero.Queue.create (Sim.Des.create ()) dev_a in
+      let q_b = Sero.Queue.create (Sim.Des.create ()) dev_b in
+      let bc = Sero.Bcache.create ~capacity ~read_ahead q_b in
+      let settle () =
+        Sero.Bcache.flush bc;
+        Sero.Queue.drain q_b
+      in
+      let torn_burn dev line k =
+        let inj =
+          Fault.Injector.create (Fault.Plan.make ~power_cut_after_ewb:k ())
+        in
+        Sero.Device.install_fault dev inj;
+        (match Sero.Device.heat_line dev ~line () with
+        | exception Fault.Injector.Power_cut -> ()
+        | Ok _ | Error _ -> ());
+        Sero.Device.clear_fault dev;
+        (* Recovery: re-heating completes the torn burn idempotently. *)
+        Sero.Device.heat_line dev ~line ()
+      in
+      let step op =
+        match op with
+        | T_read i ->
+            let pba = data_pbas.(i) in
+            equal_read
+              (Sero.Queue.read_block q_a ~pba)
+              (Sero.Bcache.read_block bc ~pba)
+        | T_write (i, tag) ->
+            let pba = data_pbas.(i) in
+            let p = payload_of tag pba in
+            let r_a = Sero.Queue.write_block q_a ~pba p
+            and r_b = Sero.Bcache.write_block bc ~pba p in
+            (match (r_a, r_b) with
+            | Ok (), Ok () | Error _, Error _ -> true
+            | Ok (), Error _ | Error _, Ok () -> false)
+        | T_heat l ->
+            equal_heat
+              (Sero.Queue.heat_line q_a ~line:l ())
+              (Sero.Bcache.heat_line bc ~line:l ())
+        | T_verify l ->
+            Sero.Tamper.equal_verdict
+              (Sero.Device.verify_line dev_a ~line:l)
+              (Sero.Bcache.verify_line bc ~line:l)
+        | T_corrupt (i, tag) ->
+            (* Raw-medium attacks are compared at flush boundaries: a
+               write-behind cache genuinely reorders acknowledged
+               writes against concurrent medium mutations (the write
+               may still be buffered when the attack lands), so no
+               invalidation policy can reproduce the uncached
+               interleaving mid-stream.  Settling the cache first
+               makes the law exact; mid-stream the cache's own
+               "medium wins" rule is pinned by a unit test. *)
+            settle ();
+            let pba = data_pbas.(i) in
+            let p = "corrupt " ^ payload_of tag pba in
+            Sero.Device.unsafe_write_block dev_a ~pba p;
+            Sero.Device.unsafe_write_block dev_b ~pba p;
+            true
+        | T_heat_dots l ->
+            (* 24 dots: past the scrub threshold but comfortably inside
+               the RS budget, so reads of the wounded sector decode
+               deterministically on both twins.  A larger wound sits at
+               the decode boundary, where transient read noise — drawn
+               from each device's own RNG stream — legitimately makes
+               the outcome stochastic and the twins incomparable. *)
+            settle ();
+            let dot =
+              Sero.Layout.block_first_dot lay
+                (Sero.Layout.first_data_block lay l)
+            in
+            Sero.Device.unsafe_heat_dots dev_a ~dot ~n:24;
+            Sero.Device.unsafe_heat_dots dev_b ~dot ~n:24;
+            true
+        | T_scrub l ->
+            (* Scrub is device-side maintenance: it coordinates with
+               the cache by flushing the line it is about to sweep
+               (exactly as Fs.sync does before a checkpoint). *)
+            settle ();
+            let sweep dev =
+              let progress = Sero.Scrub.progress_create () in
+              Sero.Scrub.sweep_line dev progress ~line:l
+            in
+            sweep dev_a;
+            sweep dev_b;
+            true
+        | T_torn_burn (l, k) ->
+            (* The power-cut plan and recovery drive the device
+               directly (a fault escaping mid-pump would wedge the
+               queue), so this too is a flush-boundary comparison. *)
+            settle ();
+            equal_heat (torn_burn dev_a l k) (torn_burn dev_b l k)
+      in
+      let ok = List.for_all step ops in
+      (* Final settle: everything buffered lands; the two media must
+         then agree payload-for-payload and verdict-for-verdict. *)
+      Sero.Bcache.sync bc;
+      Sero.Queue.drain q_a;
+      let media_equal =
+        List.for_all
+          (fun pba ->
+            Sero.Layout.is_hash_block lay pba
+            || equal_read
+                 (Sero.Device.read_block dev_a ~pba)
+                 (Sero.Device.read_block dev_b ~pba))
+          (List.init n_blocks Fun.id)
+        && List.for_all
+             (fun l ->
+               Sero.Tamper.equal_verdict
+                 (Sero.Device.verify_line dev_a ~line:l)
+                 (Sero.Device.verify_line dev_b ~line:l))
+             (List.init n_lines Fun.id)
+      in
+      ok && media_equal)
+
 let () =
   Alcotest.run "sero"
     [
@@ -525,4 +918,5 @@ let () =
       ("verify-region", region_cases);
       ("whole-device", whole_device_cases);
       ("image", image_cases);
+      ("bcache", bcache_cases @ [ qtest twin_equivalence ]);
     ]

@@ -294,6 +294,162 @@ let pool_cases =
         Alcotest.(check int) "1" 1 (Sim.Pool.jobs ()));
   ]
 
+(* {1 LRU} *)
+
+let lru_cases =
+  [
+    Alcotest.test_case "find touches recency; add evicts the coldest" `Quick
+      (fun () ->
+        let l = Sim.Lru.create ~capacity:3 () in
+        List.iter (fun k -> ignore (Sim.Lru.add l k (k * 10))) [ 1; 2; 3 ];
+        Alcotest.(check (option int)) "hit" (Some 10) (Sim.Lru.find l 1);
+        (* 2 is now the coldest: adding a fourth key evicts it. *)
+        Alcotest.(check (list (pair int int)))
+          "evicted" [ (2, 20) ] (Sim.Lru.add l 4 40);
+        Alcotest.(check bool) "1 kept" true (Sim.Lru.mem l 1);
+        Alcotest.(check int) "len" 3 (Sim.Lru.length l));
+    Alcotest.test_case "pinned entries survive and soft-exceed capacity"
+      `Quick (fun () ->
+        (* Odd values are pinned. *)
+        let l =
+          Sim.Lru.create ~evictable:(fun _ v -> v mod 2 = 0) ~capacity:2 ()
+        in
+        ignore (Sim.Lru.add l 1 11);
+        ignore (Sim.Lru.add l 2 21);
+        Alcotest.(check (list (pair int int)))
+          "nothing evictable" [] (Sim.Lru.add l 3 31);
+        Alcotest.(check int) "soft-exceeded" 3 (Sim.Lru.length l);
+        (* An evictable entry drains as soon as the walk reaches it —
+           here the just-added one, since everything older is pinned. *)
+        Alcotest.(check (list (pair int int)))
+          "evictable entry sheds" [ (4, 40) ] (Sim.Lru.add l 4 40);
+        (* Unpinning 2 lets the bound recover immediately. *)
+        Alcotest.(check (list (pair int int)))
+          "unpinned entry evicted" [ (2, 20) ] (Sim.Lru.add l 2 20);
+        Alcotest.(check int) "back to capacity" 2 (Sim.Lru.length l));
+    Alcotest.test_case "add_lru inserts cold and is evicted first" `Quick
+      (fun () ->
+        let l = Sim.Lru.create ~capacity:3 () in
+        ignore (Sim.Lru.add l 1 10);
+        ignore (Sim.Lru.add l 2 20);
+        ignore (Sim.Lru.add_lru l 9 90);
+        Alcotest.(check (list (pair int int)))
+          "cold end last" [ (2, 20); (1, 10); (9, 90) ] (Sim.Lru.to_list_mru l);
+        (* A find promotes it like any hit... *)
+        Alcotest.(check (option int)) "promoted" (Some 90) (Sim.Lru.find l 9);
+        Alcotest.(check (list (pair int int)))
+          "now hottest" [ (9, 90); (2, 20); (1, 10) ] (Sim.Lru.to_list_mru l);
+        (* ...and replacing an existing binding keeps earned recency. *)
+        ignore (Sim.Lru.add_lru l 9 91);
+        Alcotest.(check (list (pair int int)))
+          "recency kept" [ (9, 91); (2, 20); (1, 10) ] (Sim.Lru.to_list_mru l));
+    Alcotest.test_case "set_capacity sheds LRU-first" `Quick (fun () ->
+        let l = Sim.Lru.create ~capacity:4 () in
+        List.iter (fun k -> ignore (Sim.Lru.add l k k)) [ 1; 2; 3; 4 ];
+        Alcotest.(check (list (pair int int)))
+          "two evicted, coldest first" [ (1, 1); (2, 2) ]
+          (Sim.Lru.set_capacity l 2);
+        Alcotest.(check int) "resized" 2 (Sim.Lru.capacity l));
+    Alcotest.test_case "trim sheds excess once pins release" `Quick (fun () ->
+        let pinned = Hashtbl.create 8 in
+        let l =
+          Sim.Lru.create ~evictable:(fun k _ -> not (Hashtbl.mem pinned k))
+            ~capacity:2 ()
+        in
+        List.iter
+          (fun k ->
+            Hashtbl.replace pinned k ();
+            ignore (Sim.Lru.add l k (k * 10)))
+          [ 1; 2; 3; 4 ];
+        Alcotest.(check int) "pins hold it over capacity" 4 (Sim.Lru.length l);
+        Hashtbl.reset pinned;
+        Alcotest.(check (list (pair int int)))
+          "trim evicts coldest first" [ (1, 10); (2, 20) ]
+          (Sim.Lru.trim l);
+        Alcotest.(check int) "back within bound" 2 (Sim.Lru.length l));
+    Alcotest.test_case "remove and clear" `Quick (fun () ->
+        let l = Sim.Lru.create ~capacity:4 () in
+        List.iter (fun k -> ignore (Sim.Lru.add l k k)) [ 1; 2; 3 ];
+        Sim.Lru.remove l 2;
+        Alcotest.(check bool) "gone" false (Sim.Lru.mem l 2);
+        Alcotest.(check int) "len" 2 (Sim.Lru.length l);
+        Sim.Lru.clear l;
+        Alcotest.(check int) "empty" 0 (Sim.Lru.length l);
+        Alcotest.(check (list (pair int int)))
+          "no stale list" [] (Sim.Lru.to_list_mru l));
+  ]
+
+(* Model-based check: the intrusive-list implementation against a naive
+   MRU-first assoc list with the same soft-capacity eviction rule.
+   Values [v] with [v mod 3 = 0] are pinned. *)
+let lru_matches_model =
+  let model_pinned v = v mod 3 = 0 in
+  let model_shrink cap l =
+    let n = List.length l in
+    if n <= cap then l
+    else
+      (* Walk from the cold end evicting unpinned entries. *)
+      let rec go excess = function
+        | [] -> []
+        | (k, v) :: hotter ->
+            if excess > 0 && not (model_pinned v) then go (excess - 1) hotter
+            else (k, v) :: go excess hotter
+      in
+      List.rev (go (n - cap) (List.rev l))
+  in
+  let apply_model cap l = function
+    | `Add (k, v) ->
+        let l = List.remove_assoc k l in
+        model_shrink cap ((k, v) :: l)
+    | `Add_lru (k, v) ->
+        if List.mem_assoc k l then
+          model_shrink cap (List.map (fun (k', v') -> (k', if k' = k then v else v')) l)
+        else model_shrink cap (l @ [ (k, v) ])
+    | `Find k -> (
+        match List.assoc_opt k l with
+        | None -> l
+        | Some v -> (k, v) :: List.remove_assoc k l)
+    | `Remove k -> List.remove_assoc k l
+  in
+  let op_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map2 (fun k v -> `Add (k, v)) (int_range 0 9) (int_range 0 99);
+          map2 (fun k v -> `Add_lru (k, v)) (int_range 0 9) (int_range 0 99);
+          map (fun k -> `Find k) (int_range 0 9);
+          map (fun k -> `Remove k) (int_range 0 9);
+        ])
+  in
+  let print_op = function
+    | `Add (k, v) -> Printf.sprintf "add %d %d" k v
+    | `Add_lru (k, v) -> Printf.sprintf "add_lru %d %d" k v
+    | `Find k -> Printf.sprintf "find %d" k
+    | `Remove k -> Printf.sprintf "remove %d" k
+  in
+  QCheck.Test.make ~name:"lru matches the naive model (with pinning)"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 6)
+        (make
+           Gen.(list_size (1 -- 60) op_gen)
+           ~print:(fun ops -> String.concat "; " (List.map print_op ops))))
+    (fun (cap, ops) ->
+      let l =
+        Sim.Lru.create ~evictable:(fun _ v -> not (model_pinned v)) ~capacity:cap ()
+      in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Add (k, v) -> ignore (Sim.Lru.add l k v)
+          | `Add_lru (k, v) -> ignore (Sim.Lru.add_lru l k v)
+          | `Find k -> ignore (Sim.Lru.find l k)
+          | `Remove k -> Sim.Lru.remove l k);
+          model := apply_model cap !model op;
+          Sim.Lru.to_list_mru l = !model)
+        ops)
+
 let pool_matches_list_map =
   QCheck.Test.make ~name:"parallel_map == List.map for any jobs" ~count:100
     QCheck.(pair (int_range 1 8) (small_list small_int))
@@ -308,5 +464,6 @@ let () =
       ("stats", stats_cases @ [ qtest percentile_bounds ]);
       ("heap", heap_cases @ [ qtest heap_sorts; qtest heap_stable ]);
       ("des", des_cases);
+      ("lru", lru_cases @ [ qtest lru_matches_model ]);
       ("pool", pool_cases @ [ qtest pool_matches_list_map ]);
     ]
