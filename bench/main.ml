@@ -298,6 +298,31 @@ let e21_bcache =
            Sero.Bcache.sync bc));
   ]
 
+let e22_endurance =
+  let dev =
+    Sero.Device.create
+      {
+        (Sero.Device.default_config ~n_blocks:256 ~line_exp:3 ()) with
+        Sero.Device.endurance = Sero.Device.active_endurance;
+      }
+  in
+  let lay = Sero.Device.layout dev in
+  let pbas = Array.of_list (Sero.Layout.data_blocks_of_line lay 1) in
+  Array.iter
+    (fun pba -> ignore (Sero.Device.write_block dev ~pba payload_512))
+    pbas;
+  let h = Sero.Device.health dev in
+  [
+    Test.make ~name:"e22 health note_decode + margin"
+      (Staged.stage (fun () ->
+           Sero.Health.note_decode h ~line:1 ~corrected:3;
+           ignore (Sero.Health.margin h ~line:1)));
+    Test.make ~name:"e22 next_due scan (healthy device)"
+      (Staged.stage (fun () -> ignore (Sero.Device.next_due dev)));
+    Test.make ~name:"e22 read_block with ledger accounting"
+      (Staged.stage (fun () -> ignore (Sero.Device.read_block dev ~pba:pbas.(0))));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -316,6 +341,7 @@ let groups =
     ("E19 scheduling", e19_sched);
     ("E20 request queue", e20_queue);
     ("E21 buffer cache", e21_bcache);
+    ("E22 endurance", e22_endurance);
   ]
 
 (* {1 Runner} *)
@@ -414,11 +440,16 @@ let json_escape s =
 
 let simulated_metrics () =
   let h = Expt.Cache_study.headline () in
+  let e = Expt.Endurance_study.headline () in
   [
     ("e21 nocache read ms", h.Expt.Cache_study.nocache_read_ms);
     ("e21 cached read ms", h.Expt.Cache_study.cached_read_ms);
     ("e21 read speedup", h.Expt.Cache_study.speedup);
     ("e21 hit pct", h.Expt.Cache_study.headline_hit_pct);
+    ("e22 lost off", e.Expt.Endurance_study.lost_off);
+    ("e22 lost on", e.Expt.Endurance_study.lost_on);
+    ("e22 saved pct", e.Expt.Endurance_study.saved_pct);
+    ("e22 audit pct", e.Expt.Endurance_study.audit_pct);
   ]
 
 let pp_section oc name kvs last =

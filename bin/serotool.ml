@@ -38,17 +38,38 @@ let with_fs image f =
 
 (* {1 Commands} *)
 
-let mkdev image blocks line_exp ras =
+let mkdev image blocks line_exp ras endurance spares =
   let base = Sero.Device.default_config ~n_blocks:blocks ~line_exp () in
   let config =
     if ras then { base with Sero.Device.ras = Sero.Device.active_ras } else base
   in
+  let config =
+    match (endurance, spares) with
+    | false, None -> config
+    | on, sp ->
+        let e =
+          if on then Sero.Device.active_endurance
+          else Sero.Device.default_endurance
+        in
+        let e =
+          match sp with
+          | None -> e
+          | Some n -> { e with Sero.Device.spare_lines = n }
+        in
+        { config with Sero.Device.endurance = e }
+  in
   match Sero.Device.create config with
   | dev ->
       Sero.Image.save dev image;
-      Format.fprintf std "created %s: %d blocks, lines of %d%s@." image blocks
+      let e = (Sero.Device.config dev).Sero.Device.endurance in
+      Format.fprintf std "created %s: %d blocks, lines of %d%s%s@." image blocks
         (1 lsl line_exp)
-        (if ras then ", RAS on" else "");
+        (if ras then ", RAS on" else "")
+        (if e.Sero.Device.health_enabled then
+           Printf.sprintf ", endurance on (%d spares)" e.Sero.Device.spare_lines
+         else if e.Sero.Device.spare_lines > 0 then
+           Printf.sprintf ", %d spares reserved" e.Sero.Device.spare_lines
+         else "");
       Format.pp_print_flush std ();
       `Ok ()
   | exception Invalid_argument e -> err "%s" e
@@ -159,6 +180,86 @@ let replay image trace_path =
             outcome.Workload.Trace.applied outcome.Workload.Trace.refused;
           Format.pp_print_flush std ();
           Ok true)
+
+(* The endurance ledger: device state, spares, per-line margins and the
+   grown-defect list. *)
+let health image limit =
+  with_device image (fun dev ->
+      let lay = Sero.Device.layout dev in
+      let e = (Sero.Device.config dev).Sero.Device.endurance in
+      let s = Sero.Device.stats dev in
+      Format.fprintf std
+        "endurance: %s (lifecycle %s), %d/%d spares left, %d retirements, %d \
+         re-attest failures@."
+        (Format.asprintf "%a" Sero.Device.pp_device_state
+           (Sero.Device.device_state dev))
+        (if e.Sero.Device.health_enabled then "on" else "off")
+        s.Sero.Device.spare_lines_left e.Sero.Device.spare_lines
+        s.Sero.Device.line_retirements s.Sero.Device.reattest_failures;
+      let usable = Sero.Layout.usable_lines lay in
+      let rows =
+        List.filteri (fun i _ -> i < limit)
+          (List.sort
+             (fun (_, a) (_, b) -> compare (a : float) b)
+             (List.init usable (fun l -> (l, Sero.Device.line_margin dev ~line:l))))
+      in
+      Format.fprintf std "weakest usable lines (of %d):@." usable;
+      List.iter
+        (fun (l, m) ->
+          let h = Sero.Health.line (Sero.Device.health dev) ~line:l in
+          Format.fprintf std
+            "  line %-5d phys %-5d margin %5.3f  reads %-6d retries %-4d \
+             unreadable %-4d defects %-4d%s@."
+            l
+            (Sero.Device.phys_of_line dev ~line:l)
+            m h.Sero.Health.reads h.Sero.Health.retries
+            h.Sero.Health.unreadable h.Sero.Health.defect_dots
+            (if Sero.Device.line_due dev ~line:l then "  DUE" else ""))
+        rows;
+      (match Sero.Device.migrations dev with
+      | [] -> ()
+      | ms ->
+          Format.fprintf std "grown-defect list:@.";
+          List.iter
+            (fun m ->
+              Format.fprintf std
+                "  line %d: phys %d -> %d%s at t=%g@." m.Sero.Device.m_line
+                m.Sero.Device.m_from m.Sero.Device.m_to
+                (if m.Sero.Device.m_heated then " (re-attested)" else "")
+                m.Sero.Device.m_timestamp)
+            ms);
+      Format.pp_print_flush std ();
+      Ok false)
+
+(* Evacuate one line (or everything the policy says is due). *)
+let migrate image line =
+  with_device image (fun dev ->
+      match line with
+      | Some line -> (
+          match Sero.Device.evacuate_line dev ~line () with
+          | Ok m ->
+              Format.fprintf std "line %d migrated: phys %d -> %d%s@."
+                m.Sero.Device.m_line m.Sero.Device.m_from m.Sero.Device.m_to
+                (if m.Sero.Device.m_heated then " (re-attested)" else "");
+              Format.pp_print_flush std ();
+              Ok true
+          | Error e ->
+              Error
+                (Format.asprintf "migrate line %d: %a" line
+                   Sero.Device.pp_migrate_error e)
+          | exception Invalid_argument e -> Error e)
+      | None ->
+          let ms = Sero.Device.maintenance dev () in
+          if ms = [] then Format.fprintf std "no line is due for migration@."
+          else
+            List.iter
+              (fun m ->
+                Format.fprintf std "line %d migrated: phys %d -> %d%s@."
+                  m.Sero.Device.m_line m.Sero.Device.m_from m.Sero.Device.m_to
+                  (if m.Sero.Device.m_heated then " (re-attested)" else ""))
+              ms;
+          Format.pp_print_flush std ();
+          Ok (ms <> []))
 
 let stats image =
   with_device image (fun dev ->
@@ -396,6 +497,37 @@ let () =
       value & flag
       & info [ "ras" ] ~doc:"Enable the RAS layer (retry, sparing, re-pulse).")
   in
+  let endurance =
+    Arg.(
+      value & flag
+      & info [ "endurance" ]
+          ~doc:
+            "Enable the endurance lifecycle: health-led line retirement \
+             onto reserved spares (4 unless $(b,--spares) says otherwise).")
+  in
+  let spares =
+    Arg.(
+      value & opt (some int) None
+      & info [ "spares" ] ~docv:"N"
+          ~doc:
+            "Lines reserved for grown-defect remapping (overrides the \
+             $(b,--endurance) default; without $(b,--endurance) the spares \
+             are reserved but no line retires automatically).")
+  in
+  let mig_line =
+    Arg.(
+      value & opt (some int) None
+      & info [ "line" ] ~docv:"LINE"
+          ~doc:
+            "Evacuate this usable line explicitly (default: migrate \
+             whatever the health ledger says is due).")
+  in
+  let health_limit =
+    Arg.(
+      value & opt int 10
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Show the N weakest usable lines (default 10).")
+  in
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Injection seed.")
   in
@@ -463,7 +595,8 @@ let () =
   let cmds =
     [
       cmd "mkdev" "Create a fresh device image."
-        Term.(const mkdev $ image_arg $ blocks $ line_exp $ ras);
+        Term.(const mkdev $ image_arg $ blocks $ line_exp $ ras $ endurance
+              $ spares);
       cmd "mkfs" "Format the SERO file system." Term.(const mkfs $ image_arg);
       cmd "ls" "List a directory." Term.(const ls $ image_arg $ path_arg 1);
       cmd "mkdir" "Create a directory."
@@ -479,6 +612,13 @@ let () =
       cmd "fsck" "Forensic scan: recover heated files from the raw medium."
         Term.(const fsck $ image_arg);
       cmd "stats" "Device statistics." Term.(const stats $ image_arg);
+      cmd "health"
+        "Endurance ledger: device state, spare pool, per-line margins and \
+         the grown-defect list."
+        Term.(const health $ image_arg $ health_limit);
+      cmd "migrate"
+        "Evacuate weakening lines onto spares (re-attesting heated lines)."
+        Term.(const migrate $ image_arg $ mig_line);
       cmd "map" "ASCII map of heated vs WMRM lines."
         Term.(const map_cmd $ image_arg);
       cmd "replay" "Replay a recorded operation trace onto the image."

@@ -88,7 +88,8 @@ let tip_sweep ?(max_failed = 3) ?(sectors = 28) () =
               match Sero.Device.classify_block dev ~pba with
               | Sero.Device.Bad_block -> incr bad
               | Sero.Device.Heated_block -> incr heated
-              | Sero.Device.Torn_block | Sero.Device.Healthy -> ()))
+              | Sero.Device.Torn_block | Sero.Device.Healthy
+              | Sero.Device.Retired_block -> ()))
         pbas;
       {
         failed_tips;

@@ -23,7 +23,7 @@ let mount ?policy ?icache_cap ?pcache_cap dev =
       Sero.Device.refresh_heated_cache dev;
       (* Heated lines on the medium override the checkpointed state. *)
       let lay = st.State.lay in
-      for line = 0 to Sero.Layout.n_lines lay - 1 do
+      for line = 0 to Sero.Layout.usable_lines lay - 1 do
         if Sero.Device.is_line_heated dev ~line then
           State.mark_segment_heated st
             (line / st.State.policy.State.segment_lines)
@@ -50,7 +50,7 @@ type recovery = { fs : t; torn_completed : int list; fsck : Fsck.report }
 let recover ?policy dev =
   let lay = Sero.Device.layout dev in
   let torn = ref [] in
-  for line = 0 to Sero.Layout.n_lines lay - 1 do
+  for line = 0 to Sero.Layout.usable_lines lay - 1 do
     match Sero.Device.read_hash_block dev ~line with
     | `Torn _ -> (
         match Sero.Device.heat_line dev ~line () with
@@ -69,6 +69,7 @@ let guard f =
   | v -> Ok v
   | exception State.Fs_error msg -> Error msg
   | exception State.Out_of_space -> Error "out of space"
+  | exception State.Read_only_device -> Error "device is read-only (endurance)"
 
 let resolve t path =
   match Dirops.lookup t.st path with

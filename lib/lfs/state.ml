@@ -1,6 +1,9 @@
 exception Out_of_space
 exception Fs_error of string
 
+exception Read_only_device
+(* The device's endurance state machine refuses all writes. *)
+
 type policy = {
   clustering : bool;
   segment_lines : int;
@@ -64,9 +67,11 @@ let default_pcache_cap = 256
 let create ?(policy = default_policy) ?(icache_cap = default_icache_cap)
     ?(pcache_cap = default_pcache_cap) dev =
   let lay = Sero.Device.layout dev in
-  let n_lines = Sero.Layout.n_lines lay in
+  (* Only the usable region below the device's spare lines belongs to
+     the file system; the endurance layer owns the rest. *)
+  let n_lines = Sero.Layout.usable_lines lay in
   if policy.segment_lines <= 0 || n_lines mod policy.segment_lines <> 0 then
-    raise (Fs_error "segment_lines must divide the line count");
+    raise (Fs_error "segment_lines must divide the usable line count");
   let n_segs = n_lines / policy.segment_lines in
   if policy.checkpoint_segments < 2 || policy.checkpoint_segments >= n_segs
   then raise (Fs_error "need at least 2 checkpoint segments and data room");
@@ -231,6 +236,7 @@ let write_block_exn t ~pba payload =
   t.metrics.fs_block_writes <- t.metrics.fs_block_writes + 1;
   match dev_write_block t ~pba payload with
   | Ok () -> ()
+  | Error Sero.Device.Read_only_device -> raise Read_only_device
   | Error e ->
       raise
         (Fs_error

@@ -15,6 +15,13 @@
 exception Out_of_space
 exception Fs_error of string
 
+exception Read_only_device
+(** The device's endurance state machine has gone read-only (spares
+    exhausted over a critically weak line): every write is refused so
+    the data that is still readable stays readable.  Surfaced as a
+    typed error so callers can distinguish graceful degradation from a
+    bug. *)
+
 type policy = {
   clustering : bool;
   segment_lines : int;  (** Lines per segment (default 4). *)

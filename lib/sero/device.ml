@@ -24,6 +24,29 @@ let active_ras =
     scrub_threshold = 6;
   }
 
+type endurance = {
+  health_enabled : bool;
+  spare_lines : int;
+  ewma_alpha : float;
+  retire_margin : float;
+}
+
+let default_endurance =
+  {
+    health_enabled = false;
+    spare_lines = 0;
+    ewma_alpha = 0.4;
+    retire_margin = 0.5;
+  }
+
+let active_endurance =
+  {
+    health_enabled = true;
+    spare_lines = 4;
+    ewma_alpha = 0.4;
+    retire_margin = 0.5;
+  }
+
 type config = {
   n_blocks : int;
   line_exp : int;
@@ -36,6 +59,7 @@ type config = {
   erb_cycles : int;
   strict_hash_locations : bool;
   ras : ras;
+  endurance : endurance;
 }
 
 let default_config ?(n_blocks = 512) ?(line_exp = 3) () =
@@ -51,14 +75,45 @@ let default_config ?(n_blocks = 512) ?(line_exp = 3) () =
     erb_cycles = 8;
     strict_hash_locations = true;
     ras = default_ras;
+    endurance = default_endurance;
   }
+
+type device_state = Healthy | Degraded | Read_only
+
+let pp_device_state ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Healthy -> "healthy"
+    | Degraded -> "degraded"
+    | Read_only -> "read-only")
+
+type migration = {
+  m_line : int;  (** Logical line that was rehomed. *)
+  m_from : int;  (** Physical line it vacated (the carcass). *)
+  m_to : int;  (** Physical line now serving it. *)
+  m_heated : bool;
+  m_hash : Hash.Sha256.t option;  (** Burned hash carried across. *)
+  m_timestamp : float;
+}
 
 type t = {
   config : config;
   layout : Layout.t;
   pdevice : Probe.Pdevice.t;
-  generations : int array;
-  heated : bool array; (* per line; cache of the medium's ground truth *)
+  generations : int array; (* per logical PBA *)
+  heated : bool array; (* per logical line; cache of the medium's truth *)
+  (* Grown-defect remap: [phys_line] maps logical line -> physical line
+     (a permutation; identity until a retirement), [log_of_phys] its
+     inverse.  Frames always embed the {e logical} PBA, so a migrated
+     line's data re-hashes to the same burned hash at its new home. *)
+  phys_line : int array;
+  log_of_phys : int array;
+  mutable spare_pool : int list; (* pristine spare physical lines, FIFO *)
+  retired : bool array; (* per physical line: a vacated carcass *)
+  health : Health.t; (* indexed by logical line *)
+  defects_of_phys : int array; (* manufacturing defect dots per phys line *)
+  mutable dstate : device_state;
+  mutable migrations : migration list; (* oldest first *)
   (* Reusable bit buffers for the sector and write-once hot paths; a
      block image is 38 KB as a bool array, too much to allocate per
      read.  Never live across a nested device call. *)
@@ -76,6 +131,8 @@ type t = {
   mutable remapped_tips : int;
   mutable scrub_rewrites : int;
   mutable torn_completions : int;
+  mutable line_retirements : int;
+  mutable reattest_failures : int;
   (* Mutation listeners let a layer above (the buffer cache) observe
      every path that changes block contents under it — scrub rewrites,
      heat/burn completions, attacker writes — so stale copies can never
@@ -85,7 +142,10 @@ type t = {
 }
 
 let create config =
-  let layout = Layout.create ~n_blocks:config.n_blocks ~line_exp:config.line_exp in
+  let layout =
+    Layout.create ~spare_lines:config.endurance.spare_lines
+      ~n_blocks:config.n_blocks ~line_exp:config.line_exp ()
+  in
   let medium =
     Pmedia.Medium.create
       {
@@ -106,12 +166,49 @@ let create config =
       erb_cycles = config.erb_cycles;
     }
   in
+  let n_lines = Layout.n_lines layout in
+  let line_dots = Layout.blocks_per_line layout * Layout.block_dots in
+  (* Manufacturing defect density per physical line, fed to the health
+     ledger as permanently at-risk symbols.  The clean-row bitmap makes
+     the common (defect-free) line a single query. *)
+  let defects_of_phys =
+    Array.init n_lines (fun l ->
+        let start = l * line_dots in
+        if Pmedia.Medium.run_defect_free medium ~start ~len:line_dots then 0
+        else begin
+          let n = ref 0 in
+          for d = start to start + line_dots - 1 do
+            if Pmedia.Medium.is_defect medium d then incr n
+          done;
+          !n
+        end)
+  in
+  let health =
+    Health.create
+      ~config:
+        {
+          Health.alpha = config.endurance.ewma_alpha;
+          retire_margin = config.endurance.retire_margin;
+        }
+      ~n_lines ()
+  in
+  Array.iteri (fun l n -> Health.set_defects health ~line:l n) defects_of_phys;
   {
     config;
     layout;
     pdevice = Probe.Pdevice.create ~config:pconfig medium;
     generations = Array.make config.n_blocks 0;
-    heated = Array.make (Layout.n_lines layout) false;
+    heated = Array.make n_lines false;
+    phys_line = Array.init n_lines (fun l -> l);
+    log_of_phys = Array.init n_lines (fun l -> l);
+    spare_pool =
+      List.init config.endurance.spare_lines (fun i ->
+          Layout.usable_lines layout + i);
+    retired = Array.make n_lines false;
+    health;
+    defects_of_phys;
+    dstate = Healthy;
+    migrations = [];
     scratch_block = Array.make Layout.block_dots false;
     scratch_wo = Array.make Layout.wo_area_dots false;
     scratch_image = Bytes.create (Layout.block_dots / 8);
@@ -125,6 +222,8 @@ let create config =
     remapped_tips = 0;
     scrub_rewrites = 0;
     torn_completions = 0;
+    line_retirements = 0;
+    reattest_failures = 0;
     mutation_listeners = [];
     fault_listeners = [];
   }
@@ -132,6 +231,48 @@ let create config =
 let config t = t.config
 let layout t = t.layout
 let pdevice t = t.pdevice
+let health t = t.health
+let device_state t = t.dstate
+let migrations t = t.migrations
+let spares_left t = List.length t.spare_pool
+let spare_pool t = t.spare_pool
+let phys_of_line t ~line = t.phys_line.(line)
+
+(* {1 Grown-defect address translation}
+
+   Honest firmware addresses dots through the remap table, so a retired
+   line's logical blocks transparently read from their new physical
+   home; frames keep their logical PBAs, which is what lets a migrated
+   line reproduce its burned hash.  The raw attacker surface below
+   bypasses this (the attacker addresses the physical medium). *)
+
+let phys_block t pba =
+  let bpl = Layout.blocks_per_line t.layout in
+  let line = pba / bpl in
+  let p = Array.unsafe_get t.phys_line line in
+  if p = line then pba else (p * bpl) + (pba - (line * bpl))
+
+let block_start t pba = Layout.block_first_dot t.layout (phys_block t pba)
+
+let wo_start t ~line =
+  Layout.wo_first_dot t.layout ~line:t.phys_line.(line)
+
+(* Whether every line touched by [pba .. pba+n-1] is identity-mapped:
+   the precondition for the bulk packed span (physical contiguity). *)
+let span_identity t ~pba ~n =
+  let bpl = Layout.blocks_per_line t.layout in
+  let first = pba / bpl and last = (pba + n - 1) / bpl in
+  let ok = ref true in
+  for l = first to last do
+    if t.phys_line.(l) <> l then ok := false
+  done;
+  !ok
+
+let quarantined t ~line =
+  Layout.is_spare_line t.layout line && t.retired.(t.phys_line.(line))
+
+let migration_from t ~phys =
+  List.find_opt (fun m -> m.m_from = phys) t.migrations
 
 let add_mutation_listener t f =
   t.mutation_listeners <- f :: t.mutation_listeners
@@ -162,7 +303,8 @@ let service_failed_tips t =
     for i = 0 to Probe.Tips.n_tips tips - 1 do
       if Probe.Tips.tip_failed tips i && Probe.Tips.remap_tip tips i then begin
         incr n;
-        t.remapped_tips <- t.remapped_tips + 1
+        t.remapped_tips <- t.remapped_tips + 1;
+        Health.note_tip_remap t.health
       end
     done;
     !n
@@ -206,7 +348,7 @@ let string_of_bits bits =
 
 (* {1 Magnetic sector ops} *)
 
-type write_error = Reserved_hash_block | In_heated_line
+type write_error = Reserved_hash_block | In_heated_line | Read_only_device
 
 type read_error =
   | Blank
@@ -217,6 +359,9 @@ let pp_write_error ppf = function
   | Reserved_hash_block ->
       Format.pp_print_string ppf "reserved hash block"
   | In_heated_line -> Format.pp_print_string ppf "line is read-only (heated)"
+  | Read_only_device ->
+      Format.pp_print_string ppf
+        "device is read-only (endurance spares exhausted)"
 
 let pp_read_error ppf = function
   | Blank -> Format.pp_print_string ppf "blank"
@@ -234,8 +379,7 @@ let unsafe_write_block t ~pba payload =
     Codec.Sector.encode ~pba ~kind:(frame_kind pba t)
       ~generation:t.generations.(pba) payload
   in
-  Probe.Pdevice.write_run t.pdevice
-    ~start:(Layout.block_first_dot t.layout pba)
+  Probe.Pdevice.write_run t.pdevice ~start:(block_start t pba)
     (bits_of_string_into t.scratch_block image);
   notify_mutation t ~pba ~n:1
 
@@ -243,14 +387,13 @@ let unsafe_write_raw t ~pba image =
   if String.length image <> Codec.Sector.physical_bytes then
     invalid_arg "Device.unsafe_write_raw: wrong image size";
   t.writes <- t.writes + 1;
-  Probe.Pdevice.write_run t.pdevice
-    ~start:(Layout.block_first_dot t.layout pba)
+  Probe.Pdevice.write_run t.pdevice ~start:(block_start t pba)
     (bits_of_string_into t.scratch_block image);
   notify_mutation t ~pba ~n:1
 
 let unsafe_read_raw t ~pba =
   t.reads <- t.reads + 1;
-  let start = Layout.block_first_dot t.layout pba in
+  let start = block_start t pba in
   (* The packed read skips the bool-array unpack/repack round trip; it
      declines (touching nothing) under faults, broken tips, defects or
      read noise, and the classic path takes over. *)
@@ -265,7 +408,8 @@ let unsafe_read_raw t ~pba =
   end
 
 let write_block t ~pba payload =
-  if Layout.is_hash_block t.layout pba then Error Reserved_hash_block
+  if t.dstate = Read_only then Error Read_only_device
+  else if Layout.is_hash_block t.layout pba then Error Reserved_hash_block
   else if t.heated.(Layout.line_of_block t.layout pba) then
     Error In_heated_line
   else begin
@@ -275,20 +419,31 @@ let write_block t ~pba payload =
 
 let all_zero s = String.for_all (fun c -> c = '\x00') s
 
-let decode_image ~pba image =
+(* Every sector decode feeds the health ledger — pure observation, so a
+   health-enabled device still returns bit-identical results. *)
+let decode_image t ~pba image =
+  let line = Layout.line_of_block t.layout pba in
   match Codec.Sector.decode image with
-  | Error e -> if all_zero image then Error Blank else Error (Unreadable e)
+  | Error e ->
+      if all_zero image then Error Blank
+      else begin
+        Health.note_unreadable t.health ~line;
+        Error (Unreadable e)
+      end
   | Ok d ->
+      Health.note_decode t.health ~line
+        ~corrected:d.Codec.Sector.corrected_symbols;
       if d.Codec.Sector.pba <> pba then Error (Wrong_location d.Codec.Sector.pba)
       else Ok d.Codec.Sector.payload
 
-let read_block_once t ~pba = decode_image ~pba (unsafe_read_raw t ~pba)
+let read_block_once t ~pba = decode_image t ~pba (unsafe_read_raw t ~pba)
 
 (* Bounded read retry: transient flips decorrelate between attempts, so
    a re-read often lands within the RS budget.  A persistent failure may
    be a dead tip — remap to a spare (if configured) before retrying. *)
 let ras_reread t ~pba first =
   ignore (service_failed_tips t);
+  let line = Layout.line_of_block t.layout pba in
   let rec retry n last =
     if n >= t.config.ras.read_retries then last
     else begin
@@ -296,9 +451,12 @@ let ras_reread t ~pba first =
       match read_block_once t ~pba with
       | Ok _ as ok ->
           t.retry_successes <- t.retry_successes + 1;
+          Health.note_retry t.health ~line ~won:true;
           ok
       | Error Blank as b -> b
-      | Error _ as e -> retry (n + 1) e
+      | Error _ as e ->
+          Health.note_retry t.health ~line ~won:false;
+          retry (n + 1) e
     end
   in
   retry 0 first
@@ -329,6 +487,7 @@ let read_blocks t ~pba ~n =
   if
     n > 1
     && Layout.block_dots mod t.config.n_tips = 0
+    && span_identity t ~pba ~n
     && Probe.Pdevice.read_run_packed t.pdevice
          ~start:(Layout.block_first_dot t.layout pba)
          ~len ~dst:big
@@ -337,7 +496,7 @@ let read_blocks t ~pba ~n =
     Array.init n (fun k ->
         let pba = pba + k in
         let image = Bytes.sub_string big (k * bytes_per_block) bytes_per_block in
-        match decode_image ~pba image with
+        match decode_image t ~pba image with
         | (Ok _ | Error Blank) as r -> r
         | Error _ as first ->
             if not t.config.ras.ras_enabled then first
@@ -453,8 +612,7 @@ let read_wo_area t ~start =
     | None -> `Tampered [ Tamper.Meta_corrupt ]
     | Some meta -> `Burned meta
 
-let read_hash_block t ~line =
-  read_wo_area t ~start:(Layout.wo_first_dot t.layout ~line)
+let read_hash_block t ~line = read_wo_area t ~start:(wo_start t ~line)
 
 (* {1 Hashing} *)
 
@@ -522,7 +680,7 @@ let heat_line_inner t ~line ~timestamp =
     Error (Unreadable_data (unreadable @ relocated))
   else begin
     let hash = line_hash_of_payloads ~line payloads in
-    let start = Layout.wo_first_dot t.layout ~line in
+    let start = wo_start t ~line in
     (* Burn, verify, and (with RAS) re-pulse while the readback still
        looks like an incomplete burn rather than tamper evidence.
        Re-burning is idempotent: ewb on an already-heated dot is a
@@ -610,18 +768,38 @@ let verify_payloads ~hash ~region_id (payloads, unreadable, relocated) =
 let verify_data_against t ~hash ~region_id ~data_pbas =
   verify_payloads ~hash ~region_id (read_region t ~data_pbas)
 
+(* A quarantined carcass is judged against its migration link, never
+   against its (decaying, superseded) data: the burn must still carry
+   the hash that was re-attested at the line's new home.  An attacker
+   altering either copy of the evidence chain therefore still shows. *)
+let verify_carcass t ~line =
+  match migration_from t ~phys:t.phys_line.(line) with
+  | None -> Tamper.Tampered [ Tamper.Meta_corrupt ]
+  | Some m -> (
+      match (read_hash_block t ~line, m.m_hash) with
+      | `Not_heated, None -> Tamper.Not_heated
+      | `Burned meta, Some h
+        when meta.line = m.m_line && Hash.Sha256.equal meta.hash h ->
+          Tamper.Intact
+      | `Torn _, _ -> Tamper.Tampered [ Tamper.Partially_burned ]
+      | `Tampered evs, _ -> Tamper.Tampered evs
+      | (`Not_heated | `Burned _), _ ->
+          Tamper.Tampered [ Tamper.Meta_corrupt ])
+
 let verify_line t ~line =
   t.verifies <- t.verifies + 1;
-  match read_hash_block t ~line with
-  | `Not_heated -> Tamper.Not_heated
-  | `Tampered evs -> Tamper.Tampered evs
-  | `Torn _ ->
-      (* Until completed, a torn burn is indistinguishable from an
-         interrupted forgery: report it. *)
-      Tamper.Tampered [ Tamper.Partially_burned ]
-  | `Burned meta ->
-      if meta.line <> line then Tamper.Tampered [ Tamper.Meta_corrupt ]
-      else verify_payloads ~hash:meta.hash ~region_id:line (read_line t ~line)
+  if quarantined t ~line then verify_carcass t ~line
+  else
+    match read_hash_block t ~line with
+    | `Not_heated -> Tamper.Not_heated
+    | `Tampered evs -> Tamper.Tampered evs
+    | `Torn _ ->
+        (* Until completed, a torn burn is indistinguishable from an
+           interrupted forgery: report it. *)
+        Tamper.Tampered [ Tamper.Partially_burned ]
+    | `Burned meta ->
+        if meta.line <> line then Tamper.Tampered [ Tamper.Meta_corrupt ]
+        else verify_payloads ~hash:meta.hash ~region_id:line (read_line t ~line)
 
 let verify_region t ~hash_pba ~data_pbas =
   t.verifies <- t.verifies + 1;
@@ -631,7 +809,7 @@ let verify_region t ~hash_pba ~data_pbas =
        claimed hash anywhere else is itself evidence (Section 5.1). *)
     Tamper.Tampered [ Tamper.Address_mismatch [ hash_pba ] ]
   else
-    match read_wo_area t ~start:(Layout.block_first_dot t.layout hash_pba) with
+    match read_wo_area t ~start:(block_start t hash_pba) with
     | `Not_heated -> Tamper.Not_heated
     | `Tampered evs -> Tamper.Tampered evs
     | `Torn _ -> Tamper.Tampered [ Tamper.Partially_burned ]
@@ -647,12 +825,14 @@ type scan_entry = { scanned_line : int; verdict : Tamper.verdict }
 let scan ?(deep = false) t =
   List.init (Layout.n_lines t.layout) (fun line ->
       let verdict =
-        match read_hash_block t ~line with
-        | `Not_heated -> Tamper.Not_heated
-        | `Tampered evs -> Tamper.Tampered evs
-        | `Torn _ -> Tamper.Tampered [ Tamper.Partially_burned ]
-        | `Burned _ when not deep -> Tamper.Intact
-        | `Burned _ -> verify_line t ~line
+        if quarantined t ~line then verify_carcass t ~line
+        else
+          match read_hash_block t ~line with
+          | `Not_heated -> Tamper.Not_heated
+          | `Tampered evs -> Tamper.Tampered evs
+          | `Torn _ -> Tamper.Tampered [ Tamper.Partially_burned ]
+          | `Burned _ when not deep -> Tamper.Intact
+          | `Burned _ -> verify_line t ~line
       in
       t.heated.(line) <-
         (match verdict with
@@ -660,7 +840,12 @@ let scan ?(deep = false) t =
         | Tamper.Intact | Tamper.Tampered _ -> true);
       { scanned_line = line; verdict })
 
-type block_class = Healthy | Heated_block | Torn_block | Bad_block
+type block_class =
+  | Healthy
+  | Heated_block
+  | Torn_block
+  | Bad_block
+  | Retired_block
 
 let pp_block_class ppf c =
   Format.pp_print_string ppf
@@ -668,10 +853,17 @@ let pp_block_class ppf c =
     | Healthy -> "healthy"
     | Heated_block -> "heated"
     | Torn_block -> "torn"
-    | Bad_block -> "bad")
+    | Bad_block -> "bad"
+    | Retired_block -> "retired")
 
 let classify_block t ~pba =
-  match read_block t ~pba with
+  (* The spare region is owned by the endurance layer: pristine spares
+     and retired carcasses alike must not be reported as bad blocks by
+     fsck or scrub inventories. *)
+  if Layout.is_spare_line t.layout (Layout.line_of_block t.layout pba) then
+    Retired_block
+  else
+    match read_block t ~pba with
   | Ok _ | Error Blank -> Healthy
   | Error (Unreadable _ | Wrong_location _) -> (
       (* A hash block with a half-burned write-once area is a torn
@@ -691,7 +883,7 @@ let classify_block t ~pba =
           (* Probe a sample of the block's dots electrically: heated dots
              answer the erb protocol as heated, defective-but-magnetic
              dots do not. *)
-          let start = Layout.block_first_dot t.layout pba in
+          let start = block_start t pba in
           let sample = 128 in
           let heated = Probe.Pdevice.erb_run t.pdevice ~start ~len:sample in
           let n =
@@ -718,6 +910,10 @@ type stats = {
   remapped_tips : int;
   scrub_rewrites : int;
   torn_completions : int;
+  line_retirements : int;
+  reattest_failures : int;
+  spare_lines_left : int;
+  state : device_state;
 }
 
 let stats t =
@@ -748,6 +944,10 @@ let stats t =
     remapped_tips = t.remapped_tips;
     scrub_rewrites = t.scrub_rewrites;
     torn_completions = t.torn_completions;
+    line_retirements = t.line_retirements;
+    reattest_failures = t.reattest_failures;
+    spare_lines_left = List.length t.spare_pool;
+    state = t.dstate;
   }
 
 let is_fully_ro t = Array.for_all (fun h -> h) t.heated
@@ -764,11 +964,253 @@ let pp_stats ppf s =
      ops: %d reads, %d writes, %d heats, %d verifies@ \
      simulated: %.3f s, %.3g J, %d collateral dots@ \
      ras: %d retries (%d won), %d re-pulses, %d remapped tips, %d scrub \
-     rewrites, %d torn completions"
+     rewrites, %d torn completions@ \
+     endurance: %a, %d retirements (%d re-attest failures), %d spares left"
     s.n_lines s.heated_lines (100. *. s.ro_fraction) s.heated_runs
     s.wmrm_data_blocks_left s.reads s.writes s.heats s.verifies s.elapsed
     s.energy s.collateral_damage s.retries s.retry_successes s.repulses
-    s.remapped_tips s.scrub_rewrites s.torn_completions
+    s.remapped_tips s.scrub_rewrites s.torn_completions pp_device_state
+    s.state s.line_retirements s.reattest_failures s.spare_lines_left
+
+(* {1 Endurance lifecycle: evacuate-and-re-attest migration} *)
+
+type migrate_error =
+  | No_spare
+  | Line_quarantined
+  | Source_unreadable of int list
+  | Reattest_failed
+
+let pp_migrate_error ppf = function
+  | No_spare -> Format.pp_print_string ppf "no spare line left"
+  | Line_quarantined ->
+      Format.pp_print_string ppf "line is quarantined (already a carcass)"
+  | Source_unreadable pbas ->
+      Format.fprintf ppf "source blocks unreadable: %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        pbas
+  | Reattest_failed ->
+      Format.pp_print_string ppf
+        "re-attestation failed (evidence would not survive the move)"
+
+(* Write a frame carrying the {e logical} [pba] at an explicit physical
+   block — the copy primitive of migration.  Bumps the generation like
+   any rewrite of the block. *)
+let write_frame_at_phys (t : t) ~pba ~phys_pba payload =
+  t.writes <- t.writes + 1;
+  t.generations.(pba) <- t.generations.(pba) + 1;
+  let image =
+    Codec.Sector.encode ~pba ~kind:(frame_kind pba t)
+      ~generation:t.generations.(pba) payload
+  in
+  Probe.Pdevice.write_run t.pdevice
+    ~start:(Layout.block_first_dot t.layout phys_pba)
+    (bits_of_string_into t.scratch_block image)
+
+let blank_block_at_phys (t : t) ~phys_pba =
+  t.writes <- t.writes + 1;
+  Array.fill t.scratch_block 0 Layout.block_dots false;
+  Probe.Pdevice.write_run t.pdevice
+    ~start:(Layout.block_first_dot t.layout phys_pba)
+    t.scratch_block
+
+let update_state t =
+  if t.config.endurance.health_enabled && t.spare_pool = [] then begin
+    if t.dstate = Healthy && t.line_retirements > 0 then t.dstate <- Degraded;
+    (* A critically weak line (its observed error level already consumes
+       the whole RS budget) with nowhere to go: stop taking writes so
+       what is still readable stays readable. *)
+    let critical = ref false in
+    for l = 0 to Layout.usable_lines t.layout - 1 do
+      if Health.margin t.health ~line:l <= 0. then critical := true
+    done;
+    if !critical then t.dstate <- Read_only
+  end
+
+(* Relocate logical line [line] onto a fresh spare.
+
+   Crash-ordering (the simulation keeps device state across a power
+   cut, modelling a remap table persisted before the burn):
+   1. read every data payload through the current mapping;
+   2. pre-image the spare: each data slot gets its frame (logical PBA,
+      bumped generation) or an explicit blank — a cut here leaves the
+      mapping untouched, the old line still serves;
+   3. swap the remap entries (the commit point) and quarantine the
+      carcass;
+   4. for a heated line, re-burn the {e original} hash/metadata at the
+      new home — a cut mid-burn leaves a torn area over complete,
+      matching data, which {!heat_line} (via [Fs.recover]) completes to
+      the identical hash and timestamp.
+
+   A heated line whose data no longer matches its burned hash, or whose
+   write-once area is torn/tampered, is {e not} migrated: moving it
+   would launder the tamper evidence ([Reattest_failed]). *)
+let evacuate_line t ~line ?(timestamp = 0.) () =
+  if line < 0 || line >= Layout.usable_lines t.layout then
+    invalid_arg "Device.evacuate_line: not a usable line";
+  if quarantined t ~line || t.retired.(t.phys_line.(line)) then
+    Error Line_quarantined
+  else
+    match t.spare_pool with
+    | [] ->
+        update_state t;
+        Error No_spare
+    | spare :: rest -> (
+        (* Like [read_line], but a blank block is a legal empty slot to
+           carry across, not a loss. *)
+        let payloads = ref [] and bad = ref [] in
+        Layout.iter_data_blocks t.layout line (fun pba ->
+            match read_block t ~pba with
+            | Ok payload -> payloads := (pba, payload) :: !payloads
+            | Error Blank -> ()
+            | Error (Unreadable _ | Wrong_location _) -> bad := pba :: !bad);
+        let payloads = List.rev !payloads and bad = List.rev !bad in
+        if bad <> [] then Error (Source_unreadable bad)
+        else
+          let wo = read_hash_block t ~line in
+          let proceed meta_opt =
+            let bpl = Layout.blocks_per_line t.layout in
+            (* 2: pre-image every data slot of the spare. *)
+            Layout.iter_data_blocks t.layout line (fun pba ->
+                let phys_pba = (spare * bpl) + (pba mod bpl) in
+                match List.assoc_opt pba payloads with
+                | Some payload -> write_frame_at_phys t ~pba ~phys_pba payload
+                | None -> blank_block_at_phys t ~phys_pba);
+            (* 3: commit — swap the permutation entries. *)
+            let old_phys = t.phys_line.(line) in
+            let spare_logical = t.log_of_phys.(spare) in
+            t.phys_line.(line) <- spare;
+            t.log_of_phys.(spare) <- line;
+            t.phys_line.(spare_logical) <- old_phys;
+            t.log_of_phys.(old_phys) <- spare_logical;
+            t.spare_pool <- rest;
+            t.retired.(old_phys) <- true;
+            t.line_retirements <- t.line_retirements + 1;
+            let m =
+              {
+                m_line = line;
+                m_from = old_phys;
+                m_to = spare;
+                m_heated = meta_opt <> None;
+                m_hash =
+                  Option.map (fun (m : burned_meta) -> m.hash) meta_opt;
+                m_timestamp = timestamp;
+              }
+            in
+            t.migrations <- t.migrations @ [ m ];
+            t.heated.(spare_logical) <- t.heated.(line);
+            (* The line reads from fresh medium now: forget its error
+               history, keep the new home's manufacturing defects. *)
+            Health.reset_line t.health ~line
+              ~defect_dots:t.defects_of_phys.(spare);
+            let finish r =
+              update_state t;
+              notify_mutation t
+                ~pba:(Layout.hash_block_of_line t.layout line)
+                ~n:bpl;
+              notify_mutation t
+                ~pba:(Layout.hash_block_of_line t.layout spare_logical)
+                ~n:bpl;
+              r
+            in
+            match meta_opt with
+            | None ->
+                t.heated.(line) <- false;
+                finish (Ok m)
+            | Some (meta : burned_meta) ->
+                (* 4: re-attest — burn the original hash and metadata at
+                   the new write-once area and verify the burn. *)
+                let payload =
+                  wo_payload ~hash:meta.hash ~line
+                    ~n_data:meta.n_data_blocks ~timestamp:meta.timestamp
+                in
+                let attempts =
+                  1
+                  + if t.config.ras.ras_enabled then t.config.ras.max_repulses
+                    else 0
+                in
+                let rec go n =
+                  burn_wo_area t ~start:(wo_start t ~line) ~payload;
+                  match read_hash_block t ~line with
+                  | `Burned got when Hash.Sha256.equal got.hash meta.hash ->
+                      t.heated.(line) <- true;
+                      finish (Ok m)
+                  | (`Not_heated | `Torn _) when n < attempts ->
+                      t.repulses <- t.repulses + 1;
+                      go (n + 1)
+                  | _ ->
+                      t.reattest_failures <- t.reattest_failures + 1;
+                      finish (Error Reattest_failed)
+                in
+                go 1
+          in
+          match wo with
+          | `Not_heated -> proceed None
+          | `Burned meta ->
+              (* The evidence chain must survive the move: the data just
+                 read has to reproduce the burned hash before the copy
+                 is allowed to supersede it. *)
+              let computed = line_hash_of_payloads ~line payloads in
+              if
+                meta.line = line && Hash.Sha256.equal computed meta.hash
+              then proceed (Some meta)
+              else begin
+                t.reattest_failures <- t.reattest_failures + 1;
+                Error Reattest_failed
+              end
+          | `Torn _ | `Tampered _ ->
+              t.reattest_failures <- t.reattest_failures + 1;
+              Error Reattest_failed)
+
+let line_margin t ~line = Health.margin t.health ~line
+
+let line_due t ~line =
+  t.config.endurance.health_enabled
+  && line < Layout.usable_lines t.layout
+  && (not (t.retired.(t.phys_line.(line))))
+  && Health.margin t.health ~line <= t.config.endurance.retire_margin
+
+let next_due t =
+  if not t.config.endurance.health_enabled then None
+  else
+    match
+      Health.weakest ~limit:(Layout.usable_lines t.layout) t.health
+    with
+    | Some (line, margin)
+      when margin <= t.config.endurance.retire_margin
+           && not t.retired.(t.phys_line.(line)) ->
+        Some line
+    | _ -> None
+
+(* One maintenance sweep: evacuate every due line, weakest first, while
+   spares last.  A line whose evacuation fails (tamper-evident source,
+   unreadable blocks) is skipped rather than blocking the rest.
+   Returns the performed migrations in order. *)
+let maintenance t ?(timestamp = 0.) () =
+  let ms =
+    if not t.config.endurance.health_enabled then []
+    else begin
+      let due =
+        Health.lines_at_or_below
+          ~limit:(Layout.usable_lines t.layout)
+          t.health t.config.endurance.retire_margin
+        |> List.filter (fun line -> not t.retired.(t.phys_line.(line)))
+        |> List.sort (fun a b ->
+               compare
+                 (Health.margin t.health ~line:a, a)
+                 (Health.margin t.health ~line:b, b))
+      in
+      List.filter_map
+        (fun line ->
+          match evacuate_line t ~line ~timestamp () with
+          | Ok m -> Some m
+          | Error _ -> None)
+        due
+    end
+  in
+  update_state t;
+  ms
 
 (* {1 Raw attacker surface} *)
 
@@ -813,7 +1255,7 @@ let unsafe_magnetic_wipe t =
 let refresh_heated_cache t =
   let medium = Probe.Pdevice.medium t.pdevice in
   for line = 0 to Layout.n_lines t.layout - 1 do
-    let start = Layout.wo_first_dot t.layout ~line in
+    let start = wo_start t ~line in
     let heated_dots =
       Pmedia.Medium.count_heated_run medium ~start ~len:Layout.wo_area_dots
     in
@@ -821,3 +1263,18 @@ let refresh_heated_cache t =
        i.e. half the area; anything substantial counts as heated. *)
     t.heated.(line) <- 4 * heated_dots >= Layout.wo_area_dots
   done
+
+(* {1 Image persistence hooks} *)
+
+let restore_endurance t ~phys_line ~spare_pool ~migrations ~state =
+  let n_lines = Layout.n_lines t.layout in
+  if Array.length phys_line <> n_lines then
+    invalid_arg "Device.restore_endurance: remap table arity mismatch";
+  Array.blit phys_line 0 t.phys_line 0 n_lines;
+  Array.iteri (fun l p -> t.log_of_phys.(p) <- l) t.phys_line;
+  Array.fill t.retired 0 n_lines false;
+  List.iter (fun m -> t.retired.(m.m_from) <- true) migrations;
+  t.spare_pool <- spare_pool;
+  t.migrations <- migrations;
+  t.line_retirements <- List.length migrations;
+  t.dstate <- state

@@ -44,6 +44,26 @@ val active_ras : ras
 (** A serviceable profile: 3 retries, 2 re-pulses, 4 spare tips,
     rewrite at 6 corrected symbols. *)
 
+type endurance = {
+  health_enabled : bool;
+      (** Gate for retirement {e decisions} ({!line_due}, {!maintenance},
+          the Healthy/Degraded/Read-only state machine).  The health
+          ledger itself observes unconditionally — observation never
+          changes device behaviour. *)
+  spare_lines : int;
+      (** Lines reserved at format time at the top of the address space
+          for grown-defect remapping ({!Layout.usable_lines}). *)
+  ewma_alpha : float;  (** Smoothing for the per-line error EWMA. *)
+  retire_margin : float;
+      (** RS-budget margin at or below which a line is evacuated. *)
+}
+
+val default_endurance : endurance
+(** Lifecycle off, no spares. *)
+
+val active_endurance : endurance
+(** Lifecycle on: 4 spare lines, alpha 0.4, retire at margin 0.5. *)
+
 type config = {
   n_blocks : int;
   line_exp : int;  (** Lines are [2^line_exp] blocks. *)
@@ -58,6 +78,7 @@ type config = {
       (** When [false] (ablation only), {!verify_line} accepts a burned
           hash found at {e any} block of the line. *)
   ras : ras;
+  endurance : endurance;
 }
 
 val default_config : ?n_blocks:int -> ?line_exp:int -> unit -> config
@@ -69,6 +90,8 @@ val create : config -> t
 val config : t -> config
 val layout : t -> Layout.t
 val pdevice : t -> Probe.Pdevice.t
+val health : t -> Health.t
+(** The per-line endurance ledger (indexed by logical line). *)
 
 (** {1 Fault injection and servicing} *)
 
@@ -111,6 +134,10 @@ type write_error =
   | In_heated_line
       (** Honest firmware refuses to overwrite read-only data; attackers
           use {!unsafe_write_block}. *)
+  | Read_only_device
+      (** The endurance state machine has reached [Read_only]: spares
+          are exhausted and a critically weak line cannot be evacuated,
+          so the device stops taking writes to degrade gracefully. *)
 
 type read_error =
   | Blank  (** Never written (or wiped): no valid frame. *)
@@ -223,7 +250,15 @@ val scan : ?deep:bool -> t -> scan_entry list
     write-once area electrically; with [deep] also verifies the data of
     burned lines.  Rebuilds the heated-line cache as a side effect. *)
 
-type block_class = Healthy | Heated_block | Torn_block | Bad_block
+type block_class =
+  | Healthy
+  | Heated_block
+  | Torn_block
+  | Bad_block
+  | Retired_block
+      (** The block lies in the reserved spare region — a pristine spare
+          or a retired carcass.  Owned by the endurance layer; must not
+          be reported as a bad block by fsck or scrub inventories. *)
 
 val classify_block : t -> pba:int -> block_class
 (** The paper's bad-block challenge: "a heated block should not be
@@ -234,6 +269,13 @@ val classify_block : t -> pba:int -> block_class
     recoverable by re-running {!heat_line}, not heated, not bad. *)
 
 val pp_block_class : Format.formatter -> block_class -> unit
+
+type device_state =
+  | Healthy
+  | Degraded  (** Spares exhausted; existing data still fully served. *)
+  | Read_only
+      (** A critically weak line cannot be evacuated: writes are refused
+          ([Read_only_device]) so what is readable stays readable. *)
 
 type stats = {
   n_lines : int;
@@ -256,6 +298,12 @@ type stats = {
   remapped_tips : int;  (** Failed tips remapped onto spares. *)
   scrub_rewrites : int;  (** Sectors refreshed by {!Scrub}. *)
   torn_completions : int;  (** Torn burns completed by {!heat_line}. *)
+  line_retirements : int;  (** Lines evacuated onto spares. *)
+  reattest_failures : int;
+      (** Migrations refused or failed because the evidence chain would
+          not survive the move. *)
+  spare_lines_left : int;
+  state : device_state;
 }
 
 val stats : t -> stats
@@ -304,3 +352,102 @@ val unsafe_magnetic_wipe : t -> unit
 val refresh_heated_cache : t -> unit
 (** Re-derive the heated-line cache from the medium (used after raw
     attacks so honest queries see ground truth). *)
+
+(** {1 Endurance lifecycle}
+
+    The graceful-degradation layer over the health ledger: spare lines
+    reserved at format time, a grown-defect remap table (logical line ->
+    physical line permutation; frames keep their logical PBAs so a
+    migrated line reproduces its burned hash at its new home), and
+    evacuate-and-re-attest migration off weakening lines before the RS
+    budget exhausts. *)
+
+val device_state : t -> device_state
+val pp_device_state : Format.formatter -> device_state -> unit
+
+type migration = {
+  m_line : int;  (** Logical line that was rehomed. *)
+  m_from : int;  (** Physical line it vacated (the carcass). *)
+  m_to : int;  (** Physical line now serving it. *)
+  m_heated : bool;
+  m_hash : Hash.Sha256.t option;
+      (** The burned hash carried across — the old->new attestation
+          link.  {!verify_line} on the quarantined carcass checks its
+          burn against this, and the re-burned area at the new home
+          must reproduce it exactly. *)
+  m_timestamp : float;
+}
+
+val migrations : t -> migration list
+(** The grown-defect list, oldest first. *)
+
+val spares_left : t -> int
+
+val spare_pool : t -> int list
+(** Physical line ids of the unused spares (image persistence). *)
+
+val phys_of_line : t -> line:int -> int
+(** Current physical line serving a logical line (identity until the
+    line is retired). *)
+
+val quarantined : t -> line:int -> bool
+(** Whether logical [line] (necessarily in the spare region) addresses
+    a retired carcass.  {!verify_line} and {!scan} judge such lines
+    against their migration link, never against the superseded data. *)
+
+type migrate_error =
+  | No_spare
+  | Line_quarantined
+  | Source_unreadable of int list
+      (** Data blocks that could not be read even through RAS; the line
+          cannot be relocated without loss and is left in place. *)
+  | Reattest_failed
+      (** The source is tamper-evident (hash mismatch, torn or tampered
+          write-once area) or the re-burn failed verification: migrating
+          would launder the evidence, so the line stays. *)
+
+val evacuate_line :
+  t -> line:int -> ?timestamp:float -> unit -> (migration, migrate_error) result
+(** Relocate a usable logical line onto a fresh spare: read every data
+    payload through the current mapping, pre-image the spare (frames
+    with logical PBAs and bumped generations, explicit blanks for
+    unwritten slots), swap the remap entries (the commit point), and —
+    for a heated line — re-burn the {e original} hash and metadata at
+    the new home and verify the burn.  A power cut before the swap
+    leaves the old line serving; a cut during the re-burn leaves a torn
+    area over complete matching data, which [Fs.recover]'s torn-burn
+    completion finishes to the identical hash and timestamp.  Mutation
+    listeners fire over both affected line ranges (cache coherence).
+    @raise Invalid_argument if [line] is not a usable line. *)
+
+val pp_migrate_error : Format.formatter -> migrate_error -> unit
+
+val line_margin : t -> line:int -> float
+(** {!Health.margin} of the line's ledger entry. *)
+
+val line_due : t -> line:int -> bool
+(** Whether the endurance policy wants this line evacuated (lifecycle
+    enabled, margin at or below the retirement threshold, not already
+    rehomed onto a spare that is itself failing). *)
+
+val next_due : t -> int option
+(** The weakest due line, if any — what a background migration task
+    should evacuate next. *)
+
+val maintenance : t -> ?timestamp:float -> unit -> migration list
+(** One synchronous maintenance sweep: evacuate every due line, weakest
+    first, while spares last; failed evacuations are skipped.  Updates
+    the device state machine and returns the performed migrations. *)
+
+(** {1 Image persistence hooks} *)
+
+val restore_endurance :
+  t ->
+  phys_line:int array ->
+  spare_pool:int list ->
+  migrations:migration list ->
+  state:device_state ->
+  unit
+(** Overwrite the remap table, spare pool, grown-defect list and state
+    machine from a loaded image (the inverse permutation and carcass
+    flags are rebuilt).  Follow with {!refresh_heated_cache}. *)

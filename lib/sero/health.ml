@@ -1,0 +1,138 @@
+type config = { alpha : float; retire_margin : float }
+
+let default_config = { alpha = 0.4; retire_margin = 0.5 }
+
+(* 24 RS parity symbols per 231-byte slice correct 12 symbols each; a
+   sector interleaves 3 slices, so 36 corrected symbols is the point
+   past which one more grown error loses the sector. *)
+let rs_budget = 36
+
+type line_health = {
+  mutable ewma_corrected : float;
+  mutable reads : int;
+  mutable retries : int;
+  mutable retry_wins : int;
+  mutable unreadable : int;
+  mutable defect_dots : int;
+}
+
+type t = {
+  cfg : config;
+  lines : line_health array;
+  mutable tip_remaps : int;
+}
+
+let fresh_line () =
+  {
+    ewma_corrected = 0.;
+    reads = 0;
+    retries = 0;
+    retry_wins = 0;
+    unreadable = 0;
+    defect_dots = 0;
+  }
+
+let create ?(config = default_config) ~n_lines () =
+  if n_lines <= 0 then invalid_arg "Health.create: n_lines must be positive";
+  { cfg = config; lines = Array.init n_lines (fun _ -> fresh_line ()); tip_remaps = 0 }
+
+let config t = t.cfg
+let n_lines t = Array.length t.lines
+
+let line t ~line =
+  if line < 0 || line >= Array.length t.lines then
+    invalid_arg "Health.line: line out of range";
+  t.lines.(line)
+
+let bump t ~line x =
+  let h = t.lines.(line) in
+  h.ewma_corrected <-
+    (t.cfg.alpha *. x) +. ((1. -. t.cfg.alpha) *. h.ewma_corrected)
+
+let note_decode t ~line ~corrected =
+  let h = t.lines.(line) in
+  h.reads <- h.reads + 1;
+  bump t ~line (float_of_int corrected)
+
+(* An undecodable sector is a worst-case sample: the grown error count
+   is at least the whole budget. *)
+let note_unreadable t ~line =
+  let h = t.lines.(line) in
+  h.reads <- h.reads + 1;
+  h.unreadable <- h.unreadable + 1;
+  bump t ~line (float_of_int rs_budget)
+
+let note_retry t ~line ~won =
+  let h = t.lines.(line) in
+  h.retries <- h.retries + 1;
+  if won then h.retry_wins <- h.retry_wins + 1
+
+let note_tip_remap t = t.tip_remaps <- t.tip_remaps + 1
+let tip_remaps t = t.tip_remaps
+let set_defects t ~line n = (t.lines.(line)).defect_dots <- n
+
+(* A manufacturing defect dot corrupts at most one bit, hence at most
+   one RS symbol; counting each as a permanently at-risk symbol is the
+   conservative worst case (all of a line's defects landing in one
+   sector). *)
+let margin t ~line =
+  let h = t.lines.(line) in
+  let at_risk = h.ewma_corrected +. float_of_int h.defect_dots in
+  1. -. (at_risk /. float_of_int rs_budget)
+
+let reset_line t ~line ~defect_dots =
+  let h = t.lines.(line) in
+  h.ewma_corrected <- 0.;
+  h.reads <- 0;
+  h.retries <- 0;
+  h.retry_wins <- 0;
+  h.unreadable <- 0;
+  h.defect_dots <- defect_dots
+
+(* The weakest line of [0, limit): the retirement scheduler's pick. *)
+let weakest ?limit t =
+  let limit =
+    match limit with None -> Array.length t.lines | Some l -> l
+  in
+  let best = ref None in
+  for l = 0 to min limit (Array.length t.lines) - 1 do
+    let m = margin t ~line:l in
+    match !best with
+    | Some (_, bm) when bm <= m -> ()
+    | _ -> best := Some (l, m)
+  done;
+  !best
+
+let lines_at_or_below ?limit t threshold =
+  let limit =
+    match limit with None -> Array.length t.lines | Some l -> l
+  in
+  let acc = ref [] in
+  for l = min limit (Array.length t.lines) - 1 downto 0 do
+    if margin t ~line:l <= threshold then acc := l :: !acc
+  done;
+  !acc
+
+let restore_line t ~line ~ewma ~reads ~retries ~retry_wins ~unreadable
+    ~defect_dots =
+  let h = t.lines.(line) in
+  h.ewma_corrected <- ewma;
+  h.reads <- reads;
+  h.retries <- retries;
+  h.retry_wins <- retry_wins;
+  h.unreadable <- unreadable;
+  h.defect_dots <- defect_dots
+
+let set_tip_remaps t n = t.tip_remaps <- n
+
+let pp ppf t =
+  Format.fprintf ppf "health: %d lines, %d tip remaps@." (n_lines t)
+    t.tip_remaps;
+  Array.iteri
+    (fun l h ->
+      Format.fprintf ppf
+        "  line %4d: margin %+.3f ewma %.2f reads %d retries %d (%d won) \
+         unreadable %d defects %d@."
+        l (margin t ~line:l) h.ewma_corrected h.reads h.retries h.retry_wins
+        h.unreadable h.defect_dots)
+    t.lines

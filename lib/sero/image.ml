@@ -1,13 +1,115 @@
-let magic = "SEROIMG3"
+let magic_v3 = "SEROIMG3"
+let magic_v4 = "SEROIMG4"
 
 let write_float = Codec.Binio.W.f64
 let read_float = Codec.Binio.R.f64
 
-let save (dev : Device.t) path =
+let dstate_code = function
+  | Device.Healthy -> 0
+  | Device.Degraded -> 1
+  | Device.Read_only -> 2
+
+let dstate_of_code = function
+  | 0 -> Device.Healthy
+  | 1 -> Device.Degraded
+  | 2 -> Device.Read_only
+  | _ -> failwith "bad device state"
+
+let write_endurance w (dev : Device.t) =
+  let cfg = Device.config dev in
+  let lay = Device.layout dev in
+  let e = cfg.Device.endurance in
+  Codec.Binio.W.u8 w (if e.Device.health_enabled then 1 else 0);
+  write_float w e.Device.ewma_alpha;
+  write_float w e.Device.retire_margin;
+  Codec.Binio.W.u16 w e.Device.spare_lines;
+  Codec.Binio.W.u8 w (dstate_code (Device.device_state dev));
+  let n_lines = Layout.n_lines lay in
+  for l = 0 to n_lines - 1 do
+    Codec.Binio.W.u32 w (Device.phys_of_line dev ~line:l)
+  done;
+  let pool = Device.spare_pool dev in
+  Codec.Binio.W.u16 w (List.length pool);
+  List.iter (Codec.Binio.W.u32 w) pool;
+  let health = Device.health dev in
+  for l = 0 to n_lines - 1 do
+    let h = Health.line health ~line:l in
+    write_float w h.Health.ewma_corrected;
+    Codec.Binio.W.u32 w h.Health.reads;
+    Codec.Binio.W.u32 w h.Health.retries;
+    Codec.Binio.W.u32 w h.Health.retry_wins;
+    Codec.Binio.W.u32 w h.Health.unreadable;
+    Codec.Binio.W.u32 w h.Health.defect_dots
+  done;
+  Codec.Binio.W.u32 w (Health.tip_remaps health);
+  let migrations = Device.migrations dev in
+  Codec.Binio.W.u16 w (List.length migrations);
+  List.iter
+    (fun (m : Device.migration) ->
+      Codec.Binio.W.u32 w m.Device.m_line;
+      Codec.Binio.W.u32 w m.Device.m_from;
+      Codec.Binio.W.u32 w m.Device.m_to;
+      Codec.Binio.W.u8 w (if m.Device.m_heated then 1 else 0);
+      (match m.Device.m_hash with
+      | None ->
+          Codec.Binio.W.u8 w 0;
+          Codec.Binio.W.raw w (String.make 32 '\x00')
+      | Some h ->
+          Codec.Binio.W.u8 w 1;
+          Codec.Binio.W.raw w (Hash.Sha256.to_raw h));
+      write_float w m.Device.m_timestamp)
+    migrations
+
+let read_endurance_config r =
+  let health_enabled = Codec.Binio.R.u8 r = 1 in
+  let ewma_alpha = read_float r in
+  let retire_margin = read_float r in
+  let spare_lines = Codec.Binio.R.u16 r in
+  { Device.health_enabled; spare_lines; ewma_alpha; retire_margin }
+
+(* The device must already exist (the remap table length is the line
+   count, known only from the geometry fields read before it). *)
+let restore_endurance_state r (dev : Device.t) =
+  let lay = Device.layout dev in
+  let n_lines = Layout.n_lines lay in
+  let state = dstate_of_code (Codec.Binio.R.u8 r) in
+  let phys_line = Array.init n_lines (fun _ -> Codec.Binio.R.u32 r) in
+  let n_pool = Codec.Binio.R.u16 r in
+  let spare_pool = List.init n_pool (fun _ -> Codec.Binio.R.u32 r) in
+  let health = Device.health dev in
+  for l = 0 to n_lines - 1 do
+    let ewma = read_float r in
+    let reads = Codec.Binio.R.u32 r in
+    let retries = Codec.Binio.R.u32 r in
+    let retry_wins = Codec.Binio.R.u32 r in
+    let unreadable = Codec.Binio.R.u32 r in
+    let defect_dots = Codec.Binio.R.u32 r in
+    Health.restore_line health ~line:l ~ewma ~reads ~retries ~retry_wins
+      ~unreadable ~defect_dots
+  done;
+  Health.set_tip_remaps health (Codec.Binio.R.u32 r);
+  let n_migrations = Codec.Binio.R.u16 r in
+  let migrations =
+    List.init n_migrations (fun _ ->
+        let m_line = Codec.Binio.R.u32 r in
+        let m_from = Codec.Binio.R.u32 r in
+        let m_to = Codec.Binio.R.u32 r in
+        let m_heated = Codec.Binio.R.u8 r = 1 in
+        let has_hash = Codec.Binio.R.u8 r = 1 in
+        let raw_hash = Codec.Binio.R.raw r 32 in
+        let m_hash =
+          if has_hash then Some (Hash.Sha256.of_raw raw_hash) else None
+        in
+        let m_timestamp = read_float r in
+        { Device.m_line; m_from; m_to; m_heated; m_hash; m_timestamp })
+  in
+  Device.restore_endurance dev ~phys_line ~spare_pool ~migrations ~state
+
+let save ?(format = `V4) (dev : Device.t) path =
   let cfg = Device.config dev in
   let medium = Probe.Pdevice.medium (Device.pdevice dev) in
   let w = Codec.Binio.W.create ~capacity:4096 () in
-  Codec.Binio.W.raw w magic;
+  Codec.Binio.W.raw w (match format with `V3 -> magic_v3 | `V4 -> magic_v4);
   Codec.Binio.W.u32 w cfg.Device.n_blocks;
   Codec.Binio.W.u8 w cfg.Device.line_exp;
   Codec.Binio.W.u16 w cfg.Device.n_tips;
@@ -30,12 +132,15 @@ let save (dev : Device.t) path =
   write_float w cfg.Device.material.Physics.Constants.anneal_duration;
   Codec.Binio.W.u8 w cfg.Device.erb_cycles;
   Codec.Binio.W.u8 w (if cfg.Device.strict_hash_locations then 1 else 0);
-  (* RAS profile (format v3) *)
+  (* RAS profile (since format v3) *)
   Codec.Binio.W.u8 w (if cfg.Device.ras.Device.ras_enabled then 1 else 0);
   Codec.Binio.W.u8 w cfg.Device.ras.Device.read_retries;
   Codec.Binio.W.u8 w cfg.Device.ras.Device.max_repulses;
   Codec.Binio.W.u8 w cfg.Device.ras.Device.spare_tips;
   Codec.Binio.W.u16 w cfg.Device.ras.Device.scrub_threshold;
+  (* Endurance lifecycle (since format v4): config, remap table, spare
+     pool, health ledger, grown-defect list. *)
+  (match format with `V3 -> () | `V4 -> write_endurance w dev);
   (* Dot states: 2 bits per dot, packed as the oracle sees them. *)
   let n = Pmedia.Medium.size medium in
   Codec.Binio.W.u32 w n;
@@ -82,8 +187,12 @@ let load path =
         else begin
           let r = Codec.Binio.R.of_string body in
           match
-            let m = Codec.Binio.R.raw r (String.length magic) in
-            if not (String.equal m magic) then failwith "bad magic";
+            let m = Codec.Binio.R.raw r (String.length magic_v4) in
+            let version =
+              if String.equal m magic_v3 then `V3
+              else if String.equal m magic_v4 then `V4
+              else failwith "bad magic"
+            in
             let n_blocks = Codec.Binio.R.u32 r in
             let line_exp = Codec.Binio.R.u8 r in
             let n_tips = Codec.Binio.R.u16 r in
@@ -109,8 +218,11 @@ let load path =
             let max_repulses = Codec.Binio.R.u8 r in
             let spare_tips = Codec.Binio.R.u8 r in
             let scrub_threshold = Codec.Binio.R.u16 r in
-            let n = Codec.Binio.R.u32 r in
-            let packed = Codec.Binio.R.str r in
+            let endurance =
+              match version with
+              | `V3 -> Device.default_endurance
+              | `V4 -> read_endurance_config r
+            in
             let config =
               {
                 Device.n_blocks;
@@ -143,9 +255,15 @@ let load path =
                     spare_tips;
                     scrub_threshold;
                   };
+                endurance;
               }
             in
             let dev = Device.create config in
+            (match version with
+            | `V3 -> ()
+            | `V4 -> restore_endurance_state r dev);
+            let n = Codec.Binio.R.u32 r in
+            let packed = Codec.Binio.R.str r in
             let medium = Probe.Pdevice.medium (Device.pdevice dev) in
             if Pmedia.Medium.size medium <> n then failwith "size mismatch";
             for i = 0 to n - 1 do

@@ -6,9 +6,16 @@
     The PRNG position and the time/energy ledger are not preserved —
     a reloaded device is "powered on" fresh; its medium is bit-exact. *)
 
-val save : Device.t -> string -> unit
-(** [save dev path]. @raise Sys_error on IO failure. *)
+val save : ?format:[ `V3 | `V4 ] -> Device.t -> string -> unit
+(** [save dev path] writes a [SEROIMG4] image: configuration, the
+    endurance lifecycle state (remap table, spare pool, health ledger,
+    grown-defect list, device state) and every dot.  [~format:`V3]
+    writes the legacy [SEROIMG3] layout with no endurance section, for
+    exchange with older tools (lifecycle state is dropped).
+    @raise Sys_error on IO failure. *)
 
 val load : string -> (Device.t, string) result
 (** Recreate a device from [path]; the configuration (block count, line
-    size, tips, material, costs) is restored from the image header. *)
+    size, tips, material, costs) is restored from the image header.
+    Both [SEROIMG4] and legacy [SEROIMG3] images load; a v3 image gets
+    {!Device.default_endurance} (lifecycle off). *)

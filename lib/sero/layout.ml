@@ -1,20 +1,26 @@
-type t = { n_blocks : int; line_exp : int }
+type t = { n_blocks : int; line_exp : int; spare_lines : int }
 
 let block_dots = Codec.Sector.physical_bits
 let wo_area_dots = 8 * Codec.Sector.payload_bytes (* 4096 *)
 let wo_area_bytes = wo_area_dots / 16 (* Manchester: 16 dots per byte *)
 
-let create ~n_blocks ~line_exp =
+let create ?(spare_lines = 0) ~n_blocks ~line_exp () =
   if line_exp < 1 || line_exp > 20 then
     invalid_arg "Layout.create: line_exp must be in 1..20";
   let bpl = 1 lsl line_exp in
   if n_blocks <= 0 || n_blocks mod bpl <> 0 then
     invalid_arg "Layout.create: n_blocks must be a positive multiple of 2^N";
-  { n_blocks; line_exp }
+  if spare_lines < 0 || spare_lines >= n_blocks / bpl then
+    invalid_arg "Layout.create: spare_lines must be in 0..n_lines-1";
+  { n_blocks; line_exp; spare_lines }
 
 let blocks_per_line t = 1 lsl t.line_exp
 let data_blocks_per_line t = blocks_per_line t - 1
 let n_lines t = t.n_blocks / blocks_per_line t
+let n_spare_lines t = t.spare_lines
+let usable_lines t = n_lines t - t.spare_lines
+let usable_blocks t = usable_lines t * blocks_per_line t
+let is_spare_line t l = l >= usable_lines t && l < n_lines t
 let total_dots t = t.n_blocks * block_dots
 
 let check_block t pba =

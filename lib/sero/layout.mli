@@ -11,17 +11,35 @@
     only — the paper's addressing requirement — so this module is pure
     arithmetic with no indirection. *)
 
-type t = { n_blocks : int; line_exp : int (** N; a line is [2^N] blocks. *) }
+type t = {
+  n_blocks : int;
+  line_exp : int;  (** N; a line is [2^N] blocks. *)
+  spare_lines : int;
+      (** Lines reserved at the top of the address space for grown-defect
+          remapping; honest software allocates only in
+          [0 .. usable_lines-1]. *)
+}
 
-val create : n_blocks:int -> line_exp:int -> t
+val create : ?spare_lines:int -> n_blocks:int -> line_exp:int -> unit -> t
 (** @raise Invalid_argument unless [n_blocks] is a positive multiple of
-    [2^line_exp] and [line_exp >= 1]. *)
+    [2^line_exp], [line_exp >= 1] and [0 <= spare_lines < n_lines]. *)
 
 val blocks_per_line : t -> int
 val data_blocks_per_line : t -> int
 (** [2^N - 1]. *)
 
 val n_lines : t -> int
+
+val n_spare_lines : t -> int
+val usable_lines : t -> int
+(** [n_lines - spare_lines]: the lines honest software may allocate in.
+    The spare region above is owned by the device's endurance layer. *)
+
+val usable_blocks : t -> int
+(** [usable_lines * blocks_per_line]. *)
+
+val is_spare_line : t -> int -> bool
+(** Whether line [l] lies in the reserved spare region. *)
 
 val block_dots : int
 (** Dots occupied by one block ({!Codec.Sector.physical_bits}). *)

@@ -14,7 +14,19 @@ type kind =
           is committed) and returns the completion thunk that fires the
           caller's callback later. *)
 
-type req = { kind : kind; rprio : prio; offset : int; submitted : float }
+type req = {
+  kind : kind;
+  rprio : prio;
+  offset : int;
+  submitted : float;
+  mutable attempts : int;
+      (* Service attempts so far; bounded by [read_retry_limit]. *)
+}
+
+(* What a service pass produced for one request: [Done] fires the
+   caller's callback at completion; [Retryable] is a failed read whose
+   callback is only fired if the retry budget is spent. *)
+type outcome = Done of (unit -> unit) | Retryable of (unit -> unit)
 
 type class_stats = {
   latency : Sim.Stats.t;
@@ -30,6 +42,9 @@ type t = {
   policy : Probe.Sched.policy;
   coalesce : bool;
   max_span : int;
+  read_retry_limit : int;
+  retry_backoff : float;
+  watchdog_age : float;
   mutable pending_fg : req list; (* newest first *)
   mutable pending_bg : req list; (* newest first *)
   mutable busy : bool;
@@ -41,6 +56,12 @@ type t = {
   depth_hist : Sim.Stats.Histogram.h;
   mutable served_rev : int list;
   mutable coalesced : int;
+  mutable retry_pending : int;
+      (* Retries scheduled on the DES but not yet re-enqueued: [idle]
+         must see them or [drain] stops with the request in flight. *)
+  mutable retried_reads : int;
+  mutable abandoned_reads : int;
+  mutable watchdog_trips : int;
 }
 
 let class_stats_create name =
@@ -53,14 +74,22 @@ let class_stats_create name =
   }
 
 let create ?(policy = Probe.Sched.Elevator) ?(coalesce = true) ?(max_span = 8)
-    des dev =
+    ?(read_retry_limit = 0) ?(retry_backoff = 1e-4)
+    ?(watchdog_age = infinity) des dev =
   if max_span < 1 then invalid_arg "Queue.create: max_span must be >= 1";
+  if read_retry_limit < 0 then
+    invalid_arg "Queue.create: read_retry_limit must be >= 0";
+  if retry_backoff <= 0. then
+    invalid_arg "Queue.create: retry_backoff must be positive";
   {
     des;
     dev;
     policy;
     coalesce;
     max_span;
+    read_retry_limit;
+    retry_backoff;
+    watchdog_age;
     pending_fg = [];
     pending_bg = [];
     busy = false;
@@ -72,6 +101,10 @@ let create ?(policy = Probe.Sched.Elevator) ?(coalesce = true) ?(max_span = 8)
     depth_hist = Sim.Stats.Histogram.create ~lo:0. ~hi:64. ~bins:16;
     served_rev = [];
     coalesced = 0;
+    retry_pending = 0;
+    retried_reads = 0;
+    abandoned_reads = 0;
+    watchdog_trips = 0;
   }
 
 let device t = t.dev
@@ -79,7 +112,9 @@ let des t = t.des
 let policy t = t.policy
 let stats_of t = function Foreground -> t.fg | Background -> t.bg
 let pending t = List.length t.pending_fg + List.length t.pending_bg
-let idle t = (not t.busy) && t.pending_fg = [] && t.pending_bg = []
+let idle t =
+  (not t.busy) && t.retry_pending = 0 && t.pending_fg = []
+  && t.pending_bg = []
 
 let offset_of_pba t pba =
   snd
@@ -124,12 +159,16 @@ let take_oldest_at t prio off =
 let rec serve_group t group =
   let pd = Device.pdevice t.dev in
   let t0 = Probe.Pdevice.elapsed pd and e0 = Probe.Pdevice.energy pd in
-  let finishers =
+  let read_outcome k r =
+    match r with
+    | Ok _ -> Done (fun () -> k r)
+    | Error _ -> Retryable (fun () -> k r)
+  in
+  let outcomes =
     match group with
-    | [ { kind = KOther { exec }; _ } ] -> [ exec () ]
+    | [ { kind = KOther { exec }; _ } ] -> [ Done (exec ()) ]
     | [ { kind = KRead { pba; k }; _ } ] ->
-        let r = Device.read_block t.dev ~pba in
-        [ (fun () -> k r) ]
+        [ read_outcome k (Device.read_block t.dev ~pba) ]
     | { kind = KRead { pba = first; _ }; _ } :: _ ->
         let results =
           Device.read_blocks t.dev ~pba:first ~n:(List.length group)
@@ -137,7 +176,7 @@ let rec serve_group t group =
         List.mapi
           (fun i r ->
             match r.kind with
-            | KRead { k; _ } -> fun () -> k results.(i)
+            | KRead { k; _ } -> read_outcome k results.(i)
             | KOther _ -> assert false)
           group
     | _ -> assert false
@@ -154,16 +193,42 @@ let rec serve_group t group =
   let started = Sim.Des.now t.des in
   Sim.Des.schedule t.des ~delay:dt (fun des ->
       let now = Sim.Des.now des in
+      let complete r fire =
+        let cs = stats_of t r.rprio in
+        Sim.Stats.add cs.latency (now -. r.submitted);
+        Sim.Stats.add cs.wait (started -. r.submitted);
+        cs.energy <- cs.energy +. (de /. float_of_int (List.length group));
+        cs.completed <- cs.completed + 1;
+        cs.last_completion <- now;
+        if now -. r.submitted > t.watchdog_age then
+          t.watchdog_trips <- t.watchdog_trips + 1;
+        fire ()
+      in
       List.iter2
-        (fun r fire ->
-          let cs = stats_of t r.rprio in
-          Sim.Stats.add cs.latency (now -. r.submitted);
-          Sim.Stats.add cs.wait (started -. r.submitted);
-          cs.energy <- cs.energy +. (de /. float_of_int (List.length group));
-          cs.completed <- cs.completed + 1;
-          cs.last_completion <- now;
-          fire ())
-        group finishers;
+        (fun r outcome ->
+          match outcome with
+          | Done fire -> complete r fire
+          | Retryable fire ->
+              if r.attempts < t.read_retry_limit then begin
+                (* Deterministic exponential backoff off the DES clock:
+                   backoff * 2^(attempt-1), original submit time kept so
+                   latency and the watchdog see the whole ordeal. *)
+                r.attempts <- r.attempts + 1;
+                t.retried_reads <- t.retried_reads + 1;
+                let delay =
+                  t.retry_backoff *. (2. ** float_of_int (r.attempts - 1))
+                in
+                t.retry_pending <- t.retry_pending + 1;
+                Sim.Des.schedule des ~delay (fun _ ->
+                    t.retry_pending <- t.retry_pending - 1;
+                    enqueue t r)
+              end
+              else begin
+                t.abandoned_reads <-
+                  t.abandoned_reads + (if t.read_retry_limit > 0 then 1 else 0);
+                complete r fire
+              end)
+        group outcomes;
       t.busy <- false;
       arm_dispatch t)
 
@@ -270,7 +335,7 @@ and arm_dispatch t =
         dispatch t)
   end
 
-let enqueue t r =
+and enqueue t r =
   (match r.rprio with
   | Foreground -> t.pending_fg <- r :: t.pending_fg
   | Background -> t.pending_bg <- r :: t.pending_bg);
@@ -285,6 +350,7 @@ let submit_read t ?(prio = Foreground) ~pba k =
       rprio = prio;
       offset = offset_of_pba t pba;
       submitted = Sim.Des.now t.des;
+      attempts = 1;
     }
 
 let submit_other t prio offset exec =
@@ -294,6 +360,7 @@ let submit_other t prio offset exec =
       rprio = prio;
       offset;
       submitted = Sim.Des.now t.des;
+      attempts = 1;
     }
 
 let submit_write t ?(prio = Foreground) ~pba payload k =
@@ -356,6 +423,36 @@ let schedule_scrub ?config t ~period ~stop =
   arm ();
   prog
 
+let submit_migrate t ?(prio = Background) ~line ?timestamp k =
+  submit_other t prio (offset_of_line t line) (fun () ->
+      let timestamp =
+        match timestamp with Some ts -> ts | None -> Sim.Des.now t.des
+      in
+      let r = Device.evacuate_line t.dev ~line ~timestamp () in
+      fun () -> k r)
+
+let schedule_migration t ~period ~stop =
+  let migrated = ref [] in
+  let outstanding = ref false in
+  let rec arm () =
+    Sim.Des.schedule t.des ~delay:period (fun _ ->
+        if not (stop ()) then begin
+          (if not !outstanding then
+             match Device.next_due t.dev with
+             | None -> ()
+             | Some line ->
+                 outstanding := true;
+                 submit_migrate t ~line (fun r ->
+                     (match r with
+                     | Ok m -> migrated := m :: !migrated
+                     | Error _ -> ());
+                     outstanding := false));
+          arm ()
+        end)
+  in
+  arm ();
+  migrated
+
 let drain t =
   while not (idle t) do
     if not (Sim.Des.step t.des) then
@@ -409,6 +506,9 @@ let last_completion t prio = (stats_of t prio).last_completion
 let depth_histogram t = t.depth_hist
 let served_offsets t = List.rev t.served_rev
 let coalesced_requests t = t.coalesced
+let retried_reads t = t.retried_reads
+let abandoned_reads t = t.abandoned_reads
+let watchdog_trips t = t.watchdog_trips
 
 let pp_summary ppf t =
   let pc prio =
@@ -425,5 +525,9 @@ let pp_summary ppf t =
   Format.fprintf ppf "queue [%a]: %d pending, %d coalesced, service mean=%.4g s@."
     Probe.Sched.pp_policy t.policy (pending t) t.coalesced
     (Sim.Stats.mean t.service);
+  if t.read_retry_limit > 0 || t.watchdog_trips > 0 then
+    Format.fprintf ppf
+      "  retries: %d re-served, %d abandoned, %d watchdog trips@."
+      t.retried_reads t.abandoned_reads t.watchdog_trips;
   pc Foreground;
   pc Background

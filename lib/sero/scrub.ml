@@ -15,6 +15,7 @@ type report = {
   tips_remapped : int;
   torn_completed : int list;
   tamper_found : (int * Tamper.verdict) list;
+  retired_skipped : int;
 }
 
 (* Erased-block detection: a written sector carries header, CRC and RS
@@ -40,6 +41,7 @@ type progress = {
   mutable p_tips_remapped : int;
   mutable p_torn_completed : int list; (* reversed *)
   mutable p_tamper_found : (int * Tamper.verdict) list; (* reversed *)
+  mutable p_retired_skipped : int;
 }
 
 let progress_create () =
@@ -51,6 +53,7 @@ let progress_create () =
     p_tips_remapped = 0;
     p_torn_completed = [];
     p_tamper_found = [];
+    p_retired_skipped = 0;
   }
 
 let add_remapped p n = p.p_tips_remapped <- p.p_tips_remapped + n
@@ -64,10 +67,17 @@ let report_of_progress p =
     tips_remapped = p.p_tips_remapped;
     torn_completed = List.rev p.p_torn_completed;
     tamper_found = List.rev p.p_tamper_found;
+    retired_skipped = p.p_retired_skipped;
   }
 
 let sweep_line ?(config = default_config) dev prog ~line =
   let lay = Device.layout dev in
+  (* The spare region is the endurance layer's: pristine spares are
+     blank by construction and quarantined carcasses are frozen
+     evidence — refreshing either would defeat its purpose. *)
+  if Layout.is_spare_line lay line then
+    prog.p_retired_skipped <- prog.p_retired_skipped + 1
+  else begin
   prog.p_lines_swept <- prog.p_lines_swept + 1;
   match Device.read_hash_block dev ~line with
   | `Not_heated ->
@@ -79,6 +89,10 @@ let sweep_line ?(config = default_config) dev prog ~line =
             prog.p_sectors_checked <- prog.p_sectors_checked + 1;
             match Codec.Sector.decode image with
             | Ok d when d.Codec.Sector.pba = pba ->
+                (* The scrubber's direct decode bypasses the device read
+                   path, so feed the health ledger here too. *)
+                Health.note_decode (Device.health dev) ~line
+                  ~corrected:d.Codec.Sector.corrected_symbols;
                 if
                   d.Codec.Sector.corrected_symbols
                   >= config.correction_threshold
@@ -113,6 +127,7 @@ let sweep_line ?(config = default_config) dev prog ~line =
   | `Tampered evs ->
       prog.p_tamper_found <-
         (line, Tamper.Tampered evs) :: prog.p_tamper_found
+  end
 
 let pass ?(config = default_config) dev =
   let lay = Device.layout dev in
@@ -127,12 +142,13 @@ let pass ?(config = default_config) dev =
 let pp_report ppf r =
   Format.fprintf ppf
     "scrub: %d lines, %d sectors checked, %d rewritten, %d unrecoverable, %d \
-     tips remapped, %d torn completed, %d tampered"
+     tips remapped, %d torn completed, %d tampered, %d retired skipped"
     r.lines_swept r.sectors_checked r.rewritten
     (List.length r.unrecoverable)
     r.tips_remapped
     (List.length r.torn_completed)
     (List.length r.tamper_found)
+    r.retired_skipped
 
 let schedule ?(config = default_config) des dev ~on_pass =
   let rec arm () =

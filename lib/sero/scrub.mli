@@ -33,6 +33,10 @@ type report = {
   torn_completed : int list;  (** Lines whose torn burn was finished. *)
   tamper_found : (int * Tamper.verdict) list;
       (** Lines whose write-once area or data is evidence. *)
+  retired_skipped : int;
+      (** Spare-region lines left alone: pristine spares are blank and
+          quarantined carcasses are frozen evidence, judged by
+          {!Device.scan} against their migration link instead. *)
 }
 
 val pass : ?config:config -> Device.t -> report
@@ -69,7 +73,8 @@ val add_remapped : progress -> int -> unit
 
 val report_of_progress : progress -> report
 (** Snapshot of everything swept so far ([lines_swept] counts
-    {!sweep_line} calls, not distinct lines). *)
+    {!sweep_line} calls on usable lines, not distinct lines;
+    spare-region calls land in [retired_skipped] instead). *)
 
 val schedule :
   ?config:config -> Sim.Des.t -> Device.t -> on_pass:(report -> unit) -> unit

@@ -22,7 +22,7 @@ let heat_ok dev line =
 
 (* {1 Layout} *)
 
-let layout = Sero.Layout.create ~n_blocks:1024 ~line_exp:4
+let layout = Sero.Layout.create ~n_blocks:1024 ~line_exp:4 ()
 
 let layout_props =
   [
@@ -56,7 +56,7 @@ let layout_cases =
     Alcotest.test_case "constructor validation" `Quick (fun () ->
         Alcotest.check_raises "misaligned"
           (Invalid_argument "Layout.create: n_blocks must be a positive multiple of 2^N")
-          (fun () -> ignore (Sero.Layout.create ~n_blocks:100 ~line_exp:3)));
+          (fun () -> ignore (Sero.Layout.create ~n_blocks:100 ~line_exp:3 ())));
     Alcotest.test_case "overhead = 1/2^N" `Quick (fun () ->
         Alcotest.(check (float 1e-9)) "1/16" (1. /. 16.) (Sero.Layout.space_overhead layout));
     Alcotest.test_case "wo area is 4096 dots / 256 bytes (Fig. 3)" `Quick
@@ -720,7 +720,7 @@ type twin_op =
 
 let twin_equivalence =
   let n_blocks = 64 and line_exp = 3 in
-  let lay = Sero.Layout.create ~n_blocks ~line_exp in
+  let lay = Sero.Layout.create ~n_blocks ~line_exp () in
   let n_lines = Sero.Layout.n_lines lay in
   let data_pbas =
     Array.of_list
@@ -904,6 +904,393 @@ let twin_equivalence =
       in
       ok && media_equal)
 
+(* {1 Endurance lifecycle}
+
+   The health ledger, grown-defect remapping and evacuate-and-re-attest
+   migration.  Unit cases drive the ledger directly (note_decode is the
+   same call the read path makes); the qcheck law pins the twin-device
+   property: with no wear, the lifecycle is an exact no-op. *)
+
+let make_edev ?(n_blocks = 128) ?(line_exp = 3) ?(spare_lines = 4)
+    ?(health_enabled = true) ?(retire_margin = 0.5) () =
+  let base = Sero.Device.default_config ~n_blocks ~line_exp () in
+  Sero.Device.create
+    {
+      base with
+      Sero.Device.endurance =
+        {
+          Sero.Device.health_enabled;
+          spare_lines;
+          ewma_alpha = 0.4;
+          retire_margin;
+        };
+    }
+
+(* Push a line's EWMA past the retirement threshold the way the read
+   path would: repeated high corrected-symbol observations. *)
+let wound dev ~line ~corrected =
+  let h = Sero.Device.health dev in
+  for _ = 1 to 6 do
+    Sero.Health.note_decode h ~line ~corrected
+  done
+
+let read_all_data dev line =
+  List.map
+    (fun pba ->
+      match Sero.Device.read_block dev ~pba with
+      | Ok p -> (pba, Some p)
+      | Error _ -> (pba, None))
+    (Sero.Layout.data_blocks_of_line (Sero.Device.layout dev) line)
+
+let endurance_cases =
+  [
+    Alcotest.test_case "retirement remaps the line onto a spare" `Quick
+      (fun () ->
+        let dev = make_edev () in
+        let usable = Sero.Layout.usable_lines (Sero.Device.layout dev) in
+        fill_line dev 1;
+        let before = read_all_data dev 1 in
+        wound dev ~line:1 ~corrected:30;
+        Alcotest.(check bool) "due" true (Sero.Device.line_due dev ~line:1);
+        Alcotest.(check (option int)) "next_due" (Some 1)
+          (Sero.Device.next_due dev);
+        (match Sero.Device.maintenance dev () with
+        | [ m ] ->
+            Alcotest.(check int) "logical line" 1 m.Sero.Device.m_line;
+            Alcotest.(check bool) "cold line" false m.Sero.Device.m_heated
+        | ms -> Alcotest.failf "expected 1 migration, got %d" (List.length ms));
+        Alcotest.(check bool) "rehomed in the spare region" true
+          (Sero.Device.phys_of_line dev ~line:1 >= usable);
+        Alcotest.(check int) "one spare consumed" 3
+          (Sero.Device.spares_left dev);
+        Alcotest.(check (float 1e-9)) "ledger reset at the new home" 1.
+          (Sero.Device.line_margin dev ~line:1);
+        Alcotest.(check bool) "no longer due" false
+          (Sero.Device.line_due dev ~line:1);
+        (* The logical address space is untouched: same PBAs, same
+           payloads. *)
+        List.iter2
+          (fun (pba, p0) (pba', p1) ->
+            Alcotest.(check int) "pba" pba pba';
+            match (p0, p1) with
+            | Some a, Some b -> Alcotest.(check string) "payload" a b
+            | _ -> Alcotest.failf "pba %d lost in migration" pba)
+          before (read_all_data dev 1));
+    Alcotest.test_case "heated line re-attests to the identical hash" `Quick
+      (fun () ->
+        let dev = make_edev () in
+        fill_line dev 2;
+        let h0 = heat_ok dev 2 in
+        wound dev ~line:2 ~corrected:30;
+        (match Sero.Device.evacuate_line dev ~line:2 ~timestamp:9. () with
+        | Ok m ->
+            Alcotest.(check bool) "heated" true m.Sero.Device.m_heated;
+            (match m.Sero.Device.m_hash with
+            | Some h -> Alcotest.(check bool) "same hash" true (Hash.Sha256.equal h h0)
+            | None -> Alcotest.fail "heated migration lost its hash")
+        | Error e -> Alcotest.failf "evacuate: %a" Sero.Device.pp_migrate_error e);
+        Alcotest.(check bool) "intact at the new home" true
+          (Sero.Tamper.equal_verdict
+             (Sero.Device.verify_line dev ~line:2)
+             Sero.Tamper.Intact));
+    Alcotest.test_case "tampered line refuses to migrate" `Quick (fun () ->
+        let dev = make_edev () in
+        fill_line dev 3;
+        ignore (heat_ok dev 3);
+        let pba =
+          Sero.Layout.first_data_block (Sero.Device.layout dev) 3
+        in
+        Sero.Device.unsafe_write_block dev ~pba "evidence must not move";
+        wound dev ~line:3 ~corrected:30;
+        (match Sero.Device.evacuate_line dev ~line:3 () with
+        | Error Sero.Device.Reattest_failed -> ()
+        | Ok _ -> Alcotest.fail "tamper evidence laundered onto a spare"
+        | Error e -> Alcotest.failf "unexpected: %a" Sero.Device.pp_migrate_error e);
+        Alcotest.(check int) "no spare consumed" 4
+          (Sero.Device.spares_left dev);
+        Alcotest.(check int) "refusal counted" 1
+          (Sero.Device.stats dev).Sero.Device.reattest_failures);
+    Alcotest.test_case "carcass classifies Retired_block, scrub skips it"
+      `Quick (fun () ->
+        let dev = make_edev () in
+        let lay = Sero.Device.layout dev in
+        let usable = Sero.Layout.usable_lines lay in
+        fill_line dev 1;
+        wound dev ~line:1 ~corrected:30;
+        (match Sero.Device.maintenance dev () with
+        | [ _ ] -> ()
+        | ms -> Alcotest.failf "expected 1 migration, got %d" (List.length ms));
+        let carcass =
+          List.find
+            (fun l -> Sero.Device.quarantined dev ~line:l)
+            (List.init
+               (Sero.Layout.n_lines lay - usable)
+               (fun i -> usable + i))
+        in
+        (match
+           Sero.Device.classify_block dev
+             ~pba:(Sero.Layout.first_data_block lay carcass)
+         with
+        | Sero.Device.Retired_block -> ()
+        | c ->
+            Alcotest.failf "carcass classified %a" Sero.Device.pp_block_class
+              c);
+        let progress = Sero.Scrub.progress_create () in
+        Sero.Scrub.sweep_line dev progress ~line:carcass;
+        Sero.Scrub.sweep_line dev progress ~line:0;
+        let r = Sero.Scrub.report_of_progress progress in
+        Alcotest.(check int) "spare region skipped" 1 r.Sero.Scrub.retired_skipped;
+        Alcotest.(check int) "only the usable line swept" 1
+          r.Sero.Scrub.lines_swept);
+    Alcotest.test_case "spare exhaustion degrades; critical line -> read-only"
+      `Quick (fun () ->
+        let dev = make_edev ~spare_lines:1 () in
+        fill_line dev 0;
+        wound dev ~line:0 ~corrected:30;
+        ignore (Sero.Device.maintenance dev ());
+        Alcotest.(check int) "spares gone" 0 (Sero.Device.spares_left dev);
+        Alcotest.(check bool) "degraded" true
+          (Sero.Device.device_state dev = Sero.Device.Degraded);
+        (* A second line goes critical (margin <= 0) with nowhere to
+           go: the device stops taking writes. *)
+        wound dev ~line:2 ~corrected:100;
+        ignore (Sero.Device.maintenance dev ());
+        Alcotest.(check bool) "read-only" true
+          (Sero.Device.device_state dev = Sero.Device.Read_only);
+        (match Sero.Device.write_block dev ~pba:17 "refused" with
+        | Error Sero.Device.Read_only_device -> ()
+        | Ok () -> Alcotest.fail "read-only device accepted a write"
+        | Error e -> Alcotest.failf "unexpected: %a" Sero.Device.pp_write_error e);
+        match Sero.Device.read_block dev ~pba:(Sero.Layout.first_data_block (Sero.Device.layout dev) 0) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "read-only device must read: %a" Sero.Device.pp_read_error e);
+    Alcotest.test_case "crash mid-migration: torn re-burn recovers" `Quick
+      (fun () ->
+        let dev = make_edev () in
+        fill_line dev 2;
+        let h0 =
+          match Sero.Device.heat_line dev ~line:2 ~timestamp:7. () with
+          | Ok h -> h
+          | Error e -> Alcotest.failf "heat: %a" Sero.Device.pp_heat_error e
+        in
+        let before = read_all_data dev 2 in
+        wound dev ~line:2 ~corrected:30;
+        (* Power cut mid re-burn: the remap committed (pre-imaged data
+           serves from the spare) but the new write-once area is torn. *)
+        let inj =
+          Fault.Injector.create (Fault.Plan.make ~power_cut_after_ewb:500 ())
+        in
+        Sero.Device.install_fault dev inj;
+        (match Sero.Device.evacuate_line dev ~line:2 ~timestamp:8. () with
+        | exception Fault.Injector.Power_cut -> ()
+        | Ok _ -> Alcotest.fail "power cut never fired"
+        | Error e -> Alcotest.failf "evacuate: %a" Sero.Device.pp_migrate_error e);
+        Sero.Device.clear_fault dev;
+        Alcotest.(check int) "remap committed before the cut" 1
+          (List.length (Sero.Device.migrations dev));
+        (* Recovery is the ordinary torn-burn completion: re-heating
+           fills the missing cells to the identical hash. *)
+        (match Sero.Device.heat_line dev ~line:2 ~timestamp:7. () with
+        | Ok h -> Alcotest.(check bool) "same hash" true (Hash.Sha256.equal h h0)
+        | Error e -> Alcotest.failf "recover: %a" Sero.Device.pp_heat_error e);
+        Alcotest.(check bool) "intact after recovery" true
+          (Sero.Tamper.equal_verdict
+             (Sero.Device.verify_line dev ~line:2)
+             Sero.Tamper.Intact);
+        List.iter2
+          (fun (pba, p0) (pba', p1) ->
+            Alcotest.(check int) "pba" pba pba';
+            match (p0, p1) with
+            | Some a, Some b -> Alcotest.(check string) "payload" a b
+            | _ -> Alcotest.failf "pba %d lost across the cut" pba)
+          before (read_all_data dev 2));
+    Alcotest.test_case "queue retries with backoff, then abandons" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        let des = Sim.Des.create () in
+        let q =
+          Sero.Queue.create ~read_retry_limit:3 ~retry_backoff:1e-4
+            ~watchdog_age:1e-12 des dev
+        in
+        let got = ref None in
+        (* A blank PBA fails deterministically on every attempt. *)
+        Sero.Queue.submit_read q ~pba:17 (fun r -> got := Some r);
+        Sero.Queue.drain q;
+        (match !got with
+        | Some (Error _) -> ()
+        | Some (Ok _) -> Alcotest.fail "blank read succeeded"
+        | None -> Alcotest.fail "callback never fired");
+        Alcotest.(check int) "re-served twice" 2 (Sero.Queue.retried_reads q);
+        Alcotest.(check int) "abandoned once" 1 (Sero.Queue.abandoned_reads q);
+        Alcotest.(check bool) "watchdog saw the ordeal" true
+          (Sero.Queue.watchdog_trips q > 0);
+        (* A good read is untouched by the retry machinery. *)
+        ignore (Sero.Device.write_block dev ~pba:9 "fine");
+        let ok = ref false in
+        Sero.Queue.submit_read q ~pba:9 (fun r -> ok := Result.is_ok r);
+        Sero.Queue.drain q;
+        Alcotest.(check bool) "good read ok" true !ok;
+        Alcotest.(check int) "no extra retries" 2 (Sero.Queue.retried_reads q));
+    Alcotest.test_case "image v4 roundtrips endurance state" `Quick (fun () ->
+        let dev = make_edev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        wound dev ~line:2 ~corrected:30;
+        (match Sero.Device.maintenance dev () with
+        | [ _ ] -> ()
+        | ms -> Alcotest.failf "expected 1 migration, got %d" (List.length ms));
+        wound dev ~line:5 ~corrected:4;
+        let path = Filename.temp_file "sero" ".img" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sero.Image.save dev path;
+            match Sero.Image.load path with
+            | Error e -> Alcotest.failf "load: %s" e
+            | Ok dev2 ->
+                Alcotest.(check int) "spares" (Sero.Device.spares_left dev)
+                  (Sero.Device.spares_left dev2);
+                Alcotest.(check int) "remap"
+                  (Sero.Device.phys_of_line dev ~line:2)
+                  (Sero.Device.phys_of_line dev2 ~line:2);
+                Alcotest.(check (float 1e-9)) "ledger ewma survives"
+                  (Sero.Device.line_margin dev ~line:5)
+                  (Sero.Device.line_margin dev2 ~line:5);
+                (match Sero.Device.migrations dev2 with
+                | [ m ] ->
+                    Alcotest.(check int) "m_line" 2 m.Sero.Device.m_line;
+                    Alcotest.(check bool) "m_heated" true m.Sero.Device.m_heated
+                | ms ->
+                    Alcotest.failf "expected 1 migration, got %d"
+                      (List.length ms));
+                Alcotest.(check bool) "still intact" true
+                  (Sero.Tamper.equal_verdict
+                     (Sero.Device.verify_line dev2 ~line:2)
+                     Sero.Tamper.Intact)));
+    Alcotest.test_case "v3 images still load (endurance defaults off)" `Quick
+      (fun () ->
+        let dev = make_dev () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        let path = Filename.temp_file "sero" ".img" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sero.Image.save ~format:`V3 dev path;
+            match Sero.Image.load path with
+            | Error e -> Alcotest.failf "load v3: %s" e
+            | Ok dev2 ->
+                Alcotest.(check int) "no spares" 0 (Sero.Device.spares_left dev2);
+                Alcotest.(check bool) "lifecycle off" true
+                  (Sero.Device.device_state dev2 = Sero.Device.Healthy);
+                Alcotest.(check bool) "intact" true
+                  (Sero.Tamper.equal_verdict
+                     (Sero.Device.verify_line dev2 ~line:2)
+                     Sero.Tamper.Intact)));
+  ]
+
+(* The twin-device law: under a wear-free workload the lifecycle arm
+   (health on) and the baseline arm (health off, same spare reserve, so
+   identical usable geometry) agree on every observable result, and the
+   lifecycle never migrates anything. *)
+type end_op = E_read of int | E_write of int * int | E_heat of int | E_verify of int
+
+let endurance_twin =
+  let n_blocks = 64 and line_exp = 3 and spare_lines = 2 in
+  let lay = Sero.Layout.create ~spare_lines ~n_blocks ~line_exp () in
+  let usable = Sero.Layout.usable_lines lay in
+  let data_pbas =
+    Array.of_list
+      (List.concat_map
+         (Sero.Layout.data_blocks_of_line lay)
+         (List.init usable Fun.id))
+  in
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun i -> E_read i) (int_range 0 (Array.length data_pbas - 1)));
+          ( 4,
+            map2
+              (fun i tag -> E_write (i, tag))
+              (int_range 0 (Array.length data_pbas - 1))
+              (int_range 0 999) );
+          (2, map (fun l -> E_heat l) (int_range 0 (usable - 1)));
+          (2, map (fun l -> E_verify l) (int_range 0 (usable - 1)));
+        ])
+  in
+  let print_op = function
+    | E_read i -> Printf.sprintf "read %d" i
+    | E_write (i, t) -> Printf.sprintf "write %d #%d" i t
+    | E_heat l -> Printf.sprintf "heat %d" l
+    | E_verify l -> Printf.sprintf "verify %d" l
+  in
+  QCheck.Test.make ~name:"lifecycle on == lifecycle off without wear" ~count:60
+    QCheck.(
+      make
+        Gen.(list_size (5 -- 40) op_gen)
+        ~print:(fun ops -> String.concat "; " (List.map print_op ops)))
+    (fun ops ->
+      let mk health_enabled =
+        let base = Sero.Device.default_config ~n_blocks ~line_exp () in
+        Sero.Device.create
+          {
+            base with
+            Sero.Device.endurance =
+              {
+                Sero.Device.health_enabled;
+                spare_lines;
+                ewma_alpha = 0.4;
+                retire_margin = 0.5;
+              };
+          }
+      in
+      let dev_on = mk true and dev_off = mk false in
+      let step op =
+        match op with
+        | E_read i ->
+            let pba = data_pbas.(i) in
+            (match
+               (Sero.Device.read_block dev_on ~pba,
+                Sero.Device.read_block dev_off ~pba)
+             with
+            | Ok a, Ok b -> String.equal a b
+            | Error _, Error _ -> true
+            | Ok _, Error _ | Error _, Ok _ -> false)
+        | E_write (i, tag) ->
+            let pba = data_pbas.(i) in
+            let p = Printf.sprintf "twin %d @%d" tag pba in
+            (match
+               (Sero.Device.write_block dev_on ~pba p,
+                Sero.Device.write_block dev_off ~pba p)
+             with
+            | Ok (), Ok () | Error _, Error _ -> true
+            | Ok (), Error _ | Error _, Ok () -> false)
+        | E_heat l ->
+            (match
+               (Sero.Device.heat_line dev_on ~line:l (),
+                Sero.Device.heat_line dev_off ~line:l ())
+             with
+            | Ok a, Ok b -> Hash.Sha256.equal a b
+            | Error _, Error _ -> true
+            | Ok _, Error _ | Error _, Ok _ -> false)
+        | E_verify l ->
+            Sero.Tamper.equal_verdict
+              (Sero.Device.verify_line dev_on ~line:l)
+              (Sero.Device.verify_line dev_off ~line:l)
+      in
+      let ok = List.for_all step ops in
+      ignore (Sero.Device.maintenance dev_on ());
+      ok
+      && Sero.Device.migrations dev_on = []
+      && Sero.Device.spares_left dev_on = spare_lines
+      && Sero.Device.device_state dev_on = Sero.Device.Healthy
+      && List.for_all
+           (fun l ->
+             Sero.Device.phys_of_line dev_on ~line:l
+             = Sero.Device.phys_of_line dev_off ~line:l)
+           (List.init (Sero.Layout.n_lines lay) Fun.id))
+
 let () =
   Alcotest.run "sero"
     [
@@ -919,4 +1306,5 @@ let () =
       ("whole-device", whole_device_cases);
       ("image", image_cases);
       ("bcache", bcache_cases @ [ qtest twin_equivalence ]);
+      ("endurance", endurance_cases @ [ qtest endurance_twin ]);
     ]
