@@ -323,6 +323,38 @@ let e22_endurance =
       (Staged.stage (fun () -> ignore (Sero.Device.read_block dev ~pba:pbas.(0))));
   ]
 
+let e23_array =
+  let v =
+    Sarray.Volume.create
+      (Sarray.Volume.default_config ~slots:2 ~replication:2 ~spares:0
+         ~member_blocks:64 ())
+  in
+  let m = Sarray.Volume.map v in
+  (* Line 0 filled and heated (read + attest targets); line 1 filled
+     but left magnetic so write fan-out stays legal per iteration. *)
+  List.iter
+    (fun line ->
+      for o = 0 to Sarray.Amap.data_blocks_per_line m - 1 do
+        let vba = Sarray.Amap.vba_of m ~line ~offset:o in
+        ignore (Sarray.Volume.write_block v ~vba payload_512)
+      done)
+    [ 0; 1 ];
+  (match Sarray.Volume.heat_line v ~line:0 () with Ok _ -> () | Error _ -> ());
+  Sarray.Volume.flush v;
+  let read_vba = Sarray.Amap.vba_of m ~line:0 ~offset:0 in
+  let write_vba = Sarray.Amap.vba_of m ~line:1 ~offset:0 in
+  [
+    Test.make ~name:"e23 volume read (mirror pair, cached)"
+      (Staged.stage (fun () ->
+           ignore (Sarray.Volume.read_block v ~vba:read_vba)));
+    Test.make ~name:"e23 volume write fan-out (2 replicas)"
+      (Staged.stage (fun () ->
+           ignore (Sarray.Volume.write_block v ~vba:write_vba payload_512)));
+    Test.make ~name:"e23 quorum attest one line"
+      (Staged.stage (fun () ->
+           ignore (Sarray.Quorum.attest_line_raw v ~line:0)));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -342,6 +374,7 @@ let groups =
     ("E20 request queue", e20_queue);
     ("E21 buffer cache", e21_bcache);
     ("E22 endurance", e22_endurance);
+    ("E23 sharded array", e23_array);
   ]
 
 (* {1 Runner} *)
@@ -441,6 +474,7 @@ let json_escape s =
 let simulated_metrics () =
   let h = Expt.Cache_study.headline () in
   let e = Expt.Endurance_study.headline () in
+  let a = Expt.Array_study.headline () in
   [
     ("e21 nocache read ms", h.Expt.Cache_study.nocache_read_ms);
     ("e21 cached read ms", h.Expt.Cache_study.cached_read_ms);
@@ -450,6 +484,11 @@ let simulated_metrics () =
     ("e22 lost on", e.Expt.Endurance_study.lost_on);
     ("e22 saved pct", e.Expt.Endurance_study.saved_pct);
     ("e22 audit pct", e.Expt.Endurance_study.audit_pct);
+    ("e23 undetected loss", a.Expt.Array_study.h_undetected);
+    ("e23 detected replicas", a.Expt.Array_study.h_detected);
+    ("e23 rebuild pct", a.Expt.Array_study.h_rebuild_pct);
+    ("e23 attested pct", a.Expt.Array_study.h_attested_pct);
+    ("e23 audit per line", a.Expt.Array_study.h_audit_per_line);
   ]
 
 let pp_section oc name kvs last =
@@ -548,13 +587,15 @@ let compare_baseline ~baseline ~results ~simulated =
           match List.assoc_opt name base_sim with
           | None -> Printf.printf "  %-24s %10.2f (new metric)\n" name now
           | Some old ->
-              (* "e21 read speedup" and "e21 hit pct" are
-                 higher-is-better; the latency metrics lower-is-better. *)
+              (* "...pct" metrics, the cache speedup and the quorum
+                 detection count are higher-is-better; the latency and
+                 loss metrics lower-is-better. *)
               let higher_better =
                 String.length name >= 4
                 && String.equal (String.sub name (String.length name - 3) 3)
                      "pct"
-                || List.mem name [ "e21 read speedup" ]
+                || List.mem name
+                     [ "e21 read speedup"; "e23 detected replicas" ]
               in
               let regressed =
                 if higher_better then now < old *. 0.75

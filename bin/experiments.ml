@@ -27,6 +27,7 @@ let experiments =
     ("queue", "E20: request queueing (depth x policy x scrub)", Expt.Queue_study.print);
     ("cache", "E21: buffer cache (size x read-ahead x Zipf skew)", Expt.Cache_study.print);
     ("endure", "E22: endurance lifecycle (health ledger x migration)", Expt.Endurance_study.print);
+    ("array", "E23: sharded array (quorum x degraded mode x rebuild)", Expt.Array_study.print);
     ("lfs", "E9: LFS clustering/bimodality study (slowest)", Expt.Lfs_study.print);
   ]
 

@@ -467,6 +467,151 @@ let attack image name =
           Format.pp_print_flush std ();
           `Ok ())
 
+(* {1 Array commands}
+
+   An array image is a text manifest plus one member image per device
+   (<path>.d<i>); member images are ordinary device images, so every
+   single-device subcommand (attack, verify, fsck, ...) works on them
+   directly. *)
+
+let with_volume image f =
+  match Sarray.Aimage.load image with
+  | Error e -> err "cannot load array %s: %s" image e
+  | Ok v -> (
+      match f v with
+      | Ok save ->
+          if save then Sarray.Aimage.save v image;
+          `Ok ()
+      | Error e -> `Error (false, e))
+
+let mkarray image slots replication spares blocks line_exp seed fill =
+  match
+    Sarray.Volume.create
+      (Sarray.Volume.default_config ~slots ~replication ~spares
+         ~member_blocks:blocks ~line_exp ~seed ())
+  with
+  | exception Invalid_argument e -> err "%s" e
+  | v ->
+      if fill then begin
+        (* Deterministic records, every other line heated: enough state
+           for attacks, audits and rebuilds straight from the shell. *)
+        let m = Sarray.Volume.map v in
+        for line = 0 to Sarray.Amap.logical_lines m - 1 do
+          for o = 0 to Sarray.Amap.data_blocks_per_line m - 1 do
+            let vba = Sarray.Amap.vba_of m ~line ~offset:o in
+            ignore
+              (Sarray.Volume.write_block v ~vba
+                 (Printf.sprintf "array record %d (line %d offset %d)" vba
+                    line o))
+          done;
+          if line mod 2 = 0 then ignore (Sarray.Volume.heat_line v ~line ())
+        done;
+        Sarray.Volume.flush v
+      end;
+      Sarray.Aimage.save v image;
+      let m = Sarray.Volume.map v in
+      Format.fprintf std
+        "created array %s: %d slots in %d-way mirrors + %d spares, %d \
+         logical lines (%d data blocks)%s@."
+        image slots replication spares
+        (Sarray.Amap.logical_lines m)
+        (Sarray.Amap.n_blocks m)
+        (if fill then ", filled, every other line heated" else "");
+      Format.pp_print_flush std ();
+      `Ok ()
+
+let array_status image do_verify jobs =
+  with_volume image (fun v ->
+      (* Audit first so the member table below shows the post-audit
+         trust ledger. *)
+      let report =
+        if do_verify then Some (Sarray.Quorum.verify_volume ?jobs v)
+        else None
+      in
+      Format.fprintf std "%a@." Sarray.Volume.pp_stats (Sarray.Volume.stats v);
+      let states = Sarray.Volume.member_states v in
+      Array.iteri
+        (fun dev st ->
+          let role =
+            match Sarray.Volume.slot_of_dev v ~dev with
+            | Some s -> Printf.sprintf "slot %d" s
+            | None ->
+                if List.mem dev (Sarray.Volume.spare_pool v) then "spare"
+                else "carcass"
+          in
+          Format.fprintf std "  device %d (%-7s) %-12s %a@." dev role
+            (Format.asprintf "%a" Sarray.Volume.pp_member_state st)
+            Sarray.Trust.pp_entry
+            (Sarray.Trust.entry (Sarray.Volume.trust v) ~dev))
+        states;
+      (match report with
+      | Some r -> Format.fprintf std "%a@." Sarray.Quorum.pp_report r
+      | None -> ());
+      Format.pp_print_flush std ();
+      (* A verify charged the trust ledger: persist it. *)
+      Ok do_verify)
+
+let array_fail image slot tamper replica =
+  with_volume image (fun v ->
+      match (slot, tamper) with
+      | Some slot, None ->
+          if slot < 0 || slot >= (Sarray.Volume.cfg v).Sarray.Volume.slots then
+            Error (Printf.sprintf "slot %d out of range" slot)
+          else begin
+            Sarray.Volume.fail_slot v ~slot;
+            Format.fprintf std "slot %d lost; volume is now %a@." slot
+              Sarray.Volume.pp_volume_state
+              (Sarray.Volume.volume_state v);
+            Format.pp_print_flush std ();
+            Ok true
+          end
+      | None, Some line ->
+          let m = Sarray.Volume.map v in
+          if line < 0 || line >= Sarray.Amap.logical_lines m then
+            Error (Printf.sprintf "line %d out of range" line)
+          else if replica < 0 || replica >= m.Sarray.Amap.replication then
+            Error (Printf.sprintf "replica %d out of range" replica)
+          else begin
+            let slot = List.nth (Sarray.Amap.slots_of_line m line) replica in
+            let dev = Sarray.Volume.dev_of_slot v ~slot in
+            let d = Sarray.Volume.device v ~dev in
+            let lay = Sero.Device.layout d in
+            Sero.Device.unsafe_write_block d
+              ~pba:
+                (Sero.Layout.first_data_block lay
+                   (Sarray.Amap.local_line m line))
+              "tampered by array-fail";
+            Sero.Device.refresh_heated_cache d;
+            Format.fprintf std
+              "tampered replica %d (slot %d, device %d) of line %d; run \
+               array-status --verify to see the quorum's verdict@."
+              replica slot dev line;
+            Format.pp_print_flush std ();
+            Ok true
+          end
+      | Some _, Some _ -> Error "--slot and --tamper are mutually exclusive"
+      | None, None -> Error "one of --slot or --tamper is required")
+
+let array_rebuild image slot force =
+  with_volume image (fun v ->
+      match Sarray.Rebuild.rebuild_slot ~force v ~slot with
+      | Ok r ->
+          Format.fprintf std "%a@." Sarray.Rebuild.pp_report r;
+          Format.pp_print_flush std ();
+          Ok true
+      | Error Sarray.Rebuild.No_spare ->
+          Error "no pooled spare to rebuild onto"
+      | Error Sarray.Rebuild.Slot_healthy ->
+          Error
+            (Printf.sprintf
+               "slot %d is active and trusted; pass --force to rebuild anyway"
+               slot)
+      | Error (Sarray.Rebuild.No_source l) ->
+          Error
+            (Printf.sprintf
+               "line %d has no surviving source; nothing was committed" l)
+      | exception Invalid_argument e -> Error e)
+
 open Cmdliner
 
 let image_arg =
@@ -592,6 +737,89 @@ let () =
       & info [ "read-ahead" ] ~docv:"N"
           ~doc:"Blocks prefetched past each cache miss (0 disables).")
   in
+  let arr_slots =
+    Arg.(
+      value & opt int 4
+      & info [ "slots" ] ~docv:"N" ~doc:"Data-bearing array slots.")
+  in
+  let arr_replication =
+    Arg.(
+      value & opt int 2
+      & info [ "replication" ] ~docv:"R"
+          ~doc:"Replicas per logical line (must divide $(b,--slots)).")
+  in
+  let arr_spares =
+    Arg.(
+      value & opt int 1
+      & info [ "spares" ] ~docv:"N" ~doc:"Pooled spare devices.")
+  in
+  let arr_blocks =
+    Arg.(
+      value & opt int 256
+      & info [ "blocks" ] ~docv:"N" ~doc:"Blocks per member device.")
+  in
+  let arr_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base member seed (member $(i,i) gets S+$(i,i)).")
+  in
+  let arr_fill =
+    Arg.(
+      value & flag
+      & info [ "fill" ]
+          ~doc:
+            "Write deterministic records to every data block and heat \
+             every other line, so the fresh array is ready for attacks, \
+             audits and rebuilds.")
+  in
+  let arr_verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Also run the cross-device attestation quorum over every line \
+             and persist the updated trust ledger.")
+  in
+  let arr_jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the quorum fan-out (byte-identical output \
+             for any value).")
+  in
+  let arr_fail_slot =
+    Arg.(
+      value & opt (some int) None
+      & info [ "slot" ] ~docv:"SLOT" ~doc:"Lose this slot's whole device.")
+  in
+  let arr_tamper =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tamper" ] ~docv:"LINE"
+          ~doc:
+            "Magnetically rewrite one replica of this volume line under \
+             its burned hash (pick the replica with $(b,--replica)).")
+  in
+  let arr_replica =
+    Arg.(
+      value & opt int 0
+      & info [ "replica" ] ~docv:"R"
+          ~doc:"Replica ordinal for $(b,--tamper) (default 0).")
+  in
+  let arr_rebuild_slot =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "slot" ] ~docv:"SLOT" ~doc:"Slot to rebuild onto a spare.")
+  in
+  let arr_force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:"Rebuild even if the slot's member is active and trusted.")
+  in
   let cmds =
     [
       cmd "mkdev" "Create a fresh device image."
@@ -639,6 +867,26 @@ let () =
         Term.(const inject $ image_arg $ seed $ flips $ tear $ tear_cells);
       cmd "scrub" "Run one scrubber pass (repair, torn completion)."
         Term.(const scrub $ image_arg $ threshold $ deep);
+      cmd "mkarray"
+        "Create a sharded array image (a manifest plus one member device \
+         image per slot and spare)."
+        Term.(
+          const mkarray $ image_arg $ arr_slots $ arr_replication
+          $ arr_spares $ arr_blocks $ line_exp $ arr_seed $ arr_fill);
+      cmd "array-status"
+        "Volume state, member table and trust ledger; with $(b,--verify), \
+         run the cross-device attestation quorum."
+        Term.(const array_status $ image_arg $ arr_verify $ arr_jobs);
+      cmd "array-fail"
+        "Script a disaster against the array: whole-device loss \
+         ($(b,--slot)) or a targeted replica tamper ($(b,--tamper))."
+        Term.(
+          const array_fail $ image_arg $ arr_fail_slot $ arr_tamper
+          $ arr_replica);
+      cmd "rebuild"
+        "Rebuild a lost or outvoted slot onto a pooled spare, re-burning \
+         the original hashes."
+        Term.(const array_rebuild $ image_arg $ arr_rebuild_slot $ arr_force);
     ]
   in
   let doc = "operate a simulated tamper-evident SERO device" in

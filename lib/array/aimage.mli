@@ -1,0 +1,18 @@
+(** Array image persistence.
+
+    A saved array is a text manifest ([SEROARR1]) next to one
+    {!Sero.Image} file per member device ([<path>.d<i>]).  The
+    manifest carries the volume geometry, the slot map, the spare
+    pool, per-device member states and the trust ledger; the member
+    images carry the media themselves — including every burned hash,
+    so a reloaded array re-attests exactly as the saved one did.
+
+    Runtime state (queues, caches, op counter, armed fault plans) is
+    deliberately not persisted: a load is a power-on, and anything that
+    matters across power-ons must be on the media. *)
+
+val save : Volume.t -> string -> unit
+(** Write [path] (manifest) and [path.d<i>] member images. *)
+
+val load : string -> (Volume.t, string) result
+(** Rebuild a volume from a manifest written by {!save}. *)

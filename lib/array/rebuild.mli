@@ -1,0 +1,56 @@
+(** Rebuild-onto-spare: evacuate-and-re-attest at array scale.
+
+    A failed or outvoted member's slot is reconstructed onto a pooled
+    spare device from the surviving replicas: for every local line a
+    mini-quorum over the sources picks the majority burned hash, the
+    data blocks are copied from agreeing sources, and the spare's line
+    is re-burned with the {e original} hash and timestamp — so the
+    rebuilt replica's burned area is byte-identical to the pre-failure
+    one and tamper evidence survives the move (the same contract as
+    {!Sero.Device.evacuate_line}, one level up).
+
+    Crash ordering: all copying and burning happens on the pooled
+    spare, which serves no reads; the volume's slot map is swapped only
+    after every line is done ({!Volume.swap_in_spare} is the commit
+    point).  A crash mid-rebuild leaves the volume exactly as degraded
+    as before, and re-running the rebuild is idempotent — already
+    burned spare lines are accepted iff their hash matches the
+    majority, so an interrupted rebuild can never launder evidence.
+
+    All rebuild IO is [Background] traffic through the members'
+    request pipelines, with the queues' retry/backoff absorbing
+    transient read errors on the surviving sources. *)
+
+type error =
+  | No_spare  (** The pool is empty. *)
+  | Slot_healthy
+      (** The slot's member is Active and Trusted; pass [~force:true]
+          to rebuild anyway (e.g. preventive migration). *)
+  | No_source of int
+      (** Volume line with no serving replica besides the slot being
+          rebuilt — its stripe would be lost, so nothing is committed. *)
+
+type report = {
+  r_slot : int;
+  r_old_dev : int;
+  r_new_dev : int;
+  lines_scanned : int;
+  heated_rebuilt : int;  (** Lines re-burned with their original hash. *)
+  data_blocks_copied : int;
+  blanks_skipped : int;
+  unattested_skipped : int list;
+      (** Lines whose sources tied or were all convicted: data is
+          copied from the first readable source but {e no} hash is
+          burned — burning one side of a dispute would manufacture
+          evidence. *)
+  reattest_failed : (int * string) list;
+      (** Lines whose re-burn failed or reproduced the wrong hash;
+          surfaced, never papered over. *)
+}
+
+val rebuild_slot : ?force:bool -> Volume.t -> slot:int -> (report, error) result
+(** Rebuild [slot] onto the first pooled spare.  On [Ok], the spare
+    serves the slot, the old device is quarantined as a carcass, and
+    the spare's trust entry is fresh. *)
+
+val pp_report : Format.formatter -> report -> unit

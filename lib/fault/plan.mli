@@ -50,3 +50,67 @@ val make :
     [0, 1]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val quiet : t -> bool
+(** Whether the plan can never inject anything (all rates zero, no tip
+    deaths, no power cut) — its seed aside, it is {!none}.  Quiet plans
+    need no injector: installing one anyway would still change device
+    behaviour (caches bypass while a fault plan is armed), so array
+    members skip them. *)
+
+(** {1 Array plans}
+
+    One replayable plan for a whole array of devices.  Each member gets
+    its own fault plan and its own seed (derived from the array seed
+    when not given explicitly), so per-member injector ledgers replay
+    independently; on top of that the plan scripts {e array-level}
+    events — whole-device loss and targeted replica tamper — at volume
+    operation boundaries, so a multi-device failure scenario is one
+    declarative, replayable object. *)
+
+type array_event =
+  | Member_loss of { member : int }
+      (** The device serving array slot [member] stops answering —
+          whole-device loss. *)
+  | Replica_tamper of { member : int; line : int }
+      (** An attacker magnetically rewrites one replica of volume line
+          [line] (the first data block), leaving its burned hash
+          testifying against the alteration.  [member] is the replica
+          ordinal within the line's mirror group (0-based), not an
+          absolute slot — every line has a [member]-th replica whatever
+          group it lives in. *)
+
+type timed_event = { at_op : int; event : array_event }
+(** [event] fires at the boundary after [at_op] volume operations. *)
+
+type array_plan = {
+  array_seed : int;
+  member_plans : (int * t) list;
+      (** Explicit per-member device plans; members not listed get
+          {!none} under their derived seed. *)
+  events : timed_event list;  (** Sorted by [at_op], stable. *)
+}
+
+val array_none : array_plan
+
+val array_make :
+  ?seed:int ->
+  ?member_plans:(int * t) list ->
+  ?events:timed_event list ->
+  unit ->
+  array_plan
+(** @raise Invalid_argument on a negative member index, [at_op] or
+    tamper line, or a duplicate member entry. *)
+
+val member_seed : array_plan -> member:int -> int
+(** The member's private seed: a splitmix64 derivation of
+    [(array_seed, member)], stable across runs and independent of how
+    many members the plan names. *)
+
+val member_plan : array_plan -> member:int -> t
+(** The member's device plan: its explicit entry if listed, otherwise
+    {!none}; either way the plan's seed 0 is replaced by
+    {!member_seed} so that every member draws from its own stream. *)
+
+val pp_array_event : Format.formatter -> array_event -> unit
+val pp_array : Format.formatter -> array_plan -> unit

@@ -32,7 +32,6 @@ let mount ?policy ?icache_cap ?pcache_cap dev =
 
 let sync t =
   File.flush_all t.st;
-  State.close_open_segments t.st;
   State.write_checkpoint t.st;
   (* sync means durable: write-behind data (including the checkpoint
      blocks just written) must reach the medium before returning. *)

@@ -425,6 +425,16 @@ let checkpoint_blob t =
     { Enc.seq = t.seq; timestamp = now t; next_ino = t.next_ino; imap; segments }
 
 let write_checkpoint t =
+  (* Invariant: a checkpoint only ever describes closed segments.
+     [restore_from_checkpoint] marks every checkpointed segment's
+     in-memory owner table stale ([owners_valid = false]) and reloads
+     it from the on-medium summary block on demand — so any segment
+     still open here would remount as a closed segment whose summary
+     was never written, and the first cleaner pass over it would die
+     with "summary unreadable" (the historical small-geometry mkfs
+     bug: tiny devices have so few segments that the cleaner runs on
+     the very first write after mkfs). *)
+  close_open_segments t;
   t.seq <- t.seq + 1;
   let blob = checkpoint_blob t in
   if String.length blob > checkpoint_half_capacity t then

@@ -203,7 +203,10 @@ val inode_pba : t -> int -> int option
 (** {1 Checkpoint} *)
 
 val write_checkpoint : t -> unit
-(** Serialise imap + segment table into the alternating checkpoint half
+(** Close every open segment (their summaries must be on the medium —
+    a remount reloads owner tables from summary blocks, so a
+    checkpoint may only describe closed segments), then serialise
+    imap + segment table into the alternating checkpoint half
     (A = checkpoint segment 0, B = segment 1).
     @raise Fs_error if the blob exceeds the half's capacity. *)
 
