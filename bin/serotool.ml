@@ -612,6 +612,169 @@ let array_rebuild image slot force =
                "line %d has no surviving source; nothing was committed" l)
       | exception Invalid_argument e -> Error e)
 
+(* One-process large-geometry soak, sized for the CI memory ceiling:
+   create, format, write, heat, verify, stream the image out, reload
+   it, remount, re-verify and scrub — all without ever materialising a
+   whole-device buffer on the OCaml heap.  The bigdev-smoke CI job runs
+   this under `ulimit -v`, so a regression that buffers the medium (or
+   the image file) shows up as an allocation failure, not a slowdown. *)
+let bigdev image blocks line_exp =
+  let step fmt =
+    Format.kfprintf (fun f -> Format.pp_print_flush f ()) std (fmt ^^ "@.")
+  in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let all_intact verdicts =
+    List.for_all
+      (fun (_, v) -> Sero.Tamper.equal_verdict v Sero.Tamper.Intact)
+      verdicts
+  in
+  let ( let* ) = Result.bind in
+  (* The checkpoint lists every segment and must fit one segment's
+     payload capacity, so segments have to grow with the device:
+     double [segment_lines] until there are ~1k segments.  Derived
+     from the layout alone so save and reload agree on the policy. *)
+  let scaled_policy lay =
+    let usable = Sero.Layout.usable_lines lay in
+    let rec fit sl =
+      if sl * 1024 >= usable || usable mod (sl * 2) <> 0 then sl
+      else fit (sl * 2)
+    in
+    { Lfs.State.default_policy with Lfs.State.segment_lines = fit 4 }
+  in
+  (* Device-level sample: a spread of lines in the upper half of the
+     device (clear of the LFS log head), derived from the layout alone
+     so the writer and the reloader agree on it. *)
+  let sample_lines lay =
+    let usable = Sero.Layout.usable_lines lay in
+    let n = min 64 (usable / 2) in
+    List.init n (fun i -> (usable / 2) + (i * (usable / 2) / n))
+    |> List.sort_uniq compare
+  in
+  let record line = Printf.sprintf "bigdev soak line %d" line in
+  let verify_sample dev sample =
+    List.for_all
+      (fun line ->
+        Sero.Tamper.equal_verdict
+          (Sero.Device.verify_line dev ~line)
+          Sero.Tamper.Intact)
+      sample
+  in
+  let lfs_soak dev lay =
+    (* LFS lifecycle where the geometry fits its checkpoint and summary
+       bounds (the on-medium format caps out around a few thousand
+       lines); the device-level soak runs regardless. *)
+    match Lfs.Fs.format ~policy:(scaled_policy lay) dev with
+    | exception Lfs.State.Fs_error e ->
+        step "lfs soak skipped at this geometry (%s)" e;
+        Ok None
+    | exception Invalid_argument e ->
+        step "lfs soak skipped at this geometry (%s)" e;
+        Ok None
+    | fs ->
+        let payload = String.init 65536 (fun i -> Char.chr (i land 0xFF)) in
+        let* () = Lfs.Fs.create fs "/soak" in
+        let* () = Lfs.Fs.write_file fs "/soak" ~offset:0 payload in
+        Lfs.Fs.sync fs;
+        let* r = Lfs.Fs.heat fs "/soak" in
+        let* verdicts = Lfs.Fs.verify fs "/soak" in
+        if not (all_intact verdicts) then fail "tamper verdict after heat"
+        else begin
+          step "lfs: formatted, wrote /soak, heated %d lines"
+            (List.length r.Lfs.Heat.lines);
+          Ok (Some (List.length r.Lfs.Heat.lines))
+        end
+  in
+  (* Phases are separate functions so the writer device is provably
+     unreachable (its frame is popped) before the reload allocates the
+     second medium — the soak peaks at one device even under ulimit. *)
+  let phase1 () =
+    match
+      Sero.Device.create
+        (Sero.Device.default_config ~n_blocks:blocks ~line_exp ())
+    with
+    | exception Invalid_argument e -> fail "%s" e
+    | dev ->
+        let lay = Sero.Device.layout dev in
+        step "created: %d blocks in %d lines" blocks (Sero.Layout.n_lines lay);
+        let* lfs_heated = lfs_soak dev lay in
+        (* Device-level soak: fill and burn a spread of lines, verify
+           each, then stream the image out. *)
+        let sample = sample_lines lay in
+        let* () =
+          List.fold_left
+            (fun acc line ->
+              let* () = acc in
+              let* () =
+                List.fold_left
+                  (fun acc pba ->
+                    let* () = acc in
+                    match Sero.Device.write_block dev ~pba (record line) with
+                    | Ok () -> Ok ()
+                    | Error e ->
+                        fail "write pba %d: %s" pba
+                          (Format.asprintf "%a" Sero.Device.pp_write_error e))
+                  (Ok ())
+                  (Sero.Layout.data_blocks_of_line lay line)
+              in
+              match Sero.Device.heat_line dev ~line () with
+              | Ok _ -> Ok ()
+              | Error _ -> fail "heat of line %d refused" line)
+            (Ok ()) sample
+        in
+        let* () =
+          if verify_sample dev sample then Ok ()
+          else fail "device-level verify failed before save"
+        in
+        Sero.Image.save dev image;
+        step "burned+verified %d sample lines; image streamed to %s"
+          (List.length sample) image;
+        Ok lfs_heated
+  in
+  let phase2 lfs_heated =
+    let* dev = Sero.Image.load image in
+    let lay = Sero.Device.layout dev in
+    let sample = sample_lines lay in
+    let* () =
+      if verify_sample dev sample then Ok ()
+      else fail "reloaded image fails device-level verification"
+    in
+    step "reloaded: %d sample lines re-verified intact" (List.length sample);
+    let* () =
+      match lfs_heated with
+      | None -> Ok ()
+      | Some heated ->
+          let* fs = Lfs.Fs.mount ~policy:(scaled_policy lay) dev in
+          let* data = Lfs.Fs.read_file fs "/soak" in
+          let* () =
+            if String.length data >= 65536 then Ok ()
+            else fail "short read-back (%d bytes)" (String.length data)
+          in
+          let* verdicts = Lfs.Fs.verify fs "/soak" in
+          if all_intact verdicts && List.length verdicts = heated then begin
+            step "lfs: remounted, read /soak back, %d lines intact" heated;
+            Ok ()
+          end
+          else fail "reloaded lfs fails verification"
+    in
+    let report = Sero.Scrub.pass dev in
+    step "%a" Sero.Scrub.pp_report report;
+    let mb w = w * 8 / 1_048_576 in
+    step "peak OCaml heap: %d MB" (mb Gc.((quick_stat ()).top_heap_words));
+    Ok ()
+  in
+  let result =
+    let* lfs_heated = phase1 () in
+    (* The writer device died with phase1's frame; reclaim its off-heap
+       store before loading the image back.  Two full majors: on OCaml 5
+       one pass can leave unreachable custom blocks unswept, and the
+       medium's gigabyte Bigarray must actually be unmapped here for the
+       soak to peak at one device. *)
+    Gc.full_major ();
+    Gc.full_major ();
+    phase2 lfs_heated
+  in
+  match result with Ok () -> `Ok () | Error e -> `Error (false, e)
+
 open Cmdliner
 
 let image_arg =
@@ -825,6 +988,11 @@ let () =
       cmd "mkdev" "Create a fresh device image."
         Term.(const mkdev $ image_arg $ blocks $ line_exp $ ras $ endurance
               $ spares);
+      cmd "bigdev"
+        "Large-geometry soak: create, format, heat, verify, stream-save, \
+         reload, remount and scrub a device in one process (run under \
+         ulimit -v to prove O(1)-per-line memory)."
+        Term.(const bigdev $ image_arg $ blocks $ line_exp);
       cmd "mkfs" "Format the SERO file system." Term.(const mkfs $ image_arg);
       cmd "ls" "List a directory." Term.(const ls $ image_arg $ path_arg 1);
       cmd "mkdir" "Create a directory."

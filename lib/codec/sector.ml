@@ -76,11 +76,10 @@ let pp_error ppf e =
    error path (and the ~2^-32 residual of a corruption that fools the
    quick syndromes) keeps the slow path's exact semantics; a wrong
    accept additionally needs a CRC32 collision. *)
-let decode_fast image =
-  let coded = Bytes.unsafe_of_string image in
+let decode_fast_sub coded base =
   let m = Rs.max_data rs_code and npar = Rs.nparity rs_code in
   let clean = ref true in
-  let off = ref 0 and remaining = ref framed_bytes in
+  let off = ref base and remaining = ref framed_bytes in
   while !remaining > 0 && !clean do
     let take = min m !remaining in
     if not (Rs.probably_clean rs_code coded ~off:!off ~len:(take + npar)) then
@@ -93,7 +92,7 @@ let decode_fast image =
   if not !clean then None
   else begin
     let framed = Bytes.create framed_bytes in
-    let off = ref 0 and pos = ref 0 and remaining = ref framed_bytes in
+    let off = ref base and pos = ref 0 and remaining = ref framed_bytes in
     while !remaining > 0 do
       let take = min m !remaining in
       Bytes.blit coded !off framed !pos take;
@@ -132,14 +131,16 @@ let decode_fast image =
                 Some { pba; kind; generation; payload; corrected_symbols = 0 })
   end
 
-(* Count corrections by decoding slice-by-slice ourselves. *)
-let decode_slow image =
+(* Count corrections by decoding slice-by-slice ourselves.  Each slice
+   is copied out before {!Rs.decode} corrects it in place, so [coded]
+   itself — possibly a caller's shared span buffer — is never
+   mutated. *)
+let decode_slow_sub coded base =
   begin
-    let coded = Bytes.of_string image in
     let m = Rs.max_data rs_code and npar = Rs.nparity rs_code in
     let out = Buffer.create framed_bytes in
     let corrected = ref 0 and failed = ref false in
-    let off = ref 0 and remaining = ref framed_bytes in
+    let off = ref base and remaining = ref framed_bytes in
     while !remaining > 0 && not !failed do
       let take = min m !remaining in
       let cw = Bytes.sub coded !off (take + npar) in
@@ -180,9 +181,13 @@ let decode_slow image =
     end
   end
 
+let decode_sub buf ~off =
+  if off < 0 || off + physical_bytes > Bytes.length buf then Error Bad_header
+  else
+    match decode_fast_sub buf off with
+    | Some d -> Ok d
+    | None -> decode_slow_sub buf off
+
 let decode image =
   if String.length image <> physical_bytes then Error Bad_header
-  else
-    match decode_fast image with
-    | Some d -> Ok d
-    | None -> decode_slow image
+  else decode_sub (Bytes.unsafe_of_string image) ~off:0

@@ -64,4 +64,11 @@ type error =
 val decode : string -> (decoded, error) result
 (** [decode image] checks and unframes a {!physical_bytes}-byte image. *)
 
+val decode_sub : Bytes.t -> off:int -> (decoded, error) result
+(** {!decode} of the {!physical_bytes}-byte image starting at [off] of a
+    caller-owned buffer — the zero-copy form for span reads that hold
+    many consecutive images in one scratch buffer.  [buf] is never
+    mutated.  An out-of-range window is [Error Bad_header], like any
+    other malformed frame. *)
+
 val pp_error : Format.formatter -> error -> unit

@@ -176,12 +176,12 @@ let mrb_run t ~start ~len ~dst ~dst_pos =
     done
   else begin
     t.counters.mrb <- t.counters.mrb + len;
-    let states = Medium.states_bytes t.medium in
+    let states = Medium.states t.medium in
     let rng = Medium.rng t.medium in
     let k = ref 0 in
     while !k < len do
       let i = start + !k in
-      let byte = Char.code (Bytes.unsafe_get states (i lsr 2)) in
+      let byte = Char.code (Bigarray.Array1.unsafe_get states (i lsr 2)) in
       (* A heated field has its high bit set: mask 0xAA over the byte. *)
       if i land 3 = 0 && !k + 4 <= len && byte land 0xAA = 0 then begin
         let p = dst_pos + !k in
@@ -221,13 +221,13 @@ let mrb_run_packed t ~start ~len ~dst ~dst_pos =
   then len = 0
   else begin
     t.counters.mrb <- t.counters.mrb + len;
-    let states = Medium.states_bytes t.medium in
+    let states = Medium.states t.medium in
     let rng = Medium.rng t.medium in
     let tbl = Lazy.force rev_up_nibble in
     let first = start lsr 2 in
     for b = 0 to (len lsr 3) - 1 do
-      let s0 = Char.code (Bytes.unsafe_get states (first + (2 * b)))
-      and s1 = Char.code (Bytes.unsafe_get states (first + (2 * b) + 1)) in
+      let s0 = Char.code (Bigarray.Array1.unsafe_get states (first + (2 * b)))
+      and s1 = Char.code (Bigarray.Array1.unsafe_get states (first + (2 * b) + 1)) in
       let v =
         if (s0 lor s1) land 0xAA = 0 then
           (Array.unsafe_get tbl s0 lsl 4) lor Array.unsafe_get tbl s1
@@ -261,12 +261,12 @@ let mwb_run t ~start ~len ~src ~src_pos =
     done
   else begin
     t.counters.mwb <- t.counters.mwb + len;
-    let states = Medium.states_bytes t.medium in
+    let states = Medium.states t.medium in
     let k = ref 0 in
     while !k < len do
       let i = start + !k in
       let idx = i lsr 2 in
-      let byte = Char.code (Bytes.unsafe_get states idx) in
+      let byte = Char.code (Bigarray.Array1.unsafe_get states idx) in
       if i land 3 = 0 && !k + 4 <= len && byte land 0xAA = 0 then begin
         (* No heated dot in the byte: all four fields are overwritten. *)
         let p = src_pos + !k in
@@ -276,19 +276,73 @@ let mwb_run t ~start ~len ~src ~src_pos =
           lor (if Array.unsafe_get src (p + 2) then 16 else 0)
           lor if Array.unsafe_get src (p + 3) then 64 else 0
         in
-        Bytes.unsafe_set states idx (Char.unsafe_chr v);
+        Bigarray.Array1.unsafe_set states idx (Char.unsafe_chr v);
         k := !k + 4
       end
       else begin
         let shift = 2 * (i land 3) in
         if (byte lsr shift) land 2 = 0 then begin
           let v = if Array.unsafe_get src (src_pos + !k) then 1 else 0 in
-          Bytes.unsafe_set states idx
+          Bigarray.Array1.unsafe_set states idx
             (Char.unsafe_chr (byte land lnot (3 lsl shift) lor (v lsl shift)))
         end;
         incr k
       end
     done
+  end
+
+(* Inverse of [rev_up_nibble]: an MSB-first nibble of logical bits
+   (bit 3 = lowest dot address) as a state byte of Up/Down codes. *)
+let nibble_states =
+  lazy
+    (Array.init 16 (fun nib ->
+         ((nib lsr 3) land 1)
+         lor (((nib lsr 2) land 1) lsl 2)
+         lor (((nib lsr 1) land 1) lsl 4)
+         lor ((nib land 1) lsl 6)))
+
+let mwb_run_packed t ~start ~len ~src ~src_pos =
+  check_run t start len;
+  if src_pos < 0 || src_pos + (len lsr 3) > Bytes.length src then
+    invalid_arg "Bitops.mwb_run_packed: source out of range";
+  (* Same decline-without-touching contract as [mrb_run_packed]; mwb
+     ignores defects and draws no randomness, so the only kernel guard
+     is the injector's per-op ticks. *)
+  if len = 0 || start land 7 <> 0 || len land 7 <> 0 || t.fault <> None then
+    len = 0
+  else begin
+    t.counters.mwb <- t.counters.mwb + len;
+    let states = Medium.states t.medium in
+    let tbl = Lazy.force nibble_states in
+    let first = start lsr 2 in
+    for b = 0 to (len lsr 3) - 1 do
+      let v = Char.code (Bytes.unsafe_get src (src_pos + b)) in
+      let i0 = first + (2 * b) in
+      let s0 = Char.code (Bigarray.Array1.unsafe_get states i0)
+      and s1 = Char.code (Bigarray.Array1.unsafe_get states (i0 + 1)) in
+      if (s0 lor s1) land 0xAA = 0 then begin
+        (* No heated dot in either state byte: overwrite all eight. *)
+        Bigarray.Array1.unsafe_set states i0
+          (Char.unsafe_chr (Array.unsafe_get tbl (v lsr 4)));
+        Bigarray.Array1.unsafe_set states (i0 + 1)
+          (Char.unsafe_chr (Array.unsafe_get tbl (v land 15)))
+      end
+      else
+        (* A heated dot ignores the write (no perpendicular axis); the
+           magnetised fields around it are still overwritten. *)
+        for j = 0 to 7 do
+          let idx = i0 + (j lsr 2) in
+          let byte = Char.code (Bigarray.Array1.unsafe_get states idx) in
+          let shift = 2 * (j land 3) in
+          if (byte lsr shift) land 2 = 0 then begin
+            let bit = (v lsr (7 - j)) land 1 in
+            Bigarray.Array1.unsafe_set states idx
+              (Char.unsafe_chr
+                 (byte land lnot (3 lsl shift) lor (bit lsl shift)))
+          end
+        done
+    done;
+    true
   end
 
 let erb_run ?(cycles = 1) t ~start ~len ~dst ~dst_pos =
@@ -302,7 +356,7 @@ let erb_run ?(cycles = 1) t ~start ~len ~dst ~dst_pos =
     done
   else begin
     t.counters.erb <- t.counters.erb + len;
-    let states = Medium.states_bytes t.medium in
+    let states = Medium.states t.medium in
     let rng = Medium.rng t.medium in
     let n_clean = ref 0 in
     (* Heated-dot charges accumulate in locals and land on the shared
@@ -312,7 +366,7 @@ let erb_run ?(cycles = 1) t ~start ~len ~dst ~dst_pos =
     for k = 0 to len - 1 do
       let i = start + k in
       let v =
-        (Char.code (Bytes.unsafe_get states (i lsr 2)) lsr (2 * (i land 3)))
+        (Char.code (Bigarray.Array1.unsafe_get states (i lsr 2)) lsr (2 * (i land 3)))
         land 3
       in
       if v < 2 then begin

@@ -110,6 +110,17 @@ val mwb_run :
     [len] calls of {!mwb} via {!Dot.of_bool} (heated dots ignore the
     write). *)
 
+val mwb_run_packed :
+  ctx -> start:int -> len:int -> src:Bytes.t -> src_pos:int -> bool
+(** Magnetic write of an 8-dot-aligned run straight from packed bytes
+    (bit [7 - j] of [src.(src_pos + b)] → dot [start + 8b + j], the
+    inverse of {!mrb_run_packed}'s layout).  Returns [false] — having
+    touched nothing — when [start] or [len] is not a multiple of 8 or a
+    fault injector is installed; the caller falls back to {!mwb_run}.
+    When it runs it leaves the medium, counters and PRNG exactly as
+    that fallback would (heated dots ignore the write on both paths,
+    and mwb never draws randomness). *)
+
 val erb_run :
   ?cycles:int ->
   ctx ->

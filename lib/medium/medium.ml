@@ -7,10 +7,13 @@ type config = {
   seed : int;
 }
 
+type states =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   config : config;
-  states : Bytes.t; (* 2 bits per dot: 0 = Down, 1 = Up, 2 = Heated *)
-  defects : Bytes.t; (* 1 bit per dot *)
+  states : states; (* 2 bits per dot: 0 = Down, 1 = Up, 2 = Heated *)
+  defects : Bytes.t; (* 1 bit per dot; empty when defect_rate = 0 *)
   rows_clean : Bytes.t; (* 1 bit per row: set = no defect in the row *)
   defect_total : int;
   rng : Sim.Prng.t;
@@ -38,7 +41,18 @@ let create config =
     invalid_arg "Medium.create: non-positive dimensions";
   let n = config.rows * config.cols in
   let rng = Sim.Prng.create config.seed in
-  let defects = Bytes.make ((n + 7) / 8) '\x00' in
+  (* The states live off-heap: a multi-GB simulated device must not sit
+     on the OCaml heap where the GC would walk (and copy) it. *)
+  let states =
+    Bigarray.Array1.create Bigarray.char Bigarray.c_layout ((n + 3) / 4)
+  in
+  Bigarray.Array1.fill states '\x00';
+  (* A defect-free medium (the common large-geometry case) keeps no
+     per-dot defect bitmap at all. *)
+  let defects =
+    if config.defect_rate > 0. then Bytes.make ((n + 7) / 8) '\x00'
+    else Bytes.empty
+  in
   let rows_clean = Bytes.make ((config.rows + 7) / 8) '\xFF' in
   let defect_total = ref 0 in
   if config.defect_rate > 0. then
@@ -57,7 +71,7 @@ let create config =
     done;
   {
     config;
-    states = Bytes.make ((n + 3) / 4) '\x00';
+    states;
     defects;
     rows_clean;
     defect_total = !defect_total;
@@ -70,12 +84,12 @@ let check_range t i =
 
 let raw_get t i =
   let byte = i / 4 and shift = 2 * (i mod 4) in
-  (Char.code (Bytes.get t.states byte) lsr shift) land 3
+  (Char.code (Bigarray.Array1.get t.states byte) lsr shift) land 3
 
 let raw_set t i v =
   let byte = i / 4 and shift = 2 * (i mod 4) in
-  let old = Char.code (Bytes.get t.states byte) in
-  Bytes.set t.states byte
+  let old = Char.code (Bigarray.Array1.get t.states byte) in
+  Bigarray.Array1.set t.states byte
     (Char.chr (old land lnot (3 lsl shift) lor (v lsl shift)))
 
 let get t i =
@@ -102,7 +116,8 @@ let set t i s =
 
 let is_defect t i =
   check_range t i;
-  Char.code (Bytes.get t.defects (i / 8)) land (1 lsl (i mod 8)) <> 0
+  t.defect_total > 0
+  && Char.code (Bytes.get t.defects (i / 8)) land (1 lsl (i mod 8)) <> 0
 
 let defect_count t = t.defect_total
 
@@ -124,7 +139,46 @@ let run_defect_free t ~start ~len =
   done;
   !ok
 
-let states_bytes t = t.states
+let states t = t.states
+let packed_length t = Bigarray.Array1.dim t.states
+
+let blit_packed t ~pos ~dst ~dst_off ~len =
+  if
+    pos < 0 || len < 0
+    || pos + len > Bigarray.Array1.dim t.states
+    || dst_off < 0
+    || dst_off + len > Bytes.length dst
+  then invalid_arg "Medium.blit_packed: out of range";
+  for k = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_off + k)
+      (Bigarray.Array1.unsafe_get t.states (pos + k))
+  done
+
+(* Every 2-bit field >= 2 collapses to the canonical Heated code 2 (the
+   decoding [raw_get] applies), so a foreign byte can never plant the
+   reserved code 3 in the store. *)
+let sanitize_byte =
+  lazy
+    (Array.init 256 (fun b ->
+         let v = ref 0 in
+         for f = 0 to 3 do
+           let c = (b lsr (2 * f)) land 3 in
+           v := !v lor ((if c > 2 then 2 else c) lsl (2 * f))
+         done;
+         Char.chr !v))
+
+let load_packed t ~pos ~src ~src_off ~len =
+  if
+    pos < 0 || len < 0
+    || pos + len > Bigarray.Array1.dim t.states
+    || src_off < 0
+    || src_off + len > Bytes.length src
+  then invalid_arg "Medium.load_packed: out of range";
+  let tbl = Lazy.force sanitize_byte in
+  for k = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set t.states (pos + k)
+      (Array.unsafe_get tbl (Char.code (Bytes.unsafe_get src (src_off + k))))
+  done
 
 (* Number of 2-bit fields per state byte that read back as Heated
    (raw code >= 2, matching [raw_get]'s decoding). *)
@@ -150,7 +204,10 @@ let count_heated_run t ~start ~len =
   done;
   (* Whole state bytes *)
   while !i + 4 <= stop do
-    n := !n + Array.unsafe_get tbl (Char.code (Bytes.unsafe_get t.states (!i lsr 2)));
+    n :=
+      !n
+      + Array.unsafe_get tbl
+          (Char.code (Bigarray.Array1.unsafe_get t.states (!i lsr 2)));
     i := !i + 4
   done;
   (* Tail *)
@@ -159,6 +216,8 @@ let count_heated_run t ~start ~len =
     incr i
   done;
   !n
+
+let recount_heated t = t.heated <- count_heated_run t ~start:0 ~len:(size t)
 
 let get_run t ~start ~len ~dst ~dst_pos =
   check_run t start len;

@@ -71,12 +71,36 @@ val iter_neighbours : t -> int -> (int -> unit) -> unit
     Allocation-free bulk views for the device hot path.  State codes are
     the raw 2-bit encoding: 0 = Down, 1 = Up, 2 = Heated. *)
 
-val states_bytes : t -> Bytes.t
+type states =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The packed state store lives off-heap in a [Bigarray] so multi-GB
+    media never sit on (or get copied by) the OCaml heap. *)
+
+val states : t -> states
 (** The live packed state bytes (4 dots per byte, dot [i] in bits
     [2*(i mod 4)..2*(i mod 4)+1] of byte [i/4]).  This is the medium's
     own storage, not a copy — callers that write through it bypass the
     heated-count bookkeeping and must know what they are doing
     ({!Bitops} run kernels do). *)
+
+val packed_length : t -> int
+(** Bytes in the packed state store, [(size + 3) / 4]. *)
+
+val blit_packed : t -> pos:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
+(** Copy [len] packed state bytes starting at packed byte [pos] into
+    [dst] — the streaming-image export primitive (chunks of the store,
+    no whole-device buffer). *)
+
+val load_packed : t -> pos:int -> src:Bytes.t -> src_off:int -> len:int -> unit
+(** Overwrite [len] packed state bytes from [src], collapsing any
+    reserved 2-bit code 3 to Heated (the same decoding {!get} applies),
+    so foreign bytes cannot plant an unrepresentable state.  Does {e
+    not} maintain the heated count — stream the whole image in, then
+    call {!recount_heated} once. *)
+
+val recount_heated : t -> unit
+(** Recompute the cached heated-dot total from the state store (after a
+    bulk {!load_packed}). *)
 
 val get_run : t -> start:int -> len:int -> dst:Bytes.t -> dst_pos:int -> unit
 (** Copy the state codes of dots [start, start+len) into [dst] at

@@ -36,3 +36,20 @@ let seek t offset =
     t.travel <- t.travel +. dist;
     t.position <- offset
   end
+
+(* [seek first] then the remaining consecutive offsets up to [last],
+   each a continuous scan step (travel +. pitch).  The pitch additions
+   accumulate in an unboxed local and store once, in the same order a
+   per-offset seek loop would make them, so the travel figure is
+   bit-identical — only the per-step boxing of the mutable float field
+   is gone. *)
+let scan_run t ~first ~last =
+  seek t first;
+  if last > first then begin
+    let tr = ref t.travel in
+    for _ = first + 1 to last do
+      tr := !tr +. t.pitch
+    done;
+    t.travel <- !tr;
+    t.position <- last
+  end

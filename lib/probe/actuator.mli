@@ -24,6 +24,12 @@ val seek : t -> int -> unit
     {e next} offset in scan order is a continuous scan step and charges
     one pitch of travel without settle. *)
 
+val scan_run : t -> first:int -> last:int -> unit
+(** [seek t first] followed by continuous scan steps through [last]
+    (inclusive).  The pitch additions accumulate in an unboxed local in
+    the same order a per-offset {!seek} loop would make them, so
+    {!travel} is bit-identical — only the per-step boxing is gone. *)
+
 val xy_of_offset : t -> int -> int * int
 (** Column/row of a scan offset within the tip field (serpentine:
     odd rows run right-to-left, so adjacent offsets are always

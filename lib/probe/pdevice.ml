@@ -63,15 +63,47 @@ let seek_to_dot t dot =
   let _, offset = Tips.locate t.tips dot in
   Actuator.seek t.actuator offset
 
-(* Iterate a run scan-row by scan-row, charging [per_offset] once per
-   step.  When every logical tip is served by a healthy unit the whole
-   row goes through [bulk] in one call (tip index is [dot - off * n],
-   no per-dot [Tips.locate]); a row with any broken serving tip falls
-   back to per-dot [f dot tip], which keeps the dead-tip noise
-   semantics.  Wear is recorded per row either way, and timing was
-   always charged per offset, so the ledgers are identical on both
-   paths. *)
-let run_offsets t ~start ~len ~per_offset ~bulk f =
+(* How the ledger is charged per scan-offset step of a run. *)
+type charge = Cbits of { read : int; written : int } | Cewb of int
+
+let charge_one t = function
+  | Cbits { read; written } -> Timing.charge_bits t.timing ~read ~written
+  | Cewb n -> Timing.charge_ewb t.timing n
+
+let charge_many t c ~times =
+  match c with
+  | Cbits { read; written } ->
+      Timing.charge_bits_times t.timing ~read ~written ~times
+  | Cewb n -> Timing.charge_ewb_times t.timing n ~times
+
+(* Wear for every scan row a run touches.  Interior rows are always
+   full rows; only the first and last can be partial.  Wear is integer
+   addition, so banking the full rows in a single call leaves exactly
+   the per-row totals.  Lean path only (record_full_rows requires no
+   remap, which the caller guarantees). *)
+let record_run_wear t ~start ~len =
+  let n = Tips.n_tips t.tips in
+  let first_off = start / n and last_off = (start + len - 1) / n in
+  let lo0 = start - (first_off * n)
+  and hi1 = start + len - 1 - (last_off * n) in
+  if first_off = last_off then Tips.record_use_range t.tips ~lo:lo0 ~hi:hi1
+  else begin
+    let full = ref (last_off - first_off - 1) in
+    if lo0 = 0 then incr full
+    else Tips.record_use_range t.tips ~lo:lo0 ~hi:(n - 1);
+    if hi1 = n - 1 then incr full
+    else Tips.record_use_range t.tips ~lo:0 ~hi:hi1;
+    Tips.record_full_rows t.tips ~count:!full
+  end
+
+(* Iterate a run scan-row by scan-row, charging [charge] once per step.
+   When every logical tip is served by a healthy unit the whole row
+   goes through [bulk] in one call (tip index is [dot - off * n], no
+   per-dot [Tips.locate]); a row with any broken serving tip falls back
+   to per-dot [f dot tip], which keeps the dead-tip noise semantics.
+   Wear is recorded per row either way, and timing is charged per
+   offset either way, so the ledgers are identical on both paths. *)
+let run_offsets t ~start ~len ~charge ~bulk f =
   if len > 0 then begin
     let n = Tips.n_tips t.tips in
     let first_off = start / n and last_off = (start + len - 1) / n in
@@ -82,25 +114,22 @@ let run_offsets t ~start ~len ~per_offset ~bulk f =
     then begin
       (* Lean dispatch: with no injector and no broken or remapped tip,
          none of those states can change mid-run, so the per-offset
-         checks hoist out and the kernel takes the whole run in one
-         call.  The seek/charge/wear sequence below replays the general
-         path's float operations in the same order, and the kernels
-         visit dots in address order either way, so ledgers, counters
-         and the PRNG stream are bit-identical to the general path. *)
-      for off = first_off to last_off do
-        Actuator.seek t.actuator off;
-        per_offset ();
-        let row_base = off * n in
-        let lo = max start row_base
-        and hi = min (start + len - 1) (row_base + n - 1) in
-        Tips.record_use_range t.tips ~lo:(lo - row_base) ~hi:(hi - row_base)
-      done;
+         checks hoist out, the seek/charge/wear loops batch (each
+         replays the per-offset float additions in the same order from
+         unboxed locals — see {!Actuator.scan_run} and
+         {!Timing.charge_bits_times} — so the ledgers are bit-identical
+         to the per-offset loop without its boxing), and the kernel
+         takes the whole run in one call, visiting dots in address
+         order exactly as the scalar path would. *)
+      Actuator.scan_run t.actuator ~first:first_off ~last:last_off;
+      charge_many t charge ~times:(last_off - first_off + 1);
+      record_run_wear t ~start ~len;
       bulk ~lo:start ~hi:(start + len - 1)
     end
     else
       for off = first_off to last_off do
         Actuator.seek t.actuator off;
-        per_offset ();
+        charge_one t charge;
         (* Scheduled tip deaths land at scan-row boundaries. *)
         (match t.fault with
         | None -> ()
@@ -129,7 +158,7 @@ let read_run_into t ~start ~len ~dst =
   if Array.length dst < len then
     invalid_arg "Pdevice.read_run_into: dst too short";
   run_offsets t ~start ~len
-    ~per_offset:(fun () -> Timing.charge_bits t.timing ~read:1 ~written:0)
+    ~charge:(Cbits { read = 1; written = 0 })
     ~bulk:(fun ~lo ~hi ->
       Pmedia.Bitops.mrb_run t.bitops ~start:lo ~len:(hi - lo + 1) ~dst
         ~dst_pos:(lo - start))
@@ -163,22 +192,41 @@ let read_run_packed t ~start ~len ~dst =
   && begin
        let n = Tips.n_tips t.tips in
        let first_off = start / n and last_off = (start + len - 1) / n in
-       for off = first_off to last_off do
-         Actuator.seek t.actuator off;
-         Timing.charge_bits t.timing ~read:1 ~written:0;
-         let row_base = off * n in
-         let lo = max start row_base
-         and hi = min (start + len - 1) (row_base + n - 1) in
-         Tips.record_use_range t.tips ~lo:(lo - row_base) ~hi:(hi - row_base)
-       done;
+       Actuator.scan_run t.actuator ~first:first_off ~last:last_off;
+       Timing.charge_bits_times t.timing ~read:1 ~written:0
+         ~times:(last_off - first_off + 1);
+       record_run_wear t ~start ~len;
        Pmedia.Bitops.mrb_run_packed t.bitops ~start ~len ~dst ~dst_pos:0
+     end
+
+(* Whole-run packed write, the mirror of [read_run_packed]: all guards
+   are checked before any seek, charge or wear, so a [false] return
+   leaves the device untouched and the caller falls back to
+   [write_run].  mwb draws no randomness and ignores defects, so the
+   only kernel guard is the absence of a fault injector. *)
+let write_run_packed t ~start ~len ~src =
+  check_run t start len;
+  if Bytes.length src < len lsr 3 then
+    invalid_arg "Pdevice.write_run_packed: src too short";
+  len > 0 && start land 7 = 0 && len land 7 = 0
+  && t.fault = None
+  && Tips.remapped_count t.tips = 0
+  && Tips.all_serving_healthy t.tips
+  && begin
+       let n = Tips.n_tips t.tips in
+       let first_off = start / n and last_off = (start + len - 1) / n in
+       Actuator.scan_run t.actuator ~first:first_off ~last:last_off;
+       Timing.charge_bits_times t.timing ~read:0 ~written:1
+         ~times:(last_off - first_off + 1);
+       record_run_wear t ~start ~len;
+       Pmedia.Bitops.mwb_run_packed t.bitops ~start ~len ~src ~src_pos:0
      end
 
 let write_run t ~start bits =
   let len = Array.length bits in
   check_run t start len;
   run_offsets t ~start ~len
-    ~per_offset:(fun () -> Timing.charge_bits t.timing ~read:0 ~written:1)
+    ~charge:(Cbits { read = 0; written = 1 })
     ~bulk:(fun ~lo ~hi ->
       Pmedia.Bitops.mwb_run t.bitops ~start:lo ~len:(hi - lo + 1) ~src:bits
         ~src_pos:(lo - start))
@@ -189,8 +237,7 @@ let write_run t ~start bits =
 let heat_run t ~start pattern =
   let len = Array.length pattern in
   check_run t start len;
-  run_offsets t ~start ~len
-    ~per_offset:(fun () -> Timing.charge_ewb t.timing 1)
+  run_offsets t ~start ~len ~charge:(Cewb 1)
     ~bulk:(fun ~lo ~hi ->
       for dot = lo to hi do
         if pattern.(dot - start) then Pmedia.Bitops.ewb t.bitops dot
@@ -204,11 +251,10 @@ let erb_run_into ?cycles t ~start ~len ~dst =
   if Array.length dst < len then
     invalid_arg "Pdevice.erb_run_into: dst too short";
   let cycles = Option.value cycles ~default:t.config.erb_cycles in
+  (* Each cycle is read, write, read, write, read = 3 reads + 2 writes
+     of the whole tip row. *)
   run_offsets t ~start ~len
-    ~per_offset:(fun () ->
-      (* Each cycle is read, write, read, write, read = 3 reads + 2
-         writes of the whole tip row. *)
-      Timing.charge_bits t.timing ~read:(3 * cycles) ~written:(2 * cycles))
+    ~charge:(Cbits { read = 3 * cycles; written = 2 * cycles })
     ~bulk:(fun ~lo ~hi ->
       Pmedia.Bitops.erb_run ~cycles t.bitops ~start:lo ~len:(hi - lo + 1)
         ~dst ~dst_pos:(lo - start))

@@ -68,6 +68,17 @@ val read_run_packed : t -> start:int -> len:int -> dst:Bytes.t -> bool
 val write_run : t -> start:int -> bool array -> unit
 (** Magnetic write of consecutive dots. *)
 
+val write_run_packed : t -> start:int -> len:int -> src:Bytes.t -> bool
+(** Magnetic write of an 8-dot-aligned run straight from packed
+    MSB-first bytes (bit [7 - j] of [src.(b)] → dot [start + 8b + j]),
+    the mirror of {!read_run_packed}.  Only taken on the healthy-tips
+    dispatch with no fault injector; returns [false] with the device
+    completely untouched otherwise, and the caller falls back to
+    {!write_run}.  When taken, ledgers, wear, counters and medium state
+    are identical to the fallback (mwb draws no randomness and skips
+    heated dots on both paths).
+    @raise Invalid_argument if [src] holds fewer than [len/8] bytes. *)
+
 val heat_run : t -> start:int -> bool array -> unit
 (** Electrical write: heats dot [start + i] wherever the pattern is
     [true].  Dots under failed tips receive no pulse. *)

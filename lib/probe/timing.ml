@@ -45,9 +45,45 @@ let charge_bits t ~read ~written =
     +. (float_of_int read *. t.costs.read_bit_energy)
     +. (float_of_int written *. t.costs.write_bit_energy)
 
+(* [times] identical charge_bits calls, accumulated in unboxed locals
+   and stored once.  The per-call increments are constants (the same
+   products a lone charge_bits computes), so the float additions land
+   in the same order with the same operands and the ledger is
+   bit-identical to [times] separate calls — the contract the lean
+   whole-run dispatch in {!Pdevice} relies on. *)
+let charge_bits_times t ~read ~written ~times =
+  if times > 0 then begin
+    let n = read + written in
+    let dt = float_of_int n *. t.costs.bit_time in
+    let de_r = float_of_int read *. t.costs.read_bit_energy in
+    let de_w = float_of_int written *. t.costs.write_bit_energy in
+    let el = ref t.elapsed and en = ref t.energy in
+    for _ = 1 to times do
+      el := !el +. dt;
+      en := !en +. de_r +. de_w
+    done;
+    t.elapsed <- !el;
+    t.energy <- !en
+  end
+
 let charge_ewb t n =
   t.elapsed <- t.elapsed +. (float_of_int n *. t.costs.ewb_time);
   t.energy <- t.energy +. (float_of_int n *. t.costs.ewb_energy)
+
+(* Batched {!charge_ewb}, same bit-identical contract as
+   {!charge_bits_times}. *)
+let charge_ewb_times t n ~times =
+  if times > 0 then begin
+    let dt = float_of_int n *. t.costs.ewb_time in
+    let de = float_of_int n *. t.costs.ewb_energy in
+    let el = ref t.elapsed and en = ref t.energy in
+    for _ = 1 to times do
+      el := !el +. dt;
+      en := !en +. de
+    done;
+    t.elapsed <- !el;
+    t.energy <- !en
+  end
 
 let charge_seek t ~distance =
   t.elapsed <-

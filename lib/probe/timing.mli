@@ -41,7 +41,19 @@ val charge_bits : t -> read:int -> written:int -> unit
     {e sequence} under one tip (parallel tips are accounted once by the
     caller charging only its longest stripe). *)
 
+val charge_bits_times : t -> read:int -> written:int -> times:int -> unit
+(** [times] identical {!charge_bits} calls, accumulated in unboxed
+    locals and stored once — the float additions happen in the same
+    order with the same operands, so the ledger is bit-identical to the
+    per-call loop (the contract {!Pdevice}'s lean dispatch relies on)
+    without the per-call boxing. *)
+
 val charge_ewb : t -> int -> unit
+
+val charge_ewb_times : t -> int -> times:int -> unit
+(** Batched {!charge_ewb}; same bit-identical contract as
+    {!charge_bits_times}. *)
+
 val charge_seek : t -> distance:float -> unit
 val charge_time : t -> float -> unit
 (** Arbitrary extra delay (controller overhead etc.). *)

@@ -159,6 +159,16 @@ let record_use_range t ~lo ~hi =
       t.uses.(u) <- t.uses.(u) + 1
     done
 
+(* [count] whole rows of wear at once — only valid when no tip is
+   remapped (the caller's lean-path guard), where a full row is exactly
+   one banked increment.  Bit-identical to [count] record_use_range
+   calls with lo=0, hi=n_tips-1. *)
+let record_full_rows t ~count =
+  if count > 0 then begin
+    assert (t.n_remapped = 0);
+    t.full_uses <- t.full_uses + count
+  end
+
 let uses t ~tip =
   flush_full_uses t;
   t.uses.(tip)

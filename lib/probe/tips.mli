@@ -90,5 +90,10 @@ val record_use_range : t -> lo:int -> hi:int -> unit
 (** [record_use_range t ~lo ~hi] is {!record_use} for every logical tip
     in [lo..hi] (one scan row's worth of wear in one call). *)
 
+val record_full_rows : t -> count:int -> unit
+(** [count] whole rows of wear ({!record_use_range} with the full tip
+    range) banked in one call.  Only valid while no tip is remapped —
+    the same guard the device's lean bulk path already holds. *)
+
 val uses : t -> tip:int -> int
 (** Operation count per physical unit — tip wear figure. *)

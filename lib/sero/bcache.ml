@@ -25,6 +25,12 @@ type t = {
      span are our own writes, not foreign mutations. *)
   mutable flush_span : (int * int) option;
   mutable epoch : int; (* bumped by every invalidation; stale prefetches drop *)
+  (* Last-hit shortcut: the entry most recently touched, checked against
+     the LRU head before any hash lookup.  Valid only while its pba is
+     still the MRU head (then [Lru.find] would not move it, so skipping
+     the find is observationally identical); every code path that
+     removes or replaces entries clears or refreshes it. *)
+  mutable last : (int * entry) option;
   mutable hits : int;
   mutable misses : int;
   mutable read_aheads : int;
@@ -50,6 +56,7 @@ let remove_entry t pba =
   | Some e ->
       if e.dirty then t.n_dirty <- t.n_dirty - 1;
       Sim.Lru.remove t.entries pba;
+      (match t.last with Some (p, _) when p = pba -> t.last <- None | _ -> ());
       t.invalidations <- t.invalidations + 1
 
 let invalidate_range t ~pba ~n =
@@ -70,6 +77,7 @@ let invalidate_all t =
   t.epoch <- t.epoch + 1;
   t.invalidations <- t.invalidations + Sim.Lru.length t.entries;
   t.n_dirty <- 0;
+  t.last <- None;
   Sim.Lru.clear t.entries
 
 let bypassing t = Device.fault_installed t.dev
@@ -175,6 +183,7 @@ let create ?(capacity = 64) ?(read_ahead = 8) ?dirty_high q =
       n_dirty = 0;
       flush_span = None;
       epoch = 0;
+      last = None;
       hits = 0;
       misses = 0;
       read_aheads = 0;
@@ -212,9 +221,9 @@ let device t = t.dev
 (* {1 Cache fill} *)
 
 let insert_clean t ~prefetched pba payload =
-  let evicted =
-    Sim.Lru.add t.entries pba { payload; dirty = false; prefetched }
-  in
+  let e = { payload; dirty = false; prefetched } in
+  let evicted = Sim.Lru.add t.entries pba e in
+  t.last <- Some (pba, e);
   t.evictions <- t.evictions + List.length evicted
 
 let read_ahead t ~pba =
@@ -245,8 +254,9 @@ let read_ahead t ~pba =
 
 (* {1 Block I/O} *)
 
-let hit t e =
+let hit t pba e =
   t.hits <- t.hits + 1;
+  t.last <- Some (pba, e);
   if e.prefetched then begin
     t.read_ahead_hits <- t.read_ahead_hits + 1;
     e.prefetched <- false
@@ -259,8 +269,14 @@ let read_block ?prio t ~pba =
     Queue.read_block ?prio t.q ~pba
   end
   else
+    match t.last with
+    (* Repeat read of the hottest block: skip the hash lookup.  Only
+       taken while the pba is still the recency head, where [Lru.find]
+       would not reorder anything — identical stats, identical result. *)
+    | Some (p, e) when p = pba && Sim.Lru.is_head t.entries pba -> hit t pba e
+    | _ -> (
     match Sim.Lru.find t.entries pba with
-    | Some e -> hit t e
+    | Some e -> hit t pba e
     | None ->
         (* A prefetch for this block may already be in flight: join it
            (pump the DES until it lands) instead of issuing a duplicate
@@ -275,7 +291,7 @@ let read_block ?prio t ~pba =
           done
         end;
         (match Sim.Lru.find t.entries pba with
-        | Some e -> hit t e
+        | Some e -> hit t pba e
         | None ->
             t.misses <- t.misses + 1;
             let r = Queue.read_block ?prio t.q ~pba in
@@ -283,7 +299,7 @@ let read_block ?prio t ~pba =
             | Ok payload -> insert_clean t ~prefetched:false pba payload
             | Error _ -> ());
             read_ahead t ~pba;
-            r)
+            r))
 
 let dirty_ratio t = float_of_int t.n_dirty /. float_of_int t.capacity
 
@@ -306,13 +322,13 @@ let write_block ?prio t ~pba payload =
           else t.n_dirty <- t.n_dirty + 1;
           e.payload <- payload;
           e.dirty <- true;
-          e.prefetched <- false
+          e.prefetched <- false;
+          t.last <- Some (pba, e)
       | None ->
           t.n_dirty <- t.n_dirty + 1;
-          let evicted =
-            Sim.Lru.add t.entries pba
-              { payload; dirty = true; prefetched = false }
-          in
+          let e = { payload; dirty = true; prefetched = false } in
+          let evicted = Sim.Lru.add t.entries pba e in
+          t.last <- Some (pba, e);
           t.evictions <- t.evictions + List.length evicted);
       Sim.Stats.add t.dirty_gauge (dirty_ratio t);
       if t.n_dirty > t.dirty_high then flush ?prio t;

@@ -120,6 +120,13 @@ type t = {
   scratch_block : bool array;
   scratch_wo : bool array;
   scratch_image : Bytes.t; (* one packed block image, block_dots / 8 *)
+  mutable scratch_span : Bytes.t; (* coalesced-span images, grown on demand *)
+  scratch_zero : Bytes.t; (* an all-zero block image, never written *)
+  (* Payload-sized memory traffic on paths that had to materialise a
+     fresh buffer (bool-array fallbacks, retained string copies).  The
+     zero-copy read/write paths leave it untouched, which is what the
+     bench counters assert. *)
+  mutable bytes_copied : int;
   mutable reads : int;
   mutable writes : int;
   mutable heats : int;
@@ -212,6 +219,9 @@ let create config =
     scratch_block = Array.make Layout.block_dots false;
     scratch_wo = Array.make Layout.wo_area_dots false;
     scratch_image = Bytes.create (Layout.block_dots / 8);
+    scratch_span = Bytes.empty;
+    scratch_zero = Bytes.make (Layout.block_dots / 8) '\x00';
+    bytes_copied = 0;
     reads = 0;
     writes = 0;
     heats = 0;
@@ -237,6 +247,7 @@ let migrations t = t.migrations
 let spares_left t = List.length t.spare_pool
 let spare_pool t = t.spare_pool
 let phys_of_line t ~line = t.phys_line.(line)
+let bytes_copied t = t.bytes_copied
 
 (* {1 Grown-defect address translation}
 
@@ -327,9 +338,11 @@ let bits_of_string_into out s =
   done;
   out
 
-let string_of_bits bits =
-  let n = Array.length bits / 8 in
-  let b = Bytes.create n in
+(* Pack a bool array into MSB-first bytes, into a caller-owned buffer
+   (the bridge from the bool-array fallback read to the packed image
+   the decoders consume). *)
+let pack_bits_into bits (dst : Bytes.t) =
+  let n = Bytes.length dst in
   for byte = 0 to n - 1 do
     let base = 8 * byte in
     let v =
@@ -342,9 +355,8 @@ let string_of_bits bits =
       lor (if Array.unsafe_get bits (base + 6) then 0x02 else 0)
       lor if Array.unsafe_get bits (base + 7) then 0x01 else 0
     in
-    Bytes.unsafe_set b byte (Char.unsafe_chr v)
-  done;
-  Bytes.unsafe_to_string b
+    Bytes.unsafe_set dst byte (Char.unsafe_chr v)
+  done
 
 (* {1 Magnetic sector ops} *)
 
@@ -372,6 +384,22 @@ let frame_kind pba t =
   if Layout.is_hash_block t.layout pba then Codec.Sector.Hash_meta
   else Codec.Sector.Data
 
+(* Write a block image at a physical first dot, preferring the packed
+   kernel (which consumes the encoded image bytes directly); the
+   bool-array unpack only happens when the kernel declines (faults,
+   broken or remapped tips).  Both sides leave identical medium state,
+   ledgers and wear. *)
+let write_image_at t ~start image =
+  if
+    not
+      (Probe.Pdevice.write_run_packed t.pdevice ~start ~len:Layout.block_dots
+         ~src:image)
+  then begin
+    t.bytes_copied <- t.bytes_copied + Bytes.length image;
+    Probe.Pdevice.write_run t.pdevice ~start
+      (bits_of_string_into t.scratch_block (Bytes.unsafe_to_string image))
+  end
+
 let unsafe_write_block t ~pba payload =
   t.writes <- t.writes + 1;
   t.generations.(pba) <- t.generations.(pba) + 1;
@@ -379,33 +407,42 @@ let unsafe_write_block t ~pba payload =
     Codec.Sector.encode ~pba ~kind:(frame_kind pba t)
       ~generation:t.generations.(pba) payload
   in
-  Probe.Pdevice.write_run t.pdevice ~start:(block_start t pba)
-    (bits_of_string_into t.scratch_block image);
+  write_image_at t ~start:(block_start t pba) (Bytes.unsafe_of_string image);
   notify_mutation t ~pba ~n:1
 
 let unsafe_write_raw t ~pba image =
   if String.length image <> Codec.Sector.physical_bytes then
     invalid_arg "Device.unsafe_write_raw: wrong image size";
   t.writes <- t.writes + 1;
-  Probe.Pdevice.write_run t.pdevice ~start:(block_start t pba)
-    (bits_of_string_into t.scratch_block image);
+  write_image_at t ~start:(block_start t pba) (Bytes.unsafe_of_string image);
   notify_mutation t ~pba ~n:1
 
-let unsafe_read_raw t ~pba =
+(* Read the raw image of [pba] into [scratch_image].  The packed read
+   skips the bool-array unpack/repack round trip; it declines (touching
+   nothing) under faults, broken tips, defects or read noise, and the
+   classic path takes over and packs into the same scratch. *)
+let read_image_into_scratch t ~pba =
   t.reads <- t.reads + 1;
   let start = block_start t pba in
-  (* The packed read skips the bool-array unpack/repack round trip; it
-     declines (touching nothing) under faults, broken tips, defects or
-     read noise, and the classic path takes over. *)
   if
-    Probe.Pdevice.read_run_packed t.pdevice ~start ~len:Layout.block_dots
-      ~dst:t.scratch_image
-  then Bytes.sub_string t.scratch_image 0 (Layout.block_dots / 8)
-  else begin
+    not
+      (Probe.Pdevice.read_run_packed t.pdevice ~start ~len:Layout.block_dots
+         ~dst:t.scratch_image)
+  then begin
     Probe.Pdevice.read_run_into t.pdevice ~start ~len:Layout.block_dots
       ~dst:t.scratch_block;
-    string_of_bits t.scratch_block
+    t.bytes_copied <- t.bytes_copied + Bytes.length t.scratch_image;
+    pack_bits_into t.scratch_block t.scratch_image
   end
+
+let read_raw_view t ~pba =
+  read_image_into_scratch t ~pba;
+  t.scratch_image
+
+let unsafe_read_raw t ~pba =
+  read_image_into_scratch t ~pba;
+  t.bytes_copied <- t.bytes_copied + Bytes.length t.scratch_image;
+  Bytes.sub_string t.scratch_image 0 (Bytes.length t.scratch_image)
 
 let write_block t ~pba payload =
   if t.dstate = Read_only then Error Read_only_device
@@ -417,15 +454,21 @@ let write_block t ~pba payload =
     Ok ()
   end
 
-let all_zero s = String.for_all (fun c -> c = '\x00') s
+let all_zero_sub buf off len =
+  let ok = ref true in
+  for i = off to off + len - 1 do
+    if Bytes.unsafe_get buf i <> '\x00' then ok := false
+  done;
+  !ok
 
 (* Every sector decode feeds the health ledger — pure observation, so a
-   health-enabled device still returns bit-identical results. *)
-let decode_image t ~pba image =
+   health-enabled device still returns bit-identical results.  Decodes
+   straight out of the caller's buffer (scratch image or span). *)
+let decode_image_sub t ~pba buf ~off =
   let line = Layout.line_of_block t.layout pba in
-  match Codec.Sector.decode image with
+  match Codec.Sector.decode_sub buf ~off with
   | Error e ->
-      if all_zero image then Error Blank
+      if all_zero_sub buf off Codec.Sector.physical_bytes then Error Blank
       else begin
         Health.note_unreadable t.health ~line;
         Error (Unreadable e)
@@ -436,7 +479,9 @@ let decode_image t ~pba image =
       if d.Codec.Sector.pba <> pba then Error (Wrong_location d.Codec.Sector.pba)
       else Ok d.Codec.Sector.payload
 
-let read_block_once t ~pba = decode_image t ~pba (unsafe_read_raw t ~pba)
+let read_block_once t ~pba =
+  read_image_into_scratch t ~pba;
+  decode_image_sub t ~pba t.scratch_image ~off:0
 
 (* Bounded read retry: transient flips decorrelate between attempts, so
    a re-read often lands within the RS budget.  A persistent failure may
@@ -483,20 +528,24 @@ let read_blocks t ~pba ~n =
     invalid_arg "Device.read_blocks: PBA range out of bounds";
   let bytes_per_block = Layout.block_dots / 8 in
   let len = n * Layout.block_dots in
-  let big = if n > 1 then Bytes.create (n * bytes_per_block) else Bytes.empty in
+  (* The span scratch is reused across calls (grown on demand, never
+     shrunk) and is not live across a nested device call: the only
+     device re-entry below, [ras_reread], reads through
+     [scratch_image]. *)
+  if n > 1 && Bytes.length t.scratch_span < n * bytes_per_block then
+    t.scratch_span <- Bytes.create (n * bytes_per_block);
   if
     n > 1
     && Layout.block_dots mod t.config.n_tips = 0
     && span_identity t ~pba ~n
     && Probe.Pdevice.read_run_packed t.pdevice
          ~start:(Layout.block_first_dot t.layout pba)
-         ~len ~dst:big
+         ~len ~dst:t.scratch_span
   then begin
     t.reads <- t.reads + n;
     Array.init n (fun k ->
         let pba = pba + k in
-        let image = Bytes.sub_string big (k * bytes_per_block) bytes_per_block in
-        match decode_image t ~pba image with
+        match decode_image_sub t ~pba t.scratch_span ~off:(k * bytes_per_block) with
         | (Ok _ | Error Blank) as r -> r
         | Error _ as first ->
             if not t.config.ras.ras_enabled then first
@@ -618,17 +667,26 @@ let read_hash_block t ~line = read_wo_area t ~start:(wo_start t ~line)
 
 let hash_prefix = "SERO-line-v1"
 
+(* Big-endian, matching what {!Codec.Binio.W} would lay out — the hash
+   preimage is unchanged; only the per-block writer allocation is
+   gone. *)
+let set_be32 b off v =
+  Bytes.unsafe_set b off (Char.unsafe_chr ((v lsr 24) land 0xFF));
+  Bytes.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set b (off + 3) (Char.unsafe_chr (v land 0xFF))
+
 let line_hash_of_payloads ~line payloads =
   let ctx = Hash.Sha256.init () in
   Hash.Sha256.feed_string ctx hash_prefix;
-  let w = Codec.Binio.W.create () in
-  Codec.Binio.W.u32 w line;
-  Hash.Sha256.feed_string ctx (Codec.Binio.W.contents w);
+  let b = Bytes.create 8 in
+  set_be32 b 0 line;
+  Hash.Sha256.feed_bytes ctx b 0 4;
   List.iter
     (fun (pba, payload) ->
-      let w = Codec.Binio.W.create () in
-      Codec.Binio.W.u64 w pba;
-      Hash.Sha256.feed_string ctx (Codec.Binio.W.contents w);
+      set_be32 b 0 (pba lsr 32);
+      set_be32 b 4 pba;
+      Hash.Sha256.feed_bytes ctx b 0 8;
       Hash.Sha256.feed_string ctx payload)
     payloads;
   Hash.Sha256.finalize ctx
@@ -645,15 +703,23 @@ let read_region t ~data_pbas =
   |> fun (ok, u, r) -> (List.rev ok, List.rev u, List.rev r)
 
 (* Same partitioning over a whole line's data blocks without building
-   the PBA list. *)
+   the PBA list.  A line's data blocks are physically contiguous, so
+   the whole line goes through one coalesced span read — one sled pass
+   and one packed kernel call when the fast path holds, block-by-block
+   otherwise. *)
 let read_line t ~line =
+  let first = Layout.first_data_block t.layout line in
+  let n = Layout.data_blocks_per_line t.layout in
+  let results = read_blocks t ~pba:first ~n in
   let ok = ref [] and unreadable = ref [] and relocated = ref [] in
-  Layout.iter_data_blocks t.layout line (fun pba ->
-      match read_block t ~pba with
-      | Ok payload -> ok := (pba, payload) :: !ok
-      | Error (Blank | Unreadable _) -> unreadable := pba :: !unreadable
-      | Error (Wrong_location _) -> relocated := pba :: !relocated);
-  (List.rev !ok, List.rev !unreadable, List.rev !relocated)
+  for k = n - 1 downto 0 do
+    let pba = first + k in
+    match results.(k) with
+    | Ok payload -> ok := (pba, payload) :: !ok
+    | Error (Blank | Unreadable _) -> unreadable := pba :: !unreadable
+    | Error (Wrong_location _) -> relocated := pba :: !relocated
+  done;
+  (!ok, !unreadable, !relocated)
 
 (* {1 Heat and verify} *)
 
@@ -1004,16 +1070,15 @@ let write_frame_at_phys (t : t) ~pba ~phys_pba payload =
     Codec.Sector.encode ~pba ~kind:(frame_kind pba t)
       ~generation:t.generations.(pba) payload
   in
-  Probe.Pdevice.write_run t.pdevice
+  write_image_at t
     ~start:(Layout.block_first_dot t.layout phys_pba)
-    (bits_of_string_into t.scratch_block image)
+    (Bytes.unsafe_of_string image)
 
 let blank_block_at_phys (t : t) ~phys_pba =
   t.writes <- t.writes + 1;
-  Array.fill t.scratch_block 0 Layout.block_dots false;
-  Probe.Pdevice.write_run t.pdevice
+  write_image_at t
     ~start:(Layout.block_first_dot t.layout phys_pba)
-    t.scratch_block
+    t.scratch_zero
 
 let update_state t =
   if t.config.endurance.health_enabled && t.spare_pool = [] then begin

@@ -333,6 +333,19 @@ val unsafe_write_raw : t -> pba:int -> string -> unit
 val unsafe_read_raw : t -> pba:int -> string
 (** The raw framed bytes as the magnetic channel returns them. *)
 
+val read_raw_view : t -> pba:int -> Bytes.t
+(** Like {!unsafe_read_raw} but returning a {e view} of the device's
+    internal scratch buffer instead of a fresh string: zero-copy, valid
+    only until the next device operation (any read, write, heat or
+    verify overwrites it), and never to be mutated.  Callers that need
+    the image past the next call must copy ({!unsafe_read_raw}). *)
+
+val bytes_copied : t -> int
+(** Running total of payload-sized bytes the device had to copy into
+    freshly materialised buffers (bool-array fallback paths, retained
+    {!unsafe_read_raw} strings).  The packed zero-copy read/write paths
+    leave it untouched — the bench counters assert exactly that. *)
+
 val unsafe_forge_burn :
   t -> hash_pba:int -> data_pbas:int list -> claim_line:int -> unit
 (** Burn a structurally valid hash+metadata area at an arbitrary block,

@@ -141,52 +141,91 @@ let save ?(format = `V4) (dev : Device.t) path =
   (* Endurance lifecycle (since format v4): config, remap table, spare
      pool, health ledger, grown-defect list. *)
   (match format with `V3 -> () | `V4 -> write_endurance w dev);
-  (* Dot states: 2 bits per dot, packed as the oracle sees them. *)
+  (* Dot states: 2 bits per dot, packed as the oracle sees them.  The
+     medium's packed store already holds exactly this encoding (codes
+     0/1/2, reserved code 3 unrepresentable), so the states section is
+     streamed straight out of the store in chunks — O(chunk) memory
+     however large the device — and the file stays byte-identical to
+     the per-dot writer this replaces.  [u32 n] then [u32 length ^
+     bytes] reproduce what [W.str] would have framed. *)
   let n = Pmedia.Medium.size medium in
   Codec.Binio.W.u32 w n;
-  let packed = Bytes.make ((n + 3) / 4) '\x00' in
-  for i = 0 to n - 1 do
-    let v =
-      match Pmedia.Medium.get medium i with
-      | Pmedia.Dot.Magnetised Pmedia.Dot.Down -> 0
-      | Pmedia.Dot.Magnetised Pmedia.Dot.Up -> 1
-      | Pmedia.Dot.Heated -> 2
-    in
-    let byte = i / 4 and shift = 2 * (i mod 4) in
-    Bytes.set packed byte
-      (Char.chr (Char.code (Bytes.get packed byte) lor (v lsl shift)))
-  done;
-  Codec.Binio.W.str w (Bytes.unsafe_to_string packed);
-  let body = Codec.Binio.W.contents w in
-  let crc = Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF in
+  let packed_len = Pmedia.Medium.packed_length medium in
+  Codec.Binio.W.u32 w packed_len;
+  let header = Codec.Binio.W.contents w in
+  (* The trailing CRC covers header and states; chain it across the
+     chunks. *)
+  let crc = ref (Codec.Crc32.string header) in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc body;
+      output_string oc header;
+      let chunk = Bytes.create (min packed_len 65536) in
+      let pos = ref 0 in
+      while !pos < packed_len do
+        let len = min (Bytes.length chunk) (packed_len - !pos) in
+        Pmedia.Medium.blit_packed medium ~pos:!pos ~dst:chunk ~dst_off:0 ~len;
+        crc := Codec.Crc32.bytes ~crc:!crc chunk 0 len;
+        output_bytes oc (Bytes.sub chunk 0 len);
+        pos := !pos + len
+      done;
       let tail = Codec.Binio.W.create () in
-      Codec.Binio.W.u32 tail crc;
+      Codec.Binio.W.u32 tail (Int32.to_int !crc land 0xFFFFFFFF);
       output_string oc (Codec.Binio.W.contents tail))
+
+(* Streaming loader: two passes over the file, O(chunk) memory for the
+   states section however large the device.  Pass 1 pipes the body
+   through the CRC so a corrupt file reports "image checksum mismatch"
+   before any parse error, exactly like the whole-file loader this
+   replaces.  Pass 2 parses the header region — everything up to the
+   packed states, whose size is pinned by the block count sitting at
+   fixed byte offset 8, right after the 8-byte magic — then streams the
+   states straight into the medium's packed store. *)
+
+let chunk_size = 65536
+
+let crc_of_channel ic ~len =
+  let chunk = Bytes.create (min chunk_size (max len 1)) in
+  let crc = ref 0l in
+  let pos = ref 0 in
+  while !pos < len do
+    let k = min (Bytes.length chunk) (len - !pos) in
+    really_input ic chunk 0 k;
+    crc := Codec.Crc32.bytes ~crc:!crc chunk 0 k;
+    pos := !pos + k
+  done;
+  Int32.to_int !crc land 0xFFFFFFFF
+
+let be32_at ic ~pos =
+  seek_in ic pos;
+  let s = really_input_string ic 4 in
+  Codec.Binio.R.u32 (Codec.Binio.R.of_string s)
 
 let load path =
   match
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error e -> Error e
-  | raw ->
-      if String.length raw < 12 then Error "image too short"
-      else begin
-        let body = String.sub raw 0 (String.length raw - 4) in
-        let crc_r = Codec.Binio.R.of_string ~off:(String.length raw - 4) raw in
-        let stored_crc = Codec.Binio.R.u32 crc_r in
-        if Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF <> stored_crc
-        then Error "image checksum mismatch"
+      (fun () ->
+        let file_len = in_channel_length ic in
+        if file_len < 12 then Error "image too short"
         else begin
-          let r = Codec.Binio.R.of_string body in
-          match
+          let body_len = file_len - 4 in
+          let crc = crc_of_channel ic ~len:body_len in
+          let stored_crc = be32_at ic ~pos:body_len in
+          if crc <> stored_crc then Error "image checksum mismatch"
+          else begin
+            let n_blocks_hint = be32_at ic ~pos:8 in
+            let packed_len = ((n_blocks_hint * Layout.block_dots) + 3) / 4 in
+            let header_len = body_len - packed_len in
+            if header_len < 12 then Error "image truncated"
+            else begin
+              seek_in ic 0;
+              let r =
+                Codec.Binio.R.of_string (really_input_string ic header_len)
+              in
+              match
             let m = Codec.Binio.R.raw r (String.length magic_v4) in
             let version =
               if String.equal m magic_v3 then `V3
@@ -263,23 +302,35 @@ let load path =
             | `V3 -> ()
             | `V4 -> restore_endurance_state r dev);
             let n = Codec.Binio.R.u32 r in
-            let packed = Codec.Binio.R.str r in
+            let plen = Codec.Binio.R.u32 r in
             let medium = Probe.Pdevice.medium (Device.pdevice dev) in
-            if Pmedia.Medium.size medium <> n then failwith "size mismatch";
-            for i = 0 to n - 1 do
-              let byte = Char.code packed.[i / 4] in
-              let v = (byte lsr (2 * (i mod 4))) land 3 in
-              Pmedia.Medium.set medium i
-                (match v with
-                | 0 -> Pmedia.Dot.Magnetised Pmedia.Dot.Down
-                | 1 -> Pmedia.Dot.Magnetised Pmedia.Dot.Up
-                | _ -> Pmedia.Dot.Heated)
+            (* The dot-count field is u32 and redundant with the header's
+               n_blocks (which sized the medium); on multi-GB media it
+               wraps, so compare modulo 2^32. *)
+            if Pmedia.Medium.size medium land 0xFFFFFFFF <> n then
+              failwith "size mismatch";
+            if plen <> packed_len then failwith "size mismatch";
+            (* The channel sits right after the header region: stream
+               the states section into the store chunk by chunk. *)
+            let chunk = Bytes.create (min chunk_size (max packed_len 1)) in
+            let pos = ref 0 in
+            while !pos < packed_len do
+              let k = min (Bytes.length chunk) (packed_len - !pos) in
+              really_input ic chunk 0 k;
+              Pmedia.Medium.load_packed medium ~pos:!pos ~src:chunk
+                ~src_off:0 ~len:k;
+              pos := !pos + k
             done;
+            Pmedia.Medium.recount_heated medium;
             Device.refresh_heated_cache dev;
             dev
           with
           | exception Failure e -> Error e
           | exception Codec.Binio.R.Truncated -> Error "image truncated"
           | dev -> Ok dev
-        end
-      end
+            end
+          end
+        end)
+  with
+  | exception Sys_error e -> Error e
+  | result -> result

@@ -21,16 +21,16 @@ type report = {
 (* Erased-block detection: a written sector carries header, CRC and RS
    parity, so its image is dense in set bits.  A handful of set bits is
    a blank block that caught stray flips, not a destroyed sector. *)
-let effectively_blank s =
+let effectively_blank b =
   let popcount = ref 0 in
-  String.iter
+  Bytes.iter
     (fun c ->
-      let b = ref (Char.code c) in
-      while !b <> 0 do
-        b := !b land (!b - 1);
+      let v = ref (Char.code c) in
+      while !v <> 0 do
+        v := !v land (!v - 1);
         incr popcount
       done)
-    s;
+    b;
   !popcount < 32
 
 type progress = {
@@ -84,10 +84,12 @@ let sweep_line ?(config = default_config) dev prog ~line =
       (* WMRM territory: refresh decaying sectors before the RS
          budget runs out. *)
       Layout.iter_data_blocks lay line (fun pba ->
-          let image = Device.unsafe_read_raw dev ~pba in
+          (* A scratch view, decoded in place — the view is consumed
+             before the next device call could overwrite it. *)
+          let image = Device.read_raw_view dev ~pba in
           if not (effectively_blank image) then begin
             prog.p_sectors_checked <- prog.p_sectors_checked + 1;
-            match Codec.Sector.decode image with
+            match Codec.Sector.decode_sub image ~off:0 with
             | Ok d when d.Codec.Sector.pba = pba ->
                 (* The scrubber's direct decode bypasses the device read
                    path, so feed the health ledger here too. *)

@@ -42,6 +42,8 @@ let touch t n =
     push_front t n
   end
 
+let is_head t k = match t.head with Some n -> n.key = k | None -> false
+
 let find t k =
   match Hashtbl.find_opt t.tbl k with
   | None -> None

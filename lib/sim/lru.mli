@@ -40,6 +40,12 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val peek : ('k, 'v) t -> 'k -> 'v option
 (** Lookup without touching recency. *)
 
+val is_head : ('k, 'v) t -> 'k -> bool
+(** Whether [k] is the most-recently-used entry — O(1), no hashing, no
+    recency change.  For [k] at the head, {!find} is a no-op on the
+    recency list, which lets callers keep a last-hit shortcut that is
+    observationally identical to calling {!find}. *)
+
 val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) list
 (** Insert or replace (either way the entry becomes most-recently
     used), then evict least-recently-used evictable entries until

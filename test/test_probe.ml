@@ -295,10 +295,16 @@ let twin_pdevs (seed, ops) =
   in
   (make ~forced_scalar:false, make ~forced_scalar:true)
 
+let packed_string m =
+  let len = Pmedia.Medium.packed_length m in
+  let b = Bytes.create len in
+  Pmedia.Medium.blit_packed m ~pos:0 ~dst:b ~dst_off:0 ~len;
+  Bytes.unsafe_to_string b
+
 let pdev_state p =
   let m = Probe.Pdevice.medium p in
   let tips = Probe.Pdevice.tips p in
-  ( Bytes.to_string (Pmedia.Medium.states_bytes m),
+  ( packed_string m,
     Pmedia.Medium.heated_count m,
     Probe.Pdevice.elapsed p,
     Probe.Pdevice.energy p,
@@ -361,6 +367,37 @@ let dispatch_erb_equiv =
       let b = Probe.Pdevice.erb_run ~cycles:2 scalar ~start ~len in
       a = b && pdev_state fast = pdev_state scalar)
 
+(* The packed write must leave the medium, ledger and wear exactly as
+   writing the same bits through the scalar path — including skipping
+   heated dots — and decline without touching anything on the
+   forced-scalar twin. *)
+let dispatch_packed_write_equiv =
+  QCheck.Test.make ~name:"packed vs bool write_run: medium and ledger"
+    ~count:100 run_arb
+    (fun (scramble, (start8, len8)) ->
+      let start = 8 * (start8 mod 120) in
+      let len = 8 * min len8 ((1024 - start) lsr 3) in
+      let fast, scalar = twin_pdevs scramble in
+      let src =
+        Bytes.init (max 1 (len lsr 3)) (fun i ->
+            Char.chr (((i * 37) + 11) land 0xFF))
+      in
+      let taken = Probe.Pdevice.write_run_packed fast ~start ~len ~src in
+      let before = pdev_state scalar in
+      let declined =
+        not (Probe.Pdevice.write_run_packed scalar ~start ~len ~src)
+      in
+      let untouched = pdev_state scalar = before in
+      let bits =
+        Array.init len (fun i ->
+            (Char.code (Bytes.get src (i lsr 3)) lsr (7 - (i land 7))) land 1
+            = 1)
+      in
+      if len > 0 then Probe.Pdevice.write_run scalar ~start bits;
+      (len = 0 || taken)
+      && declined && untouched
+      && pdev_state fast = pdev_state scalar)
+
 let dispatch_write_equiv =
   QCheck.Test.make ~name:"bulk vs forced-scalar dispatch: write_run" ~count:100
     run_arb
@@ -384,6 +421,7 @@ let () =
             dispatch_read_equiv;
             dispatch_packed_read_equiv;
             dispatch_erb_equiv;
+            dispatch_packed_write_equiv;
             dispatch_write_equiv;
           ] );
       ( "sched",

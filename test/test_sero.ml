@@ -438,7 +438,95 @@ let image_cases =
             match Sero.Image.load path with
             | Error _ -> ()
             | Ok _ -> Alcotest.fail "corrupt image accepted"));
+    Alcotest.test_case "streamed save/load is dot-for-dot faithful" `Quick
+      (fun () ->
+        let dev = make_dev ~n_blocks:128 () in
+        fill_line dev 2;
+        ignore (heat_ok dev 2);
+        ignore (Sero.Device.write_block dev ~pba:50 "stream me");
+        let packed d =
+          let m = Probe.Pdevice.medium (Sero.Device.pdevice d) in
+          let len = Pmedia.Medium.packed_length m in
+          let b = Bytes.create len in
+          Pmedia.Medium.blit_packed m ~pos:0 ~dst:b ~dst_off:0 ~len;
+          Bytes.unsafe_to_string b
+        in
+        let path = Filename.temp_file "sero" ".img" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sero.Image.save dev path;
+            match Sero.Image.load path with
+            | Error e -> Alcotest.failf "load: %s" e
+            | Ok dev2 ->
+                Alcotest.(check string) "medium bytes identical" (packed dev)
+                  (packed dev2);
+                Alcotest.(check bool) "heated line survives" true
+                  (Sero.Device.is_line_heated dev2 ~line:2)));
+    Alcotest.test_case "truncation and bad magic keep their verdicts" `Quick
+      (fun () ->
+        let dev = make_dev ~n_blocks:32 () in
+        let path = Filename.temp_file "sero" ".img" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Sero.Image.save dev path;
+            let data = In_channel.with_open_bin path In_channel.input_all in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (String.sub data 0 8));
+            (match Sero.Image.load path with
+            | Error e -> Alcotest.(check string) "short" "image too short" e
+            | Ok _ -> Alcotest.fail "8-byte image accepted");
+            (* A wrong magic under a *valid* CRC must fail the parse,
+               not the checksum. *)
+            let b = Bytes.of_string data in
+            Bytes.blit_string "XXROIMG9" 0 b 0 8;
+            let body = Bytes.sub_string b 0 (Bytes.length b - 4) in
+            let crc = Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF in
+            let tl = Bytes.length b - 4 in
+            Bytes.set b tl (Char.chr ((crc lsr 24) land 0xFF));
+            Bytes.set b (tl + 1) (Char.chr ((crc lsr 16) land 0xFF));
+            Bytes.set b (tl + 2) (Char.chr ((crc lsr 8) land 0xFF));
+            Bytes.set b (tl + 3) (Char.chr (crc land 0xFF));
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_bytes oc b);
+            match Sero.Image.load path with
+            | Error e -> Alcotest.(check string) "magic" "bad magic" e
+            | Ok _ -> Alcotest.fail "bad magic accepted"));
   ]
+  @
+  (* A ≥64k-line geometry exercises the O(chunk) streaming paths at
+     scale; opt-in (SERO_BIG=1) because the image file runs to ~150MB. *)
+  match Sys.getenv_opt "SERO_BIG" with
+  | Some "1" ->
+      [
+        Alcotest.test_case "64k-line image round-trip (streamed)" `Quick
+          (fun () ->
+            let dev = make_dev ~n_blocks:131072 ~line_exp:1 () in
+            let lay = Sero.Device.layout dev in
+            let pba = Sero.Layout.first_data_block lay 12345 in
+            (match Sero.Device.write_block dev ~pba "big geometry" with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e);
+            ignore (heat_ok dev 12345);
+            let path = Filename.temp_file "sero" ".img" in
+            Fun.protect
+              ~finally:(fun () -> Sys.remove path)
+              (fun () ->
+                Sero.Image.save dev path;
+                match Sero.Image.load path with
+                | Error e -> Alcotest.failf "load: %s" e
+                | Ok dev2 ->
+                    Alcotest.(check bool) "line heated" true
+                      (Sero.Device.is_line_heated dev2 ~line:12345);
+                    (match Sero.Device.read_block dev2 ~pba with
+                    | Ok p ->
+                        Alcotest.(check string) "payload" "big geometry"
+                          (String.sub p 0 12)
+                    | Error e ->
+                        Alcotest.failf "read: %a" Sero.Device.pp_read_error e)));
+      ]
+  | _ -> []
 
 (* Noise below the RS budget is transparently absorbed (verdict stays
    Intact); gross corruption of a block surfaces as evidence.  This is
