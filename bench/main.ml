@@ -376,6 +376,33 @@ let e24_zero_copy =
        Staged.stage (fun () -> ignore (Codec.Crc32.string framed)));
   ]
 
+let e25_host =
+  let dev =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:64 ~line_exp:3 ())
+  in
+  let lay = Sero.Device.layout dev in
+  let pbas = Array.of_list (Sero.Layout.data_blocks_of_line lay 1) in
+  Array.iter
+    (fun pba -> ignore (Sero.Device.write_block dev ~pba payload_512))
+    pbas;
+  let q = Sero.Queue.create (Sim.Des.create ()) dev in
+  let server = Host.Server.create (Host.Server.Device q) in
+  let session = Host.Server.session server ~tenant:1 in
+  let frame =
+    { Host.Proto.tenant = 1; seq = 0; cmd = Read { pba = pbas.(0) } }
+  in
+  let encoded = Host.Proto.encode_frame frame in
+  [
+    Test.make ~name:"e25 frame encode+decode (read)"
+      (Staged.stage (fun () ->
+           ignore (Host.Proto.decode_frame (Host.Proto.encode_frame frame))));
+    Test.make ~name:"e25 frame decode only"
+      (Staged.stage (fun () -> ignore (Host.Proto.decode_frame encoded)));
+    Test.make ~name:"e25 host read (admit+queue+respond)"
+      (Staged.stage (fun () ->
+           ignore (Host.Server.call session (Read { pba = pbas.(0) }))));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -397,6 +424,7 @@ let groups =
     ("E22 endurance", e22_endurance);
     ("E23 sharded array", e23_array);
     ("E24 zero-copy", e24_zero_copy);
+    ("E25 host front-end", e25_host);
   ]
 
 (* {1 Runner} *)
@@ -497,6 +525,7 @@ let simulated_metrics () =
   let h = Expt.Cache_study.headline () in
   let e = Expt.Endurance_study.headline () in
   let a = Expt.Array_study.headline () in
+  let qos = Expt.Qos_study.headline () in
   [
     ("e21 nocache read ms", h.Expt.Cache_study.nocache_read_ms);
     ("e21 cached read ms", h.Expt.Cache_study.cached_read_ms);
@@ -511,6 +540,10 @@ let simulated_metrics () =
     ("e23 rebuild pct", a.Expt.Array_study.h_rebuild_pct);
     ("e23 attested pct", a.Expt.Array_study.h_attested_pct);
     ("e23 audit per line", a.Expt.Array_study.h_audit_per_line);
+    ("e25 solo read p99 ms", qos.Expt.Qos_study.solo_p99_ms);
+    ("e25 wfs p99 ratio", qos.Expt.Qos_study.wfs_ratio);
+    ("e25 fifo p99 ratio", qos.Expt.Qos_study.fifo_ratio);
+    ("e25 rejection pct", qos.Expt.Qos_study.overload_rejection_pct);
   ]
 
 (* Allocation observability for the zero-copy hot path: bytes copied by
@@ -654,7 +687,11 @@ let compare_baseline ~baseline ~results ~simulated =
                 && String.equal (String.sub name (String.length name - 3) 3)
                      "pct"
                 || List.mem name
-                     [ "e21 read speedup"; "e23 detected replicas" ]
+                     [
+                       "e21 read speedup";
+                       "e23 detected replicas";
+                       "e25 fifo p99 ratio";
+                     ]
               in
               let regressed =
                 if higher_better then now < old *. 0.75

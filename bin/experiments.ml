@@ -28,6 +28,7 @@ let experiments =
     ("cache", "E21: buffer cache (size x read-ahead x Zipf skew)", Expt.Cache_study.print);
     ("endure", "E22: endurance lifecycle (health ledger x migration)", Expt.Endurance_study.print);
     ("array", "E23: sharded array (quorum x degraded mode x rebuild)", Expt.Array_study.print);
+    ("qos", "E25: multi-tenant QoS (tenants x arbiter under Zipf)", Expt.Qos_study.print);
     ("lfs", "E9: LFS clustering/bimodality study (slowest)", Expt.Lfs_study.print);
   ]
 

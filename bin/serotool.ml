@@ -141,7 +141,14 @@ let verify image path =
               Format.fprintf std "line %-6d %a@." line Sero.Tamper.pp_verdict v)
             verdicts;
           Format.pp_print_flush std ();
-          Ok false)
+          let bad =
+            List.filter (fun (_, v) -> Sero.Tamper.is_tampered v) verdicts
+          in
+          if bad = [] then Ok false
+          else
+            Error
+              (Printf.sprintf "tamper evidence on %d of %d line(s)"
+                 (List.length bad) (List.length verdicts)))
 
 let fsck image =
   with_device image (fun dev ->
@@ -169,6 +176,116 @@ let map_cmd image =
       done;
       Format.pp_print_flush std ();
       Ok false)
+
+(* {2 Host front-end commands} *)
+
+let read_text_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | exception Sys_error e -> Error e
+
+let load_command_trace path =
+  match read_text_file path with
+  | Error e -> Error (Printf.sprintf "trace: %s" e)
+  | Ok text -> (
+      match Host.Proto.parse_trace text with
+      | frames -> Ok frames
+      | exception Host.Proto.Proto_error e ->
+          Error (Printf.sprintf "trace %s: %s" path e)
+      | exception Codec.Binio.R.Truncated ->
+          Error (Printf.sprintf "trace %s: truncated frame" path))
+
+let serve_replay image trace_path expect depth rate burst =
+  with_device image (fun dev ->
+      match load_command_trace trace_path with
+      | Error _ as e -> e
+      | Ok frames -> (
+          let des = Sim.Des.create () in
+          let q = Sero.Queue.create des dev in
+          let limits_of _ =
+            { Host.Server.weight = 1.; max_depth = depth; rate; burst }
+          in
+          let server =
+            Host.Server.create ~limits_of (Host.Server.Device q)
+          in
+          let rs = Host.Server.replay server frames in
+          let out = Host.Server.format_replay rs in
+          print_string out;
+          flush stdout;
+          match expect with
+          | Some file -> (
+              match read_text_file file with
+              | Error e -> Error (Printf.sprintf "expect: %s" e)
+              | Ok want ->
+                  if String.equal out want then Ok true
+                  else
+                    let got = String.split_on_char '\n' out
+                    and exp = String.split_on_char '\n' want in
+                    let rec first_diff i = function
+                      | g :: gs, e :: es when String.equal g e ->
+                          first_diff (i + 1) (gs, es)
+                      | g :: _, e :: _ ->
+                          Printf.sprintf "line %d: got %S, expected %S" i g e
+                      | g :: _, [] -> Printf.sprintf "line %d: extra %S" i g
+                      | [], e :: _ -> Printf.sprintf "line %d: missing %S" i e
+                      | [], [] -> "trailing difference"
+                    in
+                    Error
+                      (Printf.sprintf "status mismatch vs %s (%s)" file
+                         (first_diff 1 (got, exp))))
+          | None ->
+              let failed =
+                List.length (List.filter Host.Proto.response_failed rs)
+              in
+              if failed = 0 then Ok true
+              else
+                Error
+                  (Printf.sprintf "%d of %d commands failed a phase" failed
+                     (List.length rs))))
+
+let tenants_cmd image trace_path arbiter depth rate burst =
+  with_device image (fun dev ->
+      match load_command_trace trace_path with
+      | Error _ as e -> e
+      | Ok frames ->
+          let des = Sim.Des.create () in
+          let q = Sero.Queue.create des dev in
+          let limits_of _ =
+            {
+              Host.Server.weight = 1.;
+              max_depth = depth;
+              rate;
+              burst;
+            }
+          in
+          let server =
+            Host.Server.create ~limits_of (Host.Server.Device q)
+          in
+          Host.Server.set_policy server arbiter;
+          (* Concurrent submission: every frame enters admission at t=0
+             and the arbiter decides the service order. *)
+          List.iter (Host.Server.submit_frame server) frames;
+          Host.Server.drain server;
+          Format.fprintf std "%d commands, %d tenants (arbiter %s)@."
+            (List.length frames)
+            (List.length (Host.Server.tenants server))
+            (Host.Arbiter.policy_name arbiter);
+          List.iter
+            (fun tenant ->
+              Format.fprintf std "tenant %-4d %a@." tenant Host.Slo.pp_report
+                (Host.Server.report server ~tenant))
+            (Host.Server.tenants server);
+          Format.pp_print_flush std ();
+          let failed =
+            List.filter Host.Proto.response_failed
+              (Host.Server.responses server)
+          in
+          if failed = [] then Ok false
+          else
+            Error
+              (Printf.sprintf "%d of %d commands failed a phase"
+                 (List.length failed)
+                 (List.length frames)))
 
 let replay image trace_path =
   with_fs image (fun _ fs ->
@@ -983,6 +1100,53 @@ let () =
       & info [ "force" ]
           ~doc:"Rebuild even if the slot's member is active and trusted.")
   in
+  let expect =
+    Arg.(
+      value & opt (some string) None
+      & info [ "expect" ] ~docv:"FILE"
+          ~doc:
+            "Compare the replay output against this golden file; any \
+             difference (extra, missing or changed status line) exits \
+             nonzero and leaves the image unmodified.")
+  in
+  let arbiter =
+    let arbiter_conv =
+      Arg.enum
+        [
+          ("blind", Host.Arbiter.Tenant_blind);
+          ("fifo", Host.Arbiter.Arrival_order);
+          ("wfs", Host.Arbiter.Fair_share (fun _ -> 1.));
+        ]
+    in
+    Arg.(
+      value
+      & opt arbiter_conv (Host.Arbiter.Fair_share (fun _ -> 1.))
+      & info [ "arbiter" ] ~docv:"POLICY"
+          ~doc:
+            "Tenant arbiter: $(b,wfs) (weighted fair share, default), \
+             $(b,fifo) (arrival order) or $(b,blind) (no arbiter).")
+  in
+  let tenant_depth =
+    Arg.(
+      value & opt int max_int
+      & info [ "depth" ] ~docv:"N" ~absent:"unlimited"
+          ~doc:
+            "Per-tenant in-flight command limit; the N+1st concurrent \
+             command is refused with REJECTED_DEPTH.")
+  in
+  let tenant_rate =
+    Arg.(
+      value & opt float infinity
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Per-tenant token-bucket refill (commands per simulated \
+             second); an empty bucket refuses with REJECTED_RATE.")
+  in
+  let tenant_burst =
+    Arg.(
+      value & opt float infinity
+      & info [ "burst" ] ~docv:"B" ~doc:"Token-bucket capacity.")
+  in
   let cmds =
     [
       cmd "mkdev" "Create a fresh device image."
@@ -1019,6 +1183,22 @@ let () =
         Term.(const map_cmd $ image_arg);
       cmd "replay" "Replay a recorded operation trace onto the image."
         Term.(const replay $ image_arg $ path_arg 1);
+      cmd "serve-replay"
+        "Replay a golden command trace (hex frames, one per line) through \
+         the host front-end, printing one status line per response; exits \
+         nonzero on any failed phase, or on any difference from \
+         $(b,--expect)."
+        Term.(
+          const serve_replay $ image_arg $ path_arg 1 $ expect $ tenant_depth
+          $ tenant_rate $ tenant_burst);
+      cmd "tenants"
+        "Replay a command trace concurrently under the tenant arbiter and \
+         admission limits, printing each tenant's SLO ledger (latency \
+         p50/p95/p99, energy, rejections); exits nonzero on any failed \
+         phase."
+        Term.(
+          const tenants_cmd $ image_arg $ path_arg 1 $ arbiter $ tenant_depth
+          $ tenant_rate $ tenant_burst);
       cmd "queue-stats"
         "Replay a trace through the request queue and print its latency \
          and throughput."

@@ -380,18 +380,18 @@ let fault_ledger v =
 (* ------------------------------------------------------------------ *)
 (* Member IO plumbing                                                  *)
 
-let entry_read v ~dev ~prio ~pba =
+let entry_read ?(tenant = 0) v ~dev ~prio ~pba =
   check_dev v dev;
   let e = v.members.(dev) in
   match e.e_bc with
-  | Some bc -> Sero.Bcache.read_block ~prio bc ~pba
-  | None -> Sero.Queue.read_block ~prio e.e_q ~pba
+  | Some bc -> Sero.Bcache.read_block ~prio ~tenant bc ~pba
+  | None -> Sero.Queue.read_block ~prio ~tenant e.e_q ~pba
 
-let entry_write v ~dev ~prio ~pba payload =
+let entry_write ?(tenant = 0) v ~dev ~prio ~pba payload =
   let e = v.members.(dev) in
   match e.e_bc with
-  | Some bc -> Sero.Bcache.write_block ~prio bc ~pba payload
-  | None -> Sero.Queue.write_block ~prio e.e_q ~pba payload
+  | Some bc -> Sero.Bcache.write_block ~prio ~tenant bc ~pba payload
+  | None -> Sero.Queue.write_block ~prio ~tenant e.e_q ~pba payload
 
 let entry_verify v ~dev ~line =
   check_dev v dev;
@@ -400,15 +400,15 @@ let entry_verify v ~dev ~line =
   | Some bc -> Sero.Bcache.verify_line bc ~line
   | None -> Sero.Device.verify_line e.e_dev ~line
 
-let entry_write_span v ~dev ~prio ~pba payloads =
+let entry_write_span ?(tenant = 0) v ~dev ~prio ~pba payloads =
   check_dev v dev;
-  Sero.Queue.write_span ~prio v.members.(dev).e_q ~pba payloads
+  Sero.Queue.write_span ~prio ~tenant v.members.(dev).e_q ~pba payloads
 
-let entry_heat v ~dev ~line ~timestamp =
+let entry_heat ?(tenant = 0) v ~dev ~line ~timestamp =
   let e = v.members.(dev) in
   match e.e_bc with
-  | Some bc -> Sero.Bcache.heat_line bc ~line ~timestamp ()
-  | None -> Sero.Queue.heat_line e.e_q ~line ~timestamp ()
+  | Some bc -> Sero.Bcache.heat_line ~tenant bc ~line ~timestamp ()
+  | None -> Sero.Queue.heat_line ~tenant e.e_q ~line ~timestamp ()
 
 (* ------------------------------------------------------------------ *)
 (* Volume IO                                                           *)
@@ -457,7 +457,7 @@ let replica_cleared v ~dev ~local =
              local);
       ok
 
-let read_block ?(prio = Sero.Queue.Foreground) v ~vba =
+let read_block ?(prio = Sero.Queue.Foreground) ?(tenant = 0) v ~vba =
   tick v;
   v.reads <- v.reads + 1;
   let line = Amap.line_of_vba v.map vba in
@@ -483,7 +483,7 @@ let read_block ?(prio = Sero.Queue.Foreground) v ~vba =
               go ((slot, Failed_verify) :: errs) rest
             end
             else (
-              match entry_read v ~dev ~prio ~pba with
+              match entry_read ~tenant v ~dev ~prio ~pba with
               | Ok payload ->
                   if slot <> preferred then
                     v.degraded_reads <- v.degraded_reads + 1;
@@ -492,7 +492,7 @@ let read_block ?(prio = Sero.Queue.Foreground) v ~vba =
       in
       go [] order
 
-let write_block ?(prio = Sero.Queue.Foreground) v ~vba payload =
+let write_block ?(prio = Sero.Queue.Foreground) ?(tenant = 0) v ~vba payload =
   tick v;
   v.writes <- v.writes + 1;
   let line = Amap.line_of_vba v.map vba in
@@ -501,7 +501,9 @@ let write_block ?(prio = Sero.Queue.Foreground) v ~vba payload =
   let wrote = ref 0 and refusal = ref None in
   List.iter
     (fun slot ->
-      match entry_write v ~dev:v.slot_dev.(slot) ~prio ~pba payload with
+      match
+        entry_write ~tenant v ~dev:v.slot_dev.(slot) ~prio ~pba payload
+      with
       | Ok () -> incr wrote
       | Error Sero.Device.Read_only_device -> ()
       | Error e -> if !refusal = None then refusal := Some e)
@@ -512,7 +514,7 @@ let write_block ?(prio = Sero.Queue.Foreground) v ~vba payload =
     | Some e -> Error (Rejected e)
     | None -> Error No_writable_replica
 
-let heat_line v ~line ?timestamp () =
+let heat_line ?(tenant = 0) v ~line ?timestamp () =
   tick v;
   v.heats <- v.heats + 1;
   let local = Amap.local_line v.map line in
@@ -535,7 +537,7 @@ let heat_line v ~line ?timestamp () =
           (fun slot ->
             let dev = v.slot_dev.(slot) in
             let r =
-              match entry_heat v ~dev ~line:local ~timestamp:ts with
+              match entry_heat ~tenant v ~dev ~line:local ~timestamp:ts with
               | Ok h -> Ok h
               | Error Sero.Device.Already_heated -> (
                   (* A crash between replicas leaves some already burned;

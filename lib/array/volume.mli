@@ -158,7 +158,11 @@ type heat_error =
           will adjudicate. *)
 
 val read_block :
-  ?prio:Sero.Queue.prio -> t -> vba:int -> (string, read_error) result
+  ?prio:Sero.Queue.prio ->
+  ?tenant:int ->
+  t ->
+  vba:int ->
+  (string, read_error) result
 (** Walks the line's serving replicas in read order and returns the
     first that answers.  {b Verify-on-first-read}: before a replica of
     a heated line first serves data, the member verifies the whole
@@ -171,10 +175,20 @@ val read_block :
     {!Quorum}'s job. *)
 
 val write_block :
-  ?prio:Sero.Queue.prio -> t -> vba:int -> string -> (unit, write_error) result
+  ?prio:Sero.Queue.prio ->
+  ?tenant:int ->
+  t ->
+  vba:int ->
+  string ->
+  (unit, write_error) result
 
 val heat_line :
-  t -> line:int -> ?timestamp:float -> unit -> (Hash.Sha256.t, heat_error) result
+  ?tenant:int ->
+  t ->
+  line:int ->
+  ?timestamp:float ->
+  unit ->
+  (Hash.Sha256.t, heat_error) result
 (** Heat the line on every serving replica with one shared timestamp
     (default: the first serving member's clock), so the burned areas
     are byte-comparable.  [Already_heated] on a subset (e.g. after a
@@ -237,17 +251,27 @@ val pp_stats : Format.formatter -> stats -> unit
 (** {1 Internal surface (quorum/rebuild/image)} *)
 
 val entry_read :
-  t -> dev:int -> prio:Sero.Queue.prio -> pba:int ->
+  ?tenant:int ->
+  t ->
+  dev:int ->
+  prio:Sero.Queue.prio ->
+  pba:int ->
   (string, Sero.Device.read_error) result
 (** Read through the member's cache/queue stack without ticking the
-    volume op counter (rebuild source traffic). *)
+    volume op counter (rebuild source traffic).  [tenant] (default [0])
+    tags the member-queue request for fair-share accounting. *)
 
 val entry_verify : t -> dev:int -> line:int -> Sero.Tamper.verdict
 (** {!Sero.Device.verify_line} on a member's {e local} line, flushing
     its cache first so the verdict judges the durable medium. *)
 
 val entry_write_span :
-  t -> dev:int -> prio:Sero.Queue.prio -> pba:int -> string array ->
+  ?tenant:int ->
+  t ->
+  dev:int ->
+  prio:Sero.Queue.prio ->
+  pba:int ->
+  string array ->
   (unit, Sero.Device.write_error) result array
 
 val swap_in_spare : t -> slot:int -> spare:int -> unit

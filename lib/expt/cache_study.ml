@@ -147,7 +147,7 @@ let run_cell ?(ops = 400) ~cache_lines ~read_ahead ~theta () =
       | None -> 0.);
     ra_hits = (match stats with Some s -> s.Sero.Bcache.read_ahead_hits | None -> 0);
     read_mean_ms = 1e3 *. Sim.Stats.mean read_lat;
-    read_p95_ms = 1e3 *. Sim.Stats.percentile read_lat 0.95;
+    read_p95_ms = 1e3 *. Sim.Stats.p95 read_lat;
     write_mean_ms = 1e3 *. Sim.Stats.mean write_lat;
     flush_spans = (match stats with Some s -> s.Sero.Bcache.flushed_spans | None -> 0);
   }

@@ -68,6 +68,7 @@ let run_cell ?(ops = 240) ~policy ~depth ~scrub_period () =
   Sim.Des.run des;
   let fg = Sero.Queue.Foreground and bg = Sero.Queue.Background in
   let lat = Sero.Queue.latency q fg in
+  let p50, p95, p99 = Sim.Stats.quantiles lat in
   let completed = Sero.Queue.completed q fg in
   let t_end = Sero.Queue.last_completion q fg in
   {
@@ -75,9 +76,9 @@ let run_cell ?(ops = 240) ~policy ~depth ~scrub_period () =
     depth;
     scrub_hz = (match scrub_period with None -> 0. | Some p -> 1. /. p);
     ops = completed;
-    p50_ms = 1e3 *. Sim.Stats.percentile lat 0.50;
-    p95_ms = 1e3 *. Sim.Stats.percentile lat 0.95;
-    p99_ms = 1e3 *. Sim.Stats.percentile lat 0.99;
+    p50_ms = 1e3 *. p50;
+    p95_ms = 1e3 *. p95;
+    p99_ms = 1e3 *. p99;
     mean_service_ms = 1e3 *. Sim.Stats.mean (Sero.Queue.service q);
     iops =
       (if t_end > 0. then float_of_int completed /. t_end else 0.);

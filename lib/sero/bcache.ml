@@ -108,7 +108,7 @@ let dirty_spans ?range t =
   in
   group [] [] pbas
 
-let flush_spans ?prio t spans =
+let flush_spans ?prio ?tenant t spans =
   if spans <> [] then begin
     t.flushes <- t.flushes + 1;
     List.iter
@@ -127,7 +127,7 @@ let flush_spans ?prio t spans =
                span)
         in
         t.flush_span <- Some (first, n);
-        let results = Queue.write_span ?prio t.q ~pba:first payloads in
+        let results = Queue.write_span ?prio ?tenant t.q ~pba:first payloads in
         t.flush_span <- None;
         t.flushed_spans <- t.flushed_spans + 1;
         List.iteri
@@ -149,14 +149,14 @@ let flush_spans ?prio t spans =
       spans
   end
 
-let flush ?prio t = flush_spans ?prio t (dirty_spans t)
+let flush ?prio ?tenant t = flush_spans ?prio ?tenant t (dirty_spans t)
 
-let flush_line ?prio t ~line =
+let flush_line ?prio ?tenant t ~line =
   let layout = Device.layout t.dev in
   let range =
     (Layout.hash_block_of_line layout line, Layout.blocks_per_line layout)
   in
-  flush_spans ?prio t (dirty_spans ~range t)
+  flush_spans ?prio ?tenant t (dirty_spans ~range t)
 
 let sync t =
   flush t;
@@ -226,7 +226,7 @@ let insert_clean t ~prefetched pba payload =
   t.last <- Some (pba, e);
   t.evictions <- t.evictions + List.length evicted
 
-let read_ahead t ~pba =
+let read_ahead ?tenant t ~pba =
   if t.read_ahead > 0 && not (bypassing t) then begin
     let layout = Device.layout t.dev in
     let n_blocks = (Device.config t.dev).Device.n_blocks in
@@ -239,7 +239,7 @@ let read_ahead t ~pba =
       then begin
         Hashtbl.replace t.inflight p ();
         t.read_aheads <- t.read_aheads + 1;
-        Queue.submit_read t.q ~prio:Queue.Background ~pba:p (fun r ->
+        Queue.submit_read t.q ~prio:Queue.Background ?tenant ~pba:p (fun r ->
             Hashtbl.remove t.inflight p;
             match r with
             | Ok payload
@@ -263,10 +263,10 @@ let hit t pba e =
   end;
   Ok e.payload
 
-let read_block ?prio t ~pba =
+let read_block ?prio ?tenant t ~pba =
   if bypassing t then begin
     t.bypasses <- t.bypasses + 1;
-    Queue.read_block ?prio t.q ~pba
+    Queue.read_block ?prio ?tenant t.q ~pba
   end
   else
     match t.last with
@@ -294,19 +294,19 @@ let read_block ?prio t ~pba =
         | Some e -> hit t pba e
         | None ->
             t.misses <- t.misses + 1;
-            let r = Queue.read_block ?prio t.q ~pba in
+            let r = Queue.read_block ?prio ?tenant t.q ~pba in
             (match r with
             | Ok payload -> insert_clean t ~prefetched:false pba payload
             | Error _ -> ());
-            read_ahead t ~pba;
+            read_ahead ?tenant t ~pba;
             r))
 
 let dirty_ratio t = float_of_int t.n_dirty /. float_of_int t.capacity
 
-let write_block ?prio t ~pba payload =
+let write_block ?prio ?tenant t ~pba payload =
   if bypassing t then begin
     t.bypasses <- t.bypasses + 1;
-    Queue.write_block ?prio t.q ~pba payload
+    Queue.write_block ?prio ?tenant t.q ~pba payload
   end
   else
     let layout = Device.layout t.dev in
@@ -331,22 +331,22 @@ let write_block ?prio t ~pba payload =
           t.last <- Some (pba, e);
           t.evictions <- t.evictions + List.length evicted);
       Sim.Stats.add t.dirty_gauge (dirty_ratio t);
-      if t.n_dirty > t.dirty_high then flush ?prio t;
+      if t.n_dirty > t.dirty_high then flush ?prio ?tenant t;
       Ok ()
     end
 
-let heat_line t ~line ?timestamp () =
+let heat_line ?tenant t ~line ?timestamp () =
   if bypassing t then begin
     t.bypasses <- t.bypasses + 1;
-    Queue.heat_line t.q ~line ?timestamp ()
+    Queue.heat_line ?tenant t.q ~line ?timestamp ()
   end
   else begin
     (* The burn hashes the medium, so the line's buffered writes must
        land first; afterwards ewb is irreversible and the burned
        Manchester hash must be re-read from the dots, so the whole
        line's cached copies are dropped. *)
-    flush_line t ~line;
-    let r = Queue.heat_line t.q ~line ?timestamp () in
+    flush_line ?tenant t ~line;
+    let r = Queue.heat_line ?tenant t.q ~line ?timestamp () in
     invalidate_line t ~line;
     r
   end

@@ -60,19 +60,31 @@ val device : t -> Device.t
 
     Drop-in replacements for the {!Queue} synchronous facade; [prio]
     (default [Foreground]) is the class used for miss fetches and
-    pressure flushes. *)
+    pressure flushes, and [tenant] (default [0]) tags the queued
+    requests they submit — including the read-ahead a miss triggers,
+    so prefetch work is charged to the tenant that caused it. *)
 
 val read_block :
-  ?prio:Queue.prio -> t -> pba:int -> (string, Device.read_error) result
+  ?prio:Queue.prio ->
+  ?tenant:int ->
+  t ->
+  pba:int ->
+  (string, Device.read_error) result
 
 val write_block :
-  ?prio:Queue.prio -> t -> pba:int -> string -> (unit, Device.write_error) result
+  ?prio:Queue.prio ->
+  ?tenant:int ->
+  t ->
+  pba:int ->
+  string ->
+  (unit, Device.write_error) result
 (** Buffers the payload dirty and returns; the medium is written at the
     next flush.  Reserved-hash-block and heated-line refusals are
     checked here, against live device state, so the error surface
     matches an uncached write. *)
 
 val heat_line :
+  ?tenant:int ->
   t ->
   line:int ->
   ?timestamp:float ->
@@ -85,7 +97,7 @@ val verify_line : t -> line:int -> Tamper.verdict
 (** Flush the line's dirty blocks first (the verdict must judge the
     medium the caller believes is durable), then {!Device.verify_line}. *)
 
-val flush : ?prio:Queue.prio -> t -> unit
+val flush : ?prio:Queue.prio -> ?tenant:int -> t -> unit
 (** Write every dirty block out as coalesced spans.  Does not drain
     outstanding read-ahead. *)
 

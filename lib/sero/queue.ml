@@ -17,11 +17,14 @@ type kind =
 type req = {
   kind : kind;
   rprio : prio;
+  tenant : int;
   offset : int;
   submitted : float;
   mutable attempts : int;
       (* Service attempts so far; bounded by [read_retry_limit]. *)
 }
+
+type arbiter_view = { av_tenant : int; av_backlog : int; av_oldest : float }
 
 (* What a service pass produced for one request: [Done] fires the
    caller's callback at completion; [Retryable] is a failed read whose
@@ -34,6 +37,16 @@ type class_stats = {
   mutable energy : float;
   mutable completed : int;
   mutable last_completion : float;
+}
+
+(* Per-tenant service ledger.  Service and energy are charged when the
+   sled pass runs (a group is single-tenant, see [dispatch]), so an
+   installed arbiter sees the work a tenant has consumed *before* it
+   chooses the next one — the property fair-share needs. *)
+type tenant_stats = {
+  mutable t_completed : int;
+  mutable t_service : float;
+  mutable t_energy : float;
 }
 
 type t = {
@@ -52,6 +65,8 @@ type t = {
   mutable current_offset : int;
   fg : class_stats;
   bg : class_stats;
+  mutable arbiter : (arbiter_view list -> int) option;
+  by_tenant : (int, tenant_stats) Hashtbl.t;
   service : Sim.Stats.t;
   depth_hist : Sim.Stats.Histogram.h;
   mutable served_rev : int list;
@@ -97,6 +112,8 @@ let create ?(policy = Probe.Sched.Elevator) ?(coalesce = true) ?(max_span = 8)
     current_offset = 0;
     fg = class_stats_create "fg";
     bg = class_stats_create "bg";
+    arbiter = None;
+    by_tenant = Hashtbl.create 8;
     service = Sim.Stats.create ~name:"service" ();
     depth_hist = Sim.Stats.Histogram.create ~lo:0. ~hi:64. ~bins:16;
     served_rev = [];
@@ -111,6 +128,33 @@ let device t = t.dev
 let des t = t.des
 let policy t = t.policy
 let stats_of t = function Foreground -> t.fg | Background -> t.bg
+let set_arbiter t a = t.arbiter <- a
+
+let tenant_stats_of t tenant =
+  match Hashtbl.find_opt t.by_tenant tenant with
+  | Some ts -> ts
+  | None ->
+      let ts = { t_completed = 0; t_service = 0.; t_energy = 0. } in
+      Hashtbl.add t.by_tenant tenant ts;
+      ts
+
+let tenants t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.by_tenant [])
+
+let tenant_completed t tenant =
+  match Hashtbl.find_opt t.by_tenant tenant with
+  | Some ts -> ts.t_completed
+  | None -> 0
+
+let tenant_service t tenant =
+  match Hashtbl.find_opt t.by_tenant tenant with
+  | Some ts -> ts.t_service
+  | None -> 0.
+
+let tenant_energy t tenant =
+  match Hashtbl.find_opt t.by_tenant tenant with
+  | Some ts -> ts.t_energy
+  | None -> 0.
 let pending t = List.length t.pending_fg + List.length t.pending_bg
 let idle t =
   (not t.busy) && t.retry_pending = 0 && t.pending_fg = []
@@ -126,18 +170,23 @@ let offset_of_line t line =
   offset_of_pba t (Layout.hash_block_of_line (Device.layout t.dev) line)
 
 (* Remove the first (oldest) pending request of [prio] whose offset is
-   [off]; [pend] is stored newest-first, so "oldest with that offset"
-   is the last matching element. *)
-let take_oldest_at t prio off =
+   [off] (and, when [tenant] is given, whose tenant matches); [pend] is
+   stored newest-first, so "oldest with that offset" is the last
+   matching element. *)
+let take_oldest_at ?tenant t prio off =
   let pend =
     match prio with Foreground -> t.pending_fg | Background -> t.pending_bg
+  in
+  let wanted r =
+    r.offset = off
+    && match tenant with None -> true | Some tid -> r.tenant = tid
   in
   let taken = ref None in
   let rest =
     (* Walk oldest-first, take the first match, keep the rest. *)
     List.fold_left
       (fun acc r ->
-        if !taken = None && r.offset = off then begin
+        if !taken = None && wanted r then begin
           taken := Some r;
           acc
         end
@@ -151,6 +200,29 @@ let take_oldest_at t prio off =
       | Foreground -> t.pending_fg <- rest
       | Background -> t.pending_bg <- rest);
       Some r
+
+(* Arbiter views: one per tenant with pending work in the class, sorted
+   by tenant id so the arbiter's input (and thus every downstream
+   decision) is deterministic. *)
+let views_of pend =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.tenant with
+      | None ->
+          Hashtbl.add tbl r.tenant
+            { av_tenant = r.tenant; av_backlog = 1; av_oldest = r.submitted }
+      | Some v ->
+          Hashtbl.replace tbl r.tenant
+            {
+              v with
+              av_backlog = v.av_backlog + 1;
+              av_oldest = min v.av_oldest r.submitted;
+            })
+    pend;
+  List.sort
+    (fun a b -> compare a.av_tenant b.av_tenant)
+    (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
 
 (* Serve one group: execute the device operations now (they move the
    sled and charge the ledger), then schedule a completion event after
@@ -184,6 +256,12 @@ let rec serve_group t group =
   let dt = Probe.Pdevice.elapsed pd -. t0
   and de = Probe.Pdevice.energy pd -. e0 in
   Sim.Stats.add t.service dt;
+  (* Groups are single-tenant (coalescing never crosses tenants), so
+     the whole pass is charged to the head's tenant — immediately, not
+     at completion, so a fair-share arbiter sees it next dispatch. *)
+  (let ts = tenant_stats_of t (List.hd group).tenant in
+   ts.t_service <- ts.t_service +. dt;
+   ts.t_energy <- ts.t_energy +. de);
   t.coalesced <- t.coalesced + List.length group - 1;
   List.iter
     (fun r ->
@@ -200,6 +278,8 @@ let rec serve_group t group =
         cs.energy <- cs.energy +. (de /. float_of_int (List.length group));
         cs.completed <- cs.completed + 1;
         cs.last_completion <- now;
+        (tenant_stats_of t r.tenant).t_completed <-
+          (tenant_stats_of t r.tenant).t_completed + 1;
         if now -. r.submitted > t.watchdog_age then
           t.watchdog_trips <- t.watchdog_trips + 1;
         fire ()
@@ -256,13 +336,35 @@ and dispatch t =
           | Foreground -> t.pending_fg
           | Background -> t.pending_bg
         in
-        let offsets = List.rev_map (fun r -> r.offset) pend in
+        (* With an arbiter installed, the tenant is chosen first (fair
+           share across tenants), then the sled policy orders that
+           tenant's requests only.  Without one, dispatch is
+           tenant-blind — bit-identical to the pre-tenant pipeline. *)
+        let tenant_filter =
+          match t.arbiter with
+          | None -> None
+          | Some choose -> (
+              match views_of pend with
+              | [] -> None
+              | [ v ] -> Some v.av_tenant
+              | vs ->
+                  let pick = choose vs in
+                  if List.exists (fun v -> v.av_tenant = pick) vs then
+                    Some pick
+                  else Some (List.hd vs).av_tenant)
+        in
+        let eligible =
+          match tenant_filter with
+          | None -> pend
+          | Some tid -> List.filter (fun r -> r.tenant = tid) pend
+        in
+        let offsets = List.rev_map (fun r -> r.offset) eligible in
         let ordered =
           Probe.Sched.order t.policy ~current:t.current_offset offsets
         in
         let head_off = List.hd ordered in
         let head =
-          match take_oldest_at t prio head_off with
+          match take_oldest_at ?tenant:tenant_filter t prio head_off with
           | Some r -> r
           | None -> assert false
         in
@@ -284,10 +386,15 @@ and dispatch t =
                     then acc
                     else
                       (* Only absorb an actual pending read of that PBA. *)
+                      (* Never absorb across tenants: the pass is
+                         charged to one tenant's ledger, and a fair
+                         share must not smuggle another tenant's work
+                         into it. *)
                       let matches r =
                         match r.kind with
                         | KRead { pba; _ } ->
                             pba = next_pba && r.offset = off
+                            && r.tenant = head.tenant
                         | KOther _ -> false
                       in
                       let pend_now =
@@ -343,32 +450,34 @@ and enqueue t r =
     (float_of_int (pending t + (if t.busy then 1 else 0)));
   arm_dispatch t
 
-let submit_read t ?(prio = Foreground) ~pba k =
+let submit_read t ?(prio = Foreground) ?(tenant = 0) ~pba k =
   enqueue t
     {
       kind = KRead { pba; k };
       rprio = prio;
+      tenant;
       offset = offset_of_pba t pba;
       submitted = Sim.Des.now t.des;
       attempts = 1;
     }
 
-let submit_other t prio offset exec =
+let submit_other t prio tenant offset exec =
   enqueue t
     {
       kind = KOther { exec };
       rprio = prio;
+      tenant;
       offset;
       submitted = Sim.Des.now t.des;
       attempts = 1;
     }
 
-let submit_write t ?(prio = Foreground) ~pba payload k =
-  submit_other t prio (offset_of_pba t pba) (fun () ->
+let submit_write t ?(prio = Foreground) ?(tenant = 0) ~pba payload k =
+  submit_other t prio tenant (offset_of_pba t pba) (fun () ->
       let r = Device.write_block t.dev ~pba payload in
       fun () -> k r)
 
-let submit_write_span t ?(prio = Foreground) ~pba payloads k =
+let submit_write_span t ?(prio = Foreground) ?(tenant = 0) ~pba payloads k =
   let n = Array.length payloads in
   if n = 0 then invalid_arg "Queue.submit_write_span: empty span";
   if pba < 0 || pba + n > (Device.config t.dev).Device.n_blocks then
@@ -376,7 +485,7 @@ let submit_write_span t ?(prio = Foreground) ~pba payloads k =
   (* One request, one sled pass: the span is a single non-preemptive
      service group, so a write-behind flush of n consecutive dirty
      blocks costs one queue slot instead of n. *)
-  submit_other t prio (offset_of_pba t pba) (fun () ->
+  submit_other t prio tenant (offset_of_pba t pba) (fun () ->
       let rs =
         Array.mapi (fun i p -> Device.write_block t.dev ~pba:(pba + i) p)
           payloads
@@ -384,21 +493,21 @@ let submit_write_span t ?(prio = Foreground) ~pba payloads k =
       t.coalesced <- t.coalesced + (n - 1);
       fun () -> k rs)
 
-let submit_heat_line t ?(prio = Foreground) ~line ?timestamp k =
+let submit_heat_line t ?(prio = Foreground) ?(tenant = 0) ~line ?timestamp k =
   let timestamp =
     match timestamp with Some ts -> ts | None -> Sim.Des.now t.des
   in
-  submit_other t prio (offset_of_line t line) (fun () ->
+  submit_other t prio tenant (offset_of_line t line) (fun () ->
       let r = Device.heat_line t.dev ~line ~timestamp () in
       fun () -> k r)
 
-let submit_erb t ?(prio = Foreground) ~line k =
-  submit_other t prio (offset_of_line t line) (fun () ->
+let submit_erb t ?(prio = Foreground) ?(tenant = 0) ~line k =
+  submit_other t prio tenant (offset_of_line t line) (fun () ->
       let r = Device.read_hash_block t.dev ~line in
       fun () -> k r)
 
 let submit_scrub_line t ?(prio = Background) ?config prog ~line k =
-  submit_other t prio (offset_of_line t line) (fun () ->
+  submit_other t prio 0 (offset_of_line t line) (fun () ->
       Scrub.add_remapped prog (Device.service_failed_tips t.dev);
       Scrub.sweep_line ?config t.dev prog ~line;
       k)
@@ -424,7 +533,7 @@ let schedule_scrub ?config t ~period ~stop =
   prog
 
 let submit_migrate t ?(prio = Background) ~line ?timestamp k =
-  submit_other t prio (offset_of_line t line) (fun () ->
+  submit_other t prio 0 (offset_of_line t line) (fun () ->
       let timestamp =
         match timestamp with Some ts -> ts | None -> Sim.Des.now t.des
       in
@@ -465,33 +574,33 @@ let await t done_flag =
       failwith "Sero.Queue: awaited request cannot complete (empty DES)"
   done
 
-let read_block ?prio t ~pba =
+let read_block ?prio ?tenant t ~pba =
   let cell = ref None and fin = ref false in
-  submit_read t ?prio ~pba (fun r ->
+  submit_read t ?prio ?tenant ~pba (fun r ->
       cell := Some r;
       fin := true);
   await t fin;
   Option.get !cell
 
-let write_block ?prio t ~pba payload =
+let write_block ?prio ?tenant t ~pba payload =
   let cell = ref None and fin = ref false in
-  submit_write t ?prio ~pba payload (fun r ->
+  submit_write t ?prio ?tenant ~pba payload (fun r ->
       cell := Some r;
       fin := true);
   await t fin;
   Option.get !cell
 
-let write_span ?prio t ~pba payloads =
+let write_span ?prio ?tenant t ~pba payloads =
   let cell = ref None and fin = ref false in
-  submit_write_span t ?prio ~pba payloads (fun r ->
+  submit_write_span t ?prio ?tenant ~pba payloads (fun r ->
       cell := Some r;
       fin := true);
   await t fin;
   Option.get !cell
 
-let heat_line t ~line ?timestamp () =
+let heat_line ?tenant t ~line ?timestamp () =
   let cell = ref None and fin = ref false in
-  submit_heat_line t ~line ?timestamp (fun r ->
+  submit_heat_line t ?tenant ~line ?timestamp (fun r ->
       cell := Some r;
       fin := true);
   await t fin;
@@ -513,14 +622,11 @@ let watchdog_trips t = t.watchdog_trips
 let pp_summary ppf t =
   let pc prio =
     let cs = stats_of t prio in
+    let p50, p95, p99 = Sim.Stats.quantiles cs.latency in
     Format.fprintf ppf
       "  %a: %d done, lat p50=%.4g p95=%.4g p99=%.4g s, wait mean=%.4g s, \
        %.3g J@."
-      pp_prio prio cs.completed
-      (Sim.Stats.percentile cs.latency 0.50)
-      (Sim.Stats.percentile cs.latency 0.95)
-      (Sim.Stats.percentile cs.latency 0.99)
-      (Sim.Stats.mean cs.wait) cs.energy
+      pp_prio prio cs.completed p50 p95 p99 (Sim.Stats.mean cs.wait) cs.energy
   in
   Format.fprintf ppf "queue [%a]: %d pending, %d coalesced, service mean=%.4g s@."
     Probe.Sched.pp_policy t.policy (pending t) t.coalesced
@@ -530,4 +636,13 @@ let pp_summary ppf t =
       "  retries: %d re-served, %d abandoned, %d watchdog trips@."
       t.retried_reads t.abandoned_reads t.watchdog_trips;
   pc Foreground;
-  pc Background
+  pc Background;
+  match tenants t with
+  | [] | [ 0 ] -> ()
+  | ts ->
+      List.iter
+        (fun tid ->
+          Format.fprintf ppf "  tenant %d: %d done, service %.4g s, %.3g J@."
+            tid (tenant_completed t tid) (tenant_service t tid)
+            (tenant_energy t tid))
+        ts

@@ -80,18 +80,61 @@ val device : t -> Device.t
 val des : t -> Sim.Des.t
 val policy : t -> Probe.Sched.policy
 
+(** {1 Multi-tenant arbitration}
+
+    Requests carry a tenant tag (default [0]).  An installed arbiter
+    turns dispatch into a two-level decision: first {e which tenant} is
+    served (the arbiter's call — fair share, weights, whatever the host
+    layer installs), then {e which of that tenant's requests} (the sled
+    policy's call, exactly as before).  Span coalescing never crosses
+    tenants, so every sled pass is charged to exactly one tenant's
+    service/energy ledger — and the charge lands when the pass runs,
+    before the next dispatch, which is what a fair-share arbiter needs
+    to see.  With no arbiter (the default), dispatch is tenant-blind
+    and bit-identical to the pre-tenant pipeline. *)
+
+type arbiter_view = {
+  av_tenant : int;
+  av_backlog : int;  (** Pending requests of this tenant in the class. *)
+  av_oldest : float;  (** Submit time of its oldest pending request. *)
+}
+
+val set_arbiter : t -> (arbiter_view list -> int) option -> unit
+(** Install (or remove) the tenant arbiter.  At each dispatch with more
+    than one tenant backlogged in the preferred class, the arbiter is
+    given one view per backlogged tenant (sorted by tenant id) and
+    returns the tenant to serve; an answer naming no backlogged tenant
+    falls back to the first view. *)
+
+val tenants : t -> int list
+(** Tenant ids that have been charged service or completions, sorted. *)
+
+val tenant_completed : t -> int -> int
+val tenant_service : t -> int -> float
+(** Cumulative sled-busy seconds charged to the tenant (updated at
+    service time, not completion). *)
+
+val tenant_energy : t -> int -> float
+
 (** {1 Asynchronous submission}
 
     Each [submit_*] enqueues a request and returns immediately; the
     callback fires from the completion event.  [prio] defaults to
-    [Foreground] except for scrub lines. *)
+    [Foreground] except for scrub lines; [tenant] defaults to [0]
+    (system traffic — scrub and migration always ride tenant 0). *)
 
 val submit_read :
-  t -> ?prio:prio -> pba:int -> ((string, Device.read_error) result -> unit) -> unit
+  t ->
+  ?prio:prio ->
+  ?tenant:int ->
+  pba:int ->
+  ((string, Device.read_error) result -> unit) ->
+  unit
 
 val submit_write :
   t ->
   ?prio:prio ->
+  ?tenant:int ->
   pba:int ->
   string ->
   ((unit, Device.write_error) result -> unit) ->
@@ -100,6 +143,7 @@ val submit_write :
 val submit_write_span :
   t ->
   ?prio:prio ->
+  ?tenant:int ->
   pba:int ->
   string array ->
   ((unit, Device.write_error) result array -> unit) ->
@@ -113,6 +157,7 @@ val submit_write_span :
 val submit_heat_line :
   t ->
   ?prio:prio ->
+  ?tenant:int ->
   line:int ->
   ?timestamp:float ->
   ((Hash.Sha256.t, Device.heat_error) result -> unit) ->
@@ -122,6 +167,7 @@ val submit_heat_line :
 val submit_erb :
   t ->
   ?prio:prio ->
+  ?tenant:int ->
   line:int ->
   ([ `Not_heated
    | `Burned of Device.burned_meta
@@ -196,16 +242,32 @@ val drain : t -> unit
     way, exactly as a disk would).  Drop-in replacements for the
     corresponding {!Device} calls. *)
 
-val read_block : ?prio:prio -> t -> pba:int -> (string, Device.read_error) result
+val read_block :
+  ?prio:prio -> ?tenant:int -> t -> pba:int -> (string, Device.read_error) result
 
 val write_block :
-  ?prio:prio -> t -> pba:int -> string -> (unit, Device.write_error) result
+  ?prio:prio ->
+  ?tenant:int ->
+  t ->
+  pba:int ->
+  string ->
+  (unit, Device.write_error) result
 
 val write_span :
-  ?prio:prio -> t -> pba:int -> string array -> (unit, Device.write_error) result array
+  ?prio:prio ->
+  ?tenant:int ->
+  t ->
+  pba:int ->
+  string array ->
+  (unit, Device.write_error) result array
 
 val heat_line :
-  t -> line:int -> ?timestamp:float -> unit -> (Hash.Sha256.t, Device.heat_error) result
+  ?tenant:int ->
+  t ->
+  line:int ->
+  ?timestamp:float ->
+  unit ->
+  (Hash.Sha256.t, Device.heat_error) result
 
 (** {1 Measurement}
 

@@ -40,13 +40,29 @@ let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
 let min_value t = if t.n = 0 then 0. else t.minv
 let max_value t = if t.n = 0 then 0. else t.maxv
 
+(* Nearest-rank quantile over a sorted sample array. *)
+let rank_of sorted n p =
+  let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
 let percentile t p =
   if t.n = 0 then 0.
   else begin
     let a = Array.of_list t.samples in
     Array.sort compare a;
-    let rank = int_of_float (ceil (p *. float_of_int t.n)) - 1 in
-    a.(max 0 (min (t.n - 1) rank))
+    rank_of a t.n p
+  end
+
+let p50 t = percentile t 0.50
+let p95 t = percentile t 0.95
+let p99 t = percentile t 0.99
+
+let quantiles t =
+  if t.n = 0 then (0., 0., 0.)
+  else begin
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    (rank_of a t.n 0.50, rank_of a t.n 0.95, rank_of a t.n 0.99)
   end
 
 let merge a b =

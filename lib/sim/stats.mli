@@ -23,6 +23,17 @@ val percentile : t -> float -> float
 (** [percentile t 0.99] — nearest-rank on the recorded samples.
     0 when empty. *)
 
+val p50 : t -> float
+val p95 : t -> float
+val p99 : t -> float
+(** The SLO quantiles ({!percentile} at 0.50 / 0.95 / 0.99) — the
+    ledgers and experiment tables all report the same three, so they
+    get names. *)
+
+val quantiles : t -> float * float * float
+(** [(p50, p95, p99)] from {e one} sort of the sample reservoir —
+    cheaper than three {!percentile} calls on large samples. *)
+
 val merge : t -> t -> t
 (** Combined statistics of two counters (name taken from the first). *)
 

@@ -102,6 +102,24 @@ let stats_cases =
         let m = Sim.Stats.merge a b in
         Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.mean all) (Sim.Stats.mean m);
         Alcotest.(check (float 1e-9)) "sd" (Sim.Stats.stddev all) (Sim.Stats.stddev m));
+    Alcotest.test_case "SLO quantiles by nearest rank" `Quick (fun () ->
+        (* 1..100: nearest-rank p is exactly the pth value. *)
+        let st = Sim.Stats.create () in
+        List.iter
+          (fun i -> Sim.Stats.add st (float_of_int i))
+          (List.init 100 (fun i -> i + 1));
+        Alcotest.(check (float 1e-9)) "p50" 50. (Sim.Stats.p50 st);
+        Alcotest.(check (float 1e-9)) "p95" 95. (Sim.Stats.p95 st);
+        Alcotest.(check (float 1e-9)) "p99" 99. (Sim.Stats.p99 st);
+        let q50, q95, q99 = Sim.Stats.quantiles st in
+        Alcotest.(check (float 1e-9)) "quantiles p50" 50. q50;
+        Alcotest.(check (float 1e-9)) "quantiles p95" 95. q95;
+        Alcotest.(check (float 1e-9)) "quantiles p99" 99. q99);
+    Alcotest.test_case "single sample is every percentile" `Quick (fun () ->
+        let st = Sim.Stats.create () in
+        Sim.Stats.add st 7.25;
+        Alcotest.(check (float 0.)) "p50" 7.25 (Sim.Stats.p50 st);
+        Alcotest.(check (float 0.)) "p99" 7.25 (Sim.Stats.p99 st));
     Alcotest.test_case "histogram bins and clamps" `Quick (fun () ->
         let h = Sim.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
         List.iter (Sim.Stats.Histogram.add h) [ -1.; 0.5; 5.5; 9.9; 42. ];
@@ -120,6 +138,16 @@ let percentile_bounds =
       List.iter (Sim.Stats.add st) xs;
       let v = Sim.Stats.percentile st p in
       v >= Sim.Stats.min_value st -. 1e-9 && v <= Sim.Stats.max_value st +. 1e-9)
+
+let quantiles_match_percentile =
+  QCheck.Test.make ~name:"quantiles = (p50, p95, p99)" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 80) (float_range (-100.) 100.))
+    (fun xs ->
+      let st = Sim.Stats.create () in
+      List.iter (Sim.Stats.add st) xs;
+      let q50, q95, q99 = Sim.Stats.quantiles st in
+      q50 = Sim.Stats.p50 st && q95 = Sim.Stats.p95 st
+      && q99 = Sim.Stats.p99 st)
 
 (* {1 Heap} *)
 
@@ -461,7 +489,8 @@ let () =
   Alcotest.run "sim"
     [
       ("prng", prng_cases @ [ qtest int_in_range ]);
-      ("stats", stats_cases @ [ qtest percentile_bounds ]);
+      ("stats",
+       stats_cases @ [ qtest percentile_bounds; qtest quantiles_match_percentile ]);
       ("heap", heap_cases @ [ qtest heap_sorts; qtest heap_stable ]);
       ("des", des_cases);
       ("lru", lru_cases @ [ qtest lru_matches_model ]);
