@@ -403,6 +403,46 @@ let e25_host =
            ignore (Host.Server.call session (Read { pba = pbas.(0) }))));
   ]
 
+(* E26: the fleet substrate's wall-clock face — CoW clone cost and the
+   classic hold-model churn on both scheduler twins (pop the minimum,
+   reschedule it an exponential step later, dense pending set). *)
+let e26_fleet =
+  let golden =
+    Sero.Device.create (Sero.Device.default_config ~n_blocks:64 ~line_exp:3 ())
+  in
+  let lay = Sero.Device.layout golden in
+  Array.iter
+    (fun pba -> ignore (Sero.Device.write_block golden ~pba payload_512))
+    (Array.of_list (Sero.Layout.data_blocks_of_line lay 1));
+  let hold_rng = Sim.Prng.create 0xE26 in
+  let wheel = Sim.Wheel.create () in
+  let heap = Sim.Heap.create () in
+  (* 4k live timers, every key within an exponential horizon of now —
+     the shape a Des instance actually holds in the dense regime. *)
+  for i = 0 to 4095 do
+    let at = Sim.Prng.exponential hold_rng 1.0 in
+    Sim.Wheel.push wheel at i;
+    Sim.Heap.push heap at i
+  done;
+  [
+    Test.make ~name:"e26 clone+park device"
+      (Staged.stage (fun () ->
+           let d = Sero.Device.clone golden in
+           Sero.Device.park d));
+    Test.make ~name:"e26 wheel hold (4k pending)"
+      (Staged.stage (fun () ->
+           let k = Sim.Wheel.min_key wheel in
+           let v = Sim.Wheel.min_value wheel in
+           Sim.Wheel.drop_min wheel;
+           Sim.Wheel.push wheel (k +. Sim.Prng.exponential hold_rng 1.0) v));
+    Test.make ~name:"e26 heap hold (4k pending)"
+      (Staged.stage (fun () ->
+           let k = Sim.Heap.min_key heap in
+           let v = Sim.Heap.min_value heap in
+           Sim.Heap.drop_min heap;
+           Sim.Heap.push heap (k +. Sim.Prng.exponential hold_rng 1.0) v));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -425,6 +465,7 @@ let groups =
     ("E23 sharded array", e23_array);
     ("E24 zero-copy", e24_zero_copy);
     ("E25 host front-end", e25_host);
+    ("E26 fleet substrate", e26_fleet);
   ]
 
 (* {1 Runner} *)
@@ -526,6 +567,7 @@ let simulated_metrics () =
   let e = Expt.Endurance_study.headline () in
   let a = Expt.Array_study.headline () in
   let qos = Expt.Qos_study.headline () in
+  let fleet = Expt.Fleet_study.headline () in
   [
     ("e21 nocache read ms", h.Expt.Cache_study.nocache_read_ms);
     ("e21 cached read ms", h.Expt.Cache_study.cached_read_ms);
@@ -544,6 +586,12 @@ let simulated_metrics () =
     ("e25 wfs p99 ratio", qos.Expt.Qos_study.wfs_ratio);
     ("e25 fifo p99 ratio", qos.Expt.Qos_study.fifo_ratio);
     ("e25 rejection pct", qos.Expt.Qos_study.overload_rejection_pct);
+    ("e26 wheel speedup", fleet.Expt.Fleet_study.h_wheel_speedup);
+    ("e26 clone heap kib", fleet.Expt.Fleet_study.h_clone_heap_kib);
+    ("e26 clone segments", fleet.Expt.Fleet_study.h_clone_segments);
+    ("e26 cow kib per device", fleet.Expt.Fleet_study.h_cow_kib_per_device);
+    ("e26 fleet p99 ms", fleet.Expt.Fleet_study.h_lat_p99_ms);
+    ("e26 tamper verdicts", float_of_int fleet.Expt.Fleet_study.h_tampers);
   ]
 
 (* Allocation observability for the zero-copy hot path: bytes copied by
@@ -691,6 +739,7 @@ let compare_baseline ~baseline ~results ~simulated =
                        "e21 read speedup";
                        "e23 detected replicas";
                        "e25 fifo p99 ratio";
+                       "e26 wheel speedup";
                      ]
               in
               let regressed =

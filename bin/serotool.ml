@@ -892,6 +892,41 @@ let bigdev image blocks line_exp =
   in
   match result with Ok () -> `Ok () | Error e -> `Error (false, e)
 
+(* Fleet smoke: a CoW-clone fleet fanned out over Sim.Fleet with keyed
+   per-device PRNG streams — the serotool face of E26.  The exit status
+   is the check: nonzero if any clone saw a tamper verdict or a failed
+   operation, so CI can run it under ulimit -v and trust the result. *)
+let fleet_cmd devices ops seed jobs =
+  (match jobs with None -> () | Some n -> Sim.Pool.set_jobs n);
+  if devices < 1 then `Error (false, "need at least one device")
+  else begin
+    let f = Expt.Fleet_study.run_fleet ~seed ~ops devices in
+    let p50, p95, p99 = Sim.Stats.quantiles f.Expt.Fleet_study.f_lat in
+    Format.printf
+      "fleet: %d devices (%d jobs), %d ops, %d events, %d scheduler \
+       comparisons@."
+      f.Expt.Fleet_study.f_devices (Sim.Pool.jobs ())
+      f.Expt.Fleet_study.f_ops f.Expt.Fleet_study.f_events
+      f.Expt.Fleet_study.f_sched_work;
+    Format.printf
+      "fleet: latency p50/p95/p99 = %.3f/%.3f/%.3f ms, %d scrub rewrites, \
+       %d CoW segments@."
+      p50 p95 p99 f.Expt.Fleet_study.f_scrub_rewrites
+      f.Expt.Fleet_study.f_cow_segments;
+    Format.printf "fleet: peak OCaml heap %d MB@."
+      (Gc.((quick_stat ()).top_heap_words) * 8 / 1_048_576);
+    if f.Expt.Fleet_study.f_tampers = 0 && f.Expt.Fleet_study.f_fails = 0
+    then begin
+      Format.printf "fleet: 0 tamper verdicts, 0 failed operations@.";
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "fleet saw %d tamper verdicts, %d failed operations"
+            f.Expt.Fleet_study.f_tampers f.Expt.Fleet_study.f_fails )
+  end
+
 open Cmdliner
 
 let image_arg =
@@ -1069,6 +1104,23 @@ let () =
             "Worker domains for the quorum fan-out (byte-identical output \
              for any value).")
   in
+  let fleet_devices =
+    Arg.(
+      value & opt int 256
+      & info [ "devices" ] ~docv:"N" ~doc:"Cloned devices to simulate.")
+  in
+  let fleet_ops =
+    Arg.(
+      value
+      & opt int Expt.Fleet_study.default_ops
+      & info [ "ops" ] ~docv:"N" ~doc:"Open-loop operations per device.")
+  in
+  let fleet_seed =
+    Arg.(
+      value & opt int 0xE26
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Fleet seed (device $(i,i) draws from stream (S, i)).")
+  in
   let arr_fail_slot =
     Arg.(
       value & opt (some int) None
@@ -1215,6 +1267,13 @@ let () =
         Term.(const inject $ image_arg $ seed $ flips $ tear $ tear_cells);
       cmd "scrub" "Run one scrubber pass (repair, torn completion)."
         Term.(const scrub $ image_arg $ threshold $ deep);
+      cmd "fleet"
+        "Simulate a fleet of CoW-cloned devices (open-loop traffic plus \
+         background scrub, keyed per-device PRNG streams, deterministic \
+         fan-out); exits nonzero on any tamper verdict or failed \
+         operation."
+        Term.(const fleet_cmd $ fleet_devices $ fleet_ops $ fleet_seed
+              $ arr_jobs);
       cmd "mkarray"
         "Create a sharded array image (a manifest plus one member device \
          image per slot and spare)."

@@ -35,6 +35,29 @@ let make ?profile ?(read_ber = 0.) medium =
     fault = None;
   }
 
+(* Context for a cloned medium: fresh counters snapshotting the
+   parent's, same physics.  Refuses a live injector — fault plans hold
+   position state that must not be shared or forked silently. *)
+let clone t medium =
+  if t.fault <> None then
+    invalid_arg "Bitops.clone: fault injector installed";
+  let c = t.counters in
+  {
+    medium;
+    counters =
+      {
+        mrb = c.mrb;
+        mwb = c.mwb;
+        ewb = c.ewb;
+        erb = c.erb;
+        collateral = c.collateral;
+      };
+    profile = t.profile;
+    read_ber = t.read_ber;
+    neighbour_damage_p = t.neighbour_damage_p;
+    fault = None;
+  }
+
 let medium t = t.medium
 let counters t = t.counters
 let profile t = t.profile
@@ -176,28 +199,35 @@ let mrb_run t ~start ~len ~dst ~dst_pos =
     done
   else begin
     t.counters.mrb <- t.counters.mrb + len;
-    let states = Medium.states t.medium in
     let rng = Medium.rng t.medium in
-    let k = ref 0 in
-    while !k < len do
-      let i = start + !k in
-      let byte = Char.code (Bigarray.Array1.unsafe_get states (i lsr 2)) in
-      (* A heated field has its high bit set: mask 0xAA over the byte. *)
-      if i land 3 = 0 && !k + 4 <= len && byte land 0xAA = 0 then begin
-        let p = dst_pos + !k in
-        Array.unsafe_set dst p (byte land 1 <> 0);
-        Array.unsafe_set dst (p + 1) (byte land 4 <> 0);
-        Array.unsafe_set dst (p + 2) (byte land 16 <> 0);
-        Array.unsafe_set dst (p + 3) (byte land 64 <> 0);
-        k := !k + 4
-      end
-      else begin
-        let v = (byte lsr (2 * (i land 3))) land 3 in
-        Array.unsafe_set dst (dst_pos + !k)
-          (if v < 2 then v = 1 else Sim.Prng.bool rng);
-        incr k
-      end
-    done
+    (* Chunk boundaries are 4-dot-aligned, so the byte-at-a-time subpath
+       triggers on exactly the same dots as it would over a flat store
+       and the heated coin flips stay in address order. *)
+    Medium.iter_chunks t.medium ~write:false ~start ~len
+      (fun states ~base ~start:cstart ~len:clen ->
+        let dpos = dst_pos + (cstart - start) in
+        let k = ref 0 in
+        while !k < clen do
+          let i = cstart + !k in
+          let byte =
+            Char.code (Bigarray.Array1.unsafe_get states ((i lsr 2) - base))
+          in
+          (* A heated field has its high bit set: mask 0xAA over the byte. *)
+          if i land 3 = 0 && !k + 4 <= clen && byte land 0xAA = 0 then begin
+            let p = dpos + !k in
+            Array.unsafe_set dst p (byte land 1 <> 0);
+            Array.unsafe_set dst (p + 1) (byte land 4 <> 0);
+            Array.unsafe_set dst (p + 2) (byte land 16 <> 0);
+            Array.unsafe_set dst (p + 3) (byte land 64 <> 0);
+            k := !k + 4
+          end
+          else begin
+            let v = (byte lsr (2 * (i land 3))) land 3 in
+            Array.unsafe_set dst (dpos + !k)
+              (if v < 2 then v = 1 else Sim.Prng.bool rng);
+            incr k
+          end
+        done)
   end
 
 (* For a state byte with no heated field (byte land 0xAA = 0), the four
@@ -221,31 +251,37 @@ let mrb_run_packed t ~start ~len ~dst ~dst_pos =
   then len = 0
   else begin
     t.counters.mrb <- t.counters.mrb + len;
-    let states = Medium.states t.medium in
     let rng = Medium.rng t.medium in
     let tbl = Lazy.force rev_up_nibble in
-    let first = start lsr 2 in
-    for b = 0 to (len lsr 3) - 1 do
-      let s0 = Char.code (Bigarray.Array1.unsafe_get states (first + (2 * b)))
-      and s1 = Char.code (Bigarray.Array1.unsafe_get states (first + (2 * b) + 1)) in
-      let v =
-        if (s0 lor s1) land 0xAA = 0 then
-          (Array.unsafe_get tbl s0 lsl 4) lor Array.unsafe_get tbl s1
-        else begin
-          (* A heated dot reads as a coin flip; the draws happen in
-             address order, exactly as the scalar path makes them. *)
-          let acc = ref 0 in
-          for j = 0 to 7 do
-            let byte = if j < 4 then s0 else s1 in
-            let c = (byte lsr (2 * (j land 3))) land 3 in
-            let bit = if c < 2 then c = 1 else Sim.Prng.bool rng in
-            if bit then acc := !acc lor (1 lsl (7 - j))
-          done;
-          !acc
-        end
-      in
-      Bytes.unsafe_set dst (dst_pos + b) (Char.unsafe_chr v)
-    done;
+    (* Segment boundaries are 8-dot-aligned, so every chunk keeps the
+       byte-pair framing of the flat kernel. *)
+    Medium.iter_chunks t.medium ~write:false ~start ~len
+      (fun states ~base ~start:cstart ~len:clen ->
+        let dpos = dst_pos + ((cstart - start) lsr 3) in
+        let first = (cstart lsr 2) - base in
+        for b = 0 to (clen lsr 3) - 1 do
+          let s0 = Char.code (Bigarray.Array1.unsafe_get states (first + (2 * b)))
+          and s1 =
+            Char.code (Bigarray.Array1.unsafe_get states (first + (2 * b) + 1))
+          in
+          let v =
+            if (s0 lor s1) land 0xAA = 0 then
+              (Array.unsafe_get tbl s0 lsl 4) lor Array.unsafe_get tbl s1
+            else begin
+              (* A heated dot reads as a coin flip; the draws happen in
+                 address order, exactly as the scalar path makes them. *)
+              let acc = ref 0 in
+              for j = 0 to 7 do
+                let byte = if j < 4 then s0 else s1 in
+                let c = (byte lsr (2 * (j land 3))) land 3 in
+                let bit = if c < 2 then c = 1 else Sim.Prng.bool rng in
+                if bit then acc := !acc lor (1 lsl (7 - j))
+              done;
+              !acc
+            end
+          in
+          Bytes.unsafe_set dst (dpos + b) (Char.unsafe_chr v)
+        done);
     true
   end
 
@@ -261,34 +297,36 @@ let mwb_run t ~start ~len ~src ~src_pos =
     done
   else begin
     t.counters.mwb <- t.counters.mwb + len;
-    let states = Medium.states t.medium in
-    let k = ref 0 in
-    while !k < len do
-      let i = start + !k in
-      let idx = i lsr 2 in
-      let byte = Char.code (Bigarray.Array1.unsafe_get states idx) in
-      if i land 3 = 0 && !k + 4 <= len && byte land 0xAA = 0 then begin
-        (* No heated dot in the byte: all four fields are overwritten. *)
-        let p = src_pos + !k in
-        let v =
-          (if Array.unsafe_get src p then 1 else 0)
-          lor (if Array.unsafe_get src (p + 1) then 4 else 0)
-          lor (if Array.unsafe_get src (p + 2) then 16 else 0)
-          lor if Array.unsafe_get src (p + 3) then 64 else 0
-        in
-        Bigarray.Array1.unsafe_set states idx (Char.unsafe_chr v);
-        k := !k + 4
-      end
-      else begin
-        let shift = 2 * (i land 3) in
-        if (byte lsr shift) land 2 = 0 then begin
-          let v = if Array.unsafe_get src (src_pos + !k) then 1 else 0 in
-          Bigarray.Array1.unsafe_set states idx
-            (Char.unsafe_chr (byte land lnot (3 lsl shift) lor (v lsl shift)))
-        end;
-        incr k
-      end
-    done
+    Medium.iter_chunks t.medium ~write:true ~start ~len
+      (fun states ~base ~start:cstart ~len:clen ->
+        let spos = src_pos + (cstart - start) in
+        let k = ref 0 in
+        while !k < clen do
+          let i = cstart + !k in
+          let idx = (i lsr 2) - base in
+          let byte = Char.code (Bigarray.Array1.unsafe_get states idx) in
+          if i land 3 = 0 && !k + 4 <= clen && byte land 0xAA = 0 then begin
+            (* No heated dot in the byte: all four fields are overwritten. *)
+            let p = spos + !k in
+            let v =
+              (if Array.unsafe_get src p then 1 else 0)
+              lor (if Array.unsafe_get src (p + 1) then 4 else 0)
+              lor (if Array.unsafe_get src (p + 2) then 16 else 0)
+              lor if Array.unsafe_get src (p + 3) then 64 else 0
+            in
+            Bigarray.Array1.unsafe_set states idx (Char.unsafe_chr v);
+            k := !k + 4
+          end
+          else begin
+            let shift = 2 * (i land 3) in
+            if (byte lsr shift) land 2 = 0 then begin
+              let v = if Array.unsafe_get src (spos + !k) then 1 else 0 in
+              Bigarray.Array1.unsafe_set states idx
+                (Char.unsafe_chr (byte land lnot (3 lsl shift) lor (v lsl shift)))
+            end;
+            incr k
+          end
+        done)
   end
 
 (* Inverse of [rev_up_nibble]: an MSB-first nibble of logical bits
@@ -312,11 +350,13 @@ let mwb_run_packed t ~start ~len ~src ~src_pos =
     len = 0
   else begin
     t.counters.mwb <- t.counters.mwb + len;
-    let states = Medium.states t.medium in
     let tbl = Lazy.force nibble_states in
-    let first = start lsr 2 in
-    for b = 0 to (len lsr 3) - 1 do
-      let v = Char.code (Bytes.unsafe_get src (src_pos + b)) in
+    Medium.iter_chunks t.medium ~write:true ~start ~len
+      (fun states ~base ~start:cstart ~len:clen ->
+    let spos = src_pos + ((cstart - start) lsr 3) in
+    let first = (cstart lsr 2) - base in
+    for b = 0 to (clen lsr 3) - 1 do
+      let v = Char.code (Bytes.unsafe_get src (spos + b)) in
       let i0 = first + (2 * b) in
       let s0 = Char.code (Bigarray.Array1.unsafe_get states i0)
       and s1 = Char.code (Bigarray.Array1.unsafe_get states (i0 + 1)) in
@@ -341,7 +381,7 @@ let mwb_run_packed t ~start ~len ~src ~src_pos =
                  (byte land lnot (3 lsl shift) lor (bit lsl shift)))
           end
         done
-    done;
+    done);
     true
   end
 
@@ -356,53 +396,56 @@ let erb_run ?(cycles = 1) t ~start ~len ~dst ~dst_pos =
     done
   else begin
     t.counters.erb <- t.counters.erb + len;
-    let states = Medium.states t.medium in
     let rng = Medium.rng t.medium in
     let n_clean = ref 0 in
     (* Heated-dot charges accumulate in locals and land on the shared
        counters once, after the loop (they are int sums, so the totals
        are exactly the per-dot ones). *)
     let mrb_acc = ref 0 and mwb_acc = ref 0 in
-    for k = 0 to len - 1 do
-      let i = start + k in
-      let v =
-        (Char.code (Bigarray.Array1.unsafe_get states (i lsr 2)) lsr (2 * (i land 3)))
-        land 3
-      in
-      if v < 2 then begin
-        (* A healthy dot passes every round (the invert/restore writes
-           cancel out), so only the op charges remain. *)
-        incr n_clean;
-        Array.unsafe_set dst (dst_pos + k) false
-      end
-      else begin
-        (* The protocol on a heated dot: every mrb is a coin flip and
-           every mwb is a no-op, so the rounds collapse to PRNG draws
-           plus counter charges — in the scalar draw order (original,
-           check1[, check2] per round, stopping at the round that
-           detects; check1 = original means check1 differs from the
-           written inverse, detection after 2 reads + 2 writes). *)
-        let detected = ref false in
-        let cyc = ref 0 in
-        while (not !detected) && !cyc < cycles do
-          incr cyc;
-          let original = Sim.Prng.bool rng in
-          let check1 = Sim.Prng.bool rng in
-          if check1 = original then begin
-            mrb_acc := !mrb_acc + 2;
-            mwb_acc := !mwb_acc + 2;
-            detected := true
+    Medium.iter_chunks t.medium ~write:false ~start ~len
+      (fun states ~base ~start:cstart ~len:clen ->
+        let dpos = dst_pos + (cstart - start) in
+        for k = 0 to clen - 1 do
+          let i = cstart + k in
+          let v =
+            (Char.code (Bigarray.Array1.unsafe_get states ((i lsr 2) - base))
+            lsr (2 * (i land 3)))
+            land 3
+          in
+          if v < 2 then begin
+            (* A healthy dot passes every round (the invert/restore writes
+               cancel out), so only the op charges remain. *)
+            incr n_clean;
+            Array.unsafe_set dst (dpos + k) false
           end
           else begin
-            let check2 = Sim.Prng.bool rng in
-            mrb_acc := !mrb_acc + 3;
-            mwb_acc := !mwb_acc + 2;
-            if check2 <> original then detected := true
+            (* The protocol on a heated dot: every mrb is a coin flip and
+               every mwb is a no-op, so the rounds collapse to PRNG draws
+               plus counter charges — in the scalar draw order (original,
+               check1[, check2] per round, stopping at the round that
+               detects; check1 = original means check1 differs from the
+               written inverse, detection after 2 reads + 2 writes). *)
+            let detected = ref false in
+            let cyc = ref 0 in
+            while (not !detected) && !cyc < cycles do
+              incr cyc;
+              let original = Sim.Prng.bool rng in
+              let check1 = Sim.Prng.bool rng in
+              if check1 = original then begin
+                mrb_acc := !mrb_acc + 2;
+                mwb_acc := !mwb_acc + 2;
+                detected := true
+              end
+              else begin
+                let check2 = Sim.Prng.bool rng in
+                mrb_acc := !mrb_acc + 3;
+                mwb_acc := !mwb_acc + 2;
+                if check2 <> original then detected := true
+              end
+            done;
+            Array.unsafe_set dst (dpos + k) !detected
           end
-        done;
-        Array.unsafe_set dst (dst_pos + k) !detected
-      end
-    done;
+        done);
     t.counters.mrb <- t.counters.mrb + (3 * cycles * !n_clean) + !mrb_acc;
     t.counters.mwb <- t.counters.mwb + (2 * cycles * !n_clean) + !mwb_acc
   end

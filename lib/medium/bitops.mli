@@ -40,6 +40,12 @@ val make :
     probability on healthy dots (default 0 — sector-level ECC is
     exercised separately with fault injection). *)
 
+val clone : ctx -> Medium.t -> ctx
+(** [clone ctx medium'] is a context over [medium'] (normally
+    [Medium.clone (medium ctx)]) with the same physics and a private
+    copy of the counters.  @raise Invalid_argument if a fault injector
+    is installed — injector position state must not be forked. *)
+
 val medium : ctx -> Medium.t
 val counters : ctx -> counters
 val reset_counters : ctx -> unit

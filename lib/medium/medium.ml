@@ -10,9 +10,30 @@ type config = {
 type states =
   (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+(* The packed store is segmented for lazy allocation and copy-on-write:
+   a segment is [None] while still all-zero (virgin medium) or while
+   shared read-only with clone relatives ([frozen]), and is only ever
+   materialised — privately, in [own] — when written.  So a blank or
+   freshly-cloned device costs two pointer arrays, not a full matrix.
+
+   Segment payloads are off-heap [Bigarray]s: the GC sees only the
+   pointer arrays, and the process-wide CoW footprint is pinned by
+   RSS/address-space limits (the CI fleet job runs under [ulimit -v]). *)
+
+let seg_bytes = 4096
+let seg_shift = 12
+let seg_mask = seg_bytes - 1
+let seg_dots = seg_bytes * 4
+
 type t = {
   config : config;
-  states : states; (* 2 bits per dot: 0 = Down, 1 = Up, 2 = Heated *)
+  n_packed : int; (* packed bytes of live store, (size + 3) / 4 *)
+  mutable frozen : states option array;
+      (* per segment: shared read-only payload, or None = all-zero *)
+  mutable own : states option array;
+      (* per segment: this device's private overlay *)
+  mutable own_count : int;
+  mutable materialized_total : int; (* own segments ever created *)
   defects : Bytes.t; (* 1 bit per dot; empty when defect_rate = 0 *)
   rows_clean : Bytes.t; (* 1 bit per row: set = no defect in the row *)
   defect_total : int;
@@ -35,18 +56,26 @@ let rows t = t.config.rows
 let cols t = t.config.cols
 let config t = t.config
 let rng t = t.rng
+let segment_bytes = seg_bytes
+
+(* One process-wide all-zero segment backs every unmaterialised read. *)
+let zero_seg : states Lazy.t =
+  lazy
+    (let s =
+       Bigarray.Array1.create Bigarray.char Bigarray.c_layout seg_bytes
+     in
+     Bigarray.Array1.fill s '\x00';
+     s)
+
+let n_segs_of n_packed = (n_packed + seg_bytes - 1) / seg_bytes
 
 let create config =
   if config.rows <= 0 || config.cols <= 0 then
     invalid_arg "Medium.create: non-positive dimensions";
   let n = config.rows * config.cols in
   let rng = Sim.Prng.create config.seed in
-  (* The states live off-heap: a multi-GB simulated device must not sit
-     on the OCaml heap where the GC would walk (and copy) it. *)
-  let states =
-    Bigarray.Array1.create Bigarray.char Bigarray.c_layout ((n + 3) / 4)
-  in
-  Bigarray.Array1.fill states '\x00';
+  let n_packed = (n + 3) / 4 in
+  let n_segs = n_segs_of n_packed in
   (* A defect-free medium (the common large-geometry case) keeps no
      per-dot defect bitmap at all. *)
   let defects =
@@ -71,7 +100,11 @@ let create config =
     done;
   {
     config;
-    states;
+    n_packed;
+    frozen = Array.make n_segs None;
+    own = Array.make n_segs None;
+    own_count = 0;
+    materialized_total = 0;
     defects;
     rows_clean;
     defect_total = !defect_total;
@@ -79,17 +112,79 @@ let create config =
     heated = 0;
   }
 
+(* Read view of segment [si]: private overlay, else shared frozen
+   payload, else the global zero segment. *)
+let seg_ro t si =
+  match Array.unsafe_get t.own si with
+  | Some s -> s
+  | None -> (
+      match Array.unsafe_get t.frozen si with
+      | Some s -> s
+      | None -> Lazy.force zero_seg)
+
+(* Write view: materialise a private copy on first touch. *)
+let seg_rw t si =
+  match Array.unsafe_get t.own si with
+  | Some s -> s
+  | None ->
+      let s =
+        Bigarray.Array1.create Bigarray.char Bigarray.c_layout seg_bytes
+      in
+      (match Array.unsafe_get t.frozen si with
+      | Some f -> Bigarray.Array1.blit f s
+      | None -> Bigarray.Array1.fill s '\x00');
+      Array.unsafe_set t.own si (Some s);
+      t.own_count <- t.own_count + 1;
+      t.materialized_total <- t.materialized_total + 1;
+      s
+
+let owned_segments t = t.own_count
+let total_segments t = Array.length t.frozen
+let materialized_total t = t.materialized_total
+
+(* CoW snapshot.  The parent's private overlay merges into a fresh
+   frozen generation shared (read-only, by construction: nothing ever
+   writes a [frozen] payload) with the child; both sides restart with
+   empty overlays, so the clone itself copies only pointer arrays and
+   each side pays per-segment copies lazily as it diverges. *)
+let clone t =
+  let n_segs = Array.length t.frozen in
+  let frozen' =
+    Array.init n_segs (fun si ->
+        match t.own.(si) with Some s -> Some s | None -> t.frozen.(si))
+  in
+  t.frozen <- frozen';
+  t.own <- Array.make n_segs None;
+  t.own_count <- 0;
+  {
+    config = t.config;
+    n_packed = t.n_packed;
+    frozen = Array.copy frozen';
+    own = Array.make n_segs None;
+    own_count = 0;
+    materialized_total = 0;
+    defects = t.defects (* immutable after create: shared *);
+    rows_clean = t.rows_clean;
+    defect_total = t.defect_total;
+    rng = Sim.Prng.copy t.rng;
+    heated = t.heated;
+  }
+
 let check_range t i =
   if i < 0 || i >= size t then invalid_arg "Medium: dot index out of range"
 
 let raw_get t i =
-  let byte = i / 4 and shift = 2 * (i mod 4) in
-  (Char.code (Bigarray.Array1.get t.states byte) lsr shift) land 3
+  let byte = i lsr 2 and shift = 2 * (i land 3) in
+  let seg = seg_ro t (byte lsr seg_shift) in
+  (Char.code (Bigarray.Array1.unsafe_get seg (byte land seg_mask)) lsr shift)
+  land 3
 
 let raw_set t i v =
-  let byte = i / 4 and shift = 2 * (i mod 4) in
-  let old = Char.code (Bigarray.Array1.get t.states byte) in
-  Bigarray.Array1.set t.states byte
+  let byte = i lsr 2 and shift = 2 * (i land 3) in
+  let seg = seg_rw t (byte lsr seg_shift) in
+  let j = byte land seg_mask in
+  let old = Char.code (Bigarray.Array1.unsafe_get seg j) in
+  Bigarray.Array1.unsafe_set seg j
     (Char.chr (old land lnot (3 lsl shift) lor (v lsl shift)))
 
 let get t i =
@@ -139,19 +234,44 @@ let run_defect_free t ~start ~len =
   done;
   !ok
 
-let states t = t.states
-let packed_length t = Bigarray.Array1.dim t.states
+let packed_length t = t.n_packed
+
+(* Walk the dot run [start, start+len) one segment-contained chunk at a
+   time.  Segment boundaries fall on multiples of [seg_dots] (a multiple
+   of 8), so chunking never splits a packed byte — or the byte-pairs the
+   packed kernels consume — and the bulk kernels built on this produce
+   bit-identical results to a flat store. *)
+let iter_chunks t ~write ~start ~len f =
+  check_run t start len;
+  let stop = start + len in
+  let i = ref start in
+  while !i < stop do
+    let si = !i / seg_dots in
+    let cstop = min stop ((si + 1) * seg_dots) in
+    let seg = if write then seg_rw t si else seg_ro t si in
+    f seg ~base:(si lsl seg_shift) ~start:!i ~len:(cstop - !i);
+    i := cstop
+  done
 
 let blit_packed t ~pos ~dst ~dst_off ~len =
   if
     pos < 0 || len < 0
-    || pos + len > Bigarray.Array1.dim t.states
+    || pos + len > t.n_packed
     || dst_off < 0
     || dst_off + len > Bytes.length dst
   then invalid_arg "Medium.blit_packed: out of range";
-  for k = 0 to len - 1 do
-    Bytes.unsafe_set dst (dst_off + k)
-      (Bigarray.Array1.unsafe_get t.states (pos + k))
+  let k = ref 0 in
+  while !k < len do
+    let p = pos + !k in
+    let si = p lsr seg_shift in
+    let j = p land seg_mask in
+    let chunk = min (len - !k) (seg_bytes - j) in
+    let seg = seg_ro t si in
+    let off = dst_off + !k in
+    for q = 0 to chunk - 1 do
+      Bytes.unsafe_set dst (off + q) (Bigarray.Array1.unsafe_get seg (j + q))
+    done;
+    k := !k + chunk
   done
 
 (* Every 2-bit field >= 2 collapses to the canonical Heated code 2 (the
@@ -170,14 +290,42 @@ let sanitize_byte =
 let load_packed t ~pos ~src ~src_off ~len =
   if
     pos < 0 || len < 0
-    || pos + len > Bigarray.Array1.dim t.states
+    || pos + len > t.n_packed
     || src_off < 0
     || src_off + len > Bytes.length src
   then invalid_arg "Medium.load_packed: out of range";
   let tbl = Lazy.force sanitize_byte in
-  for k = 0 to len - 1 do
-    Bigarray.Array1.unsafe_set t.states (pos + k)
-      (Array.unsafe_get tbl (Char.code (Bytes.unsafe_get src (src_off + k))))
+  let k = ref 0 in
+  while !k < len do
+    let p = pos + !k in
+    let si = p lsr seg_shift in
+    let j = p land seg_mask in
+    let chunk = min (len - !k) (seg_bytes - j) in
+    let off = src_off + !k in
+    (* Loading all-zero bytes into a still-virtual all-zero segment is a
+       no-op: skip materialising it, so streaming a sparse image into a
+       blank device keeps the device sparse.  (A byte sanitises to zero
+       iff it is zero, so checking the raw source suffices.) *)
+    let virtual_zero = t.own.(si) = None && t.frozen.(si) = None in
+    let all_zero =
+      virtual_zero
+      &&
+      let z = ref true in
+      let q = ref 0 in
+      while !z && !q < chunk do
+        if Bytes.unsafe_get src (off + !q) <> '\x00' then z := false;
+        incr q
+      done;
+      !z
+    in
+    if not all_zero then begin
+      let seg = seg_rw t si in
+      for q = 0 to chunk - 1 do
+        Bigarray.Array1.unsafe_set seg (j + q)
+          (Array.unsafe_get tbl (Char.code (Bytes.unsafe_get src (off + q))))
+      done
+    end;
+    k := !k + chunk
   done
 
 (* Number of 2-bit fields per state byte that read back as Heated
@@ -195,26 +343,32 @@ let count_heated_run t ~start ~len =
   check_run t start len;
   let tbl = Lazy.force heated_per_byte in
   let n = ref 0 in
-  let i = ref start in
-  let stop = start + len in
-  (* Unaligned head *)
-  while !i < stop && !i land 3 <> 0 do
-    if raw_get t !i >= 2 then incr n;
-    incr i
-  done;
-  (* Whole state bytes *)
-  while !i + 4 <= stop do
-    n :=
-      !n
-      + Array.unsafe_get tbl
-          (Char.code (Bigarray.Array1.unsafe_get t.states (!i lsr 2)));
-    i := !i + 4
-  done;
-  (* Tail *)
-  while !i < stop do
-    if raw_get t !i >= 2 then incr n;
-    incr i
-  done;
+  iter_chunks t ~write:false ~start ~len (fun seg ~base ~start ~len ->
+      let state i =
+        (Char.code (Bigarray.Array1.unsafe_get seg ((i lsr 2) - base))
+        lsr (2 * (i land 3)))
+        land 3
+      in
+      let i = ref start in
+      let stop = start + len in
+      (* Unaligned head *)
+      while !i < stop && !i land 3 <> 0 do
+        if state !i >= 2 then incr n;
+        incr i
+      done;
+      (* Whole state bytes *)
+      while !i + 4 <= stop do
+        n :=
+          !n
+          + Array.unsafe_get tbl
+              (Char.code (Bigarray.Array1.unsafe_get seg ((!i lsr 2) - base)));
+        i := !i + 4
+      done;
+      (* Tail *)
+      while !i < stop do
+        if state !i >= 2 then incr n;
+        incr i
+      done);
   !n
 
 let recount_heated t = t.heated <- count_heated_run t ~start:0 ~len:(size t)

@@ -25,7 +25,18 @@ val default_config : rows:int -> cols:int -> config
 (** 100 nm-pitch Co/Pt medium, defect rate 0, seed 42. *)
 
 val create : config -> t
-(** All dots start magnetised [Down] (a bulk-erased virgin medium). *)
+(** All dots start magnetised [Down] (a bulk-erased virgin medium).
+    Allocation is lazy: the packed store is segmented and a segment is
+    only materialised when first written, so a blank device costs two
+    pointer arrays rather than a full matrix. *)
+
+val clone : t -> t
+(** Copy-on-write snapshot.  Parent and clone share every unmutated
+    segment read-only and each pays a private per-segment copy only as
+    it diverges, so cloning a formatted golden device is O(segments)
+    pointer work with no payload copies.  The clone gets an independent
+    copy of the parent's PRNG state; the defect map and config (both
+    immutable after {!create}) are shared. *)
 
 val config : t -> config
 val size : t -> int
@@ -73,18 +84,46 @@ val iter_neighbours : t -> int -> (int -> unit) -> unit
 
 type states =
   (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
-(** The packed state store lives off-heap in a [Bigarray] so multi-GB
-    media never sit on (or get copied by) the OCaml heap. *)
+(** Packed state segments live off-heap in [Bigarray]s so multi-GB
+    media never sit on (or get copied by) the OCaml heap.  Bytes hold 4
+    dots each: dot [i] occupies bits [2*(i mod 4)..2*(i mod 4)+1] of
+    packed byte [i/4]. *)
 
-val states : t -> states
-(** The live packed state bytes (4 dots per byte, dot [i] in bits
-    [2*(i mod 4)..2*(i mod 4)+1] of byte [i/4]).  This is the medium's
-    own storage, not a copy — callers that write through it bypass the
-    heated-count bookkeeping and must know what they are doing
-    ({!Bitops} run kernels do). *)
+val iter_chunks :
+  t ->
+  write:bool ->
+  start:int ->
+  len:int ->
+  (states -> base:int -> start:int -> len:int -> unit) ->
+  unit
+(** Walk the dot run [start, start+len) one segment-contained chunk at a
+    time: the callback gets a segment payload, the packed-byte index
+    [base] of its first byte, and the chunk's dot sub-run — dot [i]
+    lives in segment byte [(i / 4) - base].  With [~write:false] the
+    payload may be a shared (or the global zero) segment and must not be
+    written; [~write:true] materialises a private copy first.  Segment
+    boundaries are 8-dot-aligned, so chunking never splits a packed byte
+    or a packed-kernel byte pair.  This is the bulk-kernel access path
+    ({!Bitops} run kernels); it bypasses the heated-count bookkeeping.
+    @raise Invalid_argument if the run is out of range. *)
 
 val packed_length : t -> int
 (** Bytes in the packed state store, [(size + 3) / 4]. *)
+
+val segment_bytes : int
+(** Packed bytes per CoW segment (a constant; [4 * segment_bytes]
+    dots). *)
+
+val owned_segments : t -> int
+(** Segments currently materialised privately in this device. *)
+
+val total_segments : t -> int
+(** Total segments in the store, [ceil (packed_length / segment_bytes)]. *)
+
+val materialized_total : t -> int
+(** Monotonic count of private segment materialisations since this
+    device was created or cloned — the deterministic CoW-cost counter
+    the fleet bench gates on. *)
 
 val blit_packed : t -> pos:int -> dst:Bytes.t -> dst_off:int -> len:int -> unit
 (** Copy [len] packed state bytes starting at packed byte [pos] into

@@ -10,6 +10,10 @@ let create timing ~pitch ~field_cols =
   if field_cols <= 0 then invalid_arg "Actuator.create: field_cols";
   { timing; pitch; field_cols; position = 0; travel = 0. }
 
+(* Same geometry and kinematic state, charging into [timing] (the
+   clone's private ledger). *)
+let copy t timing = { t with timing }
+
 let position t = t.position
 let travel t = t.travel
 

@@ -12,6 +12,10 @@ val create : Timing.t -> pitch:float -> field_cols:int -> t
 (** [pitch] in metres; [field_cols] is the width of one tip's field in
     dots — used to convert a scan-order offset to (x, y). *)
 
+val copy : t -> Timing.t -> t
+(** Same geometry and kinematic state, charging the given (normally
+    freshly copied) timing ledger. *)
+
 val position : t -> int
 (** Current scan-order offset under the tips (serpentine row-major). *)
 

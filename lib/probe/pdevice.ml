@@ -36,6 +36,24 @@ let create ?(config = default_config) medium =
   in
   { medium; bitops; tips; actuator; timing; config; fault = None }
 
+(* CoW device snapshot: the medium clones copy-on-write, everything
+   else (ledgers, tips, sled position, op counters) deep-copies so the
+   two devices evolve fully independently afterwards. *)
+let clone t =
+  if t.fault <> None then invalid_arg "Pdevice.clone: fault injector installed";
+  let medium = Pmedia.Medium.clone t.medium in
+  let bitops = Pmedia.Bitops.clone t.bitops medium in
+  let timing = Timing.copy t.timing in
+  {
+    medium;
+    bitops;
+    tips = Tips.copy t.tips;
+    actuator = Actuator.copy t.actuator timing;
+    timing;
+    config = t.config;
+    fault = None;
+  }
+
 let medium t = t.medium
 let tips t = t.tips
 let timing t = t.timing

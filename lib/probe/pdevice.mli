@@ -36,6 +36,14 @@ val default_config : config
     cycles. *)
 
 val create : ?config:config -> Pmedia.Medium.t -> t
+
+val clone : t -> t
+(** Copy-on-write device snapshot: the medium is {!Pmedia.Medium.clone}d
+    (unmutated segments shared), the tip array, ledgers, sled state and
+    op counters are deep-copied, and the clone's PRNG continues from the
+    parent's current state independently.  @raise Invalid_argument if a
+    fault injector is installed (injector state must not be forked). *)
+
 val medium : t -> Pmedia.Medium.t
 val tips : t -> Tips.t
 val timing : t -> Timing.t

@@ -29,6 +29,7 @@ type t = {
 }
 
 let create ?(costs = default_costs) () = { costs; elapsed = 0.; energy = 0. }
+let copy t = { costs = t.costs; elapsed = t.elapsed; energy = t.energy }
 let costs t = t.costs
 let elapsed t = t.elapsed
 let energy t = t.energy

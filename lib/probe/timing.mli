@@ -27,6 +27,10 @@ type t
 (** Mutable ledger of elapsed simulated time and dissipated energy. *)
 
 val create : ?costs:costs -> unit -> t
+
+val copy : t -> t
+(** Independent ledger with the same costs and accumulated figures. *)
+
 val costs : t -> costs
 val elapsed : t -> float
 (** Simulated seconds so far. *)

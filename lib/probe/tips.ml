@@ -43,6 +43,14 @@ let create ?(spares = 0) ~n_tips medium =
     full_uses = 0;
   }
 
+let copy t =
+  {
+    t with
+    failed = Array.copy t.failed;
+    remap = Array.copy t.remap;
+    uses = Array.copy t.uses;
+  }
+
 let n_tips t = t.n_tips
 let spares t = t.n_spares
 let field_size t = t.field_size

@@ -33,6 +33,9 @@ val create : ?spares:int -> n_tips:int -> Pmedia.Medium.t -> t
 
     @raise Invalid_argument if [n_tips <= 0] or [spares < 0]. *)
 
+val copy : t -> t
+(** Independent tip array with the same health, remap and wear state. *)
+
 val n_tips : t -> int
 val spares : t -> int
 (** Spare tips the array was built with. *)

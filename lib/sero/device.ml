@@ -96,6 +96,46 @@ type migration = {
   m_timestamp : float;
 }
 
+(* Reusable bit buffers for the sector and write-once hot paths; a
+   block image is 38 KB as a bool array, too much to allocate per read.
+   Every buffer size is a layout constant, so scratch sets are
+   interchangeable between devices: they live in a per-domain free list
+   and a device only holds one from first I/O until [park] — a parked
+   or freshly-cloned device pins no transient buffers.  Contents are
+   dead between device calls (always fully overwritten before being
+   read), so recycling is semantically invisible. *)
+type scratch = {
+  sc_block : bool array;
+  sc_wo : bool array;
+  sc_image : Bytes.t; (* one packed block image, block_dots / 8 *)
+  mutable sc_span : Bytes.t; (* coalesced-span images, grown on demand *)
+}
+
+let scratch_pool : scratch list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let scratch_acquire () =
+  let pool = Domain.DLS.get scratch_pool in
+  match !pool with
+  | s :: rest ->
+      pool := rest;
+      s
+  | [] ->
+      {
+        sc_block = Array.make Layout.block_dots false;
+        sc_wo = Array.make Layout.wo_area_dots false;
+        sc_image = Bytes.create (Layout.block_dots / 8);
+        sc_span = Bytes.empty;
+      }
+
+let scratch_release s =
+  let pool = Domain.DLS.get scratch_pool in
+  pool := s :: !pool
+
+(* An all-zero block image, shared by every device and never written
+   (it is only ever a [write_image_at] source). *)
+let zero_image = Bytes.make (Layout.block_dots / 8) '\x00'
+
 type t = {
   config : config;
   layout : Layout.t;
@@ -114,14 +154,9 @@ type t = {
   defects_of_phys : int array; (* manufacturing defect dots per phys line *)
   mutable dstate : device_state;
   mutable migrations : migration list; (* oldest first *)
-  (* Reusable bit buffers for the sector and write-once hot paths; a
-     block image is 38 KB as a bool array, too much to allocate per
-     read.  Never live across a nested device call. *)
-  scratch_block : bool array;
-  scratch_wo : bool array;
-  scratch_image : Bytes.t; (* one packed block image, block_dots / 8 *)
-  mutable scratch_span : Bytes.t; (* coalesced-span images, grown on demand *)
-  scratch_zero : Bytes.t; (* an all-zero block image, never written *)
+  (* Scratch buffers, pooled per domain: materialised on first use,
+     given back by [park].  Never live across a nested device call. *)
+  mutable scratch : scratch option;
   (* Payload-sized memory traffic on paths that had to materialise a
      fresh buffer (bool-array fallbacks, retained string copies).  The
      zero-copy read/write paths leave it untouched, which is what the
@@ -216,11 +251,7 @@ let create config =
     defects_of_phys;
     dstate = Healthy;
     migrations = [];
-    scratch_block = Array.make Layout.block_dots false;
-    scratch_wo = Array.make Layout.wo_area_dots false;
-    scratch_image = Bytes.create (Layout.block_dots / 8);
-    scratch_span = Bytes.empty;
-    scratch_zero = Bytes.make (Layout.block_dots / 8) '\x00';
+    scratch = None;
     bytes_copied = 0;
     reads = 0;
     writes = 0;
@@ -237,6 +268,62 @@ let create config =
     mutation_listeners = [];
     fault_listeners = [];
   }
+
+(* CoW device snapshot off a golden image.  The probe device clones
+   copy-on-write ({!Probe.Pdevice.clone}); every mutable SERO-layer
+   array deep-copies; immutable lists (spare pool, migration log — both
+   only ever replaced wholesale) are shared.  Listener lists are
+   deliberately {e not} inherited: a cache or campaign observer attached
+   to the parent must never see (or mask) the clone's mutations, and
+   clones can never share or launder tamper evidence through a common
+   observer.  Refuses a device with a live fault injector. *)
+let clone t =
+  {
+    config = t.config;
+    layout = t.layout;
+    pdevice = Probe.Pdevice.clone t.pdevice;
+    generations = Array.copy t.generations;
+    heated = Array.copy t.heated;
+    phys_line = Array.copy t.phys_line;
+    log_of_phys = Array.copy t.log_of_phys;
+    spare_pool = t.spare_pool;
+    retired = Array.copy t.retired;
+    health = Health.copy t.health;
+    defects_of_phys = t.defects_of_phys (* immutable after create *);
+    dstate = t.dstate;
+    migrations = t.migrations;
+    scratch = None;
+    bytes_copied = t.bytes_copied;
+    reads = t.reads;
+    writes = t.writes;
+    heats = t.heats;
+    verifies = t.verifies;
+    retries = t.retries;
+    retry_successes = t.retry_successes;
+    repulses = t.repulses;
+    remapped_tips = t.remapped_tips;
+    scrub_rewrites = t.scrub_rewrites;
+    torn_completions = t.torn_completions;
+    line_retirements = t.line_retirements;
+    reattest_failures = t.reattest_failures;
+    mutation_listeners = [];
+    fault_listeners = [];
+  }
+
+let scratch t =
+  match t.scratch with
+  | Some s -> s
+  | None ->
+      let s = scratch_acquire () in
+      t.scratch <- Some s;
+      s
+
+let park t =
+  match t.scratch with
+  | Some s ->
+      t.scratch <- None;
+      scratch_release s
+  | None -> ()
 
 let config t = t.config
 let layout t = t.layout
@@ -397,7 +484,7 @@ let write_image_at t ~start image =
   then begin
     t.bytes_copied <- t.bytes_copied + Bytes.length image;
     Probe.Pdevice.write_run t.pdevice ~start
-      (bits_of_string_into t.scratch_block (Bytes.unsafe_to_string image))
+      (bits_of_string_into (scratch t).sc_block (Bytes.unsafe_to_string image))
   end
 
 let unsafe_write_block t ~pba payload =
@@ -423,26 +510,28 @@ let unsafe_write_raw t ~pba image =
    classic path takes over and packs into the same scratch. *)
 let read_image_into_scratch t ~pba =
   t.reads <- t.reads + 1;
+  let sc = scratch t in
   let start = block_start t pba in
   if
     not
       (Probe.Pdevice.read_run_packed t.pdevice ~start ~len:Layout.block_dots
-         ~dst:t.scratch_image)
+         ~dst:sc.sc_image)
   then begin
     Probe.Pdevice.read_run_into t.pdevice ~start ~len:Layout.block_dots
-      ~dst:t.scratch_block;
-    t.bytes_copied <- t.bytes_copied + Bytes.length t.scratch_image;
-    pack_bits_into t.scratch_block t.scratch_image
+      ~dst:sc.sc_block;
+    t.bytes_copied <- t.bytes_copied + Bytes.length sc.sc_image;
+    pack_bits_into sc.sc_block sc.sc_image
   end
 
 let read_raw_view t ~pba =
   read_image_into_scratch t ~pba;
-  t.scratch_image
+  (scratch t).sc_image
 
 let unsafe_read_raw t ~pba =
   read_image_into_scratch t ~pba;
-  t.bytes_copied <- t.bytes_copied + Bytes.length t.scratch_image;
-  Bytes.sub_string t.scratch_image 0 (Bytes.length t.scratch_image)
+  let image = (scratch t).sc_image in
+  t.bytes_copied <- t.bytes_copied + Bytes.length image;
+  Bytes.sub_string image 0 (Bytes.length image)
 
 let write_block t ~pba payload =
   if t.dstate = Read_only then Error Read_only_device
@@ -481,7 +570,7 @@ let decode_image_sub t ~pba buf ~off =
 
 let read_block_once t ~pba =
   read_image_into_scratch t ~pba;
-  decode_image_sub t ~pba t.scratch_image ~off:0
+  decode_image_sub t ~pba (scratch t).sc_image ~off:0
 
 (* Bounded read retry: transient flips decorrelate between attempts, so
    a re-read often lands within the RS budget.  A persistent failure may
@@ -530,22 +619,22 @@ let read_blocks t ~pba ~n =
   let len = n * Layout.block_dots in
   (* The span scratch is reused across calls (grown on demand, never
      shrunk) and is not live across a nested device call: the only
-     device re-entry below, [ras_reread], reads through
-     [scratch_image]. *)
-  if n > 1 && Bytes.length t.scratch_span < n * bytes_per_block then
-    t.scratch_span <- Bytes.create (n * bytes_per_block);
+     device re-entry below, [ras_reread], reads through [sc_image]. *)
+  let sc = scratch t in
+  if n > 1 && Bytes.length sc.sc_span < n * bytes_per_block then
+    sc.sc_span <- Bytes.create (n * bytes_per_block);
   if
     n > 1
     && Layout.block_dots mod t.config.n_tips = 0
     && span_identity t ~pba ~n
     && Probe.Pdevice.read_run_packed t.pdevice
          ~start:(Layout.block_first_dot t.layout pba)
-         ~len ~dst:t.scratch_span
+         ~len ~dst:sc.sc_span
   then begin
     t.reads <- t.reads + n;
     Array.init n (fun k ->
         let pba = pba + k in
-        match decode_image_sub t ~pba t.scratch_span ~off:(k * bytes_per_block) with
+        match decode_image_sub t ~pba sc.sc_span ~off:(k * bytes_per_block) with
         | (Ok _ | Error Blank) as r -> r
         | Error _ as first ->
             if not t.config.ras.ras_enabled then first
@@ -608,9 +697,9 @@ let parse_wo_payload payload =
 let escalation_cycles = 24
 
 let read_wo_area t ~start =
+  let heated_dots = (scratch t).sc_wo in
   Probe.Pdevice.erb_run_into t.pdevice ~start ~len:Layout.wo_area_dots
-    ~dst:t.scratch_wo;
-  let heated_dots = t.scratch_wo in
+    ~dst:heated_dots;
   let decode () =
     Codec.Manchester.decode
       ~heated:(fun i -> heated_dots.(i))
@@ -1078,7 +1167,7 @@ let blank_block_at_phys (t : t) ~phys_pba =
   t.writes <- t.writes + 1;
   write_image_at t
     ~start:(Layout.block_first_dot t.layout phys_pba)
-    t.scratch_zero
+    zero_image
 
 let update_state t =
   if t.config.endurance.health_enabled && t.spare_pool = [] then begin

@@ -87,6 +87,25 @@ val default_config : ?n_blocks:int -> ?line_exp:int -> unit -> config
     off. *)
 
 val create : config -> t
+
+val clone : t -> t
+(** Copy-on-write snapshot for fleet fan-out: the medium shares every
+    unmutated segment with the parent (each side pays per-segment copies
+    only as it diverges), all mutable SERO state (generations, remap
+    tables, health ledger, counters, probe ledgers) is deep-copied, and
+    the clone's PRNG continues independently from the parent's current
+    state.  Mutation/fault listeners are {e not} inherited — an observer
+    attached to one device never sees the other's mutations, so clones
+    cannot share or launder tamper evidence.  The clone starts parked
+    (no scratch buffers; see {!park}).
+    @raise Invalid_argument if a fault injector is installed. *)
+
+val park : t -> unit
+(** Return the device's scratch buffers to the per-domain pool.  A
+    parked device holds no transient buffers (they re-materialise from
+    the pool on the next operation), so thousands of idle clones cost
+    only their state arrays. *)
+
 val config : t -> config
 val layout : t -> Layout.t
 val pdevice : t -> Probe.Pdevice.t

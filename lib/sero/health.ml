@@ -36,6 +36,24 @@ let create ?(config = default_config) ~n_lines () =
   if n_lines <= 0 then invalid_arg "Health.create: n_lines must be positive";
   { cfg = config; lines = Array.init n_lines (fun _ -> fresh_line ()); tip_remaps = 0 }
 
+let copy t =
+  {
+    cfg = t.cfg;
+    lines =
+      Array.map
+        (fun h ->
+          {
+            ewma_corrected = h.ewma_corrected;
+            reads = h.reads;
+            retries = h.retries;
+            retry_wins = h.retry_wins;
+            unreadable = h.unreadable;
+            defect_dots = h.defect_dots;
+          })
+        t.lines;
+    tip_remaps = t.tip_remaps;
+  }
+
 let config t = t.cfg
 let n_lines t = Array.length t.lines
 

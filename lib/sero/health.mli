@@ -42,6 +42,11 @@ type line_health = {
 type t
 
 val create : ?config:config -> n_lines:int -> unit -> t
+
+val copy : t -> t
+(** Independent ledger with the same per-line state — device cloning
+    must not share mutable health entries. *)
+
 val config : t -> config
 val n_lines : t -> int
 

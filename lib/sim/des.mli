@@ -5,13 +5,32 @@
     foreground writes, snapshot scheduling) and the request pipeline
     ({!Sero.Queue}) need ordered future events.  Events are thunks
     fired in timestamp order; events with {e equal} timestamps fire in
-    the order they were scheduled (FIFO — the underlying {!Heap} is
-    stable), so traces are reproducible even when submissions and
-    completions coincide on the clock. *)
+    the order they were scheduled (FIFO), so traces are reproducible
+    even when submissions and completions coincide on the clock.
+
+    Two interchangeable schedulers implement that contract: the stable
+    binary {!Heap} (O(log n) per op) and the calendar-queue {!Wheel}
+    (O(1) amortised in the dense-event regime).  They realise the same
+    [(timestamp, schedule order)] total order, so every trace is
+    bit-identical under either — the knob only changes cost, never
+    behaviour.  The wheel is the default; select per-queue with
+    [create ~sched] or process-wide with {!set_default_sched} / the
+    [SERO_SCHED] environment variable ("heap" or "wheel"). *)
 
 type t
 
-val create : unit -> t
+type sched = Binary_heap | Timing_wheel
+
+val set_default_sched : sched -> unit
+val default_sched : unit -> sched
+(** Process-wide default used when [create] is not given [~sched].
+    Initialised from [SERO_SCHED] if set, else {!Timing_wheel}. *)
+
+val create : ?sched:sched -> unit -> t
+
+val sched : t -> sched
+(** Which scheduler backs this queue. *)
+
 val now : t -> float
 (** Current simulated time in seconds. *)
 
@@ -24,9 +43,15 @@ val schedule_at : t -> at:float -> (t -> unit) -> unit
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue, optionally stopping once simulated time would
-    exceed [until] (remaining events stay queued). *)
+    exceed [until] (remaining events stay queued).  The drain loop is
+    allocation-free per event. *)
 
 val step : t -> bool
 (** Fire the single next event; [false] if the queue was empty. *)
 
 val pending : t -> int
+
+val sched_work : t -> int
+(** Deterministic effort counter of the backing scheduler (comparisons
+    for the heap, scan/insert hops for the wheel) — the byte-stable
+    basis for the wheel-vs-heap bench gate. *)

@@ -1,0 +1,51 @@
+(* Deterministic fleet fan-out.
+
+   The fleet campaigns simulate thousands of devices per design point.
+   Device [i]'s behaviour must be a pure function of [(seed, i)] — never
+   of the worker count — so shards are contiguous index ranges whose
+   {e number} depends only on [n]: shard results merge in shard order,
+   worker scheduling only changes which domain computes a shard, and the
+   merged output is byte-identical for any [-j]. *)
+
+type shard = { first : int; count : int }
+
+let default_shards = 64
+
+let shards ?(shards = default_shards) n =
+  if n < 0 then invalid_arg "Fleet.shards: negative count";
+  if shards < 1 then invalid_arg "Fleet.shards: shards must be positive";
+  let k = min shards (max 1 n) in
+  if n = 0 then []
+  else
+    (* Same split for any worker count: shard s gets the ceiling share
+       of the remainder, so sizes differ by at most one. *)
+    List.init k (fun s ->
+        let first = s * n / k and next = (s + 1) * n / k in
+        { first; count = next - first })
+
+let device_rng ~seed i = Prng.stream ~seed i
+
+let map ?jobs ?shards:ns ~seed n f =
+  let plan = shards ?shards:ns n in
+  let per_shard =
+    Pool.parallel_map ?jobs
+      (fun { first; count } ->
+        List.init count (fun k ->
+            let i = first + k in
+            f ~rng:(Prng.stream ~seed i) i))
+      plan
+  in
+  List.concat per_shard
+
+let map_merge ?jobs ?shards:ns ~seed n ~f ~merge =
+  let plan = shards ?shards:ns n in
+  let per_shard =
+    Pool.parallel_map ?jobs
+      (fun { first; count } ->
+        List.init count (fun k ->
+            let i = first + k in
+            f ~rng:(Prng.stream ~seed i) i)
+        |> merge)
+      plan
+  in
+  merge per_shard

@@ -4,31 +4,50 @@ type 'a t = {
   mutable vals : 'a option array;
   mutable size : int;
   mutable next_stamp : int;
+  mutable work : int;
 }
+
+let initial_cap = 16
 
 let create () =
   {
-    keys = Array.make 16 0.;
-    stamps = Array.make 16 0;
-    vals = Array.make 16 None;
+    keys = Array.make initial_cap 0.;
+    stamps = Array.make initial_cap 0;
+    vals = Array.make initial_cap None;
     size = 0;
     next_stamp = 0;
+    work = 0;
   }
 
 let is_empty t = t.size = 0
 let size t = t.size
+let capacity t = Array.length t.keys
+let work t = t.work
 
-let grow t =
-  let n = Array.length t.keys in
-  let keys = Array.make (2 * n) 0.
-  and stamps = Array.make (2 * n) 0
-  and vals = Array.make (2 * n) None in
-  Array.blit t.keys 0 keys 0 n;
-  Array.blit t.stamps 0 stamps 0 n;
-  Array.blit t.vals 0 vals 0 n;
+let resize_to t cap =
+  let keys = Array.make cap 0.
+  and stamps = Array.make cap 0
+  and vals = Array.make cap None in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.stamps 0 stamps 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
   t.keys <- keys;
   t.stamps <- stamps;
   t.vals <- vals
+
+let grow t = resize_to t (2 * Array.length t.keys)
+
+(* Smallest power-of-two capacity (>= initial_cap) holding [size]. *)
+let snug_cap size =
+  let cap = ref initial_cap in
+  while !cap < size do
+    cap := 2 * !cap
+  done;
+  !cap
+
+let trim t =
+  let want = snug_cap t.size in
+  if want < Array.length t.keys then resize_to t want
 
 let swap t i j =
   let k = t.keys.(i) and s = t.stamps.(i) and v = t.vals.(i) in
@@ -40,8 +59,11 @@ let swap t i j =
   t.vals.(j) <- v
 
 (* Lexicographic (key, insertion stamp): equal keys pop in push order,
-   which is what makes the heap — and everything above it — stable. *)
+   which is what makes the heap — and everything above it — stable.
+   Every comparison bumps [work], the deterministic effort counter the
+   scheduler benches ratio against {!Wheel.work}. *)
 let less t i j =
+  t.work <- t.work + 1;
   t.keys.(i) < t.keys.(j)
   || (t.keys.(i) = t.keys.(j) && t.stamps.(i) < t.stamps.(j))
 
@@ -63,31 +85,57 @@ let peek t =
   else
     match t.vals.(0) with Some v -> Some (t.keys.(0), v) | None -> None
 
-let pop t =
-  match peek t with
-  | None -> None
-  | Some _ as result ->
-      t.size <- t.size - 1;
-      t.keys.(0) <- t.keys.(t.size);
-      t.stamps.(0) <- t.stamps.(t.size);
-      t.vals.(0) <- t.vals.(t.size);
-      t.vals.(t.size) <- None;
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t l !smallest then smallest := l;
-        if r < t.size && less t r !smallest then smallest := r;
-        if !smallest <> !i then begin
-          swap t !i !smallest;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      result
+let min_key t =
+  if t.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  t.keys.(0)
 
+let min_value t =
+  if t.size = 0 then invalid_arg "Heap.min_value: empty heap";
+  match t.vals.(0) with Some v -> v | None -> assert false
+
+(* Remove the root and restore the heap invariant — the shared
+   allocation-free removal under {!pop} and {!drop_min}. *)
+let remove_min t =
+  t.size <- t.size - 1;
+  t.keys.(0) <- t.keys.(t.size);
+  t.stamps.(0) <- t.stamps.(t.size);
+  t.vals.(0) <- t.vals.(t.size);
+  t.vals.(t.size) <- None;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && less t l !smallest then smallest := l;
+    if r < t.size && less t r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Heap.drop_min: empty heap";
+  remove_min t
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) in
+    let v = match t.vals.(0) with Some v -> v | None -> assert false in
+    remove_min t;
+    Some (key, v)
+  end
+
+(* A burst leaves peak-size arrays behind; clear hands them back so a
+   drained queue costs its initial footprint, not its high-water mark. *)
 let clear t =
-  Array.fill t.vals 0 (Array.length t.vals) None;
+  if Array.length t.keys > initial_cap then begin
+    t.keys <- Array.make initial_cap 0.;
+    t.stamps <- Array.make initial_cap 0;
+    t.vals <- Array.make initial_cap None
+  end
+  else Array.fill t.vals 0 (Array.length t.vals) None;
   t.size <- 0;
   t.next_stamp <- 0

@@ -11,7 +11,37 @@ type 'a t
 val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val size : 'a t -> int
+
+val capacity : 'a t -> int
+(** Current backing-array capacity (doubles on growth; see {!trim} and
+    {!clear} for giving a burst's high-water mark back). *)
+
 val push : 'a t -> float -> 'a -> unit
 val peek : 'a t -> (float * 'a) option
 val pop : 'a t -> (float * 'a) option
+
+val min_key : 'a t -> float
+(** Key of the minimum entry, without allocating.
+    @raise Invalid_argument on an empty heap. *)
+
+val min_value : 'a t -> 'a
+(** Value of the minimum entry, without allocating a pair.
+    @raise Invalid_argument on an empty heap. *)
+
+val drop_min : 'a t -> unit
+(** Remove the minimum entry — with {!min_key}/{!min_value} this is the
+    allocation-free hot-path equivalent of {!pop}.
+    @raise Invalid_argument on an empty heap. *)
+
 val clear : 'a t -> unit
+(** Empty the heap {e and} shed capacity back to the initial footprint,
+    so a drained queue does not pin its burst high-water mark. *)
+
+val trim : 'a t -> unit
+(** Shrink capacity to the smallest power of two holding the current
+    entries (never below the initial footprint). *)
+
+val work : 'a t -> int
+(** Deterministic effort counter: total key comparisons since creation.
+    The scheduler equivalence bench gates the wheel-vs-heap win on this
+    rather than on wall-clock, so the figure is byte-stable. *)

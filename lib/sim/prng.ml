@@ -5,6 +5,20 @@ let golden = 0x9E3779B97F4A7C15L
 let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
 
+(* The splitmix64 output finalizer, used as a mixing function. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Decorrelated per-index stream: double-mixing (seed, index) places the
+   streams far apart in splitmix64's state space, unlike seeding with
+   [seed + index] (which would make stream [i] a one-step shift of
+   stream [i+1]).  A pure function of (seed, index), so fleet shards can
+   derive device streams independently of worker count or order. *)
+let stream ~seed index =
+  { state = mix (Int64.logxor (Int64.of_int seed) (mix (Int64.of_int index))) }
+
 let bits64 t =
   let z = Int64.add t.state golden in
   t.state <- z;

@@ -14,6 +14,12 @@ val copy : t -> t
 val split : t -> t
 (** A statistically independent generator derived from [t] (advances [t]). *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed i] is the [i]th decorrelated generator of a keyed
+    family — a pure function of [(seed, i)], independent of any other
+    generator's draw history.  The fleet harness gives device [i] stream
+    [i] so results are identical however devices are sharded. *)
+
 val bits64 : t -> int64
 val int : t -> int -> int
 (** [int t n] is uniform in [0, n).  @raise Invalid_argument if [n <= 0]. *)

@@ -7,6 +7,7 @@ type t = {
   mutable maxv : float;
   mutable total : float;
   mutable samples : float list; (* kept for percentiles; reversed order *)
+  mutable sorted : float array option; (* memoised sort of [samples] *)
 }
 
 let create ?(name = "") () =
@@ -19,6 +20,7 @@ let create ?(name = "") () =
     maxv = neg_infinity;
     total = 0.;
     samples = [];
+    sorted = None;
   }
 
 let name t = t.name
@@ -31,7 +33,8 @@ let add t x =
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.minv then t.minv <- x;
   if x > t.maxv then t.maxv <- x;
-  t.samples <- x :: t.samples
+  t.samples <- x :: t.samples;
+  t.sorted <- None
 
 let count t = t.n
 let total t = t.total
@@ -40,18 +43,26 @@ let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
 let min_value t = if t.n = 0 then 0. else t.minv
 let max_value t = if t.n = 0 then 0. else t.maxv
 
+(* The sorted reservoir, computed at most once per batch of adds: the
+   SLO ledgers call p50/p95/p99 on the same counter per report, and the
+   fleet reports ask again after merging — re-sorting each time was the
+   dominant report cost. *)
+let sorted_samples t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
 (* Nearest-rank quantile over a sorted sample array. *)
 let rank_of sorted n p =
   let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
   sorted.(max 0 (min (n - 1) rank))
 
 let percentile t p =
-  if t.n = 0 then 0.
-  else begin
-    let a = Array.of_list t.samples in
-    Array.sort compare a;
-    rank_of a t.n p
-  end
+  if t.n = 0 then 0. else rank_of (sorted_samples t) t.n p
 
 let p50 t = percentile t 0.50
 let p95 t = percentile t 0.95
@@ -60,16 +71,82 @@ let p99 t = percentile t 0.99
 let quantiles t =
   if t.n = 0 then (0., 0., 0.)
   else begin
-    let a = Array.of_list t.samples in
-    Array.sort compare a;
+    let a = sorted_samples t in
     (rank_of a t.n 0.50, rank_of a t.n 0.95, rank_of a t.n 0.99)
   end
 
-let merge a b =
-  let t = create ~name:a.name () in
-  List.iter (add t) (List.rev_append a.samples []);
-  List.iter (add t) (List.rev_append b.samples []);
-  t
+(* Merge two sorted arrays, preserving order. *)
+let merge_sorted a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) 0. in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to na + nb - 1 do
+      if !i < na && (!j >= nb || a.(!i) <= b.(!j)) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+(* Chan et al.'s pairwise moment combination: exact counts/totals and
+   numerically stable mean/m2 without replaying the sample streams. *)
+let combine_moments (na, ma, m2a) (nb, mb, m2b) =
+  if nb = 0 then (na, ma, m2a)
+  else if na = 0 then (nb, mb, m2b)
+  else begin
+    let fa = float_of_int na and fb = float_of_int nb in
+    let n = na + nb in
+    let fn = fa +. fb in
+    let delta = mb -. ma in
+    let mean = ma +. (delta *. fb /. fn) in
+    let m2 = m2a +. m2b +. (delta *. delta *. fa *. fb /. fn) in
+    (n, mean, m2)
+  end
+
+(* Deterministic fleet-wide merge: per-shard counters fold left in list
+   order, so the result is a pure function of the shard sequence — the
+   same bytes for any [-j].  Sample reservoirs merge sorted-to-sorted
+   (each shard sorts once, reusing its memoised cache) and the merged
+   counter is born with its own cache warm, so a quantile report on the
+   merge costs no further sort. *)
+let merge_many ?name ts =
+  let name =
+    match (name, ts) with
+    | Some n, _ -> n
+    | None, t :: _ -> t.name
+    | None, [] -> ""
+  in
+  let out = create ~name () in
+  let n, mean, m2 =
+    List.fold_left
+      (fun acc t -> combine_moments acc (t.n, t.mean, t.m2))
+      (0, 0., 0.) ts
+  in
+  out.n <- n;
+  out.mean <- mean;
+  out.m2 <- m2;
+  List.iter
+    (fun t ->
+      out.total <- out.total +. t.total;
+      if t.minv < out.minv then out.minv <- t.minv;
+      if t.maxv > out.maxv then out.maxv <- t.maxv)
+    ts;
+  let sorted =
+    List.fold_left (fun acc t -> merge_sorted acc (sorted_samples t)) [||] ts
+  in
+  out.samples <- Array.fold_left (fun acc x -> x :: acc) [] sorted;
+  out.sorted <- Some sorted;
+  out
+
+let merge a b = merge_many ~name:a.name [ a; b ]
 
 let pp ppf t =
   Format.fprintf ppf

@@ -32,10 +32,20 @@ val p99 : t -> float
 
 val quantiles : t -> float * float * float
 (** [(p50, p95, p99)] from {e one} sort of the sample reservoir —
-    cheaper than three {!percentile} calls on large samples. *)
+    cheaper than three {!percentile} calls on large samples.  The sort
+    is memoised until the next {!add}, so repeated quantile reports on
+    the same counter (the SLO ledgers, the fleet summaries) sort at
+    most once per batch. *)
 
 val merge : t -> t -> t
 (** Combined statistics of two counters (name taken from the first). *)
+
+val merge_many : ?name:string -> t list -> t
+(** Deterministic fleet-wide merge: moments combine pairwise (Chan et
+    al.) in list order and sample reservoirs merge sorted-to-sorted, so
+    the result is a pure function of the shard sequence — byte-identical
+    for any worker count — and its quantile cache is already warm.
+    [name] defaults to the first counter's name ("" when empty). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: n, mean, sd, min, p50, p99, max. *)

@@ -417,6 +417,99 @@ let erb_run_equiv =
       done;
       d1 = d2 && twins_agree t1 t2)
 
+(* {1 CoW segments} *)
+
+let cow_medium () =
+  Pmedia.Medium.create (Pmedia.Medium.default_config ~rows:8 ~cols:4832)
+
+let dump m =
+  let n = Pmedia.Medium.packed_length m in
+  let b = Bytes.create n in
+  Pmedia.Medium.blit_packed m ~pos:0 ~dst:b ~dst_off:0 ~len:n;
+  Bytes.to_string b
+
+let dot_write_script =
+  QCheck.(
+    small_list
+      (pair (int_range 0 1_000_000) (int_range 0 2)))
+
+let apply_dot_writes m script =
+  let size = Pmedia.Medium.size m in
+  List.iter
+    (fun (i, s) ->
+      let state =
+        match s with
+        | 0 -> Pmedia.Dot.Magnetised Pmedia.Dot.Up
+        | 1 -> Pmedia.Dot.Magnetised Pmedia.Dot.Down
+        | _ -> Pmedia.Dot.Heated
+      in
+      Pmedia.Medium.set m (i mod size) state)
+    script
+
+let cow_matches_deep_copy =
+  (* A CoW clone must be indistinguishable from a full byte copy, and
+     its writes must never leak into the parent (or vice versa). *)
+  QCheck.Test.make ~name:"clone == deep copy under random writes" ~count:50
+    QCheck.(pair dot_write_script dot_write_script)
+    (fun (pre, post) ->
+      let parent = cow_medium () in
+      apply_dot_writes parent pre;
+      let clone = Pmedia.Medium.clone parent in
+      let deep = cow_medium () in
+      let image = dump parent in
+      Pmedia.Medium.load_packed deep ~pos:0
+        ~src:(Bytes.of_string image)
+        ~src_off:0 ~len:(String.length image);
+      Pmedia.Medium.recount_heated deep;
+      apply_dot_writes clone post;
+      apply_dot_writes deep post;
+      dump clone = dump deep
+      && dump parent = image
+      && Pmedia.Medium.count_heated_run clone ~start:0
+           ~len:(Pmedia.Medium.size clone)
+         = Pmedia.Medium.count_heated_run deep ~start:0
+             ~len:(Pmedia.Medium.size deep))
+
+let cow_cases =
+  [
+    Alcotest.test_case "a fresh clone owns no segments" `Quick (fun () ->
+        let parent = cow_medium () in
+        Pmedia.Medium.set parent 0 Pmedia.Dot.Heated;
+        let clone = Pmedia.Medium.clone parent in
+        Alcotest.(check int) "no private segments" 0
+          (Pmedia.Medium.owned_segments clone);
+        Alcotest.(check int) "no materialisations yet" 0
+          (Pmedia.Medium.materialized_total clone);
+        Alcotest.(check int) "same geometry" (Pmedia.Medium.total_segments parent)
+          (Pmedia.Medium.total_segments clone));
+    Alcotest.test_case "a write materialises exactly its segment" `Quick
+      (fun () ->
+        let parent = cow_medium () in
+        let clone = Pmedia.Medium.clone parent in
+        let seg_dots = 4 * Pmedia.Medium.segment_bytes in
+        Pmedia.Medium.set clone (seg_dots + 1) Pmedia.Dot.Heated;
+        Alcotest.(check int) "one private segment" 1
+          (Pmedia.Medium.owned_segments clone);
+        Alcotest.(check int) "parent untouched" 0
+          (Pmedia.Medium.owned_segments parent);
+        Alcotest.(check bool) "parent still virgin" true
+          (Pmedia.Medium.get parent (seg_dots + 1)
+          = Pmedia.Dot.Magnetised Pmedia.Dot.Down));
+    Alcotest.test_case "reads never materialise" `Quick (fun () ->
+        let parent = cow_medium () in
+        apply_dot_writes parent [ (5, 2); (9000, 0) ];
+        let clone = Pmedia.Medium.clone parent in
+        ignore (dump clone);
+        for i = 0 to Pmedia.Medium.size clone - 1 do
+          ignore (Pmedia.Medium.get clone i)
+        done;
+        ignore
+          (Pmedia.Medium.count_heated_run clone ~start:0
+             ~len:(Pmedia.Medium.size clone));
+        Alcotest.(check int) "still zero owned" 0
+          (Pmedia.Medium.owned_segments clone));
+  ]
+
 let () =
   Alcotest.run "medium"
     [
@@ -426,4 +519,5 @@ let () =
       ( "run kernels",
         run_access_cases
         @ List.map qtest [ mrb_run_equiv; mwb_run_equiv; erb_run_equiv ] );
+      ("cow", cow_cases @ [ qtest cow_matches_deep_copy ]);
     ]

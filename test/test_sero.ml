@@ -1379,6 +1379,157 @@ let endurance_twin =
              = Sero.Device.phys_of_line dev_off ~line:l)
            (List.init (Sero.Layout.n_lines lay) Fun.id))
 
+(* {1 CoW device clones} *)
+
+(* Read every data block and verify every line — the clone-observable
+   face of a device, used to compare clones byte-for-byte. *)
+let device_face dev =
+  let lay = Sero.Device.layout dev in
+  let reads =
+    List.concat_map
+      (fun line ->
+        List.map
+          (fun pba ->
+            match Sero.Device.read_block dev ~pba with
+            | Ok s -> s
+            | Error _ -> "<error>")
+          (Sero.Layout.data_blocks_of_line lay line))
+      (List.init (Sero.Layout.n_lines lay) Fun.id)
+  in
+  let verdicts =
+    List.init (Sero.Layout.n_lines lay) (fun line ->
+        Format.asprintf "%a" Sero.Tamper.pp_verdict
+          (Sero.Device.verify_line dev ~line))
+  in
+  (reads, verdicts)
+
+let clone_parent_churn =
+  (* Whatever happens to the parent after the snapshot — writes, heats,
+     scrub passes, even injected faults — two clones taken at the same
+     instant stay identical to each other and to the pre-churn state. *)
+  QCheck.Test.make ~name:"clones are frozen against parent churn" ~count:15
+    QCheck.(small_list (pair (int_range 0 3) (int_range 0 1_000)))
+    (fun script ->
+      let dev = make_dev ~n_blocks:64 () in
+      let lay = Sero.Device.layout dev in
+      let n_lines = Sero.Layout.n_lines lay in
+      fill_line dev 0;
+      fill_line dev 1;
+      ignore (heat_ok dev 0);
+      let c1 = Sero.Device.clone dev and c2 = Sero.Device.clone dev in
+      let before = device_face c1 in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+              let line = x mod n_lines in
+              let pba = List.hd (Sero.Layout.data_blocks_of_line lay line) in
+              ignore (Sero.Device.write_block dev ~pba (Printf.sprintf "churn %d" x))
+          | 1 -> ignore (Sero.Device.heat_line dev ~line:(x mod n_lines) ())
+          | 2 -> ignore (Sero.Scrub.pass dev)
+          | _ ->
+              Sero.Device.unsafe_heat_dots dev
+                ~dot:(Sero.Layout.block_first_dot lay (x mod 64))
+                ~n:8)
+        script;
+      device_face c1 = before && device_face c2 = before)
+
+let clone_cases =
+  [
+    Alcotest.test_case "clone reads the parent's bytes, CoW-lazily" `Quick
+      (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        fill_line dev 1;
+        ignore (heat_ok dev 1);
+        let clone = Sero.Device.clone dev in
+        let med =
+          Probe.Pdevice.medium (Sero.Device.pdevice clone)
+        in
+        Alcotest.(check int) "no private segments at rest" 0
+          (Pmedia.Medium.owned_segments med);
+        Alcotest.(check (pair (list string) (list string)))
+          "same face" (device_face dev) (device_face clone);
+        Alcotest.(check int) "reading materialised nothing" 0
+          (Pmedia.Medium.materialized_total med));
+    Alcotest.test_case "clone writes never reach the parent" `Quick (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        fill_line dev 1;
+        let face = device_face dev in
+        let clone = Sero.Device.clone dev in
+        let pba =
+          List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout clone) 2)
+        in
+        (match Sero.Device.write_block clone ~pba "private to the clone" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e);
+        ignore (heat_ok clone 1);
+        Alcotest.(check (pair (list string) (list string)))
+          "parent unchanged" face (device_face dev);
+        Alcotest.(check bool) "parent line 1 still WMRM" false
+          (Sero.Device.is_line_heated dev ~line:1));
+    Alcotest.test_case "tamper evidence never crosses the clone boundary"
+      `Quick (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        fill_line dev 0;
+        ignore (heat_ok dev 0);
+        let lay = Sero.Device.layout dev in
+        let victim = List.nth (Sero.Layout.data_blocks_of_line lay 0) 1 in
+        let clean = Sero.Device.clone dev and evil = Sero.Device.clone dev in
+        (* Attack the parent: its evidence must not appear in clones. *)
+        Sero.Device.unsafe_heat_dots dev
+          ~dot:(Sero.Layout.block_first_dot lay victim)
+          ~n:600;
+        Alcotest.(check bool) "parent tampered" true
+          (Sero.Tamper.is_tampered (Sero.Device.verify_line dev ~line:0));
+        Alcotest.(check bool) "clean clone intact" false
+          (Sero.Tamper.is_tampered (Sero.Device.verify_line clean ~line:0));
+        (* Attack a sibling: evidence must not launder into the other. *)
+        Sero.Device.unsafe_heat_dots evil
+          ~dot:(Sero.Layout.block_first_dot lay victim)
+          ~n:600;
+        Alcotest.(check bool) "evil clone tampered" true
+          (Sero.Tamper.is_tampered (Sero.Device.verify_line evil ~line:0));
+        Alcotest.(check bool) "sibling still intact" false
+          (Sero.Tamper.is_tampered (Sero.Device.verify_line clean ~line:0)));
+    Alcotest.test_case "listeners are not inherited" `Quick (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        let hits = ref 0 in
+        Sero.Device.add_mutation_listener dev (fun ~pba:_ ~n:_ -> incr hits);
+        Sero.Device.on_fault_install dev (fun () -> incr hits);
+        let clone = Sero.Device.clone dev in
+        let pba =
+          List.hd (Sero.Layout.data_blocks_of_line (Sero.Device.layout clone) 1)
+        in
+        (match Sero.Device.write_block clone ~pba "quiet" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write: %a" Sero.Device.pp_write_error e);
+        Sero.Device.install_fault clone
+          (Fault.Injector.create (Fault.Plan.make ()));
+        Alcotest.(check int) "parent listeners silent" 0 !hits);
+    Alcotest.test_case "a live fault injector refuses to clone" `Quick
+      (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        Sero.Device.install_fault dev
+          (Fault.Injector.create (Fault.Plan.make ()));
+        Alcotest.check_raises "refused"
+          (Invalid_argument "Pdevice.clone: fault injector installed")
+          (fun () -> ignore (Sero.Device.clone dev));
+        Sero.Device.clear_fault dev;
+        ignore (Sero.Device.clone dev));
+    Alcotest.test_case "park drops the scratch; the device still works"
+      `Quick (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        fill_line dev 1;
+        let face = device_face dev in
+        Sero.Device.park dev;
+        Alcotest.(check (pair (list string) (list string)))
+          "same face after park" face (device_face dev);
+        Sero.Device.park dev;
+        Sero.Device.park dev;
+        Alcotest.(check (pair (list string) (list string)))
+          "double park harmless" face (device_face dev));
+  ]
+
 let () =
   Alcotest.run "sero"
     [
@@ -1395,4 +1546,5 @@ let () =
       ("image", image_cases);
       ("bcache", bcache_cases @ [ qtest twin_equivalence ]);
       ("endurance", endurance_cases @ [ qtest endurance_twin ]);
+      ("clone", clone_cases @ [ qtest clone_parent_churn ]);
     ]

@@ -203,6 +203,184 @@ let heap_cases =
         done;
         Sim.Heap.clear h;
         Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h));
+    Alcotest.test_case "clear and trim shed capacity" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        for i = 1 to 1000 do
+          Sim.Heap.push h (float_of_int i) i
+        done;
+        Alcotest.(check bool) "grew" true (Sim.Heap.capacity h >= 1000);
+        for _ = 1 to 990 do
+          Sim.Heap.drop_min h
+        done;
+        Sim.Heap.trim h;
+        Alcotest.(check int) "snug" 16 (Sim.Heap.capacity h);
+        Alcotest.(check int) "kept" 10 (Sim.Heap.size h);
+        Alcotest.(check (float 0.)) "min survives trim" 991. (Sim.Heap.min_key h);
+        Sim.Heap.clear h;
+        Alcotest.(check int) "initial" 16 (Sim.Heap.capacity h));
+    Alcotest.test_case "min_key/min_value/drop_min match pop" `Quick (fun () ->
+        let h = Sim.Heap.create () in
+        List.iteri (fun i k -> Sim.Heap.push h k i) [ 3.; 1.; 2.; 1. ];
+        Alcotest.(check (float 0.)) "min key" 1. (Sim.Heap.min_key h);
+        Alcotest.(check int) "min value" 1 (Sim.Heap.min_value h);
+        Sim.Heap.drop_min h;
+        Alcotest.(check int) "fifo tie next" 3 (Sim.Heap.min_value h);
+        Alcotest.check_raises "empty min" (Invalid_argument "Heap.min_key: empty heap")
+          (fun () ->
+            Sim.Heap.clear h;
+            ignore (Sim.Heap.min_key h)));
+  ]
+
+(* {1 Calendar queue (Wheel)} *)
+
+let drain_wheel w =
+  let rec go acc =
+    match Sim.Wheel.pop w with None -> List.rev acc | Some kv -> go (kv :: acc)
+  in
+  go []
+
+let drain_heap h =
+  let rec go acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some kv -> go (kv :: acc)
+  in
+  go []
+
+(* Key generator with deliberate collisions: a handful of quantised
+   magnitudes so FIFO ties and bucket crowding both happen. *)
+let tie_keys =
+  QCheck.(
+    list_of_size Gen.(int_range 0 200)
+      (map (fun k -> float_of_int k /. 4.) (int_range (-40) 40)))
+
+let wheel_sorts =
+  QCheck.Test.make ~name:"wheel pops in key order" ~count:200
+    QCheck.(small_list (float_range (-1000.) 1000.))
+    (fun keys ->
+      let w = Sim.Wheel.create () in
+      List.iteri (fun i k -> Sim.Wheel.push w k i) keys;
+      List.map fst (drain_wheel w) = List.sort compare keys)
+
+let wheel_matches_heap =
+  QCheck.Test.make
+    ~name:"wheel and heap drain identically (FIFO ties included)" ~count:300
+    tie_keys
+    (fun keys ->
+      let w = Sim.Wheel.create () and h = Sim.Heap.create () in
+      List.iteri
+        (fun i k ->
+          Sim.Wheel.push w k i;
+          Sim.Heap.push h k i)
+        keys;
+      drain_wheel w = drain_heap h)
+
+let wheel_matches_heap_interleaved =
+  (* Random push/pop interleavings hit the cursor reset and halving
+     paths that a pure push-then-drain run never sees. *)
+  QCheck.Test.make ~name:"wheel == heap under push/pop interleavings"
+    ~count:200
+    QCheck.(list (option (pair (int_range (-40) 40) (int_range 1 3))))
+    (fun script ->
+      let w = Sim.Wheel.create () and h = Sim.Heap.create () in
+      let i = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some (k, times) ->
+              let key = float_of_int k /. 8. in
+              for _ = 1 to times do
+                incr i;
+                Sim.Wheel.push w key !i;
+                Sim.Heap.push h key !i
+              done;
+              true
+          | None -> Sim.Wheel.pop w = Sim.Heap.pop h)
+        script
+      && drain_wheel w = drain_heap h)
+
+let wheel_cases =
+  [
+    Alcotest.test_case "peek does not remove" `Quick (fun () ->
+        let w = Sim.Wheel.create () in
+        Sim.Wheel.push w 2. "b";
+        Sim.Wheel.push w 1. "a";
+        Alcotest.(check (option (pair (float 0.) string))) "peek" (Some (1., "a"))
+          (Sim.Wheel.peek w);
+        Alcotest.(check int) "size" 2 (Sim.Wheel.size w);
+        Alcotest.(check (option (pair (float 0.) string))) "pop" (Some (1., "a"))
+          (Sim.Wheel.pop w);
+        Alcotest.(check int) "size after" 1 (Sim.Wheel.size w));
+    Alcotest.test_case "resize round trip stays sorted and stable" `Quick
+      (fun () ->
+        (* 10k pushes force several doublings, the drain forces the
+           halvings on the way back down. *)
+        let w = Sim.Wheel.create () in
+        let rng = Sim.Prng.create 11 in
+        for i = 0 to 9_999 do
+          Sim.Wheel.push w (float_of_int (Sim.Prng.int rng 500)) i
+        done;
+        let popped = drain_wheel w in
+        let sorted =
+          List.stable_sort (fun (a, _) (b, _) -> compare a b) popped
+        in
+        Alcotest.(check int) "all back" 10_000 (List.length popped);
+        Alcotest.(check bool) "sorted and FIFO-stable" true (popped = sorted));
+    Alcotest.test_case "clock-like workload with huge key span" `Quick
+      (fun () ->
+        (* Sparse far-future keys next to dense near ones exercise the
+           year-scan fallback and the width re-anchor. *)
+        let w = Sim.Wheel.create () in
+        Sim.Wheel.push w 1e12 `Far;
+        Sim.Wheel.push w 0.5 `Near;
+        Sim.Wheel.push w 3.5e6 `Mid;
+        Alcotest.(check bool) "near first" true
+          (Sim.Wheel.pop w = Some (0.5, `Near));
+        Alcotest.(check bool) "mid next" true
+          (Sim.Wheel.pop w = Some (3.5e6, `Mid));
+        Alcotest.(check bool) "far last" true
+          (Sim.Wheel.pop w = Some (1e12, `Far)));
+    Alcotest.test_case "non-finite keys rejected" `Quick (fun () ->
+        let w = Sim.Wheel.create () in
+        Alcotest.check_raises "nan" (Invalid_argument "Wheel.push: non-finite key")
+          (fun () -> Sim.Wheel.push w Float.nan ());
+        Alcotest.check_raises "inf" (Invalid_argument "Wheel.push: non-finite key")
+          (fun () -> Sim.Wheel.push w Float.infinity ()));
+    Alcotest.test_case "clear empties and resets" `Quick (fun () ->
+        let w = Sim.Wheel.create () in
+        for i = 1 to 100 do
+          Sim.Wheel.push w (float_of_int i) i
+        done;
+        Sim.Wheel.clear w;
+        Alcotest.(check bool) "empty" true (Sim.Wheel.is_empty w);
+        Sim.Wheel.push w 7. 7;
+        Alcotest.(check (float 0.)) "usable after clear" 7. (Sim.Wheel.min_key w));
+    Alcotest.test_case "wheel does less work than heap when dense" `Quick
+      (fun () ->
+        (* The headline O(1) claim on the hold model: 4k live timers
+           (every key within an exponential horizon of now), pop-min /
+           push-later churn; steady-state comparison counts must
+           separate by at least the E26 acceptance factor of 3. *)
+        let w = Sim.Wheel.create () and h = Sim.Heap.create () in
+        let rng_w = Sim.Prng.create 13 and rng_h = Sim.Prng.create 13 in
+        for i = 0 to 4_095 do
+          Sim.Wheel.push w (Sim.Prng.exponential rng_w 1.0) i;
+          Sim.Heap.push h (Sim.Prng.exponential rng_h 1.0) i
+        done;
+        let w0 = Sim.Wheel.work w and h0 = Sim.Heap.work h in
+        for _ = 1 to 20_000 do
+          let k = Sim.Wheel.min_key w and v = Sim.Wheel.min_value w in
+          Sim.Wheel.drop_min w;
+          Sim.Wheel.push w (k +. Sim.Prng.exponential rng_w 1.0) v;
+          let k = Sim.Heap.min_key h and v = Sim.Heap.min_value h in
+          Sim.Heap.drop_min h;
+          Sim.Heap.push h (k +. Sim.Prng.exponential rng_h 1.0) v
+        done;
+        let ratio =
+          float_of_int (Sim.Heap.work h - h0)
+          /. float_of_int (Sim.Wheel.work w - w0)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "heap/wheel work ratio %.1f >= 3" ratio)
+          true (ratio >= 3.));
   ]
 
 (* {1 DES kernel} *)
@@ -485,14 +663,205 @@ let pool_matches_list_map =
       Sim.Pool.parallel_map ~jobs (fun x -> (x * 7) - 1) xs
       = List.map (fun x -> (x * 7) - 1) xs)
 
+(* {1 Scheduler twins} *)
+
+(* The same scheduling script must produce the same event log under both
+   Des back-ends — the wheel is an equivalence twin of the heap, not an
+   approximation of it. *)
+let des_twins_agree =
+  QCheck.Test.make ~name:"Des event logs identical under heap and wheel"
+    ~count:200
+    QCheck.(list (pair (int_range 0 20) (int_range 0 2)))
+    (fun script ->
+      let run sched =
+        let des = Sim.Des.create ~sched () in
+        let log = ref [] in
+        List.iteri
+          (fun tag (at, respawn) ->
+            Sim.Des.schedule_at des ~at:(float_of_int at /. 2.) (fun t ->
+                log := (tag, Sim.Des.now t) :: !log;
+                (* Handlers reschedule themselves a little later, so
+                   ties created at run time are compared too. *)
+                for k = 1 to respawn do
+                  Sim.Des.schedule t ~delay:(float_of_int k /. 4.) (fun t ->
+                      log := (100 + tag, Sim.Des.now t) :: !log)
+                done))
+          script;
+        Sim.Des.run des;
+        List.rev !log
+      in
+      run Sim.Des.Binary_heap = run Sim.Des.Timing_wheel)
+
+let sched_cases =
+  [
+    Alcotest.test_case "SERO_SCHED-independent default is settable" `Quick
+      (fun () ->
+        let saved = Sim.Des.default_sched () in
+        Sim.Des.set_default_sched Sim.Des.Binary_heap;
+        Alcotest.(check bool) "heap default" true
+          (Sim.Des.sched (Sim.Des.create ()) = Sim.Des.Binary_heap);
+        Sim.Des.set_default_sched Sim.Des.Timing_wheel;
+        Alcotest.(check bool) "wheel default" true
+          (Sim.Des.sched (Sim.Des.create ()) = Sim.Des.Timing_wheel);
+        Sim.Des.set_default_sched saved);
+    Alcotest.test_case "sched_work counts scheduler comparisons" `Quick
+      (fun () ->
+        let des = Sim.Des.create () in
+        Alcotest.(check int) "idle" 0 (Sim.Des.sched_work des);
+        for i = 1 to 100 do
+          Sim.Des.schedule des ~delay:(float_of_int (i mod 7)) (fun _ -> ())
+        done;
+        Sim.Des.run des;
+        Alcotest.(check bool) "counted" true (Sim.Des.sched_work des > 0));
+  ]
+
+(* {1 Keyed PRNG streams} *)
+
+let stream_cases =
+  [
+    Alcotest.test_case "stream is a pure function of (seed, index)" `Quick
+      (fun () ->
+        let a = Sim.Prng.stream ~seed:42 7 and b = Sim.Prng.stream ~seed:42 7 in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "same" (Sim.Prng.bits64 a) (Sim.Prng.bits64 b)
+        done);
+    Alcotest.test_case "neighbour streams decorrelate" `Quick (fun () ->
+        (* Adjacent indices and adjacent seeds must not produce aligned
+           output — the double-mix breaks the lattice. *)
+        let pairs =
+          [
+            (Sim.Prng.stream ~seed:1 0, Sim.Prng.stream ~seed:1 1);
+            (Sim.Prng.stream ~seed:1 0, Sim.Prng.stream ~seed:2 0);
+            (Sim.Prng.stream ~seed:0 3, Sim.Prng.stream ~seed:3 0);
+          ]
+        in
+        List.iter
+          (fun (a, b) ->
+            let agree = ref 0 in
+            for _ = 1 to 64 do
+              if Sim.Prng.bool a = Sim.Prng.bool b then incr agree
+            done;
+            Alcotest.(check bool) "near half" true (!agree > 16 && !agree < 48))
+          pairs);
+  ]
+
+(* {1 Stats merging} *)
+
+let stats_merge_cases =
+  [
+    Alcotest.test_case "merge_many matches re-adding every sample" `Quick
+      (fun () ->
+        let rng = Sim.Prng.create 21 in
+        let parts = List.init 5 (fun i -> Sim.Stats.create ~name:(string_of_int i) ()) in
+        let whole = Sim.Stats.create () in
+        List.iter
+          (fun part ->
+            for _ = 1 to 200 do
+              let x = Sim.Prng.gaussian rng ~mu:10. ~sigma:3. in
+              Sim.Stats.add part x;
+              Sim.Stats.add whole x
+            done)
+          parts;
+        let merged = Sim.Stats.merge_many ~name:"merged" parts in
+        Alcotest.(check int) "count" (Sim.Stats.count whole) (Sim.Stats.count merged);
+        Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.mean whole) (Sim.Stats.mean merged);
+        Alcotest.(check (float 1e-6)) "stddev" (Sim.Stats.stddev whole) (Sim.Stats.stddev merged);
+        Alcotest.(check (float 0.)) "min" (Sim.Stats.min_value whole) (Sim.Stats.min_value merged);
+        Alcotest.(check (float 0.)) "max" (Sim.Stats.max_value whole) (Sim.Stats.max_value merged);
+        (* Reservoirs small enough to be lossless => identical quantiles. *)
+        Alcotest.(check (float 0.)) "p99" (Sim.Stats.p99 whole) (Sim.Stats.p99 merged));
+    Alcotest.test_case "merge_many of nothing is empty" `Quick (fun () ->
+        let m = Sim.Stats.merge_many ~name:"none" [] in
+        Alcotest.(check int) "count" 0 (Sim.Stats.count m));
+  ]
+
+(* {1 Fleet fan-out} *)
+
+let fleet_jobs_invariant =
+  QCheck.Test.make ~name:"Fleet.map byte-identical for any jobs" ~count:60
+    QCheck.(pair (int_range 0 70) (int_range 1 8))
+    (fun (n, jobs) ->
+      let f ~rng i = (i, Sim.Prng.int rng 1000, Sim.Prng.uniform rng) in
+      Sim.Fleet.map ~jobs ~seed:5 n f = Sim.Fleet.map ~jobs:1 ~seed:5 n f)
+
+let fleet_cases =
+  [
+    Alcotest.test_case "shard plan is pure in n and covers it" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            let plan = Sim.Fleet.shards n in
+            let covered =
+              List.concat_map
+                (fun { Sim.Fleet.first; count } ->
+                  List.init count (fun k -> first + k))
+                plan
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "n=%d" n)
+              (List.init n Fun.id) covered;
+            Alcotest.(check bool) "bounded" true
+              (List.length plan <= Sim.Fleet.default_shards))
+          [ 0; 1; 63; 64; 65; 1000 ]);
+    Alcotest.test_case "map_merge equals merge of sequential parts" `Quick
+      (fun () ->
+        let f ~rng i = float_of_int i +. Sim.Prng.uniform rng in
+        let merge xs = List.fold_left ( +. ) 0. xs in
+        let direct =
+          merge (List.init 100 (fun i -> f ~rng:(Sim.Fleet.device_rng ~seed:9 i) i))
+        in
+        List.iter
+          (fun jobs ->
+            (* Shard-grouped float addition differs from flat addition in
+               general, but must not differ across jobs. *)
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "jobs=%d" jobs)
+              (Sim.Fleet.map_merge ~jobs:1 ~seed:9 100 ~f ~merge)
+              (Sim.Fleet.map_merge ~jobs ~seed:9 100 ~f ~merge);
+            Alcotest.(check (float 1e-9))
+              "close to flat sum" direct
+              (Sim.Fleet.map_merge ~jobs ~seed:9 100 ~f ~merge))
+          [ 2; 3; 8 ]);
+    Alcotest.test_case "stats merge across shards is deterministic" `Quick
+      (fun () ->
+        let f ~rng _ =
+          let st = Sim.Stats.create ~name:"lat" () in
+          for _ = 1 to 20 do
+            Sim.Stats.add st (Sim.Prng.exponential rng 2.0)
+          done;
+          st
+        in
+        let merge = Sim.Stats.merge_many ~name:"lat" in
+        let quantiles jobs =
+          Sim.Stats.quantiles (Sim.Fleet.map_merge ~jobs ~seed:3 200 ~f ~merge)
+        in
+        let q1 = quantiles 1 in
+        List.iter
+          (fun jobs ->
+            let a, b, c = q1 and x, y, z = quantiles jobs in
+            Alcotest.(check (float 0.)) "p50" a x;
+            Alcotest.(check (float 0.)) "p95" b y;
+            Alcotest.(check (float 0.)) "p99" c z)
+          [ 2; 5; 8 ]);
+  ]
+
 let () =
   Alcotest.run "sim"
     [
-      ("prng", prng_cases @ [ qtest int_in_range ]);
+      ("prng", prng_cases @ stream_cases @ [ qtest int_in_range ]);
       ("stats",
-       stats_cases @ [ qtest percentile_bounds; qtest quantiles_match_percentile ]);
+       stats_cases @ stats_merge_cases
+       @ [ qtest percentile_bounds; qtest quantiles_match_percentile ]);
       ("heap", heap_cases @ [ qtest heap_sorts; qtest heap_stable ]);
-      ("des", des_cases);
+      ("wheel",
+       wheel_cases
+       @ [
+           qtest wheel_sorts;
+           qtest wheel_matches_heap;
+           qtest wheel_matches_heap_interleaved;
+         ]);
+      ("des", des_cases @ sched_cases @ [ qtest des_twins_agree ]);
       ("lru", lru_cases @ [ qtest lru_matches_model ]);
       ("pool", pool_cases @ [ qtest pool_matches_list_map ]);
+      ("fleet", fleet_cases @ [ qtest fleet_jobs_invariant ]);
     ]
