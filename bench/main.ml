@@ -443,6 +443,20 @@ let e26_fleet =
            Sim.Heap.push heap (k +. Sim.Prng.exponential hold_rng 1.0) v));
   ]
 
+(* E27: one full campaign site per run — the mirror-split cell, which
+   is the cheapest class (window-based array audit, no DES drain), so
+   the bench tracks the whole clone/attack/audit/merge path. *)
+let e27_campaign =
+  [
+    Test.make ~name:"e27 mirror-split site (1 site)"
+      (Staged.stage (fun () ->
+           ignore
+             (Security.Campaign.run ~sites:1
+                ~attack:Security.Campaign.Mirror_split
+                ~adversary:Security.Campaign.default_adversary
+                ~defender:Security.Campaign.reference_defender ())));
+  ]
+
 let groups =
   [
     ("figures (E1-E6)", figures);
@@ -466,6 +480,7 @@ let groups =
     ("E24 zero-copy", e24_zero_copy);
     ("E25 host front-end", e25_host);
     ("E26 fleet substrate", e26_fleet);
+    ("E27 insider campaign", e27_campaign);
   ]
 
 (* {1 Runner} *)
@@ -568,6 +583,14 @@ let simulated_metrics () =
   let a = Expt.Array_study.headline () in
   let qos = Expt.Qos_study.headline () in
   let fleet = Expt.Fleet_study.headline () in
+  let camp = Expt.Campaign_study.headline () in
+  let race_pct =
+    if camp.Expt.Campaign_study.h_races = 0 then 0.
+    else
+      100.
+      *. float_of_int camp.Expt.Campaign_study.h_race_wins
+      /. float_of_int camp.Expt.Campaign_study.h_races
+  in
   [
     ("e21 nocache read ms", h.Expt.Cache_study.nocache_read_ms);
     ("e21 cached read ms", h.Expt.Cache_study.cached_read_ms);
@@ -592,6 +615,17 @@ let simulated_metrics () =
     ("e26 cow kib per device", fleet.Expt.Fleet_study.h_cow_kib_per_device);
     ("e26 fleet p99 ms", fleet.Expt.Fleet_study.h_lat_p99_ms);
     ("e26 tamper verdicts", float_of_int fleet.Expt.Fleet_study.h_tampers);
+    ( "e27 undetected at ref",
+      float_of_int camp.Expt.Campaign_study.h_ref_undetected );
+    ("e27 det p50 ms", camp.Expt.Campaign_study.h_ref_det_p50_ms);
+    ("e27 det p99 ms", camp.Expt.Campaign_study.h_ref_det_p99_ms);
+    ( "e27 audit spend",
+      float_of_int camp.Expt.Campaign_study.h_ref_audit_spend );
+    ( "e27 starved undetected",
+      float_of_int camp.Expt.Campaign_study.h_starved_undetected );
+    ("e27 race win pct", race_pct);
+    ( "e27 spares burned",
+      float_of_int camp.Expt.Campaign_study.h_spares_burned );
   ]
 
 (* Allocation observability for the zero-copy hot path: bytes copied by
@@ -740,6 +774,7 @@ let compare_baseline ~baseline ~results ~simulated =
                        "e23 detected replicas";
                        "e25 fifo p99 ratio";
                        "e26 wheel speedup";
+                       "e27 starved undetected";
                      ]
               in
               let regressed =

@@ -665,8 +665,28 @@ let array_status image do_verify jobs =
       | Some r -> Format.fprintf std "%a@." Sarray.Quorum.pp_report r
       | None -> ());
       Format.pp_print_flush std ();
-      (* A verify charged the trust ledger: persist it. *)
-      Ok do_verify)
+      match report with
+      | None -> Ok false
+      | Some r ->
+          (* A verify charged the trust ledger: persist it before the
+             verdict decides the exit status, so the image keeps the
+             evidence either way and CI can trust the exit code alone. *)
+          Sarray.Aimage.save v image;
+          let c = r.Sarray.Quorum.counts in
+          if
+            c.Sarray.Quorum.unattested > 0
+            || c.Sarray.Quorum.outvoted_replicas > 0
+            || c.Sarray.Quorum.convicted_replicas > 0
+            || c.Sarray.Quorum.offline > 0
+          then
+            Error
+              (Printf.sprintf
+                 "quorum found evidence: %d unattested and %d offline lines, \
+                  %d outvoted + %d convicted replicas"
+                 c.Sarray.Quorum.unattested c.Sarray.Quorum.offline
+                 c.Sarray.Quorum.outvoted_replicas
+                 c.Sarray.Quorum.convicted_replicas)
+          else Ok false)
 
 let array_fail image slot tamper replica =
   with_volume image (fun v ->
@@ -927,6 +947,49 @@ let fleet_cmd devices ops seed jobs =
             f.Expt.Fleet_study.f_tampers f.Expt.Fleet_study.f_fails )
   end
 
+(* Insider campaign vs. a bounded audit budget — the serotool face of
+   E27.  The exit status is the acceptance check: nonzero if any landed
+   tamper was still undetected at the campaign horizon, so CI runs the
+   reference budget expecting success and the starved budget expecting
+   failure. *)
+let campaign_cmd attack defender sites budget seed jobs =
+  (match jobs with None -> () | Some n -> Sim.Pool.set_jobs n);
+  let module C = Security.Campaign in
+  let attacks =
+    if attack = "all" then Ok C.all_attacks
+    else
+      match C.attack_of_string attack with
+      | Some a -> Ok [ a ]
+      | None ->
+          Error
+            (Printf.sprintf "unknown attack %S (try %s or all)" attack
+               (String.concat ", " (List.map C.attack_name C.all_attacks)))
+  in
+  match attacks with
+  | Error e -> `Error (false, e)
+  | Ok attacks ->
+      let adversary = { C.default_adversary with ops_budget = budget } in
+      let results =
+        List.map
+          (fun a -> C.run ~seed ~sites ~attack:a ~adversary ~defender ())
+          attacks
+      in
+      List.iter2
+        (fun a r ->
+          Format.printf "campaign %-16s %a@." (C.attack_name a) C.pp_result r)
+        attacks results;
+      let m = C.merge results in
+      Format.printf
+        "campaign: %d sites/class, %d tampers landed, %d detected, \
+         %d undetected, %d units of audit spend@."
+        sites m.C.r_landed m.C.r_detected m.C.r_undetected (C.audit_spend m);
+      if m.C.r_undetected = 0 then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "campaign: %d tampers escaped the audit budget"
+              m.C.r_undetected )
+
 open Cmdliner
 
 let image_arg =
@@ -1121,6 +1184,49 @@ let () =
       & info [ "seed" ] ~docv:"S"
           ~doc:"Fleet seed (device $(i,i) draws from stream (S, i)).")
   in
+  let campaign_attack =
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"ATTACK"
+          ~doc:
+            "Attack class (selective-tamper, scrubber-race, carcass-replay, \
+             spare-exhaustion, mirror-split) or $(b,all).")
+  in
+  let campaign_defender =
+    let defender_conv =
+      Arg.enum
+        [
+          ("reference", Security.Campaign.reference_defender);
+          ("scrub-only", Security.Campaign.scrub_only_defender);
+          ("starved", Security.Campaign.starved_defender);
+        ]
+    in
+    Arg.(
+      value
+      & opt defender_conv Security.Campaign.reference_defender
+      & info [ "defender" ] ~docv:"BUDGET"
+          ~doc:
+            "Audit budget: $(b,reference) (sampled deep scrub + line \
+             audits, default), $(b,scrub-only) or $(b,starved).")
+  in
+  let campaign_sites =
+    Arg.(
+      value & opt int 4
+      & info [ "sites" ] ~docv:"N" ~doc:"Fleet sites per attack class.")
+  in
+  let campaign_budget =
+    Arg.(
+      value
+      & opt int Security.Campaign.default_adversary.Security.Campaign.ops_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Attack operations per compromised site.")
+  in
+  let campaign_seed =
+    Arg.(
+      value & opt int 0xE27
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Campaign seed (site $(i,i) draws from stream (S, i)).")
+  in
   let arr_fail_slot =
     Arg.(
       value & opt (some int) None
@@ -1274,6 +1380,13 @@ let () =
          operation."
         Term.(const fleet_cmd $ fleet_devices $ fleet_ops $ fleet_seed
               $ arr_jobs);
+      cmd "campaign"
+        "Run a budgeted insider campaign against a cloned fleet under a \
+         chosen audit budget; exits nonzero if any landed tamper is still \
+         undetected at the horizon."
+        Term.(
+          const campaign_cmd $ campaign_attack $ campaign_defender
+          $ campaign_sites $ campaign_budget $ campaign_seed $ arr_jobs);
       cmd "mkarray"
         "Create a sharded array image (a manifest plus one member device \
          image per slot and spare)."

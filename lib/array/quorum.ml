@@ -178,26 +178,11 @@ let count_report lines =
       | Line_offline -> { c with offline = c.offline + 1 })
     z lines
 
-let verify_volume ?(jobs = 1) v =
-  let m = Volume.map v in
-  let groups = Amap.groups m in
-  let lines_of_group g =
-    List.init (Amap.logical_lines m / groups) (fun l -> (l * groups) + g)
-  in
-  (* Mirror groups are disjoint device sets, so fanning groups out over
-     domains touches disjoint mutable state; charges are computed pure
-     and applied afterwards in ascending line order, making report and
-     ledger byte-identical for any [jobs]. *)
-  let per_group =
-    Sim.Pool.parallel_map ~jobs
-      (fun g ->
-        List.map (fun line -> (line, attest_line_raw v ~line))
-          (lines_of_group g))
-      (List.init groups (fun g -> g))
-  in
-  let all =
-    List.sort (fun (a, _) (b, _) -> compare a b) (List.concat per_group)
-  in
+(* Fold raw per-line attestations (ascending line order) into a report,
+   applying trust charges in that same order — the shared tail of the
+   full verify and the sampled audit, so both leave byte-identical
+   ledgers for the lines they cover. *)
+let report_of_raw v all =
   let hash_reads = ref 0 and data_verifies = ref 0 in
   let lines =
     List.map
@@ -227,6 +212,39 @@ let verify_volume ?(jobs = 1) v =
     hash_reads = !hash_reads;
     data_verifies = !data_verifies;
   }
+
+let verify_volume ?(jobs = 1) v =
+  let m = Volume.map v in
+  let groups = Amap.groups m in
+  let lines_of_group g =
+    List.init (Amap.logical_lines m / groups) (fun l -> (l * groups) + g)
+  in
+  (* Mirror groups are disjoint device sets, so fanning groups out over
+     domains touches disjoint mutable state; charges are computed pure
+     and applied afterwards in ascending line order, making report and
+     ledger byte-identical for any [jobs]. *)
+  let per_group =
+    Sim.Pool.parallel_map ~jobs
+      (fun g ->
+        List.map (fun line -> (line, attest_line_raw v ~line))
+          (lines_of_group g))
+      (List.init groups (fun g -> g))
+  in
+  let all =
+    List.sort (fun (a, _) (b, _) -> compare a b) (List.concat per_group)
+  in
+  report_of_raw v all
+
+let verify_lines v ~lines =
+  let lines = List.sort_uniq compare lines in
+  let ll = Amap.logical_lines (Volume.map v) in
+  List.iter
+    (fun line ->
+      if line < 0 || line >= ll then
+        invalid_arg "Quorum.verify_lines: line out of range")
+    lines;
+  report_of_raw v
+    (List.map (fun line -> (line, attest_line_raw v ~line)) lines)
 
 let source_meta v ~line ~exclude_slot =
   let m = Volume.map v in

@@ -58,8 +58,12 @@ let tick_ewb t =
   t.ewbs <- t.ewbs + 1
 
 let flip_read t ~dot =
-  t.plan.Plan.read_ber > 0.
-  && Sim.Prng.bernoulli t.rng t.plan.Plan.read_ber
+  let ber =
+    if t.plan.Plan.targeted = [] then t.plan.Plan.read_ber
+    else Plan.region_ber t.plan ~dot
+  in
+  ber > 0.
+  && Sim.Prng.bernoulli t.rng ber
   &&
   (record t (Read_flip { op = t.ops; dot });
    true)

@@ -47,7 +47,9 @@ val tick_ewb : t -> unit
     by [power_cut_after_ewb].  Call before the pulse takes effect. *)
 
 val flip_read : t -> dot:int -> bool
-(** Decide (and log) whether this magnetic read flips. *)
+(** Decide (and log) whether this magnetic read flips, at the plan's
+    effective probability for [dot] ({!Plan.region_ber}): targeted
+    regions raise the rate locally, the baseline applies elsewhere. *)
 
 val stuck : t -> dot:int -> bool
 (** Whether [dot] is stuck at Down — a pure function of the plan seed

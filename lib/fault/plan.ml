@@ -1,8 +1,10 @@
 type tip_death = { tip : int; after_ops : int }
+type region = { first_dot : int; n_dots : int; ber : float }
 
 type t = {
   seed : int;
   read_ber : float;
+  targeted : region list;
   stuck_rate : float;
   tip_deaths : tip_death list;
   weak_ewb_p : float;
@@ -14,6 +16,7 @@ let none =
   {
     seed = 0;
     read_ber = 0.;
+    targeted = [];
     stuck_rate = 0.;
     tip_deaths = [];
     weak_ewb_p = 0.;
@@ -25,11 +28,18 @@ let check_p name p =
   if p < 0. || p > 1. then
     invalid_arg (Printf.sprintf "Fault.Plan.make: %s must be in [0, 1]" name)
 
-let make ?(seed = 0) ?(read_ber = 0.) ?(stuck_rate = 0.) ?(tip_deaths = [])
-    ?(weak_ewb_p = 0.) ?power_cut_after_ops ?power_cut_after_ewb () =
+let make ?(seed = 0) ?(read_ber = 0.) ?(targeted = []) ?(stuck_rate = 0.)
+    ?(tip_deaths = []) ?(weak_ewb_p = 0.) ?power_cut_after_ops
+    ?power_cut_after_ewb () =
   check_p "read_ber" read_ber;
   check_p "stuck_rate" stuck_rate;
   check_p "weak_ewb_p" weak_ewb_p;
+  List.iter
+    (fun r ->
+      check_p "targeted ber" r.ber;
+      if r.first_dot < 0 || r.n_dots < 0 then
+        invalid_arg "Fault.Plan.make: targeted regions must be non-negative")
+    targeted;
   List.iter
     (fun d ->
       if d.tip < 0 || d.after_ops < 0 then
@@ -46,6 +56,7 @@ let make ?(seed = 0) ?(read_ber = 0.) ?(stuck_rate = 0.) ?(tip_deaths = [])
   {
     seed;
     read_ber;
+    targeted;
     stuck_rate;
     tip_deaths;
     weak_ewb_p;
@@ -53,17 +64,34 @@ let make ?(seed = 0) ?(read_ber = 0.) ?(stuck_rate = 0.) ?(tip_deaths = [])
     power_cut_after_ewb;
   }
 
+let region_ber t ~dot =
+  let rec find = function
+    | [] -> t.read_ber
+    | r :: rest ->
+        if r.ber > 0. && dot >= r.first_dot && dot < r.first_dot + r.n_dots
+        then r.ber
+        else find rest
+  in
+  find t.targeted
+
 let quiet t =
-  t.read_ber = 0. && t.stuck_rate = 0. && t.tip_deaths = []
+  t.read_ber = 0.
+  && List.for_all (fun r -> r.ber = 0. || r.n_dots = 0) t.targeted
+  && t.stuck_rate = 0. && t.tip_deaths = []
   && t.weak_ewb_p = 0.
   && t.power_cut_after_ops = None
   && t.power_cut_after_ewb = None
 
 let pp ppf t =
   Format.fprintf ppf
-    "plan{seed=%d ber=%g stuck=%g deaths=[%a] weak-ewb=%g cut-ops=%s \
-     cut-ewb=%s}"
-    t.seed t.read_ber t.stuck_rate
+    "plan{seed=%d ber=%g targeted=[%a] stuck=%g deaths=[%a] weak-ewb=%g \
+     cut-ops=%s cut-ewb=%s}"
+    t.seed t.read_ber
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       (fun ppf r ->
+         Format.fprintf ppf "%d+%d@%g" r.first_dot r.n_dots r.ber))
+    t.targeted t.stuck_rate
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
        (fun ppf d -> Format.fprintf ppf "tip %d@%d" d.tip d.after_ops))

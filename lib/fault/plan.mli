@@ -14,9 +14,27 @@ type tip_death = {
   after_ops : int;  (** The tip dies once this many primitive ops ran. *)
 }
 
+type region = {
+  first_dot : int;  (** First dot of the elevated-BER window. *)
+  n_dots : int;  (** Window length in dots. *)
+  ber : float;  (** Per-mrb flip probability inside the window. *)
+}
+(** A contiguous dot range whose raw read-BER differs from the plan's
+    baseline — the declarative form of a localized wear ramp or thermal
+    hot spot (Evans-style thermally-induced errors land on specific
+    tracks, not uniformly).  An adversary-driven plan layers these over
+    the injector so that targeted noise is replayable data, not code. *)
+
 type t = {
   seed : int;  (** Root of the injector's private PRNG stream. *)
   read_ber : float;  (** Per-mrb probability of flipping the result. *)
+  targeted : region list;
+      (** Dot ranges with their own flip probability; the first matching
+          region (with [ber > 0]) overrides [read_ber] for dots inside
+          it.  Decisions still consume exactly one PRNG draw whenever
+          the effective probability is positive, so adding a region does
+          not shift the fault stream seen by dots outside it beyond the
+          draws the region itself makes. *)
   stuck_rate : float;
       (** Fraction of dots stuck at Down; membership is a pure function
           of [(seed, dot)], so it is stable across runs and independent
@@ -38,6 +56,7 @@ val none : t
 val make :
   ?seed:int ->
   ?read_ber:float ->
+  ?targeted:region list ->
   ?stuck_rate:float ->
   ?tip_deaths:tip_death list ->
   ?weak_ewb_p:float ->
@@ -50,6 +69,10 @@ val make :
     [0, 1]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val region_ber : t -> dot:int -> float
+(** Effective flip probability for [dot]: the first matching targeted
+    region's [ber] when one covers the dot, else [read_ber]. *)
 
 val quiet : t -> bool
 (** Whether the plan can never inject anything (all rates zero, no tip

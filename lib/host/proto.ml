@@ -38,6 +38,7 @@ type command =
   | Verify of { line : int }
   | Audit
   | Array_read of { vba : int }
+  | Audit_line of { line : int }
 
 type frame = { tenant : int; seq : int; cmd : command }
 
@@ -48,6 +49,7 @@ let opcode_of_command = function
   | Verify _ -> 0x04
   | Audit -> 0x05
   | Array_read _ -> 0x06
+  | Audit_line _ -> 0x07
 
 let command_name = function
   | Read _ -> "read"
@@ -56,6 +58,7 @@ let command_name = function
   | Verify _ -> "verify"
   | Audit -> "audit"
   | Array_read _ -> "array-read"
+  | Audit_line _ -> "audit-line"
 
 let write_body w { tenant; seq; cmd } =
   let module W = Codec.Binio.W in
@@ -78,6 +81,7 @@ let write_body w { tenant; seq; cmd } =
   | Verify { line } -> W.u32 w line
   | Audit -> ()
   | Array_read { vba } -> W.u32 w vba
+  | Audit_line { line } -> W.u32 w line
 
 let encode_frame f =
   let module W = Codec.Binio.W in
@@ -117,6 +121,7 @@ let decode_frame ?(off = 0) s =
     | 0x04 -> Verify { line = R.u32 r }
     | 0x05 -> Audit
     | 0x06 -> Array_read { vba = R.u32 r }
+    | 0x07 -> Audit_line { line = R.u32 r }
     | op -> fail "unknown opcode 0x%02X" op
   in
   if R.pos r <> stop then
@@ -229,6 +234,7 @@ let op_name = function
   | 0x04 -> "verify"
   | 0x05 -> "audit"
   | 0x06 -> "array-read"
+  | 0x07 -> "audit-line"
   | op -> Printf.sprintf "op%02X" op
 
 let pp_command ppf = function
@@ -243,6 +249,7 @@ let pp_command ppf = function
   | Verify { line } -> Format.fprintf ppf "verify line=%d" line
   | Audit -> Format.fprintf ppf "audit"
   | Array_read { vba } -> Format.fprintf ppf "array-read vba=%d" vba
+  | Audit_line { line } -> Format.fprintf ppf "audit-line line=%d" line
 
 let pp_frame ppf f =
   Format.fprintf ppf "tenant=%d seq=%d %a" f.tenant f.seq pp_command f.cmd

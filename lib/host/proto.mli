@@ -50,6 +50,12 @@ type command =
   | Verify of { line : int }
   | Audit  (** Full-device tamper scan; payload is the summary line. *)
   | Array_read of { vba : int }  (** Volume targets only. *)
+  | Audit_line of { line : int }
+      (** One line of audit spend.  On a device target it rides the
+          request queue as background traffic ({!Sero.Queue.submit_verify_line}),
+          contending under the arbiter like any tenant work; on a volume
+          target it runs one quorum attestation of the logical line.
+          Status: OK / NOT_HEATED / TAMPERED. *)
 
 type frame = { tenant : int; seq : int; cmd : command }
 

@@ -170,6 +170,19 @@ let execute t ts (f : Proto.frame) =
       sync ~read:false
         ~status:(if tampered > 0 then Proto.st_tampered else Proto.st_ok)
         ~payload
+  | Device q, Proto.Audit_line { line } ->
+      (* Audit spend is queue traffic: a background-class verify that
+         contends under the arbiter like any tenant's work, so the
+         defender's budget is charged in the same currency as the
+         foreground it displaces. *)
+      Sero.Queue.submit_verify_line q ~tenant ~line (fun v ->
+          let status =
+            match v with
+            | Sero.Tamper.Intact -> Proto.st_ok
+            | Sero.Tamper.Not_heated -> Proto.st_not_heated
+            | Sero.Tamper.Tampered _ -> Proto.st_tampered
+          in
+          finish t ts f ~t0 ~read:false ~status ~payload:"")
   | Device _, Proto.Array_read _ -> unsupported ()
   | Volume v, (Proto.Read { pba = vba } | Proto.Array_read { vba }) -> (
       match Sarray.Volume.read_block ~tenant v ~vba with
@@ -185,6 +198,16 @@ let execute t ts (f : Proto.frame) =
           sync ~read:false ~status:Proto.st_ok
             ~payload:(Hash.Sha256.to_raw h)
       | Error _ -> sync ~read:false ~status:Proto.st_heat_refused ~payload:"")
+  | Volume v, Proto.Audit_line { line } ->
+      let status =
+        match Sarray.Quorum.attest_line v ~line with
+        | Sarray.Quorum.Attested _ -> Proto.st_ok
+        | Sarray.Quorum.Line_not_heated -> Proto.st_not_heated
+        | Sarray.Quorum.Tie_unattested _ | Sarray.Quorum.All_convicted _ ->
+            Proto.st_tampered
+        | Sarray.Quorum.Line_offline -> Proto.st_read_error
+      in
+      sync ~read:false ~status ~payload:""
   | Volume _, (Proto.Verify _ | Proto.Audit) -> unsupported ()
 
 let submit_frame t (f : Proto.frame) =

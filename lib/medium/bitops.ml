@@ -36,11 +36,11 @@ let make ?profile ?(read_ber = 0.) medium =
   }
 
 (* Context for a cloned medium: fresh counters snapshotting the
-   parent's, same physics.  Refuses a live injector — fault plans hold
-   position state that must not be shared or forked silently. *)
+   parent's, same physics.  A live injector is never inherited — fault
+   plans hold position state (PRNG cursor, ledger) that belongs to the
+   parent's history; the clone starts with [fault = None] and callers
+   install a fresh injector if they want faults on the copy. *)
 let clone t medium =
-  if t.fault <> None then
-    invalid_arg "Bitops.clone: fault injector installed";
   let c = t.counters in
   {
     medium;

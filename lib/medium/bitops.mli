@@ -43,8 +43,9 @@ val make :
 val clone : ctx -> Medium.t -> ctx
 (** [clone ctx medium'] is a context over [medium'] (normally
     [Medium.clone (medium ctx)]) with the same physics and a private
-    copy of the counters.  @raise Invalid_argument if a fault injector
-    is installed — injector position state must not be forked. *)
+    copy of the counters.  A live fault injector is never inherited —
+    injector position state is the parent's history — so the clone's
+    [fault] is [None] until the caller installs a fresh one. *)
 
 val medium : ctx -> Medium.t
 val counters : ctx -> counters

@@ -38,9 +38,12 @@ let create ?(config = default_config) medium =
 
 (* CoW device snapshot: the medium clones copy-on-write, everything
    else (ledgers, tips, sled position, op counters) deep-copies so the
-   two devices evolve fully independently afterwards. *)
+   two devices evolve fully independently afterwards.  A live fault
+   injector on the parent is simply not inherited — its PRNG position
+   and ledger belong to the parent's history, so the clone starts
+   fault-free and callers re-arm it with a fresh plan if they want
+   faults on the copy. *)
 let clone t =
-  if t.fault <> None then invalid_arg "Pdevice.clone: fault injector installed";
   let medium = Pmedia.Medium.clone t.medium in
   let bitops = Pmedia.Bitops.clone t.bitops medium in
   let timing = Timing.copy t.timing in

@@ -41,8 +41,10 @@ val clone : t -> t
 (** Copy-on-write device snapshot: the medium is {!Pmedia.Medium.clone}d
     (unmutated segments shared), the tip array, ledgers, sled state and
     op counters are deep-copied, and the clone's PRNG continues from the
-    parent's current state independently.  @raise Invalid_argument if a
-    fault injector is installed (injector state must not be forked). *)
+    parent's current state independently.  A live fault injector on the
+    parent is {e never} inherited — its PRNG position and event ledger
+    belong to the parent's history — so the clone starts fault-free;
+    install a fresh injector on the clone to re-arm faults. *)
 
 val medium : t -> Pmedia.Medium.t
 val tips : t -> Tips.t

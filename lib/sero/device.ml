@@ -276,9 +276,12 @@ let create config =
    deliberately {e not} inherited: a cache or campaign observer attached
    to the parent must never see (or mask) the clone's mutations, and
    clones can never share or launder tamper evidence through a common
-   observer.  Refuses a device with a live fault injector. *)
-let clone t =
-  {
+   observer.  A parent's live injector is likewise never inherited
+   (its PRNG cursor and ledger are the parent's history); [?plan] arms
+   the clone with a {e fresh} injector of its own instead. *)
+let clone ?plan t =
+  let c =
+    {
     config = t.config;
     layout = t.layout;
     pdevice = Probe.Pdevice.clone t.pdevice;
@@ -305,10 +308,15 @@ let clone t =
     scrub_rewrites = t.scrub_rewrites;
     torn_completions = t.torn_completions;
     line_retirements = t.line_retirements;
-    reattest_failures = t.reattest_failures;
-    mutation_listeners = [];
-    fault_listeners = [];
-  }
+      reattest_failures = t.reattest_failures;
+      mutation_listeners = [];
+      fault_listeners = [];
+    }
+  in
+  (match plan with
+  | Some p -> Probe.Pdevice.install_fault c.pdevice (Fault.Injector.create p)
+  | None -> ());
+  c
 
 let scratch t =
   match t.scratch with

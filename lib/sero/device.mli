@@ -88,7 +88,7 @@ val default_config : ?n_blocks:int -> ?line_exp:int -> unit -> config
 
 val create : config -> t
 
-val clone : t -> t
+val clone : ?plan:Fault.Plan.t -> t -> t
 (** Copy-on-write snapshot for fleet fan-out: the medium shares every
     unmutated segment with the parent (each side pays per-segment copies
     only as it diverges), all mutable SERO state (generations, remap
@@ -96,9 +96,13 @@ val clone : t -> t
     the clone's PRNG continues independently from the parent's current
     state.  Mutation/fault listeners are {e not} inherited — an observer
     attached to one device never sees the other's mutations, so clones
-    cannot share or launder tamper evidence.  The clone starts parked
-    (no scratch buffers; see {!park}).
-    @raise Invalid_argument if a fault injector is installed. *)
+    cannot share or launder tamper evidence.  A live fault injector on
+    the parent is never inherited either (its PRNG cursor and event
+    ledger are the parent's history); pass [?plan] to arm the clone with
+    a {e fresh} injector over that plan, so campaign fan-outs can fault
+    clones independently while parent evidence still never crosses the
+    clone boundary.  The clone starts parked (no scratch buffers; see
+    {!park}). *)
 
 val park : t -> unit
 (** Return the device's scratch buffers to the per-domain pool.  A

@@ -512,19 +512,24 @@ let submit_scrub_line t ?(prio = Background) ?config prog ~line k =
       Scrub.sweep_line ?config t.dev prog ~line;
       k)
 
-let schedule_scrub ?config t ~period ~stop =
+let submit_verify_line t ?(prio = Background) ?(tenant = 0) ~line k =
+  submit_other t prio tenant (offset_of_line t line) (fun () ->
+      let v = Device.verify_line t.dev ~line in
+      fun () -> k v)
+
+let schedule_scrub ?config ?planner t ~period ~stop =
   let prog = Scrub.progress_create () in
-  let n_lines = Layout.n_lines (Device.layout t.dev) in
-  let next_line = ref 0 in
+  let planner =
+    match planner with Some p -> p | None -> Scrub.planner t.dev
+  in
   let outstanding = ref false in
   let rec arm () =
     Sim.Des.schedule t.des ~delay:period (fun _ ->
         if not (stop ()) then begin
           if not !outstanding then begin
             outstanding := true;
-            submit_scrub_line t ?config prog ~line:!next_line (fun () ->
-                outstanding := false);
-            next_line := (!next_line + 1) mod n_lines
+            submit_scrub_line t ?config prog ~line:(Scrub.planner_next planner)
+              (fun () -> outstanding := false)
           end;
           arm ()
         end)

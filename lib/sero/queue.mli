@@ -189,6 +189,19 @@ val submit_scrub_line :
 (** One {!Scrub.sweep_line} as a request ([prio] defaults to
     [Background]); outcomes accumulate into the given progress. *)
 
+val submit_verify_line :
+  t ->
+  ?prio:prio ->
+  ?tenant:int ->
+  line:int ->
+  (Tamper.verdict -> unit) ->
+  unit
+(** One {!Device.verify_line} as a queued request — the audit traffic
+    class.  [prio] defaults to [Background], so sampled audits contend
+    under the arbiter like any other background work instead of jumping
+    the foreground; give them a tenant of their own to meter their
+    budget through per-tenant accounting. *)
+
 val submit_migrate :
   t ->
   ?prio:prio ->
@@ -203,15 +216,18 @@ val submit_migrate :
 
 val schedule_scrub :
   ?config:Scrub.config ->
+  ?planner:Scrub.planner ->
   t ->
   period:float ->
   stop:(unit -> bool) ->
   Scrub.progress
 (** Background scrubbing as queue traffic: every [period] simulated
-    seconds submit the next line (round-robin over the device, at most
-    one outstanding scrub request at a time) until [stop ()] holds at a
-    tick.  Returns the progress the sweeps accumulate into — snapshot
-    it with {!Scrub.report_of_progress}. *)
+    seconds submit the line the [planner] names next (at most one
+    outstanding scrub request at a time) until [stop ()] holds at a
+    tick.  [planner] defaults to a fresh {!Scrub.Sequential} planner,
+    which is bit-identical to the pre-planner round-robin.  Returns the
+    progress the sweeps accumulate into — snapshot it with
+    {!Scrub.report_of_progress}. *)
 
 val schedule_migration :
   t -> period:float -> stop:(unit -> bool) -> Device.migration list ref

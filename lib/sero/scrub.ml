@@ -131,6 +131,60 @@ let sweep_line ?(config = default_config) dev prog ~line =
         (line, Tamper.Tampered evs) :: prog.p_tamper_found
   end
 
+(* ------------------------------------------------------------------ *)
+(* Sweep planners                                                      *)
+
+type policy = Sequential | Weakest_first | Sampled of int
+
+type planner = {
+  pol : policy;
+  pdev : Device.t;
+  prng : Sim.Prng.t option;
+  mutable todo : int list;
+}
+
+let planner ?(policy = Sequential) dev =
+  {
+    pol = policy;
+    pdev = dev;
+    prng =
+      (match policy with
+      | Sampled seed -> Some (Sim.Prng.create seed)
+      | Sequential | Weakest_first -> None);
+    todo = [];
+  }
+
+let planner_policy p = p.pol
+
+let refill p =
+  let n = Layout.n_lines (Device.layout p.pdev) in
+  match p.pol with
+  | Sequential -> p.todo <- List.init n Fun.id
+  | Weakest_first ->
+      (* One full round per refill, weakest margins first: every line is
+         still visited each round (no starvation), but the ones closest
+         to exhausting their RS budget are verified soonest.  The sort
+         is stable with line-ascending input, so ties break low. *)
+      let h = Device.health p.pdev in
+      p.todo <-
+        List.stable_sort
+          (fun a b -> compare (Health.margin h ~line:a) (Health.margin h ~line:b))
+          (List.init n Fun.id)
+  | Sampled _ ->
+      (* Memoryless uniform sampling: each slot draws a fresh line from
+         the planner's private stream, so an adversary cannot predict
+         coverage from the sweep history. *)
+      p.todo <- [ Sim.Prng.int (Option.get p.prng) n ]
+
+let planner_position p =
+  if p.todo = [] then refill p;
+  List.hd p.todo
+
+let planner_next p =
+  let line = planner_position p in
+  p.todo <- List.tl p.todo;
+  line
+
 let pass ?(config = default_config) dev =
   let lay = Device.layout dev in
   let prog = progress_create () in

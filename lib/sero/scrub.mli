@@ -80,3 +80,42 @@ val schedule :
   ?config:config -> Sim.Des.t -> Device.t -> on_pass:(report -> unit) -> unit
 (** Run a pass now-ish and re-schedule every [config.period] simulated
     seconds forever; bound the simulation with [Sim.Des.run ~until]. *)
+
+(** {1 Sweep planners}
+
+    Which line does the next background scrub slot go to?  That choice
+    is the defender's cheapest audit knob: a sequential sweep is
+    predictable (an insider tampers just {e behind} the cursor and buys
+    almost a full rotation of latency), weakest-first chases the health
+    ledger (and can be decoyed by targeted noise), and seeded sampling
+    is memoryless, so no position is ever safe for long.  A planner is
+    deterministic state — same policy, same device history, same line
+    sequence — so campaigns over it replay byte-identically. *)
+
+type policy =
+  | Sequential  (** Round-robin over all lines — today's default. *)
+  | Weakest_first
+      (** Each round visits every line, ordered by ascending health
+          margin ({!Health.margin}), so the lines nearest RS-budget
+          exhaustion are verified soonest.  Ties break low. *)
+  | Sampled of int
+      (** Memoryless uniform line choice from a private stream seeded
+          with the payload — unpredictable coverage at the price of
+          coupon-collector gaps. *)
+
+type planner
+
+val planner : ?policy:policy -> Device.t -> planner
+(** A planner over the device's line space; [policy] defaults to
+    {!Sequential}, which yields exactly the 0,1,…,n-1,0,… sequence the
+    pre-planner scheduler used. *)
+
+val planner_policy : planner -> policy
+
+val planner_position : planner -> int
+(** The line the next {!planner_next} will return, without consuming
+    it.  This is precisely what a scheduling-aware insider can observe
+    (the sweep cursor), so campaign adversaries race it honestly. *)
+
+val planner_next : planner -> int
+(** Yield the next line to sweep and advance the plan. *)

@@ -246,6 +246,94 @@ let test_tenant_ledgers () =
   Alcotest.(check bool) "report p99 positive" true
     (rep.Host.Slo.rep_p99_ms > 0.)
 
+(* {1 Audit_line}
+
+   On a device target the frame rides the request queue (async, served
+   at drain); on a volume target it is one synchronous quorum
+   attestation. *)
+
+let test_audit_line_device () =
+  let dev, _, server = mkserver () in
+  (match Sero.Device.heat_line dev ~line:1 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "heat 1");
+  (match Sero.Device.heat_line dev ~line:2 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "heat 2");
+  let lay = Sero.Device.layout dev in
+  let victim = List.hd (Sero.Layout.data_blocks_of_line lay 2) in
+  Sero.Device.unsafe_write_block dev ~pba:victim "forged";
+  let seen = ref [] in
+  Host.Server.set_on_response server (Some (fun r -> seen := r :: !seen));
+  let s = Host.Server.session server ~tenant:7 in
+  ignore (Host.Server.submit s (P.Audit_line { line = 1 }));
+  ignore (Host.Server.submit s (P.Audit_line { line = 2 }));
+  ignore (Host.Server.submit s (P.Audit_line { line = 3 }));
+  Alcotest.(check int)
+    "audit rides the queue: nothing served before drain" 0
+    (List.length (Host.Server.responses server));
+  Host.Server.drain server;
+  (match Host.Server.responses server with
+  | [ intact; tampered; unheated ] ->
+      Alcotest.(check (list int))
+        "intact" [ P.st_ok; P.st_ok ] intact.P.r_phases;
+      Alcotest.(check (list int))
+        "tampered" [ P.st_ok; P.st_tampered ] tampered.P.r_phases;
+      Alcotest.(check (list int))
+        "not heated" [ P.st_ok; P.st_not_heated ] unheated.P.r_phases
+  | rs -> Alcotest.failf "expected 3 responses, got %d" (List.length rs));
+  Alcotest.(check int) "hook saw every response" 3 (List.length !seen);
+  Host.Server.set_on_response server None;
+  let r = Host.Server.call s (P.Audit_line { line = 1 }) in
+  Alcotest.(check (list int)) "hook detached" [ P.st_ok; P.st_ok ] r.P.r_phases;
+  Alcotest.(check int) "no further hook calls" 3 (List.length !seen)
+
+let test_audit_line_volume () =
+  let v =
+    Sarray.Volume.create
+      (Sarray.Volume.default_config ~slots:2 ~replication:2 ~spares:0
+         ~member_blocks:64 ~line_exp:3 ~cache_capacity:None ())
+  in
+  let m = Sarray.Volume.map v in
+  let dpl =
+    Sero.Layout.data_blocks_per_line
+      (Sero.Device.layout (Sarray.Volume.device v ~dev:0))
+  in
+  for line = 0 to 1 do
+    for offset = 0 to dpl - 1 do
+      match
+        Sarray.Volume.write_block v
+          ~vba:(Sarray.Amap.vba_of m ~line ~offset)
+          (payload_of offset)
+      with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "write"
+    done
+  done;
+  (match Sarray.Volume.heat_line v ~line:0 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "heat");
+  let server = Host.Server.create (Host.Server.Volume v) in
+  let s = Host.Server.session server ~tenant:7 in
+  let attested = Host.Server.call s (P.Audit_line { line = 0 }) in
+  Alcotest.(check (list int)) "attested" [ P.st_ok; P.st_ok ] attested.P.r_phases;
+  let unheated = Host.Server.call s (P.Audit_line { line = 1 }) in
+  Alcotest.(check (list int))
+    "not heated" [ P.st_ok; P.st_not_heated ] unheated.P.r_phases;
+  (* Rewrite every replica of line 0's first data block: no divergence
+     between mirrors, each replica self-convicts against its burn. *)
+  List.iter
+    (fun slot ->
+      let dev = Sarray.Volume.dev_of_slot v ~slot in
+      Sero.Device.unsafe_write_block
+        (Sarray.Volume.device v ~dev)
+        ~pba:(Sarray.Amap.member_pba m ~vba:(Sarray.Amap.vba_of m ~line:0 ~offset:0))
+        "forged")
+    (Sarray.Volume.serving_slots v ~line:0);
+  let split = Host.Server.call s (P.Audit_line { line = 0 }) in
+  Alcotest.(check (list int))
+    "mirror split" [ P.st_ok; P.st_tampered ] split.P.r_phases
+
 (* {1 Single-tenant equivalence}
 
    The law the host layer must not break: one tenant through
@@ -488,6 +576,13 @@ let () =
           [
             Alcotest.test_case "fairness" `Quick test_fairness;
             Alcotest.test_case "tenant ledgers" `Quick test_tenant_ledgers;
+          ] );
+        ( "audit-line",
+          [
+            Alcotest.test_case "device target is queue traffic" `Quick
+              test_audit_line_device;
+            Alcotest.test_case "volume target attests the quorum" `Quick
+              test_audit_line_volume;
           ] );
         ("equivalence", [ qtest host_equivalence ]);
         ( "golden",

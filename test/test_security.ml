@@ -71,6 +71,88 @@ let threat_cases =
           Security.Attacks.all);
   ]
 
+(* {1 Insider campaigns (Security.Campaign)} *)
+
+module C = Security.Campaign
+
+(* Small cells keep these quick; 2 sites is enough to exercise the
+   fan-out, merge and bookkeeping paths of every attack class. *)
+let campaign_run ?(sites = 2) ?(defender = C.reference_defender) attack =
+  C.run ~sites ~attack ~adversary:C.default_adversary ~defender ()
+
+let campaign_cases =
+  [
+    Alcotest.test_case "attack names round-trip" `Quick (fun () ->
+        List.iter
+          (fun a ->
+            Alcotest.(check bool) (C.attack_name a) true
+              (C.attack_of_string (C.attack_name a) = Some a))
+          C.all_attacks;
+        Alcotest.(check bool) "unknown rejected" true
+          (C.attack_of_string "phlogiston" = None));
+    Alcotest.test_case "reference budget detects every class" `Slow (fun () ->
+        List.iter
+          (fun attack ->
+            let r = campaign_run attack in
+            let name = C.attack_name attack in
+            Alcotest.(check bool) (name ^ " landed") true (r.C.r_landed > 0);
+            Alcotest.(check int) (name ^ " undetected") 0 r.C.r_undetected;
+            Alcotest.(check int)
+              (name ^ " latency samples")
+              r.C.r_detected
+              (Sim.Stats.count r.C.r_det_latency_ms))
+          C.all_attacks);
+    Alcotest.test_case "starved budget leaks tampers" `Slow (fun () ->
+        let r = campaign_run ~defender:C.starved_defender C.Selective_tamper in
+        Alcotest.(check bool) "landed" true (r.C.r_landed > 0);
+        Alcotest.(check int) "all undetected" r.C.r_landed r.C.r_undetected;
+        Alcotest.(check int) "no audit frames" 0 r.C.r_audit_frames);
+    Alcotest.test_case "wear ramp burns spares" `Slow (fun () ->
+        let r = campaign_run C.Spare_exhaustion in
+        Alcotest.(check bool) "spares burned" true (r.C.r_spares_burned > 0));
+    Alcotest.test_case "sampled planner defeats the scrubber race" `Slow
+      (fun () ->
+        let reference = campaign_run C.Scrubber_race in
+        Alcotest.(check int) "no wins vs sampled" 0 reference.C.r_race_wins;
+        let starved =
+          campaign_run ~defender:C.starved_defender C.Scrubber_race
+        in
+        Alcotest.(check int)
+          "every race won vs starved sequential" starved.C.r_races
+          starved.C.r_race_wins);
+    Alcotest.test_case "campaign is byte-identical for any jobs" `Slow
+      (fun () ->
+        let show r = Format.asprintf "%a" C.pp_result r in
+        List.iter
+          (fun attack ->
+            let runs =
+              List.map
+                (fun jobs ->
+                  Sim.Pool.set_jobs jobs;
+                  show (campaign_run ~sites:3 attack))
+                [ 1; 4 ]
+            in
+            match runs with
+            | [ a; b ] -> Alcotest.(check string) (C.attack_name attack) a b
+            | _ -> assert false)
+          [ C.Selective_tamper; C.Mirror_split ]);
+    Alcotest.test_case "merge sums fleets" `Slow (fun () ->
+        let a = campaign_run C.Selective_tamper in
+        let b = campaign_run C.Carcass_replay in
+        let m = C.merge [ a; b ] in
+        Alcotest.(check int) "sites" (a.C.r_sites + b.C.r_sites) m.C.r_sites;
+        Alcotest.(check int) "landed" (a.C.r_landed + b.C.r_landed) m.C.r_landed;
+        Alcotest.(check int)
+          "spend"
+          (C.audit_spend a + C.audit_spend b)
+          (C.audit_spend m);
+        Alcotest.(check int)
+          "latency samples"
+          (Sim.Stats.count a.C.r_det_latency_ms
+          + Sim.Stats.count b.C.r_det_latency_ms)
+          (Sim.Stats.count m.C.r_det_latency_ms));
+  ]
+
 let () =
   Alcotest.run "security"
     [
@@ -78,4 +160,5 @@ let () =
       ("matrix", matrix_cases);
       ("splice-ablation", splice_cases);
       ("threat-model", threat_cases);
+      ("campaign", campaign_cases);
     ]

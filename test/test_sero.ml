@@ -1434,6 +1434,44 @@ let clone_parent_churn =
         script;
       device_face c1 = before && device_face c2 = before)
 
+let clone_rearm_isolation =
+  (* Re-arming a clone with its own fault plan must not let any parent
+     state cross the boundary: whatever evidence the armed parent
+     accumulates (tampers, injected flips), a clone taken afterwards —
+     with or without its own plan — starts with a clean face and an
+     empty (or fresh) ledger. *)
+  QCheck.Test.make ~name:"clone ?plan re-arm keeps parent evidence out"
+    ~count:15
+    QCheck.(triple (int_range 0 1_000) (int_range 0 63) bool)
+    (fun (seed, victim_blk, rearm) ->
+      let dev = make_dev ~n_blocks:64 () in
+      let lay = Sero.Device.layout dev in
+      fill_line dev 0;
+      ignore (heat_ok dev 0);
+      let face = device_face dev in
+      Sero.Device.install_fault dev
+        (Fault.Injector.create (Fault.Plan.make ~seed ~read_ber:0.3 ()));
+      (* Churn the parent through its noisy channel before snapshotting,
+         so its injector has position state a naive fork would share. *)
+      List.iter
+        (fun pba -> ignore (Sero.Device.read_block dev ~pba))
+        (Sero.Layout.data_blocks_of_line lay 0);
+      let plan =
+        if rearm then Some (Fault.Plan.make ~seed:(seed + 1) ()) else None
+      in
+      let clone = Sero.Device.clone ?plan dev in
+      (* Attack the parent after the snapshot: none of it may show. *)
+      Sero.Device.unsafe_heat_dots dev
+        ~dot:(Sero.Layout.block_first_dot lay (victim_blk mod 64))
+        ~n:600;
+      let clone_inj_fresh =
+        match Probe.Pdevice.fault (Sero.Device.pdevice clone) with
+        | None -> not rearm
+        | Some inj -> rearm && Fault.Injector.n_events inj = 0
+      in
+      if rearm then Sero.Device.clear_fault clone;
+      clone_inj_fresh && device_face clone = face)
+
 let clone_cases =
   [
     Alcotest.test_case "clone reads the parent's bytes, CoW-lazily" `Quick
@@ -1506,16 +1544,42 @@ let clone_cases =
         Sero.Device.install_fault clone
           (Fault.Injector.create (Fault.Plan.make ()));
         Alcotest.(check int) "parent listeners silent" 0 !hits);
-    Alcotest.test_case "a live fault injector refuses to clone" `Quick
+    Alcotest.test_case "a parent's live injector is never inherited" `Quick
       (fun () ->
         let dev = make_dev ~n_blocks:64 () in
         Sero.Device.install_fault dev
-          (Fault.Injector.create (Fault.Plan.make ()));
-        Alcotest.check_raises "refused"
-          (Invalid_argument "Pdevice.clone: fault injector installed")
-          (fun () -> ignore (Sero.Device.clone dev));
-        Sero.Device.clear_fault dev;
-        ignore (Sero.Device.clone dev));
+          (Fault.Injector.create (Fault.Plan.make ~seed:7 ~read_ber:0.5 ()));
+        let clone = Sero.Device.clone dev in
+        Alcotest.(check bool) "clone starts fault-free" false
+          (Sero.Device.fault_installed clone);
+        Alcotest.(check bool) "parent still armed" true
+          (Sero.Device.fault_installed dev));
+    Alcotest.test_case "clone ?plan arms a fresh injector on the clone"
+      `Quick (fun () ->
+        let dev = make_dev ~n_blocks:64 () in
+        fill_line dev 1;
+        let face = device_face dev in
+        let plan = Fault.Plan.make ~seed:11 ~read_ber:0.2 () in
+        let faulty = Sero.Device.clone ~plan dev in
+        Alcotest.(check bool) "clone armed" true
+          (Sero.Device.fault_installed faulty);
+        Alcotest.(check bool) "parent untouched" false
+          (Sero.Device.fault_installed dev);
+        (* Drive reads through the clone's noisy channel; the injector's
+           ledger lives on the clone and the parent reads stay clean. *)
+        let lay = Sero.Device.layout faulty in
+        List.iter
+          (fun pba -> ignore (Sero.Device.read_block faulty ~pba))
+          (Sero.Layout.data_blocks_of_line lay 1);
+        let inj =
+          match Probe.Pdevice.fault (Sero.Device.pdevice faulty) with
+          | Some inj -> inj
+          | None -> Alcotest.fail "clone injector vanished"
+        in
+        Alcotest.(check bool) "clone injector drew events" true
+          (Fault.Injector.n_events inj > 0);
+        Alcotest.(check (pair (list string) (list string)))
+          "parent face clean" face (device_face dev));
     Alcotest.test_case "park drops the scratch; the device still works"
       `Quick (fun () ->
         let dev = make_dev ~n_blocks:64 () in
@@ -1546,5 +1610,6 @@ let () =
       ("image", image_cases);
       ("bcache", bcache_cases @ [ qtest twin_equivalence ]);
       ("endurance", endurance_cases @ [ qtest endurance_twin ]);
-      ("clone", clone_cases @ [ qtest clone_parent_churn ]);
+      ("clone",
+        clone_cases @ [ qtest clone_parent_churn; qtest clone_rearm_isolation ]);
     ]

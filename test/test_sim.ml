@@ -773,7 +773,66 @@ let stats_merge_cases =
     Alcotest.test_case "merge_many of nothing is empty" `Quick (fun () ->
         let m = Sim.Stats.merge_many ~name:"none" [] in
         Alcotest.(check int) "count" 0 (Sim.Stats.count m));
+    Alcotest.test_case "merge_many skips empty reservoirs" `Quick (fun () ->
+        (* Empty shards are the norm in sparse fleet cells (e.g. a site
+           whose attack never landed records no latency samples). *)
+        let full = Sim.Stats.create ~name:"full" () in
+        List.iter (Sim.Stats.add full) [ 3.; 1.; 2. ];
+        let parts =
+          [ Sim.Stats.create (); full; Sim.Stats.create (); Sim.Stats.create () ]
+        in
+        let m = Sim.Stats.merge_many ~name:"m" parts in
+        Alcotest.(check int) "count" 3 (Sim.Stats.count m);
+        Alcotest.(check (float 0.)) "min" 1. (Sim.Stats.min_value m);
+        Alcotest.(check (float 0.)) "max" 3. (Sim.Stats.max_value m);
+        Alcotest.(check (float 1e-9)) "mean" 2. (Sim.Stats.mean m);
+        Alcotest.(check (float 0.)) "p99" 3. (Sim.Stats.p99 m);
+        let all_empty =
+          Sim.Stats.merge_many ~name:"e" [ Sim.Stats.create (); Sim.Stats.create () ]
+        in
+        Alcotest.(check int) "all-empty count" 0 (Sim.Stats.count all_empty);
+        Alcotest.(check (float 0.)) "all-empty p50" 0. (Sim.Stats.p50 all_empty));
+    Alcotest.test_case "single-sample quantiles collapse to the sample" `Quick
+      (fun () ->
+        let one = Sim.Stats.create ~name:"one" () in
+        Sim.Stats.add one 42.5;
+        let p50, p95, p99 = Sim.Stats.quantiles one in
+        Alcotest.(check (float 0.)) "p50" 42.5 p50;
+        Alcotest.(check (float 0.)) "p95" 42.5 p95;
+        Alcotest.(check (float 0.)) "p99" 42.5 p99;
+        Alcotest.(check (float 0.)) "stddev" 0. (Sim.Stats.stddev one);
+        let m = Sim.Stats.merge_many ~name:"m" [ Sim.Stats.create (); one ] in
+        Alcotest.(check (float 0.)) "merged p99" 42.5 (Sim.Stats.p99 m);
+        Alcotest.(check (float 0.)) "merged min" 42.5 (Sim.Stats.min_value m));
   ]
+
+(* merge_many must be insensitive to how shards are grouped: folding
+   pairwise left, pairwise right, or flat over any split point gives the
+   same moments and quantiles. *)
+let stats_merge_associative =
+  QCheck.Test.make ~name:"Stats.merge_many is associative over groupings"
+    ~count:100
+    QCheck.(pair (list_of_size Gen.(0 -- 40) (float_range (-50.) 50.)) (int_range 0 40))
+    (fun (samples, cut) ->
+      let cut = if samples = [] then 0 else cut mod (List.length samples + 1) in
+      let fill name xs =
+        let s = Sim.Stats.create ~name () in
+        List.iter (Sim.Stats.add s) xs;
+        s
+      in
+      let a = fill "a" (List.filteri (fun i _ -> i < cut) samples) in
+      let b = fill "b" (List.filteri (fun i _ -> i >= cut) samples) in
+      let flat = Sim.Stats.merge_many ~name:"m" [ a; b ] in
+      let left = Sim.Stats.merge_many ~name:"m" [ Sim.Stats.merge_many ~name:"m" [ a ]; b ]
+      and right = Sim.Stats.merge_many ~name:"m" [ a; Sim.Stats.merge_many ~name:"m" [ b ] ] in
+      List.for_all
+        (fun m ->
+          Sim.Stats.count m = Sim.Stats.count flat
+          && Float.abs (Sim.Stats.mean m -. Sim.Stats.mean flat) < 1e-9
+          && Sim.Stats.quantiles m = Sim.Stats.quantiles flat
+          && Sim.Stats.min_value m = Sim.Stats.min_value flat
+          && Sim.Stats.max_value m = Sim.Stats.max_value flat)
+        [ left; right ])
 
 (* {1 Fleet fan-out} *)
 
@@ -851,7 +910,11 @@ let () =
       ("prng", prng_cases @ stream_cases @ [ qtest int_in_range ]);
       ("stats",
        stats_cases @ stats_merge_cases
-       @ [ qtest percentile_bounds; qtest quantiles_match_percentile ]);
+       @ [
+           qtest percentile_bounds;
+           qtest quantiles_match_percentile;
+           qtest stats_merge_associative;
+         ]);
       ("heap", heap_cases @ [ qtest heap_sorts; qtest heap_stable ]);
       ("wheel",
        wheel_cases
